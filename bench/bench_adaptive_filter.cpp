@@ -1,0 +1,112 @@
+// E14 (Section 3.3): runtime adaptivity instead of optimizer statistics.
+// "The field of adaptive query processing has advanced significantly ...
+// we can borrow and extend some of the techniques to make query operators
+// self-adaptable at runtime."
+//
+// A conjunctive filter whose selective predicate is textually LAST — the
+// worst case for a statistics-free static order. The adaptive filter
+// observes per-predicate pass rates and reorders itself mid-run; measured:
+// predicate evaluations and wall time vs the static order and vs the
+// oracle (best-possible static) order, across data phases whose selective
+// predicate CHANGES mid-stream (where even a perfect static order loses).
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "exec/operators.h"
+
+using namespace impliance;
+using bench::Fmt;
+using bench::FmtInt;
+using exec::CompareOp;
+using exec::FilterOp;
+using exec::Predicate;
+using exec::Row;
+using exec::RowSourceOp;
+using model::Value;
+
+namespace {
+
+constexpr size_t kRows = 200000;
+
+// Phase 1: column 0 is selective (passes 2%), columns 1/2 pass 90%.
+// Phase 2 (second half): column 2 becomes the selective one.
+std::vector<Row> MakePhasedRows(Rng* rng) {
+  std::vector<Row> rows;
+  rows.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    const bool phase2 = i >= kRows / 2;
+    const int64_t a = rng->Bernoulli(phase2 ? 0.9 : 0.02) ? 1 : 0;
+    const int64_t b = rng->Bernoulli(0.9) ? 1 : 0;
+    const int64_t c = rng->Bernoulli(phase2 ? 0.02 : 0.9) ? 1 : 0;
+    rows.push_back({Value::Int(a), Value::Int(b), Value::Int(c)});
+  }
+  return rows;
+}
+
+struct RunStats {
+  uint64_t evals = 0;
+  double ms = 0;
+  size_t out_rows = 0;
+};
+
+RunStats RunFilter(const exec::Schema& schema, const std::vector<Row>& rows,
+                   std::vector<Predicate> predicates, bool adaptive) {
+  auto source = std::make_unique<RowSourceOp>(schema, rows);
+  FilterOp filter(std::move(source), std::move(predicates), adaptive);
+  Stopwatch watch;
+  std::vector<Row> out = exec::Execute(&filter);
+  RunStats stats;
+  stats.ms = watch.ElapsedMillis();
+  stats.evals = filter.predicate_evals();
+  stats.out_rows = out.size();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E14",
+                "adaptive filter reordering vs static predicate orders");
+
+  Rng rng(61);
+  const exec::Schema schema{{"a", "b", "c"}};
+  std::vector<Row> rows = MakePhasedRows(&rng);
+
+  const std::vector<Predicate> textual_order = {
+      {1, CompareOp::kEq, Value::Int(1)},  // 90% pass — first as written
+      {0, CompareOp::kEq, Value::Int(1)},  // selective in phase 1
+      {2, CompareOp::kEq, Value::Int(1)},  // selective in phase 2
+  };
+
+  bench::TablePrinter table(
+      {"strategy", "predicate_evals", "time_ms", "rows_out"});
+
+  RunStats fixed = RunFilter(schema, rows, textual_order, false);
+  table.AddRow({"static (textual order)", FmtInt(fixed.evals),
+                Fmt("%.1f", fixed.ms), FmtInt(fixed.out_rows)});
+
+  // Oracle static order for phase 1 (selective-first): degrades in phase 2.
+  std::vector<Predicate> oracle1 = {textual_order[1], textual_order[2],
+                                    textual_order[0]};
+  RunStats oracle = RunFilter(schema, rows, oracle1, false);
+  table.AddRow({"static (phase-1 oracle)", FmtInt(oracle.evals),
+                Fmt("%.1f", oracle.ms), FmtInt(oracle.out_rows)});
+
+  RunStats adaptive = RunFilter(schema, rows, textual_order, true);
+  table.AddRow({"adaptive (eddies-style)", FmtInt(adaptive.evals),
+                Fmt("%.1f", adaptive.ms), FmtInt(adaptive.out_rows)});
+
+  table.Print();
+  IMPLIANCE_CHECK(fixed.out_rows == adaptive.out_rows &&
+                  fixed.out_rows == oracle.out_rows);
+  std::printf(
+      "\nExpected shape: the adaptive filter converges on the selective\n"
+      "predicate in each phase and evaluates close to the per-phase\n"
+      "minimum — fewer evaluations than ANY static order, because the data\n"
+      "shifts mid-stream. This is the operator-level self-adaptation the\n"
+      "simple planner leans on in place of maintained statistics.\n");
+  return 0;
+}

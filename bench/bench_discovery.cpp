@@ -1,0 +1,206 @@
+// E5 (Section 3.2): background discovery makes the stew richer — measured
+// against ground truth. Three discovery products are scored:
+//   1. cross-silo joins: orders (CSV/XML/e-mail formats) -> customer master
+//      records, recovered as join-index edges (recall);
+//   2. entity resolution: duplicate customer records linked (precision,
+//      recall, F1);
+//   3. sentiment annotation: transcript polarity vs generated polarity
+//      (accuracy).
+// Plus the headline ability no single-format system has: one SQL query over
+// the consolidated purchase-order schema class spanning all three formats.
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/impliance.h"
+#include "discovery/annotator.h"
+#include "model/item.h"
+#include "workload/corpus.h"
+
+using namespace impliance;
+using bench::Fmt;
+using bench::FmtInt;
+using model::DocId;
+
+int main() {
+  bench::Banner("E5", "discovery quality vs ground truth");
+
+  const std::string dir = "/tmp/impliance_bench_discovery";
+  std::filesystem::remove_all(dir);
+  auto opened = core::Impliance::Open({.data_dir = dir});
+  IMPLIANCE_CHECK(opened.ok());
+  auto impliance = std::move(opened).value();
+  impliance->AddDictionaryEntries(
+      "product", workload::CorpusGenerator::ProductNames());
+
+  workload::CorpusOptions options;
+  options.num_customers = 80;
+  options.num_orders_csv = 100;
+  options.num_orders_xml = 50;
+  options.num_orders_email = 50;
+  options.num_transcripts = 60;
+  options.num_claims = 0;
+  options.num_contract_emails = 0;
+  workload::GroundTruth truth;
+  for (const auto& item :
+       workload::CorpusGenerator(options).GenerateRaw(&truth)) {
+    IMPLIANCE_CHECK(impliance->InfuseContent(item.kind, item.content).ok());
+  }
+
+  Stopwatch watch;
+  auto report = impliance->RunDiscovery();
+  IMPLIANCE_CHECK(report.ok());
+  std::printf("\ndiscovery pass: %.0f ms, %zu annotations, %zu join edges, "
+              "%zu entity merges\n",
+              watch.ElapsedMillis(), report->annotations_created,
+              report->join_edges_added, report->entity_clusters_merged);
+  impliance->WaitForDiscovery();
+
+  bench::TablePrinter table({"discovery product", "metric", "value"});
+
+  // ---- 1. Cross-silo join recall: order doc -> correct customer doc.
+  {
+    // Build business-key maps: customer id value -> doc id, order doc ->
+    // expected customer business id.
+    std::map<int64_t, DocId> customer_docs;
+    for (DocId id : impliance->DocsOfKind("customer")) {
+      auto doc = impliance->Get(id);
+      if (const auto* key = model::ResolvePath(doc->root, "/doc/id")) {
+        customer_docs[static_cast<int64_t>(key->AsDouble())] = id;
+      }
+    }
+    auto graph = impliance->Graph();
+    size_t expected = 0, recovered = 0;
+    for (const std::string& kind :
+         {std::string("order_csv"), std::string("order_xml"),
+          std::string("order_email")}) {
+      for (DocId id : impliance->DocsOfKind(kind)) {
+        auto doc = impliance->Get(id);
+        const auto* order_no =
+            model::ResolvePath(doc->root, "/doc/order_no");
+        int64_t order_key = 0;
+        if (order_no != nullptr) {
+          order_key = static_cast<int64_t>(order_no->AsDouble());
+        } else if (const auto* subject =
+                       model::ResolvePath(doc->root, "/doc/subject")) {
+          // e-mail orders: "Purchase order PO-<n>".
+          const std::string s = subject->AsString();
+          size_t pos = s.rfind("PO-");
+          if (pos != std::string::npos) {
+            order_key = std::stoll(s.substr(pos + 3));
+          }
+        }
+        auto truth_it = truth.order_customer.find(order_key);
+        if (truth_it == truth.order_customer.end()) continue;
+        ++expected;
+        auto customer_it = customer_docs.find(truth_it->second);
+        if (customer_it == customer_docs.end()) continue;
+        // Is there a discovered 1-hop join edge to the right customer?
+        for (DocId neighbor : graph.RelatedBy(id, "joins:customer_id")) {
+          if (neighbor == customer_it->second) {
+            ++recovered;
+            break;
+          }
+        }
+      }
+    }
+    table.AddRow({"cross-silo joins", "orders with edge to right customer",
+                  FmtInt(recovered) + "/" + FmtInt(expected) + " (" +
+                      Fmt("%.0f%%", 100.0 * recovered / expected) + ")"});
+  }
+
+  // ---- 2. Entity resolution P/R/F1 on duplicate customers.
+  {
+    std::map<int64_t, DocId> customer_docs;
+    for (DocId id : impliance->DocsOfKind("customer")) {
+      auto doc = impliance->Get(id);
+      if (const auto* key = model::ResolvePath(doc->root, "/doc/id")) {
+        customer_docs[static_cast<int64_t>(key->AsDouble())] = id;
+      }
+    }
+    std::set<std::pair<DocId, DocId>> truth_pairs;
+    for (const auto& [a, b] : truth.duplicate_customers) {
+      DocId da = customer_docs.at(a), db = customer_docs.at(b);
+      truth_pairs.insert({std::min(da, db), std::max(da, db)});
+    }
+    auto graph = impliance->Graph();
+    std::set<std::pair<DocId, DocId>> found_pairs;
+    for (const auto& [key, doc] : customer_docs) {
+      for (DocId other : graph.RelatedBy(doc, "same_entity")) {
+        found_pairs.insert({std::min(doc, other), std::max(doc, other)});
+      }
+    }
+    size_t true_positive = 0;
+    for (const auto& pair : found_pairs) {
+      if (truth_pairs.count(pair)) ++true_positive;
+    }
+    const double precision =
+        found_pairs.empty() ? 0 : 1.0 * true_positive / found_pairs.size();
+    const double recall =
+        truth_pairs.empty() ? 0 : 1.0 * true_positive / truth_pairs.size();
+    const double f1 = precision + recall == 0
+                          ? 0
+                          : 2 * precision * recall / (precision + recall);
+    table.AddRow({"entity resolution", "precision",
+                  Fmt("%.2f", precision)});
+    table.AddRow({"entity resolution", "recall", Fmt("%.2f", recall)});
+    table.AddRow({"entity resolution", "F1", Fmt("%.2f", f1)});
+  }
+
+  // ---- 3. Sentiment accuracy on transcripts.
+  {
+    std::vector<DocId> transcripts = impliance->DocsOfKind("call_transcript");
+    size_t correct = 0, scored = 0;
+    for (size_t i = 0; i < transcripts.size() && i < truth.transcripts.size();
+         ++i) {
+      std::string label = "neutral";
+      for (const auto& annotation : impliance->AnnotationsFor(transcripts[i])) {
+        for (const auto& span :
+             discovery::SpansFromAnnotationDocument(annotation)) {
+          if (span.entity_type == "sentiment") label = span.text;
+        }
+      }
+      const int expected = truth.transcripts[i].sentiment;
+      const std::string expected_label =
+          expected > 0 ? "positive" : (expected < 0 ? "negative" : "neutral");
+      ++scored;
+      if (label == expected_label) ++correct;
+    }
+    table.AddRow({"sentiment annotation", "accuracy",
+                  FmtInt(correct) + "/" + FmtInt(scored) + " (" +
+                      Fmt("%.0f%%", 100.0 * correct / scored) + ")"});
+  }
+
+  // ---- 4. Consolidated schema class: one SQL query across three formats.
+  {
+    std::string po_class;
+    for (const auto& schema_class : impliance->SchemaClasses()) {
+      size_t po_kinds = 0;
+      for (const std::string& kind : schema_class.kinds) {
+        if (kind.rfind("order_", 0) == 0) ++po_kinds;
+      }
+      if (po_kinds >= 2) po_class = schema_class.name;
+    }
+    if (!po_class.empty()) {
+      auto rows = impliance->Sql("SELECT COUNT(*) FROM " + po_class);
+      const int64_t count = rows.ok() ? (*rows)[0][0].int_value() : -1;
+      table.AddRow({"schema consolidation",
+                    "rows in one query over " + po_class,
+                    FmtInt(static_cast<uint64_t>(count))});
+    } else {
+      table.AddRow({"schema consolidation", "purchase-order class", "NOT FOUND"});
+    }
+  }
+
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nExpected shape: high (not perfect) recall on cross-silo joins and\n"
+      "duplicate detection, near-perfect sentiment on this lexicon-aligned\n"
+      "corpus, and a consolidated purchase-order view spanning the CSV and\n"
+      "XML silos — none of which required a human to define a mapping.\n");
+  return 0;
+}

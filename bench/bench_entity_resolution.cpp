@@ -1,0 +1,150 @@
+// E12 (Section 3.2, citing Jonas' identity resolution at scale): naive
+// entity resolution compares all pairs — quadratic and hopeless at scale;
+// blocking compares only within candidate blocks. Measured: comparisons,
+// wall time, and F1 against planted duplicates, sweeping corpus size.
+
+#include <set>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "discovery/entity_resolver.h"
+
+using namespace impliance;
+using bench::Fmt;
+using bench::FmtInt;
+using discovery::EntityRecord;
+using discovery::EntityResolver;
+
+namespace {
+
+const std::vector<std::string>& FirstNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "ada", "grace", "alan", "edgar", "barbara", "donald", "edsger",
+      "tony", "john", "leslie", "ken", "dennis", "bjarne", "frances",
+      "maria", "ivan", "noor", "wei", "kofi", "lena"};
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "lovelace", "hopper", "turing", "codd", "liskov", "knuth", "dijkstra",
+      "hoare", "backus", "gray", "lamport", "thompson", "ritchie", "wirth",
+      "okafor", "tanaka", "ferrari", "svensson", "almeida", "novak"};
+  return *kNames;
+}
+
+std::string Typo(Rng* rng, std::string name) {
+  if (name.size() > 4) {
+    size_t pos = 1 + rng->Uniform(name.size() - 3);
+    if (name[pos] == ' ' || name[pos + 1] == ' ') pos = 1;
+    std::swap(name[pos], name[pos + 1]);
+  }
+  return name;
+}
+
+// Builds n records, ~20% of which are typo'd duplicates of earlier ones;
+// truth pairs returned as index pairs.
+std::vector<EntityRecord> MakeRecords(
+    size_t n, uint64_t seed, std::set<std::pair<size_t, size_t>>* truth) {
+  Rng rng(seed);
+  std::vector<EntityRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 10 && rng.Bernoulli(0.2)) {
+      const size_t original = rng.Uniform(records.size());
+      EntityRecord dup = records[original];
+      dup.doc = i + 1;
+      dup.name = Typo(&rng, dup.name);
+      truth->insert({original, i});
+      records.push_back(std::move(dup));
+    } else {
+      EntityRecord record;
+      record.doc = i + 1;
+      record.name = rng.Pick(FirstNames()) + " " + rng.Pick(LastNames()) +
+                    " " + rng.Word(3);  // suffix keeps names near-unique
+      record.city = "city_" + std::to_string(rng.Uniform(30));
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+struct Score {
+  double precision = 0, recall = 0, f1 = 0;
+};
+
+Score ScoreClusters(const std::vector<std::vector<size_t>>& clusters,
+                    const std::set<std::pair<size_t, size_t>>& truth) {
+  std::set<std::pair<size_t, size_t>> found;
+  for (const auto& cluster : clusters) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        found.insert({std::min(cluster[i], cluster[j]),
+                      std::max(cluster[i], cluster[j])});
+      }
+    }
+  }
+  size_t tp = 0;
+  for (const auto& pair : found) {
+    if (truth.count(pair)) ++tp;
+  }
+  Score score;
+  score.precision = found.empty() ? 1.0 : 1.0 * tp / found.size();
+  score.recall = truth.empty() ? 1.0 : 1.0 * tp / truth.size();
+  score.f1 = score.precision + score.recall == 0
+                 ? 0
+                 : 2 * score.precision * score.recall /
+                       (score.precision + score.recall);
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E12", "entity resolution: blocking vs all-pairs");
+
+  bench::TablePrinter table({"records", "mode", "pairs_compared", "time_ms",
+                             "precision", "recall", "F1"});
+  for (size_t n : {1000u, 4000u, 16000u}) {
+    std::set<std::pair<size_t, size_t>> truth;
+    std::vector<EntityRecord> records = MakeRecords(n, 90 + n, &truth);
+
+    {
+      EntityResolver blocked;  // blocking on by default
+      Stopwatch watch;
+      auto clusters = blocked.Resolve(records);
+      const double ms = watch.ElapsedMillis();
+      Score score = ScoreClusters(clusters, truth);
+      table.AddRow({FmtInt(n), "blocked",
+                    FmtInt(blocked.stats().pairs_compared), Fmt("%.0f", ms),
+                    Fmt("%.2f", score.precision), Fmt("%.2f", score.recall),
+                    Fmt("%.2f", score.f1)});
+    }
+    if (n <= 4000) {
+      EntityResolver::Options options;
+      options.use_blocking = false;
+      EntityResolver all_pairs(options);
+      Stopwatch watch;
+      auto clusters = all_pairs.Resolve(records);
+      const double ms = watch.ElapsedMillis();
+      Score score = ScoreClusters(clusters, truth);
+      table.AddRow({FmtInt(n), "all-pairs",
+                    FmtInt(all_pairs.stats().pairs_compared),
+                    Fmt("%.0f", ms), Fmt("%.2f", score.precision),
+                    Fmt("%.2f", score.recall), Fmt("%.2f", score.f1)});
+    } else {
+      table.AddRow({FmtInt(n), "all-pairs",
+                    FmtInt(n * (n - 1) / 2) + " (skipped)", "-", "-", "-",
+                    "-"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: blocking keeps quality (F1 within a few points of\n"
+      "all-pairs: typo'd duplicates almost always share a block) while\n"
+      "comparing orders of magnitude fewer pairs; all-pairs becomes\n"
+      "untenable past a few thousand records — the background ER pass can\n"
+      "only run continuously on the appliance because of blocking.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E15 (Section 3.3, Figure 3): the paper's canonical parallel query, end
+// to end across all three node flavors: "full-text index search on a set
+// of data nodes, which then send the reduced data to a set of grid nodes
+// for joining, sorting, and group-wise aggregation, the results of which
+// are sent to a set of cluster nodes to drive a set of updates."
+//
+// Measures the pipeline's critical path and data movement as data nodes
+// scale, and verifies the consistent-update stage (locks taken, new
+// versions visible). Also demonstrates the scheduler's load-aware
+// placement (Section 3.4): with idle data nodes it pushes the scan down;
+// with saturated data nodes it ships to the grid.
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "model/document.h"
+
+using namespace impliance;
+using bench::Fmt;
+using bench::FmtInt;
+using cluster::SimulatedCluster;
+using model::Value;
+
+namespace {
+
+// Sink defeating optimization of the saturation busywork.
+volatile uint64_t benchmark_sink = 0;
+
+constexpr size_t kCustomers = 300;
+constexpr size_t kNotes = 3000;
+
+void Fill(SimulatedCluster* sim, Rng* rng) {
+  for (size_t i = 0; i < kCustomers; ++i) {
+    IMPLIANCE_CHECK(sim->Ingest(model::MakeRecordDocument(
+                                    "customer",
+                                    {{"id", Value::Int(100 + (int64_t)i)},
+                                     {"name", Value::String(
+                                                  "customer_" +
+                                                  std::to_string(i))}}))
+                        .ok());
+  }
+  for (size_t i = 0; i < kNotes; ++i) {
+    std::string text = rng->Bernoulli(0.05)
+                           ? "customer demands refund immediately"
+                           : "routine status note";
+    for (int w = 0; w < 40; ++w) {
+      text += ' ';
+      text += rng->Word(3 + rng->Uniform(6));
+    }
+    IMPLIANCE_CHECK(
+        sim->Ingest(model::MakeRecordDocument(
+                        "note",
+                        {{"customer_id",
+                          Value::Int(100 + (int64_t)(i % kCustomers))},
+                         {"text", Value::String(std::move(text))}}))
+            .ok());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E15",
+                "Figure 3 pipeline: data-node search -> grid join/sort -> "
+                "cluster-node updates");
+
+  SimulatedCluster::PipelineQuery query;
+  query.keywords = "refund";
+  query.k = 50;
+  query.left_ref_path = "/doc/customer_id";
+  query.dim_kind = "customer";
+  query.dim_key_path = "/doc/id";
+  query.tag_name = "escalated";
+
+  bench::TablePrinter table({"data_nodes", "matches", "updates",
+                             "critical_path_ms", "bytes_shipped",
+                             "locks_taken"});
+  for (size_t nodes : {2u, 4u, 8u}) {
+    SimulatedCluster sim({.num_data_nodes = nodes, .num_grid_nodes = 2,
+                          .num_cluster_nodes = 1});
+    Rng rng(81);
+    Fill(&sim, &rng);
+    SimulatedCluster::PipelineResult result = sim.SearchJoinUpdate(query);
+    table.AddRow({FmtInt(nodes), FmtInt(result.matches.size()),
+                  FmtInt(result.updates_applied),
+                  Fmt("%.2f", result.stats.critical_path_micros / 1000.0),
+                  FmtInt(result.stats.bytes_shipped),
+                  FmtInt(sim.total_lock_acquisitions())});
+  }
+  table.Print();
+
+  // Scheduler demonstration: saturate data nodes, watch placement flip.
+  std::printf("\nscheduler placement under load (Section 3.4):\n");
+  {
+    SimulatedCluster sim({.num_data_nodes = 2, .num_grid_nodes = 2});
+    Rng rng(82);
+    Fill(&sim, &rng);
+    SimulatedCluster::AggQuery agg;
+    agg.kind = "note";
+
+    auto idle = sim.FilterAggregateAuto(agg);
+    std::printf("  idle data nodes     -> %s\n",
+                idle.decision.pushdown ? "pushdown to data nodes"
+                                       : "ship to grid");
+
+    // Saturate the data nodes' mailboxes with slow junk tasks.
+    for (const auto& node : sim.data_nodes()) {
+      for (int i = 0; i < 8; ++i) {
+        std::future<void> ignored;
+        node->Submit(
+            [] {
+              uint64_t x = 0;
+              for (int j = 0; j < 20000000; ++j) x += static_cast<uint64_t>(j);
+              benchmark_sink = x;
+            },
+            &ignored);
+      }
+    }
+    auto busy = sim.FilterAggregateAuto(agg);
+    std::printf("  saturated data nodes-> %s\n",
+                busy.decision.pushdown ? "pushdown to data nodes"
+                                       : "ship to grid");
+    IMPLIANCE_CHECK(idle.result.groups == busy.result.groups);
+  }
+
+  std::printf(
+      "\nExpected shape: matches and updates are identical at every node\n"
+      "count (the pipeline is deterministic); the critical path falls as\n"
+      "data nodes scale; and the scheduler flips the scan stage from\n"
+      "pushdown to grid shipping when the storage nodes are too busy —\n"
+      "the execution-management behavior Section 3.4 describes.\n");
+  return 0;
+}

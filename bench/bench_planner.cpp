@@ -1,0 +1,161 @@
+// E2 (Section 3.3): the simple planner trades optimal for PREDICTABLE
+// performance and needs no statistics.
+//
+// Setup: orders JOIN customers with an equality predicate on a column whose
+// cardinality the optimizer must estimate. The cost-based planner is given
+// statistics gathered from an earlier data distribution (region had 1000
+// distinct values); the live table has only 4 regions. With fresh stats the
+// cost-based plan is fine; with stale stats it picks an indexed nested-loop
+// join against a huge probe stream. The simple planner applies the same
+// rule (no LIMIT -> hash join) regardless — its latency barely moves.
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "query/planner.h"
+#include "query/sql_parser.h"
+#include "query/table.h"
+
+using namespace impliance;
+using bench::Fmt;
+using query::Catalog;
+using query::CostBasedPlanner;
+using query::MemTable;
+using query::SimplePlanner;
+using model::Value;
+
+namespace {
+
+constexpr size_t kOrders = 60000;
+constexpr size_t kCustomers = 8000;
+constexpr int kRegions = 4;  // live distribution: very low cardinality
+
+Catalog BuildCatalog(Rng* rng) {
+  auto orders = std::make_shared<MemTable>(
+      "orders", exec::Schema{{"order_no", "customer_id", "region", "total"}});
+  for (size_t i = 0; i < kOrders; ++i) {
+    orders->AddRow({Value::Int(static_cast<int64_t>(9000 + i)),
+                    Value::Int(static_cast<int64_t>(rng->Uniform(kCustomers))),
+                    Value::String("region_" +
+                                  std::to_string(rng->Uniform(kRegions))),
+                    Value::Double(rng->NextDouble() * 1000)});
+  }
+  orders->BuildIndex(2);  // region
+
+  auto customers =
+      std::make_shared<MemTable>("customers", exec::Schema{{"id", "name"}});
+  for (size_t i = 0; i < kCustomers; ++i) {
+    customers->AddRow({Value::Int(static_cast<int64_t>(i)),
+                       Value::String("customer_" + std::to_string(i))});
+  }
+  customers->BuildIndex(0);
+
+  Catalog catalog;
+  catalog.Register(orders);
+  catalog.Register(customers);
+  return catalog;
+}
+
+CostBasedPlanner::TableStats FreshStats() {
+  CostBasedPlanner::TableStats stats;
+  stats.row_count = kOrders;
+  stats.distinct_values = {{"order_no", kOrders},
+                           {"customer_id", kCustomers},
+                           {"region", kRegions},
+                           {"total", kOrders}};
+  return stats;
+}
+
+CostBasedPlanner::TableStats StaleStats() {
+  // Gathered when the region column was nearly unique (e.g. store-level
+  // codes before a reorganization collapsed them into 4 regions).
+  CostBasedPlanner::TableStats stats = FreshStats();
+  stats.distinct_values["region"] = 1000;
+  return stats;
+}
+
+Histogram RunWorkload(query::Planner* planner, const Catalog& catalog) {
+  Histogram latencies;
+  for (int region = 0; region < kRegions; ++region) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const std::string sql =
+          "SELECT name, total FROM orders JOIN customers "
+          "ON customer_id = customers.id WHERE region = 'region_" +
+          std::to_string(region) + "'";
+      Stopwatch watch;
+      auto rows = query::RunSql(sql, catalog, planner);
+      IMPLIANCE_CHECK(rows.ok()) << rows.status().ToString();
+      latencies.Add(watch.ElapsedMillis());
+    }
+  }
+  return latencies;
+}
+
+std::string PlanOf(query::Planner* planner, const Catalog& catalog) {
+  auto stmt = query::ParseSql(
+      "SELECT name FROM orders JOIN customers ON customer_id = customers.id "
+      "WHERE region = 'region_0'");
+  auto plan = planner->Plan(*stmt, catalog);
+  std::string flat = plan->explain;
+  for (char& c : flat) {
+    if (c == '\n') c = ' ';
+  }
+  return flat;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E2",
+                "simple planner: predictable performance without statistics");
+  Rng rng(11);
+  Catalog catalog = BuildCatalog(&rng);
+
+  SimplePlanner simple;
+  CostBasedPlanner cost_fresh;
+  cost_fresh.SetStats("orders", FreshStats());
+  CostBasedPlanner::TableStats customer_stats;
+  customer_stats.row_count = kCustomers;
+  customer_stats.distinct_values = {{"id", kCustomers}};
+  cost_fresh.SetStats("customers", customer_stats);
+  CostBasedPlanner cost_stale;
+  cost_stale.SetStats("orders", StaleStats());
+  cost_stale.SetStats("customers", customer_stats);
+
+  std::printf("\nchosen plans (join query, region predicate):\n");
+  std::printf("  simple            : %s\n", PlanOf(&simple, catalog).c_str());
+  std::printf("  cost-based fresh  : %s\n",
+              PlanOf(&cost_fresh, catalog).c_str());
+  std::printf("  cost-based stale  : %s\n\n",
+              PlanOf(&cost_stale, catalog).c_str());
+
+  bench::TablePrinter table({"planner", "stats", "mean_ms", "p95_ms",
+                             "max_ms", "max/min"});
+  struct Entry {
+    const char* name;
+    const char* stats;
+    query::Planner* planner;
+  };
+  Entry entries[] = {
+      {"simple", "none (by design)", &simple},
+      {"cost-based", "fresh", &cost_fresh},
+      {"cost-based", "stale", &cost_stale},
+  };
+  for (const Entry& entry : entries) {
+    Histogram latency = RunWorkload(entry.planner, catalog);
+    table.AddRow({entry.name, entry.stats, Fmt("%.1f", latency.Mean()),
+                  Fmt("%.1f", latency.Percentile(95)),
+                  Fmt("%.1f", latency.Max()),
+                  Fmt("%.1fx", latency.Max() / std::max(0.001, latency.Min()))});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: the simple planner picks ONE plan from its rules\n"
+      "and its latency is stable with NO statistics maintained. The\n"
+      "cost-based planner's plan — and therefore its latency — swings with\n"
+      "the statistics state for the very same query (compare its fresh vs\n"
+      "stale rows): performance becomes a function of ANALYZE hygiene,\n"
+      "which is exactly the TCO the paper wants to eliminate.\n");
+  return 0;
+}

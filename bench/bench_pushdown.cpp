@@ -1,0 +1,82 @@
+// E3 (Section 3.1): push predicates and aggregation down to the storage
+// nodes. "Higher-level functionality like aggregation and predicate
+// application can be more easily pushed down closer to the storage for
+// early data reduction."
+//
+// Measures data movement (bytes / rows shipped to the grid) and latency
+// for the same filter+group-by aggregate with pushdown on vs off, across
+// filter selectivities.
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "model/document.h"
+
+using namespace impliance;
+using bench::Fmt;
+using bench::FmtInt;
+using cluster::SimulatedCluster;
+using model::Value;
+
+int main() {
+  bench::Banner("E3", "predicate/aggregate pushdown to data nodes");
+
+  SimulatedCluster sim({.num_data_nodes = 4, .num_grid_nodes = 2});
+  Rng rng(5);
+  constexpr size_t kDocs = 3000;
+  for (size_t i = 0; i < kDocs; ++i) {
+    // Documents carry a fat payload so shipping them is visibly expensive.
+    std::string memo;
+    for (int w = 0; w < 100; ++w) {
+      memo += rng.Word(2 + rng.Uniform(8));
+      memo += ' ';
+    }
+    auto id = sim.Ingest(model::MakeRecordDocument(
+        "order",
+        {{"city", Value::String("city_" + std::to_string(rng.Uniform(8)))},
+         {"total", Value::Double(static_cast<double>(i % 1000))},
+         {"memo", Value::String(std::move(memo))}}));
+    IMPLIANCE_CHECK(id.ok());
+  }
+
+  bench::TablePrinter table({"selectivity", "mode", "bytes_shipped",
+                             "rows_shipped", "latency_ms", "reduction"});
+  for (double selectivity : {0.01, 0.1, 0.5, 1.0}) {
+    SimulatedCluster::AggQuery query;
+    query.kind = "order";
+    query.filter_path = "/doc/total";
+    query.op = exec::CompareOp::kLt;
+    query.literal = Value::Double(1000.0 * selectivity);
+    query.group_path = "/doc/city";
+    query.agg_path = "/doc/total";
+
+    uint64_t pushdown_bytes = 0;
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool pushdown = mode == 0;
+      Stopwatch watch;
+      SimulatedCluster::AggResult result = sim.FilterAggregate(query, pushdown);
+      const double millis = watch.ElapsedMillis();
+      std::string reduction = "1x (baseline)";
+      if (pushdown) {
+        pushdown_bytes = result.stats.bytes_shipped;
+      } else {
+        reduction = Fmt("%.0fx more", static_cast<double>(
+                                          result.stats.bytes_shipped) /
+                                          std::max<uint64_t>(1, pushdown_bytes));
+      }
+      table.AddRow(
+          {Fmt("%.2f", selectivity), pushdown ? "pushdown" : "ship-all",
+           FmtInt(result.stats.bytes_shipped),
+           FmtInt(result.stats.rows_shipped), Fmt("%.2f", millis),
+           reduction});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: pushdown ships a handful of (group, partial-state)\n"
+      "pairs regardless of corpus size; ship-all moves every document of\n"
+      "the kind to the grid node. The gap is the paper's 'early data\n"
+      "reduction' argument for software-level pushdown on commodity nodes.\n");
+  return 0;
+}

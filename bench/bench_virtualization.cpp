@@ -1,0 +1,122 @@
+// E8 (Section 3.4): virtualized resource management.
+//
+// Part A — autonomic repair: a data node dies; the storage manager detects
+// it, fails ownership over (no data loss with replication >= 2), and
+// re-replicates to policy. Measured: availability through the failure,
+// bytes copied, repair time — no administrator in the loop.
+//
+// Part B — broker scalability: flat vs hierarchical resource brokering as
+// the hierarchy grows. Measured: groups inspected per satisfied request
+// when spares are in the requester's neighborhood (the common post-churn
+// case).
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "model/document.h"
+#include "virt/broker.h"
+#include "virt/resource_group.h"
+#include "virt/storage_manager.h"
+
+using namespace impliance;
+using bench::Fmt;
+using bench::FmtInt;
+using cluster::NodeKind;
+using cluster::SimulatedCluster;
+using model::Value;
+
+int main() {
+  bench::Banner("E8", "virtualization: autonomic repair + broker hierarchy");
+
+  // ------------------------------------------------------------- Part A
+  std::printf("\nPart A: node failure -> detect -> fail over -> re-replicate "
+              "(8 data nodes, base data x3 copies)\n\n");
+  {
+    SimulatedCluster sim({.num_data_nodes = 8, .replication = 1});
+    virt::StorageManager manager(&sim, virt::StorageManager::Policy{3, 2, 1});
+    Rng rng(31);
+    constexpr size_t kDocs = 3000;
+    for (size_t i = 0; i < kDocs; ++i) {
+      model::Document doc = model::MakeRecordDocument(
+          "record", {{"key", Value::Int(static_cast<int64_t>(i))},
+                     {"payload", Value::String(rng.Word(120))}});
+      IMPLIANCE_CHECK(manager.Store(std::move(doc)).ok());
+    }
+    bench::TablePrinter table({"phase", "available_docs", "fully_replicated",
+                               "detail"});
+    table.AddRow({"healthy", FmtInt(sim.num_available_documents()),
+                  FmtInt(sim.num_fully_replicated_documents()), ""});
+
+    sim.FailNode(3);
+    table.AddRow({"node 3 failed (undetected)",
+                  FmtInt(sim.num_available_documents()),
+                  FmtInt(sim.num_fully_replicated_documents()),
+                  "replicas still serve reads"});
+
+    virt::StorageManager::RepairReport report = manager.RunRepairCycle();
+    table.AddRow(
+        {"after repair cycle", FmtInt(sim.num_available_documents()),
+         FmtInt(sim.num_fully_replicated_documents()),
+         "detected=" + FmtInt(report.nodes_detected_down) + " copied=" +
+             FmtInt(report.bytes_copied) + "B in " +
+             Fmt("%.0f", report.repair_millis) + "ms"});
+    table.Print();
+  }
+
+  // ------------------------------------------------------------- Part B
+  std::printf("\nPart B: groups inspected per acquire, flat vs hierarchical "
+              "broker (requests from one busy rack; spares nearby)\n\n");
+  bench::TablePrinter table({"pods x racks", "leaf_groups", "flat_inspected",
+                             "hier_inspected", "ratio"});
+  for (size_t pods : {4u, 8u, 16u, 32u}) {
+    const size_t racks = pods;  // square hierarchies
+    auto build = [&]() {
+      auto root = std::make_unique<virt::ResourceGroup>("root");
+      uint32_t next_id = 0;
+      for (size_t p = 0; p < pods; ++p) {
+        virt::ResourceGroup* pod = root->AddChild("pod" + std::to_string(p));
+        for (size_t r = 0; r < racks; ++r) {
+          virt::ResourceGroup* rack =
+              pod->AddChild("rack" + std::to_string(r));
+          rack->AddResource(next_id++, NodeKind::kData);
+          // All pods except the last are fully busy.
+          if (p != pods - 1) rack->AllocateLocal(NodeKind::kData);
+        }
+      }
+      return root;
+    };
+    constexpr int kRequests = 4;
+
+    auto flat_root = build();
+    virt::Broker flat(flat_root.get(), virt::Broker::Mode::kFlat);
+    virt::ResourceGroup* flat_requester =
+        flat_root->children()[pods - 1]->children()[0].get();
+    for (int i = 0; i < kRequests; ++i) {
+      IMPLIANCE_CHECK(flat.Acquire(flat_requester, NodeKind::kData).has_value());
+    }
+
+    auto hier_root = build();
+    virt::Broker hier(hier_root.get(), virt::Broker::Mode::kHierarchical);
+    virt::ResourceGroup* hier_requester =
+        hier_root->children()[pods - 1]->children()[0].get();
+    for (int i = 0; i < kRequests; ++i) {
+      IMPLIANCE_CHECK(hier.Acquire(hier_requester, NodeKind::kData).has_value());
+    }
+
+    table.AddRow(
+        {FmtInt(pods) + "x" + FmtInt(racks), FmtInt(pods * racks),
+         FmtInt(flat.stats().groups_inspected),
+         FmtInt(hier.stats().groups_inspected),
+         Fmt("%.0fx", static_cast<double>(flat.stats().groups_inspected) /
+                          std::max<uint64_t>(1, hier.stats().groups_inspected))});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: Part A keeps every document available through the\n"
+      "failure and restores full redundancy autonomically. Part B: the\n"
+      "flat broker's management traffic grows with the total group count;\n"
+      "the hierarchical broker's stays bounded by the neighborhood — the\n"
+      "paper's argument for hierarchical resource groups at scale.\n");
+  return 0;
+}

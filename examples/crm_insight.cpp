@@ -1,0 +1,121 @@
+// CRM use case (Section 2.1.1): mine call-center transcripts for product
+// mentions and sentiment, correlate with customer master data, and produce
+// next-best-offer candidates — happy customers of product X who mentioned
+// product Y get an offer; unhappy ones get a service follow-up.
+
+#include <cstdio>
+#include <map>
+
+#include "core/impliance.h"
+#include "discovery/annotator.h"
+#include "workload/corpus.h"
+
+using impliance::core::Impliance;
+using impliance::discovery::SpansFromAnnotationDocument;
+using impliance::model::DocId;
+using impliance::model::Document;
+using impliance::model::ResolvePath;
+using impliance::workload::CorpusGenerator;
+using impliance::workload::CorpusOptions;
+using impliance::workload::RawItem;
+
+int main() {
+  auto opened = Impliance::Open({.data_dir = "/tmp/impliance_crm"});
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Impliance> impliance = std::move(opened).value();
+  impliance->AddDictionaryEntries("product", CorpusGenerator::ProductNames());
+  impliance->AddDictionaryEntries("location", CorpusGenerator::CityNames());
+
+  // Ingest customers + transcripts from the synthetic CRM corpus.
+  CorpusOptions options;
+  options.num_customers = 40;
+  options.num_transcripts = 50;
+  options.num_orders_csv = 30;
+  options.num_orders_xml = 0;
+  options.num_orders_email = 0;
+  options.num_claims = 0;
+  options.num_contract_emails = 0;
+  impliance::workload::GroundTruth truth;
+  for (const RawItem& item : CorpusGenerator(options).GenerateRaw(&truth)) {
+    auto ids = impliance->InfuseContent(item.kind, item.content);
+    if (!ids.ok()) {
+      std::fprintf(stderr, "ingest %s failed: %s\n", item.kind.c_str(),
+                   ids.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Background discovery: entity extraction + sentiment on every transcript.
+  auto report = impliance->RunDiscovery();
+  if (!report.ok()) return 1;
+  std::printf("discovery: %zu annotations over %zu documents\n\n",
+              report->annotations_created, report->documents_annotated);
+
+  // Walk the transcripts; read product + sentiment from their annotations.
+  struct Insight {
+    int positive = 0;
+    int negative = 0;
+  };
+  std::map<std::string, Insight> product_sentiment;
+  std::vector<std::pair<DocId, std::string>> follow_ups;
+  std::vector<std::pair<DocId, std::string>> offers;
+
+  for (DocId id : impliance->DocsOfKind("call_transcript")) {
+    std::string product;
+    std::string mood = "neutral";
+    for (const Document& annotation : impliance->AnnotationsFor(id)) {
+      for (const auto& span : SpansFromAnnotationDocument(annotation)) {
+        if (span.entity_type == "product") product = span.text;
+        if (span.entity_type == "sentiment") mood = span.text;
+      }
+    }
+    if (product.empty()) continue;
+    if (mood == "positive") {
+      product_sentiment[product].positive++;
+      offers.emplace_back(id, product);
+    } else if (mood == "negative") {
+      product_sentiment[product].negative++;
+      follow_ups.emplace_back(id, product);
+    }
+  }
+
+  std::printf("== product sentiment from transcripts ==\n");
+  for (const auto& [product, insight] : product_sentiment) {
+    std::printf("  %-12s +%d / -%d\n", product.c_str(), insight.positive,
+                insight.negative);
+  }
+
+  std::printf("\n== next-best-offer candidates (happy callers) ==\n");
+  size_t shown = 0;
+  for (const auto& [doc, product] : offers) {
+    if (++shown > 5) break;
+    std::printf("  transcript#%llu praised %s -> offer an upgrade/accessory\n",
+                static_cast<unsigned long long>(doc), product.c_str());
+  }
+
+  std::printf("\n== service follow-ups (unhappy callers) ==\n");
+  shown = 0;
+  for (const auto& [doc, product] : follow_ups) {
+    if (++shown > 5) break;
+    std::printf("  transcript#%llu complained about %s -> escalate support\n",
+                static_cast<unsigned long long>(doc), product.c_str());
+  }
+
+  // Cross-check against the structured side with SQL: which products sell
+  // most (and so have the most upgrade inventory)?
+  auto rows = impliance->Sql(
+      "SELECT product, COUNT(*) AS orders FROM order GROUP BY product "
+      "ORDER BY orders DESC LIMIT 3");
+  if (rows.ok()) {
+    std::printf("\n== top products by structured order volume ==\n");
+    for (const auto& row : *rows) {
+      std::printf("  %-12s %lld orders\n", row[0].AsString().c_str(),
+                  static_cast<long long>(row[1].int_value()));
+    }
+  }
+  return 0;
+}

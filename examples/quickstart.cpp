@@ -1,0 +1,113 @@
+// Quickstart: the "information Jambalaya" (Section 2.2).
+//
+// Throw heterogeneous data into the appliance with no preparation, query it
+// immediately, then let discovery simmer and query the enriched stew:
+// keyword search, faceted drill-down, SQL over inferred views, and graph
+// connections — all over the same documents.
+
+#include <cstdio>
+
+#include "core/impliance.h"
+
+using impliance::core::Impliance;
+using impliance::core::SearchHit;
+
+int main() {
+  auto opened = Impliance::Open({.data_dir = "/tmp/impliance_quickstart"});
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Impliance> impliance = std::move(opened).value();
+
+  // 1. Infuse anything: CSV, XML, e-mail, free text. No schema, no DDL.
+  (void)impliance->InfuseContent(
+      "order",
+      "order_no,customer_id,product,total\n"
+      "9001,100,WidgetPro,129.99\n"
+      "9002,101,GizmoMax,49.50\n"
+      "9003,100,WidgetPro,129.99\n"
+      "9004,102,FlexCable,12.75\n"
+      "9005,103,GizmoMax,49.50\n");
+  (void)impliance->InfuseContent(
+      "customer",
+      "id,name,city,email\n"
+      "100,Ada Lovelace,london,ada@example.com\n"
+      "101,Alan Turing,manchester,alan@example.com\n"
+      "102,Grace Hopper,arlington,grace@example.com\n"
+      "103,Edgar Codd,san jose,edgar@example.com\n");
+  (void)impliance->InfuseContent(
+      "email",
+      "From: ada@example.com\nSubject: WidgetPro issue\n\n"
+      "My WidgetPro arrived broken, please send a refund of $129.99.");
+  (void)impliance->InfuseContent(
+      "note", "Remember: Ada Lovelace prefers delivery before 2007-02-01.");
+
+  // 2. Query immediately — keyword search works out of the box.
+  std::printf("== keyword search: 'widgetpro broken' ==\n");
+  for (const SearchHit& hit : impliance->Search("widgetpro broken", 3)) {
+    std::printf("  [%.2f] %s#%llu: %s\n", hit.score, hit.kind.c_str(),
+                static_cast<unsigned long long>(hit.doc),
+                hit.snippet.c_str());
+  }
+
+  // 3. SQL over the automatically inferred view of the "order" kind.
+  std::printf("\n== SQL: revenue by product ==\n");
+  auto rows = impliance->Sql(
+      "SELECT product, COUNT(*) AS n, SUM(total) AS revenue FROM order "
+      "GROUP BY product ORDER BY revenue DESC");
+  if (rows.ok()) {
+    for (const auto& row : *rows) {
+      std::printf("  %-10s n=%lld revenue=%.2f\n",
+                  row[0].AsString().c_str(),
+                  static_cast<long long>(row[1].int_value()),
+                  row[2].double_value());
+    }
+  }
+
+  // 4. Let it simmer: one discovery pass annotates entities, consolidates
+  // schemas, resolves duplicates, and materializes join indexes.
+  auto report = impliance->RunDiscovery();
+  if (report.ok()) {
+    std::printf(
+        "\n== discovery ==\n  annotations=%zu schema_classes=%zu "
+        "join_edges=%zu merged_entities=%zu\n",
+        report->annotations_created, report->schema_classes,
+        report->join_edges_added, report->entity_clusters_merged);
+  }
+
+  // 5. Ask how two pieces of data are connected (interface 2).
+  impliance->WaitForDiscovery();
+  auto orders = impliance->DocsOfKind("order");
+  auto customers = impliance->DocsOfKind("customer");
+  if (!orders.empty() && !customers.empty()) {
+    auto graph = impliance->Graph();
+    auto connection = graph.HowConnected(orders[0], customers[0], 4);
+    if (connection.has_value()) {
+      std::printf("\n== graph: how is order connected to customer? ==\n  %s\n",
+                  graph.ExplainConnection(orders[0], *connection).c_str());
+    }
+  }
+
+  // 6. Faceted drill-down with aggregates over matching documents.
+  impliance::query::FacetedQuery faceted;
+  faceted.kind = "order";
+  faceted.facet_paths = {"/doc/product"};
+  faceted.aggregates = {{"/doc/total", "sum"}};
+  auto result = impliance->Faceted(faceted);
+  std::printf("\n== facets over orders ==\n  matches=%zu\n",
+              result.total_matches);
+  for (const auto& facet : result.facets["/doc/product"]) {
+    std::printf("  product=%s count=%zu\n", facet.value.AsString().c_str(),
+                facet.count);
+  }
+  std::printf("  sum(total)=%.2f\n",
+              result.aggregate_values["sum(/doc/total)"]);
+
+  auto stats = impliance->GetStats();
+  std::printf("\n== stats ==\n  docs=%zu terms=%zu paths=%zu edges=%zu "
+              "admin_steps=%zu\n",
+              stats.indexed_documents, stats.indexed_terms,
+              stats.indexed_paths, stats.join_edges, stats.admin_steps);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "baseline/content_manager_baseline.h"
+
+#include <algorithm>
+
+namespace impliance::baseline {
+
+Status ContentManagerBaseline::DefineCatalog(
+    const std::vector<std::string>& attributes) {
+  if (!catalog_.empty()) {
+    return Status::AlreadyExists("catalog already defined");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("catalog needs at least one attribute");
+  }
+  ++admin_steps_;
+  catalog_ = attributes;
+  return Status::OK();
+}
+
+Result<ContentManagerBaseline::ItemId> ContentManagerBaseline::Store(
+    std::string content, const std::map<std::string, std::string>& metadata) {
+  if (catalog_.empty()) {
+    return Status::InvalidArgument("define the metadata catalog first");
+  }
+  for (const auto& [key, value] : metadata) {
+    if (std::find(catalog_.begin(), catalog_.end(), key) == catalog_.end()) {
+      return Status::InvalidArgument("metadata key not in catalog: " + key);
+    }
+  }
+  const ItemId id = next_id_++;
+  items_[id] = Item{std::move(content), metadata};
+  return id;
+}
+
+Result<std::string> ContentManagerBaseline::Fetch(ItemId id) const {
+  auto it = items_.find(id);
+  if (it == items_.end()) {
+    return Status::NotFound("no such item: " + std::to_string(id));
+  }
+  return it->second.content;
+}
+
+std::vector<ContentManagerBaseline::ItemId>
+ContentManagerBaseline::SearchMetadata(const std::string& attribute,
+                                       const std::string& value) const {
+  std::vector<ItemId> hits;
+  for (const auto& [id, item] : items_) {
+    auto it = item.metadata.find(attribute);
+    if (it != item.metadata.end() && it->second == value) {
+      hits.push_back(id);
+    }
+  }
+  return hits;
+}
+
+}  // namespace impliance::baseline

@@ -1,0 +1,57 @@
+#ifndef IMPLIANCE_BASELINE_CONTENT_MANAGER_BASELINE_H_
+#define IMPLIANCE_BASELINE_CONTENT_MANAGER_BASELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace impliance::baseline {
+
+// The Figure-4 "content manager" comparator: stores content as opaque
+// BLOBs and a metadata catalog; "searching and querying are limited to the
+// metadata about that content" (Section 3.2). Metadata keys must match a
+// pre-registered catalog schema (JSR-170-style: no schema chaos). No joins,
+// no aggregation, no content search.
+class ContentManagerBaseline {
+ public:
+  using ItemId = uint64_t;
+
+  // Admin step: register the allowed metadata attributes.
+  Status DefineCatalog(const std::vector<std::string>& attributes);
+
+  // Stores a blob with metadata; unknown metadata keys are rejected.
+  Result<ItemId> Store(std::string content,
+                       const std::map<std::string, std::string>& metadata);
+
+  Result<std::string> Fetch(ItemId id) const;
+
+  // Metadata equality search — the only query capability.
+  std::vector<ItemId> SearchMetadata(const std::string& attribute,
+                                     const std::string& value) const;
+
+  // Content search is not supported by architecture.
+  Result<std::vector<ItemId>> SearchContent(const std::string& keywords) const {
+    return Status::NotSupported("content manager searches metadata only");
+  }
+
+  size_t admin_steps() const { return admin_steps_; }
+  size_t size() const { return items_.size(); }
+
+ private:
+  struct Item {
+    std::string content;
+    std::map<std::string, std::string> metadata;
+  };
+
+  std::vector<std::string> catalog_;
+  std::map<ItemId, Item> items_;
+  ItemId next_id_ = 1;
+  size_t admin_steps_ = 0;
+};
+
+}  // namespace impliance::baseline
+
+#endif  // IMPLIANCE_BASELINE_CONTENT_MANAGER_BASELINE_H_

@@ -1,0 +1,37 @@
+#include "baseline/filesystem_baseline.h"
+
+namespace impliance::baseline {
+
+Status FileSystemBaseline::Write(const std::string& name, std::string bytes) {
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    total_bytes_ -= it->second.size();
+  }
+  total_bytes_ += bytes.size();
+  files_[name] = std::move(bytes);
+  return Status::OK();
+}
+
+Result<std::string> FileSystemBaseline::Read(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> FileSystemBaseline::Grep(
+    const std::string& needle, uint64_t* bytes_scanned) const {
+  std::vector<std::string> hits;
+  uint64_t scanned = 0;
+  for (const auto& [name, bytes] : files_) {
+    scanned += bytes.size();
+    if (bytes.find(needle) != std::string::npos) {
+      hits.push_back(name);
+    }
+  }
+  if (bytes_scanned != nullptr) *bytes_scanned = scanned;
+  return hits;
+}
+
+}  // namespace impliance::baseline

@@ -1,0 +1,37 @@
+#ifndef IMPLIANCE_BASELINE_FILESYSTEM_BASELINE_H_
+#define IMPLIANCE_BASELINE_FILESYSTEM_BASELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace impliance::baseline {
+
+// The Figure-4 "filer" comparator: the ultra-simple bag-of-bytes model,
+// the "repository of last resort" (Section 3.2). Accepts anything (best
+// ingestion!), offers nothing but retrieval by name and brute-force grep —
+// every search is O(total bytes), with no ranking, joins, or aggregates.
+class FileSystemBaseline {
+ public:
+  Status Write(const std::string& name, std::string bytes);
+  Result<std::string> Read(const std::string& name) const;
+
+  // Case-sensitive substring scan over every file; returns matching names.
+  // Also reports how many bytes were scanned (the cost of having no index).
+  std::vector<std::string> Grep(const std::string& needle,
+                                uint64_t* bytes_scanned = nullptr) const;
+
+  size_t num_files() const { return files_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::map<std::string, std::string> files_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace impliance::baseline
+
+#endif  // IMPLIANCE_BASELINE_FILESYSTEM_BASELINE_H_

@@ -1,0 +1,81 @@
+#include "baseline/relational_baseline.h"
+
+#include <set>
+
+#include "model/value.h"
+
+namespace impliance::baseline {
+
+Status RelationalBaseline::CreateTable(
+    const std::string& name, const std::vector<std::string>& columns) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  ++admin_steps_;
+  exec::Schema schema;
+  schema.columns = columns;
+  auto table = std::make_shared<query::MemTable>(name, schema);
+  tables_[name] = table;
+  catalog_.Register(table);
+  return Status::OK();
+}
+
+Status RelationalBaseline::CreateIndex(const std::string& table,
+                                       const std::string& column) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  const int index = it->second->schema().IndexOf(column);
+  if (index < 0) return Status::NotFound("no such column: " + column);
+  ++admin_steps_;
+  it->second->BuildIndex(index);
+  return Status::OK();
+}
+
+Status RelationalBaseline::Analyze(const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  ++admin_steps_;
+  query::CostBasedPlanner::TableStats stats;
+  stats.row_count = it->second->RowCount();
+  // Exact NDVs, the way ANALYZE would sample them.
+  const exec::Schema& schema = it->second->schema();
+  std::vector<std::set<std::string>> distinct(schema.size());
+  for (const exec::Row& row : it->second->ScanAll()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      distinct[i].insert(row[i].AsString());
+    }
+  }
+  for (size_t i = 0; i < schema.size(); ++i) {
+    stats.distinct_values[schema.columns[i]] = distinct[i].size();
+  }
+  planner_.SetStats(table, stats);
+  return Status::OK();
+}
+
+Status RelationalBaseline::LoadRow(const std::string& table,
+                                   const std::vector<std::string>& values) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + table +
+                            " (CREATE TABLE first)");
+  }
+  if (values.size() != it->second->schema().size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(it->second->schema().size()));
+  }
+  exec::Row row;
+  row.reserve(values.size());
+  for (const std::string& value : values) {
+    row.push_back(model::ParseValue(value));
+  }
+  it->second->AddRow(std::move(row));
+  return Status::OK();
+}
+
+Result<std::vector<exec::Row>> RelationalBaseline::Query(
+    const std::string& sql) {
+  return query::RunSql(sql, catalog_, &planner_);
+}
+
+}  // namespace impliance::baseline

@@ -1,0 +1,775 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "model/item.h"
+
+namespace impliance::cluster {
+
+SimulatedCluster::SimulatedCluster(const Options& options) : options_(options) {
+  IMPLIANCE_CHECK(options.num_data_nodes > 0);
+  IMPLIANCE_CHECK(options.num_grid_nodes > 0);
+  IMPLIANCE_CHECK(options.num_cluster_nodes > 0);
+  IMPLIANCE_CHECK(options.replication >= 1 &&
+                  options.replication <= options.num_data_nodes);
+  NodeId next = 0;
+  for (size_t i = 0; i < options.num_data_nodes; ++i) {
+    data_nodes_.push_back(std::make_unique<Node>(next++, NodeKind::kData));
+    partitions_.push_back(std::make_unique<Partition>());
+  }
+  for (size_t i = 0; i < options.num_grid_nodes; ++i) {
+    grid_nodes_.push_back(std::make_unique<Node>(next++, NodeKind::kGrid));
+  }
+  for (size_t i = 0; i < options.num_cluster_nodes; ++i) {
+    cluster_nodes_.push_back(std::make_unique<Node>(next++, NodeKind::kCluster));
+  }
+}
+
+SimulatedCluster::~SimulatedCluster() = default;
+
+uint64_t SimulatedCluster::DocBytes(const model::Document& doc) {
+  std::string encoded;
+  doc.Encode(&encoded);
+  return encoded.size();
+}
+
+void SimulatedCluster::AccountTraffic(const ShipStats& stats) {
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
+  lifetime_traffic_.bytes_shipped += stats.bytes_shipped;
+  lifetime_traffic_.rows_shipped += stats.rows_shipped;
+  lifetime_traffic_.tasks += stats.tasks;
+}
+
+ShipStats SimulatedCluster::lifetime_traffic() const {
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
+  return lifetime_traffic_;
+}
+
+Node* SimulatedCluster::PickGridNode() {
+  // Round-robin over alive grid nodes.
+  const size_t n = grid_nodes_.size();
+  for (size_t attempt = 0; attempt < n; ++attempt) {
+    Node* node = grid_nodes_[rr_grid_.fetch_add(1) % n].get();
+    if (node->alive()) return node;
+  }
+  return nullptr;
+}
+
+Node* SimulatedCluster::PickClusterNode() {
+  const size_t n = cluster_nodes_.size();
+  for (size_t attempt = 0; attempt < n; ++attempt) {
+    Node* node = cluster_nodes_[rr_cluster_.fetch_add(1) % n].get();
+    if (node->alive()) return node;
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> SimulatedCluster::PlaceReplicas(model::DocId id,
+                                                    size_t copies) const {
+  std::vector<NodeId> nodes;
+  const size_t n = data_nodes_.size();
+  const size_t primary = Mix64(id) % n;
+  copies = std::min(copies, n);
+  for (size_t i = 0; i < copies; ++i) {
+    nodes.push_back(static_cast<NodeId>((primary + i) % n));
+  }
+  return nodes;
+}
+
+void SimulatedCluster::StoreOnNode(NodeId node_id, const model::Document& doc) {
+  Partition* partition = partitions_[node_id].get();
+  data_nodes_[node_id]->Run([partition, doc] {
+    partition->docs[doc.id] = doc;
+    partition->inverted.AddDocument(doc.id, doc.Text());
+  });
+}
+
+Result<model::DocId> SimulatedCluster::Ingest(model::Document doc,
+                                              size_t copies) {
+  if (copies == 0) copies = options_.replication;
+  doc.id = next_id_.fetch_add(1);
+  doc.version = 1;
+  std::vector<NodeId> replicas = PlaceReplicas(doc.id, copies);
+  size_t stored = 0;
+  const uint64_t bytes = DocBytes(doc);
+  ShipStats stats;
+  for (NodeId node : replicas) {
+    if (!data_nodes_[node]->alive()) continue;
+    StoreOnNode(node, doc);
+    stats.bytes_shipped += bytes;
+    stats.rows_shipped += 1;
+    ++stats.tasks;
+    ++stored;
+  }
+  if (stored == 0) {
+    return Status::IOError("no alive replica target for document");
+  }
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    DirEntry& entry = directory_[doc.id];
+    entry.desired = static_cast<uint8_t>(copies);
+    for (NodeId node : replicas) {
+      if (data_nodes_[node]->alive()) entry.holders.push_back(node);
+    }
+    InvalidateOwnershipLocked();
+  }
+  AccountTraffic(stats);
+  return doc.id;
+}
+
+Result<model::Document> SimulatedCluster::Get(model::DocId id) const {
+  std::vector<NodeId> holders;
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    auto it = directory_.find(id);
+    if (it == directory_.end()) {
+      return Status::NotFound("no such document: " + std::to_string(id));
+    }
+    holders = it->second.holders;
+  }
+  for (NodeId node_id : holders) {
+    if (!data_nodes_[node_id]->alive()) continue;
+    Partition* partition = partitions_[node_id].get();
+    model::Document doc;
+    bool found = false;
+    const bool ran = data_nodes_[node_id]->Run([partition, id, &doc, &found] {
+      auto it = partition->docs.find(id);
+      if (it != partition->docs.end()) {
+        doc = it->second;
+        found = true;
+      }
+    });
+    if (ran && found) return doc;
+  }
+  return Status::NotFound("all replicas unavailable: " + std::to_string(id));
+}
+
+size_t SimulatedCluster::num_documents() const {
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  return directory_.size();
+}
+
+std::shared_ptr<const SimulatedCluster::OwnershipMap>
+SimulatedCluster::OwnershipByNode() const {
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  if (ownership_cache_ != nullptr) return ownership_cache_;
+  auto ownership = std::make_shared<OwnershipMap>();
+  for (const auto& [id, entry] : directory_) {
+    for (NodeId node : entry.holders) {
+      if (data_nodes_[node]->alive()) {
+        (*ownership)[node].insert(id);
+        break;  // first alive holder owns the doc for queries
+      }
+    }
+  }
+  ownership_cache_ = ownership;
+  return ownership_cache_;
+}
+
+std::vector<index::InvertedIndex::SearchResult> SimulatedCluster::KeywordSearch(
+    const std::string& query, size_t k, ShipStats* stats) {
+  ShipStats local_stats;
+  std::shared_ptr<const OwnershipMap> ownership = OwnershipByNode();
+
+  // Scatter: each owning data node searches its partition.
+  std::vector<std::vector<index::InvertedIndex::SearchResult>> partials(
+      data_nodes_.size());
+  std::vector<uint64_t> task_micros(data_nodes_.size(), 0);
+  std::vector<std::future<void>> futures;
+  for (const auto& [node_id, owned] : *ownership) {
+    Partition* partition = partitions_[node_id].get();
+    const std::set<model::DocId>* owned_ptr = &owned;
+    std::future<void> done;
+    if (data_nodes_[node_id]->Submit(
+            [partition, owned_ptr, &partials, &task_micros, node_id, &query,
+             k] {
+              const uint64_t start = NowMicros();
+              auto hits = partition->inverted.Search(query, k + owned_ptr->size());
+              std::vector<index::InvertedIndex::SearchResult> filtered;
+              for (const auto& hit : hits) {
+                if (owned_ptr->count(hit.doc)) filtered.push_back(hit);
+                if (filtered.size() >= k) break;
+              }
+              partials[node_id] = std::move(filtered);
+              task_micros[node_id] = NowMicros() - start;
+            },
+            &done)) {
+      local_stats.bytes_shipped += query.size();  // query fan-out
+      ++local_stats.tasks;
+      futures.push_back(std::move(done));
+    }
+  }
+  for (std::future<void>& f : futures) f.wait();
+  local_stats.critical_path_micros +=
+      *std::max_element(task_micros.begin(), task_micros.end());
+
+  // Gather: merge partial top-k lists on a grid node.
+  std::vector<index::InvertedIndex::SearchResult> merged;
+  Node* grid = PickGridNode();
+  IMPLIANCE_CHECK(grid != nullptr) << "no grid node alive";
+  grid->Run([&partials, &merged, &local_stats, k] {
+    const uint64_t start = NowMicros();
+    for (const auto& partial : partials) {
+      merged.insert(merged.end(), partial.begin(), partial.end());
+      local_stats.rows_shipped += partial.size();
+      local_stats.bytes_shipped += partial.size() * 16;  // (doc, score)
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const index::InvertedIndex::SearchResult& a,
+                 const index::InvertedIndex::SearchResult& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    if (merged.size() > k) merged.resize(k);
+    local_stats.grid_task_micros = NowMicros() - start;
+  });
+  ++local_stats.tasks;
+  local_stats.critical_path_micros += local_stats.grid_task_micros;
+
+  AccountTraffic(local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return merged;
+}
+
+SimulatedCluster::AggResult SimulatedCluster::FilterAggregate(
+    const AggQuery& query, bool pushdown) {
+  AggResult result;
+  std::shared_ptr<const OwnershipMap> ownership = OwnershipByNode();
+
+  struct Partial {
+    // group -> (sum, count)
+    std::map<std::string, std::pair<double, uint64_t>> groups;
+    std::vector<model::Document> raw_docs;  // no-pushdown mode
+    uint64_t raw_bytes = 0;
+  };
+  std::vector<Partial> partials(data_nodes_.size());
+  std::vector<uint64_t> task_micros(data_nodes_.size(), 0);
+  std::vector<std::future<void>> futures;
+
+  auto matches = [&query](const model::Document& doc) {
+    if (!query.kind.empty() && doc.kind != query.kind) return false;
+    if (query.filter_path.empty()) return true;
+    const model::Value* value = model::ResolvePath(doc.root, query.filter_path);
+    if (value == nullptr || value->is_null()) return false;
+    if (query.op == exec::CompareOp::kContains) {
+      return value->AsString().find(query.literal.AsString()) !=
+             std::string::npos;
+    }
+    const int c = value->Compare(query.literal);
+    switch (query.op) {
+      case exec::CompareOp::kEq: return c == 0;
+      case exec::CompareOp::kNe: return c != 0;
+      case exec::CompareOp::kLt: return c < 0;
+      case exec::CompareOp::kLe: return c <= 0;
+      case exec::CompareOp::kGt: return c > 0;
+      case exec::CompareOp::kGe: return c >= 0;
+      default: return false;
+    }
+  };
+  auto accumulate = [&query](const model::Document& doc, Partial* partial) {
+    std::string group;
+    if (!query.group_path.empty()) {
+      const model::Value* value = model::ResolvePath(doc.root, query.group_path);
+      group = value == nullptr ? "null" : value->AsString();
+    }
+    double measure = 1.0;
+    if (!query.agg_path.empty()) {
+      const model::Value* value = model::ResolvePath(doc.root, query.agg_path);
+      measure = value == nullptr ? 0.0 : value->AsDouble();
+    }
+    auto& [sum, count] = partial->groups[group];
+    sum += measure;
+    count += 1;
+  };
+
+  for (const auto& [node_id, owned] : *ownership) {
+    Partition* partition = partitions_[node_id].get();
+    const std::set<model::DocId>* owned_ptr = &owned;
+    Partial* partial = &partials[node_id];
+    std::future<void> done;
+    const bool submitted = data_nodes_[node_id]->Submit(
+        [partition, owned_ptr, partial, pushdown, &matches, &accumulate,
+         &query, &task_micros, node_id] {
+          const uint64_t start = NowMicros();
+          for (const auto& [id, doc] : partition->docs) {
+            if (!owned_ptr->count(id)) continue;
+            if (pushdown) {
+              // Predicate and partial aggregation at the storage node.
+              if (matches(doc)) accumulate(doc, partial);
+            } else {
+              // Ship every document of the kind (the raw scan): the grid
+              // node does all filtering and aggregation.
+              if (query.kind.empty() || doc.kind == query.kind) {
+                partial->raw_docs.push_back(doc);
+                partial->raw_bytes += DocBytes(doc);
+              }
+            }
+          }
+          task_micros[node_id] = NowMicros() - start;
+        },
+        &done);
+    if (submitted) {
+      ++result.stats.tasks;
+      futures.push_back(std::move(done));
+    }
+  }
+  for (std::future<void>& f : futures) f.wait();
+  result.stats.critical_path_micros +=
+      *std::max_element(task_micros.begin(), task_micros.end());
+
+  // Gather on a grid node.
+  Node* grid = PickGridNode();
+  IMPLIANCE_CHECK(grid != nullptr) << "no grid node alive";
+  grid->Run([&] {
+    const uint64_t gather_start = NowMicros();
+    for (Partial& partial : partials) {
+      if (pushdown) {
+        // Partial states ship: ~(group string + 16 bytes) per group.
+        for (const auto& [group, state] : partial.groups) {
+          result.stats.bytes_shipped += group.size() + 16;
+          ++result.stats.rows_shipped;
+          if (query.agg_path.empty()) {
+            result.groups[group] += static_cast<double>(state.second);
+          } else {
+            result.groups[group] += state.first;
+          }
+        }
+      } else {
+        result.stats.bytes_shipped += partial.raw_bytes;
+        result.stats.rows_shipped += partial.raw_docs.size();
+        for (const model::Document& doc : partial.raw_docs) {
+          if (matches(doc)) {
+            Partial merged;
+            accumulate(doc, &merged);
+            for (const auto& [group, state] : merged.groups) {
+              if (query.agg_path.empty()) {
+                result.groups[group] += static_cast<double>(state.second);
+              } else {
+                result.groups[group] += state.first;
+              }
+            }
+          }
+        }
+      }
+    }
+    result.stats.grid_task_micros = NowMicros() - gather_start;
+  });
+  ++result.stats.tasks;
+  result.stats.critical_path_micros += result.stats.grid_task_micros;
+  AccountTraffic(result.stats);
+  return result;
+}
+
+size_t SimulatedCluster::RunAnnotationPass(const discovery::Annotator& annotator,
+                                           const std::string& kind,
+                                           ShipStats* stats) {
+  ShipStats local_stats;
+  std::shared_ptr<const OwnershipMap> ownership = OwnershipByNode();
+
+  // Phase 1 (data nodes): intra-document analysis over owned documents.
+  std::vector<std::vector<model::Document>> produced(data_nodes_.size());
+  std::vector<std::future<void>> futures;
+  for (const auto& [node_id, owned] : *ownership) {
+    Partition* partition = partitions_[node_id].get();
+    const std::set<model::DocId>* owned_ptr = &owned;
+    std::vector<model::Document>* out = &produced[node_id];
+    std::future<void> done;
+    if (data_nodes_[node_id]->Submit(
+            [partition, owned_ptr, out, &annotator, &kind] {
+              for (const auto& [id, doc] : partition->docs) {
+                if (!owned_ptr->count(id)) continue;
+                if (!kind.empty() && doc.kind != kind) continue;
+                if (doc.doc_class != model::DocClass::kBase) continue;
+                if (!annotator.InterestedIn(doc)) continue;
+                auto spans = annotator.Annotate(doc);
+                if (spans.empty()) continue;
+                out->push_back(discovery::MakeAnnotationDocument(
+                    doc, annotator.name(), spans));
+              }
+            },
+            &done)) {
+      ++local_stats.tasks;
+      futures.push_back(std::move(done));
+    }
+  }
+  for (std::future<void>& f : futures) f.wait();
+
+  // Phase 3 (cluster node): assign ids, lock base documents, persist.
+  Node* coordinator = PickClusterNode();
+  IMPLIANCE_CHECK(coordinator != nullptr) << "no cluster node alive";
+  std::vector<model::Document> to_store;
+  coordinator->Run([&] {
+    for (std::vector<model::Document>& batch : produced) {
+      for (model::Document& annotation : batch) {
+        local_stats.bytes_shipped += DocBytes(annotation);
+        ++local_stats.rows_shipped;
+        // Consistent persist: lock every referenced base document.
+        for (const model::DocRef& ref : annotation.refs) {
+          (void)ref;
+          lock_acquisitions_.fetch_add(1);
+        }
+        annotation.id = next_id_.fetch_add(1);
+        to_store.push_back(std::move(annotation));
+      }
+    }
+  });
+  ++local_stats.tasks;
+
+  // Route the committed annotation documents onto data nodes.
+  size_t created = 0;
+  for (const model::Document& annotation : to_store) {
+    std::vector<NodeId> replicas =
+        PlaceReplicas(annotation.id, options_.replication);
+    bool stored = false;
+    const uint64_t bytes = DocBytes(annotation);
+    for (NodeId node : replicas) {
+      if (!data_nodes_[node]->alive()) continue;
+      StoreOnNode(node, annotation);
+      local_stats.bytes_shipped += bytes;
+      stored = true;
+    }
+    if (stored) {
+      std::lock_guard<std::mutex> lock(directory_mutex_);
+      DirEntry& entry = directory_[annotation.id];
+      entry.desired = static_cast<uint8_t>(options_.replication);
+      for (NodeId node : replicas) {
+        if (data_nodes_[node]->alive()) entry.holders.push_back(node);
+      }
+      InvalidateOwnershipLocked();
+      ++created;
+    }
+  }
+  AccountTraffic(local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return created;
+}
+
+
+SimulatedCluster::AutoAggResult SimulatedCluster::FilterAggregateAuto(
+    const AggQuery& query) {
+  Scheduler::LoadSnapshot load;
+  size_t alive_data = 0;
+  for (const auto& node : data_nodes_) {
+    if (!node->alive()) continue;
+    load.data_queue_depth += static_cast<double>(node->queue_depth());
+    ++alive_data;
+  }
+  if (alive_data > 0) load.data_queue_depth /= alive_data;
+  size_t alive_grid = 0;
+  for (const auto& node : grid_nodes_) {
+    if (!node->alive()) continue;
+    load.grid_queue_depth += static_cast<double>(node->queue_depth());
+    ++alive_grid;
+  }
+  if (alive_grid > 0) load.grid_queue_depth /= alive_grid;
+
+  AutoAggResult out;
+  out.decision =
+      scheduler_.Place(Scheduler::OperatorClass::kScanFilter, load);
+  out.result = FilterAggregate(query, out.decision.pushdown);
+  return out;
+}
+
+SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
+    const PipelineQuery& query) {
+  PipelineResult result;
+  std::shared_ptr<const OwnershipMap> ownership = OwnershipByNode();
+
+  // ---- Stage 1 (data nodes): full-text search; ship reduced triples
+  // (doc id, score, value at left_ref_path).
+  struct Hit {
+    model::DocId doc;
+    double score;
+    std::string ref_value;
+  };
+  std::vector<std::vector<Hit>> partial_hits(data_nodes_.size());
+  std::vector<uint64_t> task_micros(data_nodes_.size(), 0);
+  std::vector<std::future<void>> futures;
+  for (const auto& [node_id, owned] : *ownership) {
+    Partition* partition = partitions_[node_id].get();
+    const std::set<model::DocId>* owned_ptr = &owned;
+    std::vector<Hit>* out = &partial_hits[node_id];
+    std::future<void> done;
+    if (data_nodes_[node_id]->Submit(
+            [partition, owned_ptr, out, &query, &task_micros, node_id] {
+              const uint64_t start = NowMicros();
+              auto hits = partition->inverted.Search(
+                  query.keywords, query.k + owned_ptr->size());
+              for (const auto& hit : hits) {
+                if (!owned_ptr->count(hit.doc)) continue;
+                auto doc_it = partition->docs.find(hit.doc);
+                if (doc_it == partition->docs.end()) continue;
+                const model::Value* ref = model::ResolvePath(
+                    doc_it->second.root, query.left_ref_path);
+                if (ref == nullptr || ref->is_null()) continue;
+                out->push_back(Hit{hit.doc, hit.score, ref->AsString()});
+                if (out->size() >= query.k) break;
+              }
+              task_micros[node_id] = NowMicros() - start;
+            },
+            &done)) {
+      ++result.stats.tasks;
+      futures.push_back(std::move(done));
+    }
+  }
+  for (std::future<void>& f : futures) f.wait();
+  result.stats.critical_path_micros +=
+      *std::max_element(task_micros.begin(), task_micros.end());
+
+  // Dimension side, also reduced at the data nodes: (key value, doc id).
+  std::vector<std::vector<std::pair<std::string, model::DocId>>> partial_dims(
+      data_nodes_.size());
+  std::fill(task_micros.begin(), task_micros.end(), 0);
+  futures.clear();
+  for (const auto& [node_id, owned] : *ownership) {
+    Partition* partition = partitions_[node_id].get();
+    const std::set<model::DocId>* owned_ptr = &owned;
+    auto* out = &partial_dims[node_id];
+    std::future<void> done;
+    if (data_nodes_[node_id]->Submit(
+            [partition, owned_ptr, out, &query, &task_micros, node_id] {
+              const uint64_t start = NowMicros();
+              for (const auto& [id, doc] : partition->docs) {
+                if (!owned_ptr->count(id) || doc.kind != query.dim_kind) {
+                  continue;
+                }
+                const model::Value* key =
+                    model::ResolvePath(doc.root, query.dim_key_path);
+                if (key == nullptr || key->is_null()) continue;
+                out->emplace_back(key->AsString(), id);
+              }
+              task_micros[node_id] = NowMicros() - start;
+            },
+            &done)) {
+      ++result.stats.tasks;
+      futures.push_back(std::move(done));
+    }
+  }
+  for (std::future<void>& f : futures) f.wait();
+  result.stats.critical_path_micros +=
+      *std::max_element(task_micros.begin(), task_micros.end());
+
+  // ---- Stage 2 (grid node): hash join + sort by score, keep top-k.
+  Node* grid = PickGridNode();
+  IMPLIANCE_CHECK(grid != nullptr) << "no grid node alive";
+  grid->Run([&] {
+    const uint64_t start = NowMicros();
+    std::map<std::string, model::DocId> dim_by_key;
+    for (const auto& partial : partial_dims) {
+      for (const auto& [key, id] : partial) {
+        result.stats.bytes_shipped += key.size() + 8;
+        ++result.stats.rows_shipped;
+        dim_by_key.emplace(key, id);
+      }
+    }
+    for (const auto& partial : partial_hits) {
+      for (const Hit& hit : partial) {
+        result.stats.bytes_shipped += hit.ref_value.size() + 16;
+        ++result.stats.rows_shipped;
+        auto match = dim_by_key.find(hit.ref_value);
+        if (match == dim_by_key.end()) continue;
+        result.matches.push_back(
+            PipelineMatch{hit.doc, hit.score, match->second});
+      }
+    }
+    std::sort(result.matches.begin(), result.matches.end(),
+              [](const PipelineMatch& a, const PipelineMatch& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    if (result.matches.size() > query.k) result.matches.resize(query.k);
+    result.stats.grid_task_micros = NowMicros() - start;
+  });
+  ++result.stats.tasks;
+  result.stats.critical_path_micros += result.stats.grid_task_micros;
+
+  // ---- Stage 3 (cluster node): consistent updates — tag every matched
+  // document under per-document locks, then apply on the holders.
+  Node* coordinator = PickClusterNode();
+  IMPLIANCE_CHECK(coordinator != nullptr) << "no cluster node alive";
+  std::vector<model::DocId> to_update;
+  coordinator->Run([&] {
+    const uint64_t start = NowMicros();
+    for (const PipelineMatch& match : result.matches) {
+      lock_acquisitions_.fetch_add(1);
+      to_update.push_back(match.doc);
+    }
+    result.stats.critical_path_micros += NowMicros() - start;
+  });
+  ++result.stats.tasks;
+  for (model::DocId id : to_update) {
+    std::vector<NodeId> holders;
+    {
+      std::lock_guard<std::mutex> lock(directory_mutex_);
+      auto it = directory_.find(id);
+      if (it == directory_.end()) continue;
+      holders = it->second.holders;
+    }
+    bool updated = false;
+    for (NodeId node_id : holders) {
+      if (!data_nodes_[node_id]->alive()) continue;
+      Partition* partition = partitions_[node_id].get();
+      const std::string& tag = query.tag_name;
+      data_nodes_[node_id]->Run([partition, id, &tag, &updated] {
+        auto it = partition->docs.find(id);
+        if (it == partition->docs.end()) return;
+        model::Document updated_doc = it->second;
+        updated_doc.version += 1;
+        updated_doc.root.AddChild(tag, model::Value::Bool(true));
+        partition->inverted.RemoveDocument(id);
+        partition->inverted.AddDocument(id, updated_doc.Text());
+        it->second = std::move(updated_doc);
+        updated = true;
+      });
+      result.stats.bytes_shipped += query.tag_name.size() + 16;
+    }
+    if (updated) ++result.updates_applied;
+  }
+  AccountTraffic(result.stats);
+  return result;
+}
+
+void SimulatedCluster::FailNode(NodeId id) {
+  IMPLIANCE_CHECK(id < data_nodes_.size()) << "only data nodes can be failed";
+  data_nodes_[id]->Fail();
+}
+
+void SimulatedCluster::RecoverNode(NodeId id) {
+  IMPLIANCE_CHECK(id < data_nodes_.size());
+  // Rejoins empty: its previous contents were lost with the failure.
+  partitions_[id] = std::make_unique<Partition>();
+  data_nodes_[id]->Recover();
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    known_dead_.erase(id);
+    InvalidateOwnershipLocked();
+  }
+}
+
+std::vector<NodeId> SimulatedCluster::DetectFailures() {
+  std::vector<NodeId> newly_dead;
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  for (const auto& node : data_nodes_) {
+    if (!node->alive() && !known_dead_.count(node->id())) {
+      newly_dead.push_back(node->id());
+      known_dead_.insert(node->id());
+    }
+  }
+  // Drop dead holders from the directory so ownership fails over.
+  if (!newly_dead.empty()) {
+    InvalidateOwnershipLocked();
+    for (auto& [id, entry] : directory_) {
+      entry.holders.erase(
+          std::remove_if(entry.holders.begin(), entry.holders.end(),
+                         [this](NodeId node) {
+                           return known_dead_.count(node) > 0;
+                         }),
+          entry.holders.end());
+    }
+  }
+  return newly_dead;
+}
+
+uint64_t SimulatedCluster::ReReplicate() {
+  uint64_t bytes_copied = 0;
+  // Snapshot under-replicated docs.
+  struct Todo {
+    model::DocId id;
+    std::vector<NodeId> holders;
+    size_t desired;
+  };
+  std::vector<Todo> todo;
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    for (const auto& [id, entry] : directory_) {
+      size_t alive = 0;
+      for (NodeId node : entry.holders) {
+        if (data_nodes_[node]->alive()) ++alive;
+      }
+      if (alive > 0 && alive < entry.desired) {
+        todo.push_back(Todo{id, entry.holders, entry.desired});
+      }
+    }
+  }
+  for (auto& [id, holders, desired] : todo) {
+    Result<model::Document> doc = Get(id);
+    if (!doc.ok()) continue;
+    // Choose new targets: alive data nodes not already holding the doc,
+    // walking the ring from the primary position.
+    std::set<NodeId> holding(holders.begin(), holders.end());
+    size_t alive_copies = 0;
+    for (NodeId node : holders) {
+      if (data_nodes_[node]->alive()) ++alive_copies;
+    }
+    const size_t n = data_nodes_.size();
+    const size_t start = Mix64(id) % n;
+    for (size_t i = 0; i < n && alive_copies < desired; ++i) {
+      NodeId candidate = static_cast<NodeId>((start + i) % n);
+      if (holding.count(candidate) || !data_nodes_[candidate]->alive()) {
+        continue;
+      }
+      StoreOnNode(candidate, *doc);
+      bytes_copied += DocBytes(*doc);
+      {
+        std::lock_guard<std::mutex> lock(directory_mutex_);
+        directory_[id].holders.push_back(candidate);
+        InvalidateOwnershipLocked();
+      }
+      holding.insert(candidate);
+      ++alive_copies;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(traffic_mutex_);
+    lifetime_traffic_.bytes_shipped += bytes_copied;
+  }
+  return bytes_copied;
+}
+
+size_t SimulatedCluster::num_available_documents() const {
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  size_t available = 0;
+  for (const auto& [id, entry] : directory_) {
+    for (NodeId node : entry.holders) {
+      if (data_nodes_[node]->alive()) {
+        ++available;
+        break;
+      }
+    }
+  }
+  return available;
+}
+
+size_t SimulatedCluster::num_fully_replicated_documents() const {
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  size_t full = 0;
+  for (const auto& [id, entry] : directory_) {
+    size_t alive = 0;
+    for (NodeId node : entry.holders) {
+      if (data_nodes_[node]->alive()) ++alive;
+    }
+    if (alive >= entry.desired) ++full;
+  }
+  return full;
+}
+
+std::map<NodeId, size_t> SimulatedCluster::OwnedCounts() const {
+  std::map<NodeId, size_t> counts;
+  for (const auto& [node, owned] : *OwnershipByNode()) {
+    counts[node] = owned.size();
+  }
+  return counts;
+}
+
+size_t SimulatedCluster::num_data_nodes_alive() const {
+  size_t alive = 0;
+  for (const auto& node : data_nodes_) {
+    if (node->alive()) ++alive;
+  }
+  return alive;
+}
+
+}  // namespace impliance::cluster

@@ -1,0 +1,220 @@
+#ifndef IMPLIANCE_CLUSTER_CLUSTER_H_
+#define IMPLIANCE_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/scheduler.h"
+#include "common/result.h"
+#include "discovery/annotator.h"
+#include "exec/predicate.h"
+#include "index/inverted_index.h"
+#include "model/document.h"
+
+namespace impliance::cluster {
+
+// Per-query data-movement accounting, the measurable half of the pushdown
+// and scale-out experiments.
+struct ShipStats {
+  uint64_t bytes_shipped = 0;
+  uint64_t rows_shipped = 0;
+  uint64_t tasks = 0;
+  // Modeled parallel latency: per phase, the slowest node's task duration,
+  // summed across phases (bulk-synchronous critical path). On hosts with
+  // fewer cores than simulated nodes, wall-clock time serializes node work
+  // and says nothing about appliance latency; this does.
+  uint64_t critical_path_micros = 0;
+  // Duration of the gather/merge task on the grid node (for grid-scaling
+  // throughput models).
+  uint64_t grid_task_micros = 0;
+};
+
+// One Impliance instance: data nodes own hash-partitioned document storage
+// with local full-text indexes; grid nodes merge/join/aggregate; cluster
+// nodes coordinate consistent updates (annotation persistence) through a
+// lock table. Clients see a single system image — this class (Section 3.3).
+class SimulatedCluster {
+ public:
+  struct Options {
+    size_t num_data_nodes = 4;
+    size_t num_grid_nodes = 2;
+    size_t num_cluster_nodes = 1;
+    size_t replication = 1;  // copies per document
+  };
+
+  explicit SimulatedCluster(const Options& options);
+  ~SimulatedCluster();
+
+  SimulatedCluster(const SimulatedCluster&) = delete;
+  SimulatedCluster& operator=(const SimulatedCluster&) = delete;
+
+  // ------------------------------------------------------------- Ingest
+
+  // Stores `doc` on `copies` data nodes (0 = the cluster default); assigns
+  // and returns its id. Per-class copy counts are the storage manager's
+  // policy lever (Section 3.4).
+  Result<model::DocId> Ingest(model::Document doc, size_t copies = 0);
+
+  Result<model::Document> Get(model::DocId id) const;
+
+  size_t num_documents() const;
+
+  // -------------------------------------------------------------- Query
+
+  // Scatter-gather BM25 top-k: each data node searches the documents it
+  // currently owns; a grid node merges the partial top-k lists.
+  std::vector<index::InvertedIndex::SearchResult> KeywordSearch(
+      const std::string& query, size_t k, ShipStats* stats = nullptr);
+
+  // Distributed filter + group-by aggregate over documents of `kind`.
+  struct AggQuery {
+    std::string kind;
+    std::string filter_path;  // empty = no filter
+    exec::CompareOp op = exec::CompareOp::kEq;
+    model::Value literal;
+    std::string group_path;   // empty = single global group ""
+    std::string agg_path;     // empty = COUNT, else SUM of this path
+  };
+  struct AggResult {
+    std::map<std::string, double> groups;  // group value -> aggregate
+    ShipStats stats;
+  };
+  // With `pushdown`, data nodes filter and pre-aggregate locally and ship
+  // tiny partial states; without, they ship whole documents to a grid node
+  // which does all the work (Section 3.1's motivating contrast).
+  AggResult FilterAggregate(const AggQuery& query, bool pushdown);
+
+  // Scheduler-driven variant: samples node queue depths and lets the
+  // Scheduler decide whether predicate work runs pushed-down on data
+  // nodes or shipped to the grid (Section 3.4 execution management).
+  struct AutoAggResult {
+    AggResult result;
+    Scheduler::Decision decision;
+  };
+  AutoAggResult FilterAggregateAuto(const AggQuery& query);
+
+  // ------------------------------------------- Figure 3 pipeline example
+
+  // The paper's canonical parallel query: "full-text index search on a set
+  // of data nodes, which then send the reduced data to a set of grid nodes
+  // for joining, sorting, and group-wise aggregation, the results of which
+  // are sent to a set of cluster nodes to drive a set of updates."
+  struct PipelineQuery {
+    std::string keywords;      // stage 1: full-text search on data nodes
+    size_t k = 10;             // matches to process
+    std::string left_ref_path; // path in matched docs referencing the dim
+    std::string dim_kind;      // stage 2: join against this kind
+    std::string dim_key_path;  // key path in dimension documents
+    std::string tag_name;      // stage 3: child appended to matched docs
+  };
+  struct PipelineMatch {
+    model::DocId doc = model::kInvalidDocId;
+    double score = 0;
+    model::DocId dim_doc = model::kInvalidDocId;  // joined dimension doc
+  };
+  struct PipelineResult {
+    std::vector<PipelineMatch> matches;  // sorted by score desc
+    size_t updates_applied = 0;
+    ShipStats stats;
+  };
+  PipelineResult SearchJoinUpdate(const PipelineQuery& query);
+
+  // ---------------------------------------------------------- Discovery
+
+  // One distributed annotation pass (Section 3.3's three-phase flow):
+  // data nodes run `annotator` on owned documents of `kind` (empty = all),
+  // ship annotation documents to a cluster node, which assigns ids, takes
+  // per-base-document locks, and persists them back onto data nodes.
+  // Returns the number of annotation documents created.
+  size_t RunAnnotationPass(const discovery::Annotator& annotator,
+                           const std::string& kind = "",
+                           ShipStats* stats = nullptr);
+
+  // --------------------------------------------------------- Membership
+
+  void FailNode(NodeId id);
+  // Node rejoins with empty storage.
+  void RecoverNode(NodeId id);
+
+  // Failure detector: returns nodes newly detected dead since the last
+  // call and removes them from the ownership directory.
+  std::vector<NodeId> DetectFailures();
+
+  // Restores `replication` copies of every under-replicated document by
+  // copying from surviving holders. Returns bytes copied.
+  uint64_t ReReplicate();
+
+  // Documents whose replica chain has at least one alive holder / exactly
+  // `replication` alive holders.
+  size_t num_available_documents() const;
+  size_t num_fully_replicated_documents() const;
+
+  // ------------------------------------------------------------- Stats
+
+  size_t num_data_nodes_alive() const;
+  // Documents currently owned (served) per data node.
+  std::map<NodeId, size_t> OwnedCounts() const;
+  const std::vector<std::unique_ptr<Node>>& data_nodes() const {
+    return data_nodes_;
+  }
+  uint64_t total_lock_acquisitions() const { return lock_acquisitions_.load(); }
+  ShipStats lifetime_traffic() const;
+
+ private:
+  struct Partition {
+    // Only the owning node's thread touches this (all access is routed
+    // through Node::Run), except bulk copies during re-replication which
+    // take the directory mutex first.
+    std::map<model::DocId, model::Document> docs;
+    index::InvertedIndex inverted;
+  };
+
+  Node* PickGridNode();
+  Node* PickClusterNode();
+  // First alive holder of each document (ownership map), grouped by node.
+  // Cached (routing tables change only on ingest/membership events) and
+  // rebuilt lazily; returned as a shared snapshot so queries can hold it
+  // while node tasks run.
+  using OwnershipMap = std::map<NodeId, std::set<model::DocId>>;
+  std::shared_ptr<const OwnershipMap> OwnershipByNode() const;
+  void InvalidateOwnershipLocked() const { ownership_cache_.reset(); }
+  std::vector<NodeId> PlaceReplicas(model::DocId id, size_t copies) const;
+  void StoreOnNode(NodeId node, const model::Document& doc);
+  static uint64_t DocBytes(const model::Document& doc);
+  void AccountTraffic(const ShipStats& stats);
+
+  Options options_;
+  std::vector<std::unique_ptr<Node>> data_nodes_;
+  std::vector<std::unique_ptr<Node>> grid_nodes_;
+  std::vector<std::unique_ptr<Node>> cluster_nodes_;
+  std::vector<std::unique_ptr<Partition>> partitions_;  // parallel to data
+
+  struct DirEntry {
+    std::vector<NodeId> holders;  // primary first; alive-ness checked on use
+    uint8_t desired = 1;          // replication target for this document
+  };
+
+  mutable std::mutex directory_mutex_;
+  std::map<model::DocId, DirEntry> directory_;
+  std::set<NodeId> known_dead_;
+  mutable std::shared_ptr<const OwnershipMap> ownership_cache_;
+
+  std::atomic<model::DocId> next_id_{1};
+  std::atomic<uint64_t> rr_grid_{0};
+  std::atomic<uint64_t> rr_cluster_{0};
+  std::atomic<uint64_t> lock_acquisitions_{0};
+  Scheduler scheduler_;
+
+  mutable std::mutex traffic_mutex_;
+  ShipStats lifetime_traffic_;
+};
+
+}  // namespace impliance::cluster
+
+#endif  // IMPLIANCE_CLUSTER_CLUSTER_H_

@@ -1,0 +1,91 @@
+#include "cluster/node.h"
+
+#include "common/clock.h"
+
+namespace impliance::cluster {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kData:
+      return "data";
+    case NodeKind::kGrid:
+      return "grid";
+    case NodeKind::kCluster:
+      return "cluster";
+  }
+  return "?";
+}
+
+Node::Node(NodeId id, NodeKind kind)
+    : id_(id), kind_(kind), worker_([this] { WorkerLoop(); }) {}
+
+Node::~Node() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_.store(true);
+    mailbox_.clear();
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+bool Node::Submit(std::function<void()> task, std::future<void>* done) {
+  // Accounting runs inside the packaged task so counters are updated
+  // before the caller's future resolves.
+  std::packaged_task<void()> packaged([this, task = std::move(task)] {
+    const uint64_t start = NowMicros();
+    task();
+    busy_micros_.fetch_add(NowMicros() - start);
+    tasks_executed_.fetch_add(1);
+  });
+  if (done != nullptr) *done = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!alive_.load() || shutting_down_.load()) return false;
+    mailbox_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool Node::Run(std::function<void()> task) {
+  std::future<void> done;
+  if (!Submit(std::move(task), &done)) return false;
+  done.wait();
+  return true;
+}
+
+size_t Node::queue_depth() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mutex_));
+  return mailbox_.size();
+}
+
+void Node::Fail() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alive_.store(false);
+  mailbox_.clear();  // in-flight work is lost with the node
+}
+
+void Node::Recover() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alive_.store(true);
+}
+
+void Node::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return shutting_down_.load() || !mailbox_.empty();
+      });
+      if (shutting_down_.load() && mailbox_.empty()) return;
+      task = std::move(mailbox_.front());
+      mailbox_.pop_front();
+    }
+    heartbeats_.fetch_add(1);
+    task();
+  }
+}
+
+}  // namespace impliance::cluster

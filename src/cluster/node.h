@@ -1,0 +1,84 @@
+#ifndef IMPLIANCE_CLUSTER_NODE_H_
+#define IMPLIANCE_CLUSTER_NODE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace impliance::cluster {
+
+using NodeId = uint32_t;
+
+// The three node flavors of an Impliance instance (Section 3.3, Figure 3).
+enum class NodeKind {
+  kData,     // owns a subset of persistent storage
+  kGrid,     // stateless analytic compute
+  kCluster,  // consistent locking/coordination
+};
+
+const char* NodeKindName(NodeKind kind);
+
+// One simulated node: a worker thread draining a FIFO mailbox of closures.
+// This stands in for a blade server; the closures it runs are the operator
+// fragments / annotator tasks the scheduler places on it. Failure injection
+// marks the node dead: new work is rejected, queued work is dropped.
+class Node {
+ public:
+  Node(NodeId id, NodeKind kind);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  NodeKind kind() const { return kind_; }
+
+  // Enqueues `task`; the future resolves when it has run. Returns an
+  // already-broken future (valid() but throws on get — callers use
+  // TrySubmit) if the node is dead; use alive() / the bool overload.
+  bool Submit(std::function<void()> task, std::future<void>* done);
+
+  // Convenience: submit and wait. Returns false if the node is dead.
+  bool Run(std::function<void()> task);
+
+  bool alive() const { return alive_.load(); }
+
+  // Failure injection: drops queued work, rejects new work.
+  void Fail();
+  // Node re-joins empty (its state was lost) — re-replication is the
+  // storage manager's job.
+  void Recover();
+
+  uint64_t tasks_executed() const { return tasks_executed_.load(); }
+  // Tasks currently waiting in the mailbox (scheduler load signal).
+  size_t queue_depth() const;
+  uint64_t busy_micros() const { return busy_micros_.load(); }
+  // Logical heartbeat counter, bumped every mailbox iteration.
+  uint64_t heartbeats() const { return heartbeats_.load(); }
+
+ private:
+  void WorkerLoop();
+
+  NodeId id_;
+  NodeKind kind_;
+  std::atomic<bool> alive_{true};
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> busy_micros_{0};
+  std::atomic<uint64_t> heartbeats_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> mailbox_;
+  std::thread worker_;
+};
+
+}  // namespace impliance::cluster
+
+#endif  // IMPLIANCE_CLUSTER_NODE_H_

@@ -1,0 +1,30 @@
+#include "cluster/scheduler.h"
+
+namespace impliance::cluster {
+
+Scheduler::Decision Scheduler::Place(OperatorClass op,
+                                     const LoadSnapshot& load) const {
+  Decision decision;
+  switch (op) {
+    case OperatorClass::kScanFilter:
+      decision.kind = NodeKind::kData;
+      decision.pushdown = true;
+      // Overloaded storage: fall back to shipping raw data to the grid.
+      if (load.data_queue_depth > load.grid_queue_depth + options_.busy_margin) {
+        decision.kind = NodeKind::kGrid;
+        decision.pushdown = false;
+      }
+      return decision;
+    case OperatorClass::kJoinSortAggregate:
+      decision.kind = NodeKind::kGrid;
+      decision.pushdown = false;
+      return decision;
+    case OperatorClass::kConsistentUpdate:
+      decision.kind = NodeKind::kCluster;
+      decision.pushdown = false;
+      return decision;
+  }
+  return decision;
+}
+
+}  // namespace impliance::cluster

@@ -1,0 +1,57 @@
+#ifndef IMPLIANCE_CLUSTER_SCHEDULER_H_
+#define IMPLIANCE_CLUSTER_SCHEDULER_H_
+
+#include "cluster/node.h"
+
+namespace impliance::cluster {
+
+// Operator placement (Section 3.3): "the scheduler assigns operators to
+// compute nodes based on which operators execute more efficiently ... and
+// the availability of resources within the system." Section 3.4 adds the
+// load-balancing half: predicate application belongs on storage nodes for
+// early reduction, but "at other times the storage nodes may be too busy
+// serving data ... and so moving more work to grid nodes will be
+// preferred."
+//
+// The rules are deliberately simple (the appliance knows its operators):
+//   scan/filter        -> data nodes (pushdown) while they have slack,
+//                         else grid nodes (ship + filter there);
+//   join/sort/aggregate-> grid nodes;
+//   consistent update  -> cluster nodes.
+class Scheduler {
+ public:
+  enum class OperatorClass {
+    kScanFilter,
+    kJoinSortAggregate,
+    kConsistentUpdate,
+  };
+
+  struct LoadSnapshot {
+    // Mean queued tasks per alive node of the kind.
+    double data_queue_depth = 0;
+    double grid_queue_depth = 0;
+  };
+
+  struct Decision {
+    NodeKind kind = NodeKind::kData;
+    bool pushdown = true;  // meaningful for kScanFilter only
+  };
+
+  struct Options {
+    // Data nodes count as "too busy" when their mean queue exceeds the
+    // grid's by this many tasks.
+    double busy_margin = 2.0;
+  };
+
+  Scheduler() : options_(Options()) {}
+  explicit Scheduler(const Options& options) : options_(options) {}
+
+  Decision Place(OperatorClass op, const LoadSnapshot& load) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace impliance::cluster
+
+#endif  // IMPLIANCE_CLUSTER_SCHEDULER_H_

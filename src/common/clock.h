@@ -1,0 +1,32 @@
+#ifndef IMPLIANCE_COMMON_CLOCK_H_
+#define IMPLIANCE_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace impliance {
+
+// Monotonic wall-clock helpers for timing experiments.
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+
+  void Reset() { start_ = NowMicros(); }
+  uint64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_CLOCK_H_

@@ -1,0 +1,97 @@
+#include "common/coding.h"
+
+namespace impliance {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value);
+}
+
+bool GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>((*input)[i]))
+         << (8 * i);
+  }
+  *value = v;
+  input->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>((*input)[i]))
+         << (8 * i);
+  }
+  *value = v;
+  input->remove_prefix(8);
+  return true;
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v = 0;
+  if (!GetVarint64(input, &v) || v > 0xFFFFFFFFULL) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t v = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    unsigned char byte = static_cast<unsigned char>((*input)[0]);
+    input->remove_prefix(1);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint64_t len = 0;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+}  // namespace impliance

@@ -1,0 +1,33 @@
+#ifndef IMPLIANCE_COMMON_CODING_H_
+#define IMPLIANCE_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace impliance {
+
+// Little-endian fixed and LEB128 varint encodings used by the storage layer
+// (WAL records and segment files) and the index serializers.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+// Each Get* consumes bytes from the front of *input and returns false on
+// malformed/short input (leaving *input unspecified).
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+// ZigZag for signed payloads (document scalar values).
+uint64_t ZigZagEncode(int64_t value);
+int64_t ZigZagDecode(uint64_t value);
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_CODING_H_

@@ -1,0 +1,130 @@
+#include "common/compression.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace impliance {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxDistance = 1 << 16;
+constexpr size_t kHashBits = 14;
+constexpr uint8_t kOpLiteral = 0x00;
+constexpr uint8_t kOpMatch = 0x01;
+
+uint32_t HashAt(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+void LzCompress(std::string_view input, std::string* dst) {
+  PutVarint64(dst, input.size());
+  if (input.empty()) return;
+
+  // head[h] = most recent position with hash h (+1; 0 = empty).
+  std::vector<uint32_t> head(1u << kHashBits, 0);
+  const char* base = input.data();
+  size_t pos = 0;
+  size_t literal_start = 0;
+
+  auto flush_literals = [&](size_t end) {
+    if (end == literal_start) return;
+    dst->push_back(static_cast<char>(kOpLiteral));
+    PutVarint64(dst, end - literal_start);
+    dst->append(base + literal_start, end - literal_start);
+  };
+
+  while (pos + kMinMatch <= input.size()) {
+    const uint32_t h = HashAt(base + pos);
+    const uint32_t candidate = head[h];
+    head[h] = static_cast<uint32_t>(pos + 1);
+
+    size_t match_len = 0;
+    size_t match_pos = 0;
+    if (candidate != 0) {
+      match_pos = candidate - 1;
+      const size_t distance = pos - match_pos;
+      if (distance > 0 && distance <= kMaxDistance) {
+        const size_t max_len = input.size() - pos;
+        size_t len = 0;
+        while (len < max_len && base[match_pos + len] == base[pos + len]) {
+          ++len;
+        }
+        if (len >= kMinMatch) match_len = len;
+      }
+    }
+
+    if (match_len > 0) {
+      flush_literals(pos);
+      dst->push_back(static_cast<char>(kOpMatch));
+      PutVarint64(dst, match_len);
+      PutVarint64(dst, pos - match_pos);
+      // Insert hash entries inside the match sparsely (every 4th byte)
+      // to keep compression fast on long repeats.
+      const size_t end = pos + match_len;
+      for (size_t i = pos + 1; i + kMinMatch <= input.size() && i < end;
+           i += 4) {
+        head[HashAt(base + i)] = static_cast<uint32_t>(i + 1);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(input.size());
+}
+
+Result<std::string> LzDecompress(std::string_view compressed) {
+  uint64_t expected_size = 0;
+  if (!GetVarint64(&compressed, &expected_size)) {
+    return Status::Corruption("bad compressed header");
+  }
+  std::string out;
+  out.reserve(expected_size);
+  while (!compressed.empty()) {
+    const uint8_t op = static_cast<uint8_t>(compressed[0]);
+    compressed.remove_prefix(1);
+    uint64_t len = 0;
+    if (!GetVarint64(&compressed, &len)) {
+      return Status::Corruption("bad op length");
+    }
+    if (op == kOpLiteral) {
+      if (compressed.size() < len) {
+        return Status::Corruption("short literal run");
+      }
+      out.append(compressed.substr(0, len));
+      compressed.remove_prefix(len);
+    } else if (op == kOpMatch) {
+      uint64_t distance = 0;
+      if (!GetVarint64(&compressed, &distance)) {
+        return Status::Corruption("bad match distance");
+      }
+      if (distance == 0 || distance > out.size() || len < kMinMatch) {
+        return Status::Corruption("invalid match");
+      }
+      // Overlapping copies are legal (distance < len): byte-by-byte.
+      size_t from = out.size() - distance;
+      for (uint64_t i = 0; i < len; ++i) {
+        out.push_back(out[from + i]);
+      }
+    } else {
+      return Status::Corruption("unknown op");
+    }
+    if (out.size() > expected_size) {
+      return Status::Corruption("decompressed past declared size");
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("decompressed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace impliance

@@ -1,0 +1,29 @@
+#ifndef IMPLIANCE_COMMON_COMPRESSION_H_
+#define IMPLIANCE_COMMON_COMPRESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace impliance {
+
+// Byte-oriented LZ77-family compressor (greedy hash-chain matcher,
+// LZ4-style token stream). Section 3.1 pushes compression down into the
+// storage unit's software so it runs on commodity hardware — this is that
+// codec. Self-contained, no third-party dependency.
+//
+// Format: sequence of ops.
+//   literal run:  0x00 | varint len | bytes
+//   match:        0x01 | varint len (>= kMinMatch) | varint distance
+// The uncompressed size is prefixed as a varint for allocation.
+
+// Appends the compressed form of `input` to *dst.
+void LzCompress(std::string_view input, std::string* dst);
+
+// Decompresses a full LzCompress output. Fails on malformed input.
+Result<std::string> LzDecompress(std::string_view compressed);
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_COMPRESSION_H_

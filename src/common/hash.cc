@@ -1,0 +1,50 @@
+#include "common/hash.h"
+
+#include <array>
+
+namespace impliance {
+
+uint64_t Hash64(std::string_view data, uint64_t seed) {
+  uint64_t h = 14695981039346656037ULL ^ Mix64(seed);
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche so short keys spread over all bits.
+  return Mix64(h);
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  constexpr uint32_t kPoly = 0x82F63B78;  // CRC-32C (Castagnoli), reflected.
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFF;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ c) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFF;
+}
+
+}  // namespace impliance

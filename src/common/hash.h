@@ -1,0 +1,24 @@
+#ifndef IMPLIANCE_COMMON_HASH_H_
+#define IMPLIANCE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace impliance {
+
+// 64-bit FNV-1a. Stable across platforms/runs; used for partitioning,
+// bloom filters, and hash indexes.
+uint64_t Hash64(std::string_view data, uint64_t seed = 0);
+
+// Integer mixing (SplitMix64 finalizer). Used to derive independent hash
+// functions from one base hash.
+uint64_t Mix64(uint64_t x);
+
+// CRC32 (Castagnoli polynomial, software implementation) for storage
+// block/record checksums.
+uint32_t Crc32c(std::string_view data);
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_HASH_H_

@@ -1,0 +1,45 @@
+#ifndef IMPLIANCE_COMMON_HISTOGRAM_H_
+#define IMPLIANCE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace impliance {
+
+// Exact-sample histogram for experiment reporting (latencies are recorded
+// in full; experiments are small enough that this is fine and it keeps
+// percentiles exact).
+class Histogram {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+  // p in [0, 100]; nearest-rank percentile.
+  double Percentile(double p) const;
+
+  // One-line summary "n=... mean=... p50=... p95=... p99=... max=...".
+  std::string Summary() const;
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_HISTOGRAM_H_

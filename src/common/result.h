@@ -1,0 +1,75 @@
+#ifndef IMPLIANCE_COMMON_RESULT_H_
+#define IMPLIANCE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace impliance {
+
+// Result<T> carries either a value or an error Status (the StatusOr idiom).
+// Accessing value() on an error Result aborts the process; callers must
+// check ok() first or use IMPLIANCE_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    IMPLIANCE_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    IMPLIANCE_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    IMPLIANCE_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    IMPLIANCE_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace impliance
+
+// Evaluates `expr` (a Result<T>); on error returns its Status, otherwise
+// binds the value to `lhs`.
+#define IMPLIANCE_ASSIGN_OR_RETURN(lhs, expr)             \
+  IMPLIANCE_ASSIGN_OR_RETURN_IMPL_(                       \
+      IMPLIANCE_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define IMPLIANCE_CONCAT_INNER_(a, b) a##b
+#define IMPLIANCE_CONCAT_(a, b) IMPLIANCE_CONCAT_INNER_(a, b)
+
+#define IMPLIANCE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#endif  // IMPLIANCE_COMMON_RESULT_H_

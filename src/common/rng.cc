@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace impliance {
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  IMPLIANCE_CHECK(n > 0);
+  if (theta <= 0.0) return Uniform(n);
+  // Inverse-CDF approximation for the continuous Zipf distribution,
+  // adequate for skewed workload generation.
+  const double u = NextDouble();
+  const double one_minus = 1.0 - theta;
+  double rank;
+  if (std::abs(one_minus) < 1e-9) {
+    rank = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    const double npow = std::pow(static_cast<double>(n), one_minus);
+    rank = std::pow(u * (npow - 1.0) + 1.0, 1.0 / one_minus);
+  }
+  uint64_t r = static_cast<uint64_t>(rank);
+  if (r >= n) r = n - 1;
+  return r;
+}
+
+}  // namespace impliance

@@ -1,0 +1,84 @@
+#ifndef IMPLIANCE_COMMON_RNG_H_
+#define IMPLIANCE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace impliance {
+
+// Deterministic xoshiro256**-style generator. All workload generation and
+// simulation randomness flows through this class so experiments are exactly
+// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      s = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    IMPLIANCE_CHECK(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    IMPLIANCE_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Zipfian rank in [0, n) with exponent theta (approximate inverse-CDF).
+  uint64_t Zipf(uint64_t n, double theta);
+
+  // Picks an element of `items` uniformly.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    IMPLIANCE_CHECK(!items.empty());
+    return items[Uniform(items.size())];
+  }
+
+  // Random lowercase identifier of length `len`.
+  std::string Word(size_t len) {
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_RNG_H_

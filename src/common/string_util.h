@@ -1,0 +1,49 @@
+#ifndef IMPLIANCE_COMMON_STRING_UTIL_H_
+#define IMPLIANCE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace impliance {
+
+// Splits on a single delimiter character; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Splits and drops empty fields after trimming whitespace.
+std::vector<std::string> SplitAndTrim(std::string_view text, char delim);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view TrimWhitespace(std::string_view text);
+
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Lowercased alphanumeric tokens, splitting on any other character.
+// This is the tokenizer shared by the full-text indexer and keyword queries
+// so that indexing and search agree on term boundaries.
+std::vector<std::string> Tokenize(std::string_view text);
+
+// Like Tokenize but also reports the byte offset of each token, for
+// annotators that need spans.
+struct Token {
+  std::string text;    // lowercased
+  size_t offset = 0;   // byte offset of the token start in the input
+};
+std::vector<Token> TokenizeWithOffsets(std::string_view text);
+
+// Jaccard similarity of the token sets of two strings, in [0, 1].
+double TokenJaccard(std::string_view a, std::string_view b);
+
+// Jaro-Winkler similarity in [0, 1]; used by entity resolution.
+double JaroWinkler(std::string_view a, std::string_view b);
+
+// Levenshtein edit distance.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace impliance {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  IMPLIANCE_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task, Priority priority) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    IMPLIANCE_CHECK(!shutting_down_) << "Submit after shutdown";
+    if (priority == Priority::kHigh) {
+      high_queue_.push_back(std::move(task));
+    } else {
+      low_queue_.push_back(std::move(task));
+    }
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] {
+    return high_queue_.empty() && low_queue_.empty() && in_flight_ == 0;
+  });
+}
+
+size_t ThreadPool::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_queue_.size() + low_queue_.size() + in_flight_;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] {
+        return shutting_down_ || !high_queue_.empty() || !low_queue_.empty();
+      });
+      if (high_queue_.empty() && low_queue_.empty()) {
+        // Woken for shutdown with no remaining work.
+        return;
+      }
+      if (!high_queue_.empty()) {
+        task = std::move(high_queue_.front());
+        high_queue_.pop_front();
+      } else {
+        task = std::move(low_queue_.front());
+        low_queue_.pop_front();
+      }
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (high_queue_.empty() && low_queue_.empty() && in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace impliance

@@ -1,0 +1,51 @@
+#ifndef IMPLIANCE_COMMON_THREAD_POOL_H_
+#define IMPLIANCE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace impliance {
+
+// Fixed-size worker pool with a two-level priority queue. High-priority
+// tasks (interactive queries) always run before low-priority ones
+// (background discovery) — the paper's execution-management requirement
+// that long-running analysis tasks be interleaved behind queries with
+// stringent response-time requirements (Section 3.4).
+class ThreadPool {
+ public:
+  enum class Priority { kHigh, kLow };
+
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task, Priority priority = Priority::kHigh);
+
+  // Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t pending_tasks() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> high_queue_;
+  std::deque<std::function<void()>> low_queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,697 @@
+#include "core/impliance.h"
+
+#include <algorithm>
+
+#include "discovery/entity_resolver.h"
+#include "discovery/pattern_annotator.h"
+#include "discovery/relationship_discovery.h"
+#include "discovery/sentiment_annotator.h"
+#include "common/string_util.h"
+#include "ingest/ingest.h"
+#include "query/sql_parser.h"
+#include "model/item.h"
+
+namespace impliance::core {
+
+namespace {
+
+std::string SnippetOf(const std::string& text) {
+  constexpr size_t kSnippetChars = 100;
+  if (text.size() <= kSnippetChars) return text;
+  return text.substr(0, kSnippetChars) + "...";
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Tables
+
+// SQL view over the documents of one kind. Every leaf path is
+// automatically value-indexed, so HasIndexOn is unconditionally true —
+// "Impliance automatically indexes each document by its values as well as
+// its structures" (Section 3.2).
+class Impliance::DocumentTable : public query::Table {
+ public:
+  DocumentTable(const Impliance* owner, std::string kind, model::ViewDef view)
+      : owner_(owner), kind_(std::move(kind)), view_(std::move(view)) {
+    for (const model::ViewColumn& column : view_.columns) {
+      schema_.columns.push_back(column.name);
+    }
+  }
+
+  const std::string& table_name() const override { return kind_; }
+  const exec::Schema& schema() const override { return schema_; }
+
+  std::vector<exec::Row> ScanAll() const override {
+    std::vector<exec::Row> rows;
+    for (model::DocId id : owner_->paths_.DocsOfKind(kind_)) {
+      Result<model::Document> doc = owner_->store_->Get(id);
+      if (doc.ok()) rows.push_back(model::DocumentToRow(view_, *doc));
+    }
+    return rows;
+  }
+
+  bool HasIndexOn(int column) const override { return true; }
+
+  std::vector<exec::Row> IndexLookup(int column,
+                                     const model::Value& value) const override {
+    return RowsFor(owner_->values_.Lookup(view_.columns[column].path, value));
+  }
+
+  std::vector<exec::Row> IndexRange(int column, const model::Value* lo,
+                                    const model::Value* hi) const override {
+    return RowsFor(
+        owner_->values_.Range(view_.columns[column].path, lo, true, hi, true));
+  }
+
+  size_t RowCount() const override {
+    return owner_->paths_.DocsOfKind(kind_).size();
+  }
+
+ private:
+  std::vector<exec::Row> RowsFor(const std::vector<model::DocId>& ids) const {
+    // Value-index hits may include other kinds sharing the path; restrict.
+    std::vector<model::DocId> of_kind = owner_->paths_.DocsOfKind(kind_);
+    std::vector<exec::Row> rows;
+    for (model::DocId id : ids) {
+      if (!std::binary_search(of_kind.begin(), of_kind.end(), id)) continue;
+      Result<model::Document> doc = owner_->store_->Get(id);
+      if (doc.ok()) rows.push_back(model::DocumentToRow(view_, *doc));
+    }
+    return rows;
+  }
+
+  const Impliance* owner_;
+  std::string kind_;
+  model::ViewDef view_;
+  exec::Schema schema_;
+};
+
+// Consolidated view over a discovered schema class: purchase orders from
+// CSV, XML, and e-mail queryable as ONE relation (Section 3.2).
+class Impliance::ClassTable : public query::Table {
+ public:
+  ClassTable(const Impliance* owner, discovery::SchemaClass schema_class)
+      : owner_(owner), class_(std::move(schema_class)) {
+    schema_.columns = class_.attributes;
+  }
+
+  const std::string& table_name() const override { return class_.name; }
+  const exec::Schema& schema() const override { return schema_; }
+
+  std::vector<exec::Row> ScanAll() const override {
+    std::vector<exec::Row> rows;
+    for (const std::string& kind : class_.kinds) {
+      const auto& mapping = class_.path_mapping.at(kind);
+      // attribute -> path for this kind.
+      std::map<std::string, std::string> attr_to_path;
+      for (const auto& [path, attr] : mapping) attr_to_path[attr] = path;
+      for (model::DocId id : owner_->paths_.DocsOfKind(kind)) {
+        Result<model::Document> doc = owner_->store_->Get(id);
+        if (!doc.ok()) continue;
+        exec::Row row;
+        row.reserve(schema_.size());
+        for (const std::string& attr : class_.attributes) {
+          auto it = attr_to_path.find(attr);
+          const model::Value* value =
+              it == attr_to_path.end()
+                  ? nullptr
+                  : model::ResolvePath(doc->root, it->second);
+          row.push_back(value == nullptr ? model::Value::Null() : *value);
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+    return rows;
+  }
+
+  bool HasIndexOn(int column) const override { return false; }
+  std::vector<exec::Row> IndexLookup(int, const model::Value&) const override {
+    return {};
+  }
+  std::vector<exec::Row> IndexRange(int, const model::Value*,
+                                    const model::Value*) const override {
+    return {};
+  }
+  size_t RowCount() const override {
+    size_t count = 0;
+    for (const std::string& kind : class_.kinds) {
+      count += owner_->paths_.DocsOfKind(kind).size();
+    }
+    return count;
+  }
+
+ private:
+  const Impliance* owner_;
+  discovery::SchemaClass class_;
+  exec::Schema schema_;
+};
+
+// ------------------------------------------------------------------ Open
+
+Impliance::Impliance(ImplianceOptions options) : options_(std::move(options)) {}
+
+Impliance::~Impliance() {
+  if (execution_ != nullptr) execution_->WaitIdle();
+}
+
+Result<std::unique_ptr<Impliance>> Impliance::Open(ImplianceOptions options) {
+  auto impliance = std::unique_ptr<Impliance>(new Impliance(options));
+
+  storage::StoreOptions store_options;
+  store_options.dir = options.data_dir;
+  store_options.memtable_max_docs = options.memtable_max_docs;
+  store_options.sync_wal = options.sync_wal;
+  IMPLIANCE_ASSIGN_OR_RETURN(impliance->store_,
+                             storage::DocumentStore::Open(store_options));
+  impliance->execution_ = std::make_unique<virt::ExecutionManager>(
+      std::max<size_t>(1, options.discovery_threads),
+      /*priority_scheduling=*/true);
+
+  // Built-in annotators: pattern (emails, phones, money, dates, ids),
+  // sentiment, and an initially-empty dictionary the user can extend.
+  auto pattern = std::make_unique<discovery::PatternAnnotator>();
+  pattern->AddIdPattern("PO-", "purchase_order_id");
+  pattern->AddIdPattern("CLM-", "claim_id");
+  impliance->annotators_.push_back(std::move(pattern));
+  impliance->annotators_.push_back(
+      std::make_unique<discovery::SentimentAnnotator>());
+  auto dictionary = std::make_unique<discovery::DictionaryAnnotator>();
+  impliance->dictionary_ = dictionary.get();
+  impliance->annotators_.push_back(std::move(dictionary));
+
+  // Recovery: the store is durable, the indexes are memory-resident —
+  // rebuild them from the latest versions.
+  std::unique_lock<std::shared_mutex> lock(impliance->mutex_);
+  Impliance* raw = impliance.get();
+  IMPLIANCE_RETURN_IF_ERROR(
+      raw->store_->Scan([raw](const model::Document& doc) {
+        IMPLIANCE_CHECK_OK(raw->IndexDocumentLocked(doc));
+        if (doc.kind == "annotation") {
+          const model::Value* annotator =
+              model::ResolvePath(doc.root, "/doc/annotator");
+          const model::Value* base =
+              model::ResolvePath(doc.root, "/doc/base_doc");
+          if (annotator != nullptr && base != nullptr) {
+            raw->annotated_.insert(
+                {annotator->AsString(),
+                 static_cast<model::DocId>(base->AsDouble())});
+          }
+        }
+        return true;
+      }));
+  lock.unlock();
+  return impliance;
+}
+
+// ---------------------------------------------------------------- Indexing
+
+Status Impliance::IndexDocumentLocked(const model::Document& doc) {
+  text_index_.AddDocument(doc);
+  paths_.AddDocument(doc);
+  values_.AddDocument(doc);
+  facets_.AddDocument(doc);
+  for (const model::DocRef& ref : doc.refs) {
+    joins_.AddEdge(doc.id, ref.target, ref.relation);
+  }
+  dirty_kinds_.insert(doc.kind);
+  return Status::OK();
+}
+
+Status Impliance::DeindexDocumentLocked(const model::Document& doc) {
+  text_index_.RemoveDocument(doc);
+  paths_.RemoveDocument(doc);
+  values_.RemoveDocument(doc);
+  facets_.RemoveDocument(doc);
+  dirty_kinds_.insert(doc.kind);
+  return Status::OK();
+}
+
+Result<model::DocId> Impliance::InfuseLocked(model::Document doc) {
+  IMPLIANCE_ASSIGN_OR_RETURN(model::DocId id, store_->Insert(doc));
+  doc.id = id;
+  doc.version = 1;
+  IMPLIANCE_RETURN_IF_ERROR(IndexDocumentLocked(doc));
+  return id;
+}
+
+// ------------------------------------------------------------------ Infuse
+
+Result<std::vector<model::DocId>> Impliance::InfuseContent(
+    std::string_view kind, std::string_view raw) {
+  IMPLIANCE_ASSIGN_OR_RETURN(std::vector<model::Document> docs,
+                             ingest::IngestAny(kind, raw));
+  std::vector<model::DocId> ids;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (model::Document& doc : docs) {
+    IMPLIANCE_ASSIGN_OR_RETURN(model::DocId id, InfuseLocked(std::move(doc)));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Result<model::DocId> Impliance::Infuse(model::Document doc) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return InfuseLocked(std::move(doc));
+}
+
+Result<uint32_t> Impliance::Update(model::DocId id, model::Document doc) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  IMPLIANCE_ASSIGN_OR_RETURN(model::Document old_doc, store_->Get(id));
+  IMPLIANCE_ASSIGN_OR_RETURN(uint32_t version,
+                             store_->AddVersion(id, doc));
+  IMPLIANCE_RETURN_IF_ERROR(DeindexDocumentLocked(old_doc));
+  doc.id = id;
+  doc.version = version;
+  IMPLIANCE_RETURN_IF_ERROR(IndexDocumentLocked(doc));
+  return version;
+}
+
+Result<model::Document> Impliance::Get(model::DocId id) const {
+  return store_->Get(id);
+}
+
+Result<model::Document> Impliance::GetVersion(model::DocId id,
+                                              uint32_t version) const {
+  return store_->GetVersion(id, version);
+}
+
+// ------------------------------------------------------------------- Query
+
+std::vector<SearchHit> Impliance::Search(const std::string& keywords,
+                                         size_t k) const {
+  Result<std::vector<SearchHit>> hits =
+      SearchAs(AccessController::kAdmin, keywords, k);
+  IMPLIANCE_CHECK(hits.ok());  // admin is never denied
+  return std::move(hits).value();
+}
+
+Result<std::vector<SearchHit>> Impliance::SearchAs(
+    const std::string& principal, const std::string& keywords,
+    size_t k) const {
+  if (!access_.HasPrincipal(principal)) {
+    return Status::InvalidArgument("unknown principal: " + principal);
+  }
+  std::vector<SearchHit> hits;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    // Over-fetch so the permission filter can still return k results.
+    for (const auto& result : text_index_.Search(keywords, k * 4 + 16)) {
+      Result<model::Document> doc = store_->Get(result.doc);
+      if (!doc.ok()) continue;
+      if (!access_.CanRead(principal, doc->kind)) continue;
+      SearchHit hit;
+      hit.doc = result.doc;
+      hit.score = result.score;
+      hit.kind = doc->kind;
+      hit.snippet = SnippetOf(doc->Text());
+      hits.push_back(std::move(hit));
+      if (hits.size() >= k) break;
+    }
+  }
+  std::vector<model::DocId> accessed;
+  for (const SearchHit& hit : hits) accessed.push_back(hit.doc);
+  audit_.Record(principal, "keyword", keywords, std::move(accessed));
+  return hits;
+}
+
+Result<model::Document> Impliance::GetAs(const std::string& principal,
+                                         model::DocId id) const {
+  if (!access_.HasPrincipal(principal)) {
+    return Status::InvalidArgument("unknown principal: " + principal);
+  }
+  IMPLIANCE_ASSIGN_OR_RETURN(model::Document doc, store_->Get(id));
+  if (!access_.CanRead(principal, doc.kind)) {
+    return Status::Aborted("principal " + principal +
+                           " may not read kind " + doc.kind);
+  }
+  audit_.Record(principal, "get", std::to_string(id), {id});
+  return doc;
+}
+
+query::FacetedResult Impliance::Faceted(
+    const query::FacetedQuery& faceted_query) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  query::FacetedSearch search(&text_index_.global(), &paths_, &facets_,
+                              &values_);
+  return search.Run(faceted_query);
+}
+
+std::vector<SearchHit> Impliance::SearchField(const std::string& path,
+                                              const std::string& keywords,
+                                              size_t k) const {
+  std::vector<SearchHit> hits;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto& result : text_index_.SearchField(path, keywords, k)) {
+      Result<model::Document> doc = store_->Get(result.doc);
+      if (!doc.ok()) continue;
+      SearchHit hit;
+      hit.doc = result.doc;
+      hit.score = result.score;
+      hit.kind = doc->kind;
+      hit.snippet = SnippetOf(doc->Text());
+      hits.push_back(std::move(hit));
+    }
+  }
+  std::vector<model::DocId> accessed;
+  for (const SearchHit& hit : hits) accessed.push_back(hit.doc);
+  audit_.Record(AccessController::kAdmin, "keyword-field",
+                path + " : " + keywords, std::move(accessed));
+  return hits;
+}
+
+model::ViewDef Impliance::ViewForLocked(const std::string& kind) const {
+  auto cached = view_cache_.find(kind);
+  if (cached != view_cache_.end() && !dirty_kinds_.count(kind)) {
+    return cached->second;
+  }
+  // Infer from up to 32 sample documents of the kind.
+  std::vector<model::Document> sample_docs;
+  std::vector<const model::Document*> sample;
+  for (model::DocId id : paths_.DocsOfKind(kind)) {
+    Result<model::Document> doc = store_->Get(id);
+    if (doc.ok()) sample_docs.push_back(std::move(doc).value());
+    if (sample_docs.size() >= 32) break;
+  }
+  for (const model::Document& doc : sample_docs) sample.push_back(&doc);
+  model::ViewDef view = model::InferView(kind, kind, sample);
+  view_cache_[kind] = view;
+  dirty_kinds_.erase(kind);
+  return view;
+}
+
+query::Catalog Impliance::BuildCatalogLocked() const {
+  query::Catalog catalog;
+  for (const std::string& kind : paths_.Kinds()) {
+    catalog.Register(
+        std::make_shared<DocumentTable>(this, kind, ViewForLocked(kind)));
+  }
+  for (const discovery::SchemaClass& schema_class : schema_classes_) {
+    catalog.Register(std::make_shared<ClassTable>(this, schema_class));
+  }
+  return catalog;
+}
+
+Result<std::vector<exec::Row>> Impliance::Sql(const std::string& sql) const {
+  return SqlAs(AccessController::kAdmin, sql);
+}
+
+Result<std::vector<exec::Row>> Impliance::SqlAs(const std::string& principal,
+                                                const std::string& sql) const {
+  if (!access_.HasPrincipal(principal)) {
+    return Status::InvalidArgument("unknown principal: " + principal);
+  }
+  IMPLIANCE_ASSIGN_OR_RETURN(query::SelectStatement stmt,
+                             query::ParseSql(sql));
+  // Kind-level policy: the statement's table(s) map to kinds (or schema
+  // classes, readable when every member kind is).
+  auto kind_readable = [this, &principal](const std::string& table) {
+    if (access_.CanRead(principal, table)) return true;
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const discovery::SchemaClass& schema_class : schema_classes_) {
+      if (schema_class.name != table) continue;
+      for (const std::string& kind : schema_class.kinds) {
+        if (!access_.CanRead(principal, kind)) return false;
+      }
+      return true;
+    }
+    return false;
+  };
+  if (!kind_readable(stmt.table) ||
+      (stmt.join.has_value() && !kind_readable(stmt.join->table))) {
+    audit_.Record(principal, "sql(denied)", sql, {});
+    return Status::Aborted("principal " + principal +
+                           " may not read the queried kinds");
+  }
+  Result<std::vector<exec::Row>> rows = [&]() {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    query::Catalog catalog = BuildCatalogLocked();
+    query::SimplePlanner planner;
+    return query::RunSql(sql, catalog, &planner);
+  }();
+  if (rows.ok()) {
+    // Row-level ids are not surfaced by SQL; audit the kinds touched.
+    audit_.Record(principal, "sql", sql, {});
+  }
+  return rows;
+}
+
+std::vector<Impliance::LineageStep> Impliance::Lineage(model::DocId id) const {
+  std::vector<LineageStep> chain;
+  std::set<model::DocId> seen;
+  model::DocId current = id;
+  std::string via;
+  while (current != model::kInvalidDocId && seen.insert(current).second) {
+    chain.push_back(LineageStep{current, via});
+    Result<model::Document> doc = store_->Get(current);
+    if (!doc.ok() || doc->refs.empty()) break;
+    // Follow the first derivation ref (annotations reference their base).
+    via = doc->refs.front().relation;
+    current = doc->refs.front().target;
+  }
+  return chain;
+}
+
+std::string Impliance::LabelFor(model::DocId id) const {
+  Result<model::Document> doc = store_->Get(id);
+  if (!doc.ok()) return "";
+  return doc->kind + "#" + std::to_string(id);
+}
+
+query::GraphQuery Impliance::Graph() const {
+  // NOTE: graph queries read the join index without locking; do not run
+  // them concurrently with an active discovery pass (WaitForDiscovery()
+  // first). Interactive use after discovery is the intended pattern.
+  return query::GraphQuery(&joins_,
+                           [this](model::DocId id) { return LabelFor(id); });
+}
+
+// --------------------------------------------------------------- Discovery
+
+void Impliance::RegisterAnnotator(
+    std::unique_ptr<discovery::Annotator> annotator) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  annotators_.push_back(std::move(annotator));
+}
+
+void Impliance::AddDictionaryEntries(const std::string& entity_type,
+                                     const std::vector<std::string>& entries) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  dictionary_->AddEntries(entity_type, entries);
+}
+
+Result<DiscoveryReport> Impliance::RunDiscovery() {
+  DiscoveryReport report;
+
+  // Snapshot latest base documents (no index lock; the store has its own).
+  std::vector<model::Document> corpus;
+  IMPLIANCE_RETURN_IF_ERROR(store_->Scan([&corpus](const model::Document& doc) {
+    corpus.push_back(doc);
+    return true;
+  }));
+
+  // Phase 1: intra-document annotation for (annotator, doc) pairs not yet
+  // processed. Annotate outside the lock; persist under it.
+  struct PendingAnnotation {
+    std::string annotator;
+    model::DocId base;
+    model::Document annotation;
+    bool has_annotation;
+  };
+  std::vector<PendingAnnotation> pending;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const model::Document& doc : corpus) {
+      if (doc.doc_class != model::DocClass::kBase) continue;
+      for (const auto& annotator : annotators_) {
+        if (annotated_.count({annotator->name(), doc.id})) continue;
+        if (!annotator->InterestedIn(doc)) continue;
+        PendingAnnotation item;
+        item.annotator = annotator->name();
+        item.base = doc.id;
+        std::vector<discovery::AnnotationSpan> spans = annotator->Annotate(doc);
+        item.has_annotation = !spans.empty();
+        if (item.has_annotation) {
+          item.annotation =
+              discovery::MakeAnnotationDocument(doc, annotator->name(), spans);
+        }
+        pending.push_back(std::move(item));
+      }
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    std::set<model::DocId> touched;
+    for (PendingAnnotation& item : pending) {
+      annotated_.insert({item.annotator, item.base});
+      touched.insert(item.base);
+      if (!item.has_annotation) continue;
+      IMPLIANCE_ASSIGN_OR_RETURN(model::DocId id,
+                                 InfuseLocked(std::move(item.annotation)));
+      (void)id;
+      ++report.annotations_created;
+    }
+    report.documents_annotated = touched.size();
+  }
+
+  // Phase 1b: entity-link edges. Documents mentioning the same extracted
+  // entity become associated; to bound fan-out, each entity's documents
+  // are chained rather than fully cross-linked (connectivity is what the
+  // graph interface needs).
+  {
+    std::map<std::pair<std::string, std::string>, std::vector<model::DocId>>
+        mentions;  // (type, text) -> base docs, in id order
+    IMPLIANCE_RETURN_IF_ERROR(store_->Scan([&](const model::Document& doc) {
+      if (doc.kind != "annotation") return true;
+      const model::Value* base = model::ResolvePath(doc.root, "/doc/base_doc");
+      if (base == nullptr) return true;
+      const model::DocId base_id =
+          static_cast<model::DocId>(base->AsDouble());
+      for (const auto& span : discovery::SpansFromAnnotationDocument(doc)) {
+        if (span.entity_type == "sentiment") continue;
+        std::vector<model::DocId>& docs =
+            mentions[{span.entity_type, span.text}];
+        if (docs.empty() || docs.back() != base_id) docs.push_back(base_id);
+      }
+      return true;
+    }));
+    constexpr size_t kMaxDocsPerEntity = 64;
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    const size_t before = joins_.num_edges();
+    for (const auto& [key, docs] : mentions) {
+      if (docs.size() < 2 || docs.size() > kMaxDocsPerEntity) continue;
+      for (size_t i = 1; i < docs.size(); ++i) {
+        joins_.AddEdge(docs[i - 1], docs[i],
+                       "shares_entity:" + key.first, 0.8);
+      }
+    }
+    report.entity_link_edges = joins_.num_edges() - before;
+  }
+
+  // Phase 2a: schema consolidation over base kinds.
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    std::vector<discovery::KindSchema> kind_schemas;
+    for (const std::string& kind : paths_.Kinds()) {
+      if (kind == "annotation") continue;
+      kind_schemas.push_back(
+          discovery::KindSchema{kind, paths_.PathsOfKind(kind)});
+    }
+    schema_classes_ = discovery::ConsolidateSchemas(kind_schemas);
+    report.schema_classes = schema_classes_.size();
+  }
+
+  // Phase 2b: entity resolution over documents exposing a /doc/name leaf.
+  {
+    std::vector<discovery::EntityRecord> records;
+    for (const model::Document& doc : corpus) {
+      if (doc.doc_class != model::DocClass::kBase) continue;
+      const model::Value* name = model::ResolvePath(doc.root, "/doc/name");
+      if (name == nullptr || !name->is_string()) continue;
+      discovery::EntityRecord record;
+      record.doc = doc.id;
+      record.name = name->string_value();
+      const model::Value* email = model::ResolvePath(doc.root, "/doc/email");
+      if (email != nullptr && email->is_string()) {
+        record.email = email->string_value();
+      }
+      const model::Value* city = model::ResolvePath(doc.root, "/doc/city");
+      if (city != nullptr && city->is_string()) {
+        record.city = city->string_value();
+      }
+      records.push_back(std::move(record));
+    }
+    discovery::EntityResolver resolver;
+    std::vector<std::vector<size_t>> clusters = resolver.Resolve(records);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    for (const std::vector<size_t>& cluster : clusters) {
+      for (size_t i = 1; i < cluster.size(); ++i) {
+        model::DocId a = records[cluster[0]].doc;
+        model::DocId b = records[cluster[i]].doc;
+        if (a > b) std::swap(a, b);
+        if (merged_entities_.insert({a, b}).second) {
+          joins_.AddEdge(a, b, "same_entity", 0.9);
+          ++report.entity_clusters_merged;
+        }
+      }
+    }
+  }
+
+  // Phase 3: inclusion-dependency join discovery + materialization.
+  {
+    std::vector<const model::Document*> corpus_ptrs;
+    for (const model::Document& doc : corpus) corpus_ptrs.push_back(&doc);
+    std::vector<discovery::DiscoveredJoin> found =
+        discovery::DiscoverJoins(corpus_ptrs);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    const size_t before = joins_.num_edges();
+    for (const discovery::DiscoveredJoin& join : found) {
+      discovery::MaterializeJoinEdges(corpus_ptrs, join, &joins_);
+    }
+    report.join_edges_added = joins_.num_edges() - before;
+  }
+  return report;
+}
+
+void Impliance::StartBackgroundDiscovery() {
+  execution_->SubmitBackground([this] {
+    Result<DiscoveryReport> report = RunDiscovery();
+    if (!report.ok()) {
+      IMPLIANCE_LOG(Warning) << "background discovery failed: "
+                             << report.status().ToString();
+    }
+  });
+}
+
+void Impliance::WaitForDiscovery() { execution_->WaitIdle(); }
+
+// ----------------------------------------------------------- Introspection
+
+std::vector<std::string> Impliance::Kinds() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return paths_.Kinds();
+}
+
+Result<model::ViewDef> Impliance::ViewFor(const std::string& kind) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<model::DocId> docs = paths_.DocsOfKind(kind);
+  if (docs.empty()) return Status::NotFound("no documents of kind " + kind);
+  return ViewForLocked(kind);
+}
+
+std::vector<discovery::SchemaClass> Impliance::SchemaClasses() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return schema_classes_;
+}
+
+std::vector<model::Document> Impliance::AnnotationsFor(model::DocId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<model::Document> annotations;
+  for (const auto& edge : joins_.EdgesTo(id, "annotates")) {
+    Result<model::Document> doc = store_->Get(edge.src);
+    if (doc.ok() && doc->kind == "annotation") {
+      annotations.push_back(std::move(doc).value());
+    }
+  }
+  return annotations;
+}
+
+std::vector<model::DocId> Impliance::DocsOfKind(const std::string& kind) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return paths_.DocsOfKind(kind);
+}
+
+ImplianceStats Impliance::GetStats() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ImplianceStats stats;
+  stats.store = store_->GetStats();
+  stats.indexed_documents = text_index_.global().num_documents();
+  stats.indexed_terms = text_index_.global().num_terms();
+  stats.indexed_paths = paths_.num_paths();
+  stats.join_edges = joins_.num_edges();
+  stats.kinds = paths_.Kinds().size();
+  stats.admin_steps = 0;  // nothing to create, tune, or analyze — by design
+  return stats;
+}
+
+}  // namespace impliance::core

@@ -1,0 +1,225 @@
+#ifndef IMPLIANCE_CORE_IMPLIANCE_H_
+#define IMPLIANCE_CORE_IMPLIANCE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "discovery/annotator.h"
+#include "discovery/dictionary_annotator.h"
+#include "discovery/schema_mapper.h"
+#include "index/facet_index.h"
+#include "index/fielded_index.h"
+#include "index/inverted_index.h"
+#include "index/join_index.h"
+#include "index/path_index.h"
+#include "index/value_index.h"
+#include "model/document.h"
+#include "model/view.h"
+#include "query/faceted.h"
+#include "query/graph_query.h"
+#include "core/security.h"
+#include "query/planner.h"
+#include "storage/document_store.h"
+#include "virt/execution_manager.h"
+
+namespace impliance::core {
+
+struct ImplianceOptions {
+  std::string data_dir;            // durable storage location (required)
+  size_t discovery_threads = 2;    // background analysis workers
+  size_t memtable_max_docs = 4096;
+  bool sync_wal = false;
+};
+
+struct SearchHit {
+  model::DocId doc = model::kInvalidDocId;
+  double score = 0.0;
+  std::string kind;
+  std::string snippet;
+};
+
+struct DiscoveryReport {
+  size_t documents_annotated = 0;
+  size_t annotations_created = 0;
+  size_t schema_classes = 0;
+  size_t join_edges_added = 0;
+  size_t entity_clusters_merged = 0;
+  // Edges linking base documents that mention the same extracted entity
+  // ("additional references forming an association between this document
+  // and others already stored", Section 3.2).
+  size_t entity_link_edges = 0;
+};
+
+struct ImplianceStats {
+  storage::StoreStats store;
+  size_t indexed_documents = 0;
+  size_t indexed_terms = 0;
+  size_t indexed_paths = 0;
+  size_t join_edges = 0;
+  size_t kinds = 0;
+  // The "zero knobs" claim, measurably: count of mandatory administrative
+  // actions (schema/index/statistics DDL) a user had to perform. Always 0.
+  size_t admin_steps = 0;
+};
+
+// The appliance facade: a single-system-image information store that
+// ingests any format with no preparation, indexes every value and path
+// automatically, runs discovery in the background, and answers through
+// four interfaces — keyword, faceted, SQL-over-views, and graph
+// (Sections 2.2, 3.2). Thread-safe.
+class Impliance {
+ public:
+  static Result<std::unique_ptr<Impliance>> Open(ImplianceOptions options);
+  ~Impliance();
+
+  Impliance(const Impliance&) = delete;
+  Impliance& operator=(const Impliance&) = delete;
+
+  // -------------------------------------------------------------- Infuse
+
+  // Throw anything in: sniffs the format (CSV/XML/JSON/e-mail/text),
+  // maps to the uniform model, persists, and indexes. Returns the ids.
+  Result<std::vector<model::DocId>> InfuseContent(std::string_view kind,
+                                                  std::string_view raw);
+
+  // Infuses an already-structured document.
+  Result<model::DocId> Infuse(model::Document doc);
+
+  // Logical update: appends an immutable new version and re-indexes
+  // (old versions remain retrievable).
+  Result<uint32_t> Update(model::DocId id, model::Document doc);
+
+  Result<model::Document> Get(model::DocId id) const;
+  Result<model::Document> GetVersion(model::DocId id, uint32_t version) const;
+
+  // --------------------------------------------------------------- Query
+
+  // Interface 1a: ranked keyword search, works out of the box.
+  std::vector<SearchHit> Search(const std::string& keywords, size_t k) const;
+
+  // Hierarchy-aware search (Section 3.3's native-hierarchy indexing):
+  // restrict ranking to the text under one document path, e.g. search
+  // only e-mail subjects with path "/doc/subject".
+  std::vector<SearchHit> SearchField(const std::string& path,
+                                     const std::string& keywords,
+                                     size_t k) const;
+
+  // Interface 1b: faceted/guided search with drill-down and aggregates.
+  query::FacetedResult Faceted(const query::FacetedQuery& faceted_query) const;
+
+  // SQL over system-supplied views: one view per kind (inferred), plus one
+  // consolidated view per discovered schema class (Figure 2).
+  Result<std::vector<exec::Row>> Sql(const std::string& sql) const;
+
+  // Interface 2: graph queries over ingested refs + discovered joins.
+  // "How are these two pieces of data connected?"
+  query::GraphQuery Graph() const;
+
+  // ------------------------------------------------ Security & auditing
+
+  // Policy-driven access control (Section 4): principal-scoped variants of
+  // the query interfaces. Results are filtered to kinds the principal may
+  // read, and every call is recorded in the audit log. The unscoped
+  // methods act as the implicit "admin" principal (also audited).
+  Result<std::vector<SearchHit>> SearchAs(const std::string& principal,
+                                          const std::string& keywords,
+                                          size_t k) const;
+  Result<std::vector<exec::Row>> SqlAs(const std::string& principal,
+                                       const std::string& sql) const;
+  Result<model::Document> GetAs(const std::string& principal,
+                                model::DocId id) const;
+
+  AccessController& access_control() { return access_; }
+  const AuditLog& audit_log() const { return audit_; }
+
+  // Lineage (Section 4): the derivation chain of `id` — for an annotation,
+  // the base document it annotates, recursively. Each element is
+  // (document id, relation that produced it). The document itself is
+  // first with an empty relation.
+  struct LineageStep {
+    model::DocId doc = model::kInvalidDocId;
+    std::string relation;
+  };
+  std::vector<LineageStep> Lineage(model::DocId id) const;
+
+  // ----------------------------------------------------------- Discovery
+
+  // Additional annotators beyond the built-in pattern/sentiment pair.
+  void RegisterAnnotator(std::unique_ptr<discovery::Annotator> annotator);
+  // Convenience: feeds the built-in dictionary annotator.
+  void AddDictionaryEntries(const std::string& entity_type,
+                            const std::vector<std::string>& entries);
+
+  // One full synchronous discovery pass: annotate new documents,
+  // consolidate schemas, resolve entities, discover & materialize joins.
+  Result<DiscoveryReport> RunDiscovery();
+
+  // Queues the same pass at background priority; interactive queries keep
+  // jumping the queue (Section 3.4 execution management).
+  void StartBackgroundDiscovery();
+  void WaitForDiscovery();
+
+  // -------------------------------------------------------- Introspection
+
+  std::vector<std::string> Kinds() const;
+  Result<model::ViewDef> ViewFor(const std::string& kind) const;
+  std::vector<discovery::SchemaClass> SchemaClasses() const;
+  // Annotation documents referencing `id`.
+  std::vector<model::Document> AnnotationsFor(model::DocId id) const;
+  // All documents of a kind (latest versions).
+  std::vector<model::DocId> DocsOfKind(const std::string& kind) const;
+
+  ImplianceStats GetStats() const;
+
+  // Storage maintenance: merges segment files (all versions preserved).
+  // Safe to run at any time; the appliance schedules it itself — exposed
+  // for tests and operators who want to force it.
+  Status CompactStorage() { return store_->Compact(); }
+
+ private:
+  class DocumentTable;
+  class ClassTable;
+
+  explicit Impliance(ImplianceOptions options);
+
+  Status IndexDocumentLocked(const model::Document& doc);
+  Status DeindexDocumentLocked(const model::Document& doc);
+  Result<model::DocId> InfuseLocked(model::Document doc);
+  model::ViewDef ViewForLocked(const std::string& kind) const;
+  query::Catalog BuildCatalogLocked() const;
+  std::string LabelFor(model::DocId id) const;
+
+  ImplianceOptions options_;
+  std::unique_ptr<storage::DocumentStore> store_;
+  std::unique_ptr<virt::ExecutionManager> execution_;
+
+  mutable std::shared_mutex mutex_;
+  index::FieldedTextIndex text_index_;
+  index::PathIndex paths_;
+  index::ValueIndex values_;
+  index::FacetIndex facets_;
+  index::JoinIndex joins_;
+
+  std::vector<std::unique_ptr<discovery::Annotator>> annotators_;
+  discovery::DictionaryAnnotator* dictionary_ = nullptr;  // owned via list
+  // (annotator name, doc) pairs already processed.
+  std::set<std::pair<std::string, model::DocId>> annotated_;
+  std::vector<discovery::SchemaClass> schema_classes_;
+  // Entity-resolution merges already recorded (doc pairs).
+  std::set<std::pair<model::DocId, model::DocId>> merged_entities_;
+
+  mutable std::map<std::string, model::ViewDef> view_cache_;
+  mutable std::set<std::string> dirty_kinds_;
+
+  mutable AccessController access_;
+  mutable AuditLog audit_;
+};
+
+}  // namespace impliance::core
+
+#endif  // IMPLIANCE_CORE_IMPLIANCE_H_

@@ -1,0 +1,56 @@
+#include "discovery/annotator.h"
+
+#include "model/item.h"
+
+namespace impliance::discovery {
+
+model::Document MakeAnnotationDocument(
+    const model::Document& base, const std::string& annotator,
+    const std::vector<AnnotationSpan>& spans) {
+  model::Document doc;
+  doc.kind = "annotation";
+  doc.doc_class = model::DocClass::kAnnotation;
+  doc.root = model::Item("doc");
+  doc.root.AddChild("annotator", model::Value::String(annotator));
+  doc.root.AddChild("base_doc",
+                    model::Value::Int(static_cast<int64_t>(base.id)));
+  for (const AnnotationSpan& span : spans) {
+    model::Item& entity = doc.root.AddChild("entity");
+    entity.AddChild("type", model::Value::String(span.entity_type));
+    entity.AddChild("text", model::Value::String(span.text));
+    entity.AddChild("begin", model::Value::Int(span.begin));
+    entity.AddChild("end", model::Value::Int(span.end));
+    entity.AddChild("confidence", model::Value::Double(span.confidence));
+    doc.refs.push_back(model::DocRef{base.id, "annotates", "/doc/text",
+                                     span.begin, span.end});
+  }
+  return doc;
+}
+
+std::vector<AnnotationSpan> SpansFromAnnotationDocument(
+    const model::Document& annotation) {
+  std::vector<AnnotationSpan> spans;
+  for (const model::Item& child : annotation.root.children) {
+    if (child.name != "entity") continue;
+    AnnotationSpan span;
+    if (const model::Item* type = child.FindChild("type")) {
+      span.entity_type = type->value.AsString();
+    }
+    if (const model::Item* text = child.FindChild("text")) {
+      span.text = text->value.AsString();
+    }
+    if (const model::Item* begin = child.FindChild("begin")) {
+      span.begin = static_cast<uint32_t>(begin->value.AsDouble());
+    }
+    if (const model::Item* end = child.FindChild("end")) {
+      span.end = static_cast<uint32_t>(end->value.AsDouble());
+    }
+    if (const model::Item* conf = child.FindChild("confidence")) {
+      span.confidence = conf->value.AsDouble();
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+}  // namespace impliance::discovery

@@ -1,0 +1,52 @@
+#ifndef IMPLIANCE_DISCOVERY_ANNOTATOR_H_
+#define IMPLIANCE_DISCOVERY_ANNOTATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/document.h"
+
+namespace impliance::discovery {
+
+// One extracted entity/fact: a typed span of the document's text.
+struct AnnotationSpan {
+  std::string entity_type;  // e.g. "email", "person", "money"
+  std::string text;         // surface form (normalized for dictionary hits)
+  uint32_t begin = 0;       // byte offsets into Document::Text()
+  uint32_t end = 0;
+  double confidence = 1.0;
+};
+
+// Interface of all intra-document analyses (Section 3.3: "tasks like entity
+// extraction and sentiment detection within a single document", run on data
+// nodes). Implementations must be stateless/thread-safe: the pipeline calls
+// Annotate concurrently.
+class Annotator {
+ public:
+  virtual ~Annotator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Interest filter: annotators "have expressed an interest in this type of
+  // data" (Section 3.2). Default: interested in everything.
+  virtual bool InterestedIn(const model::Document& doc) const { return true; }
+
+  virtual std::vector<AnnotationSpan> Annotate(
+      const model::Document& doc) const = 0;
+};
+
+// Builds the annotation document for `spans` found in `base` by `annotator`:
+// kind "annotation", DocClass::kAnnotation, one child per span, and a DocRef
+// back to the base document per span (Figure 2's derived documents).
+model::Document MakeAnnotationDocument(const model::Document& base,
+                                       const std::string& annotator,
+                                       const std::vector<AnnotationSpan>& spans);
+
+// Extracts the spans back out of an annotation document (for consumers).
+std::vector<AnnotationSpan> SpansFromAnnotationDocument(
+    const model::Document& annotation);
+
+}  // namespace impliance::discovery
+
+#endif  // IMPLIANCE_DISCOVERY_ANNOTATOR_H_

@@ -1,0 +1,72 @@
+#include "discovery/dictionary_annotator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace impliance::discovery {
+
+void DictionaryAnnotator::AddEntry(std::string_view entity_type,
+                                   std::string_view entry) {
+  std::vector<std::string> tokens = Tokenize(entry);
+  if (tokens.empty()) return;
+  max_entry_tokens_ = std::max(max_entry_tokens_, tokens.size());
+  entries_[Join(tokens, " ")] = std::string(entity_type);
+}
+
+void DictionaryAnnotator::AddEntries(std::string_view entity_type,
+                                     const std::vector<std::string>& entries) {
+  for (const std::string& entry : entries) AddEntry(entity_type, entry);
+}
+
+std::vector<AnnotationSpan> DictionaryAnnotator::ScanText(
+    std::string_view text) const {
+  std::vector<AnnotationSpan> spans;
+  std::vector<Token> tokens = TokenizeWithOffsets(text);
+  size_t i = 0;
+  while (i < tokens.size()) {
+    size_t matched_tokens = 0;
+    const std::string* matched_type = nullptr;
+    // Longest match first.
+    const size_t max_n = std::min(max_entry_tokens_, tokens.size() - i);
+    for (size_t n = max_n; n >= 1; --n) {
+      std::string candidate = tokens[i].text;
+      for (size_t j = 1; j < n; ++j) {
+        candidate += ' ';
+        candidate += tokens[i + j].text;
+      }
+      auto it = entries_.find(candidate);
+      if (it != entries_.end()) {
+        matched_tokens = n;
+        matched_type = &it->second;
+        break;
+      }
+    }
+    if (matched_tokens > 0) {
+      const Token& first = tokens[i];
+      const Token& last = tokens[i + matched_tokens - 1];
+      AnnotationSpan span;
+      span.entity_type = *matched_type;
+      span.begin = static_cast<uint32_t>(first.offset);
+      span.end = static_cast<uint32_t>(last.offset + last.text.size());
+      // Normalized surface form so equal entities compare equal.
+      span.text = first.text;
+      for (size_t j = 1; j < matched_tokens; ++j) {
+        span.text += ' ';
+        span.text += tokens[i + j].text;
+      }
+      spans.push_back(std::move(span));
+      i += matched_tokens;
+    } else {
+      ++i;
+    }
+  }
+  return spans;
+}
+
+std::vector<AnnotationSpan> DictionaryAnnotator::Annotate(
+    const model::Document& doc) const {
+  return ScanText(doc.Text());
+}
+
+}  // namespace impliance::discovery

@@ -1,0 +1,123 @@
+#include "discovery/entity_resolver.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "discovery/union_find.h"
+
+namespace impliance::discovery {
+
+namespace {
+
+// Token-wise name similarity: tokens are matched greedily (best Jaro-
+// Winkler counterpart, each used once) and the MINIMUM matched similarity
+// is returned. This is deliberately stricter than Jaro-Winkler over the
+// joined string: two names that agree on every token but one ("jon smith
+// accounting" vs "jon smith engineering") must not match just because the
+// long shared part dominates the string-level score. Token order is
+// irrelevant ("Smith, Jon" == "jon smith"). Returns 0 when token counts
+// differ by more than one or a token finds no counterpart.
+double NameSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = Tokenize(a);
+  std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  if (ta.size() > tb.size()) std::swap(ta, tb);
+  if (tb.size() - ta.size() > 1) return 0.0;
+
+  std::vector<bool> used(tb.size(), false);
+  double min_similarity = 1.0;
+  for (const std::string& token : ta) {
+    double best = -1.0;
+    size_t best_index = 0;
+    for (size_t j = 0; j < tb.size(); ++j) {
+      if (used[j]) continue;
+      const double sim = JaroWinkler(token, tb[j]);
+      if (sim > best) {
+        best = sim;
+        best_index = j;
+      }
+    }
+    if (best < 0) return 0.0;
+    used[best_index] = true;
+    min_similarity = std::min(min_similarity, best);
+  }
+  return min_similarity;
+}
+
+}  // namespace
+
+std::string EntityResolver::BlockKey(const EntityRecord& record) {
+  // Block on the first letter of the last alphabetical token (surname-ish)
+  // plus name token count bucket. Coarse but cheap; designed so that true
+  // duplicates (typos in the middle of names) usually share a block.
+  std::vector<std::string> tokens = Tokenize(record.name);
+  if (tokens.empty()) return "?";
+  std::sort(tokens.begin(), tokens.end());
+  std::string key;
+  key.push_back(tokens.back().front());
+  key.push_back(tokens.front().front());
+  return key;
+}
+
+bool EntityResolver::Matches(const EntityRecord& a,
+                             const EntityRecord& b) const {
+  const double sim = NameSimilarity(a.name, b.name);
+  if (sim == 0.0) return false;
+  const bool corroborated =
+      (!a.email.empty() && a.email == b.email) ||
+      (!a.city.empty() && ToLower(a.city) == ToLower(b.city));
+  // Exact email match with plausible name is decisive on its own.
+  if (!a.email.empty() && a.email == b.email && sim > 0.5) return true;
+  return sim >= (corroborated ? options_.corroborated_name_threshold
+                              : options_.strict_name_threshold);
+}
+
+std::vector<std::vector<size_t>> EntityResolver::Resolve(
+    const std::vector<EntityRecord>& records) {
+  stats_ = Stats();
+  UnionFind uf(records.size());
+
+  if (options_.use_blocking) {
+    std::map<std::string, std::vector<size_t>> blocks;
+    for (size_t i = 0; i < records.size(); ++i) {
+      blocks[BlockKey(records[i])].push_back(i);
+    }
+    // Exact-email blocks as a second pass so that identical e-mails match
+    // across name blocks.
+    std::map<std::string, std::vector<size_t>> email_blocks;
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (!records[i].email.empty()) {
+        email_blocks[records[i].email].push_back(i);
+      }
+    }
+    stats_.num_blocks = blocks.size();
+    auto compare_block = [&](const std::vector<size_t>& members) {
+      for (size_t x = 0; x < members.size(); ++x) {
+        for (size_t y = x + 1; y < members.size(); ++y) {
+          ++stats_.pairs_compared;
+          if (uf.Connected(members[x], members[y])) continue;
+          if (Matches(records[members[x]], records[members[y]])) {
+            ++stats_.matches;
+            uf.Union(members[x], members[y]);
+          }
+        }
+      }
+    };
+    for (const auto& [key, members] : blocks) compare_block(members);
+    for (const auto& [key, members] : email_blocks) compare_block(members);
+  } else {
+    for (size_t i = 0; i < records.size(); ++i) {
+      for (size_t j = i + 1; j < records.size(); ++j) {
+        ++stats_.pairs_compared;
+        if (Matches(records[i], records[j])) {
+          ++stats_.matches;
+          uf.Union(i, j);
+        }
+      }
+    }
+  }
+  return uf.Sets();
+}
+
+}  // namespace impliance::discovery

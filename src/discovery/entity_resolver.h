@@ -1,0 +1,64 @@
+#ifndef IMPLIANCE_DISCOVERY_ENTITY_RESOLVER_H_
+#define IMPLIANCE_DISCOVERY_ENTITY_RESOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/document.h"
+
+namespace impliance::discovery {
+
+// One mention of a (possibly duplicated) real-world entity, extracted from
+// a document: a name plus optional corroborating attributes.
+struct EntityRecord {
+  model::DocId doc = model::kInvalidDocId;
+  std::string name;   // e.g. "Jon Smith"
+  std::string email;  // optional
+  std::string city;   // optional
+};
+
+// Entity (identity) resolution (Section 3.2, citing Jonas): groups records
+// that refer to the same real-world entity. Pipeline: optional blocking
+// (records only compared within a block) -> pairwise similarity ->
+// union-find transitive closure.
+class EntityResolver {
+ public:
+  struct Options {
+    // Blocking on by default; all-pairs mode exists for the E12 ablation.
+    bool use_blocking = true;
+    // Minimum token-wise name similarity for a match when no corroborating
+    // attribute agrees (see NameSimilarity in the .cc).
+    double strict_name_threshold = 0.88;
+    // Lower threshold when email or city agrees.
+    double corroborated_name_threshold = 0.85;
+  };
+
+  struct Stats {
+    uint64_t pairs_compared = 0;
+    uint64_t matches = 0;
+    size_t num_blocks = 0;
+  };
+
+  EntityResolver() : options_(Options()) {}
+  explicit EntityResolver(const Options& options) : options_(options) {}
+
+  // Clusters of indices into `records`; each cluster's members refer to the
+  // same entity. Deterministic order (by smallest member index).
+  std::vector<std::vector<size_t>> Resolve(
+      const std::vector<EntityRecord>& records);
+
+  const Stats& stats() const { return stats_; }
+
+  // Exposed for tests.
+  bool Matches(const EntityRecord& a, const EntityRecord& b) const;
+  static std::string BlockKey(const EntityRecord& record);
+
+ private:
+  Options options_;
+  Stats stats_;
+};
+
+}  // namespace impliance::discovery
+
+#endif  // IMPLIANCE_DISCOVERY_ENTITY_RESOLVER_H_

@@ -1,0 +1,200 @@
+#include "discovery/pattern_annotator.h"
+
+#include <cctype>
+
+namespace impliance::discovery {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_' ||
+         c == '-' || c == '+';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// someone@domain.tld — word chars, one '@', domain with at least one dot.
+size_t MatchEmail(std::string_view text, size_t pos) {
+  size_t local_end = pos;
+  while (local_end < text.size() && IsWordChar(text[local_end])) ++local_end;
+  if (local_end == pos || local_end >= text.size() || text[local_end] != '@') {
+    return 0;
+  }
+  size_t domain_start = local_end + 1;
+  size_t i = domain_start;
+  bool saw_dot = false;
+  while (i < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '.' ||
+          text[i] == '-')) {
+    if (text[i] == '.') saw_dot = true;
+    ++i;
+  }
+  if (!saw_dot || i == domain_start) return 0;
+  // Trim a trailing dot (sentence period).
+  if (text[i - 1] == '.') --i;
+  return i - pos;
+}
+
+// 555-123-4567 or 555 123 4567 or (555) 123-4567.
+size_t MatchPhone(std::string_view text, size_t pos) {
+  size_t i = pos;
+  auto digits = [&](int n) {
+    int count = 0;
+    while (i < text.size() && IsDigit(text[i]) && count < n) {
+      ++i;
+      ++count;
+    }
+    return count == n;
+  };
+  bool paren = false;
+  if (i < text.size() && text[i] == '(') {
+    paren = true;
+    ++i;
+  }
+  if (!digits(3)) return 0;
+  if (paren) {
+    if (i >= text.size() || text[i] != ')') return 0;
+    ++i;
+    if (i < text.size() && text[i] == ' ') ++i;
+  } else {
+    if (i >= text.size() || (text[i] != '-' && text[i] != ' ')) return 0;
+    ++i;
+  }
+  if (!digits(3)) return 0;
+  if (i >= text.size() || (text[i] != '-' && text[i] != ' ')) return 0;
+  ++i;
+  if (!digits(4)) return 0;
+  // Reject if more digits follow (would be a longer number).
+  if (i < text.size() && IsDigit(text[i])) return 0;
+  return i - pos;
+}
+
+// $1,234.56 or 1234.56 USD/EUR/GBP.
+size_t MatchMoney(std::string_view text, size_t pos, std::string* normalized) {
+  size_t i = pos;
+  bool dollar = text[i] == '$';
+  if (dollar) ++i;
+  size_t digit_start = i;
+  while (i < text.size() && (IsDigit(text[i]) || text[i] == ',')) ++i;
+  if (i == digit_start) return 0;
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    size_t frac = i;
+    while (i < text.size() && IsDigit(text[i])) ++i;
+    if (i == frac) --i;  // trailing period, not a fraction
+  }
+  if (!dollar) {
+    // Need a currency code suffix.
+    size_t j = i;
+    if (j < text.size() && text[j] == ' ') ++j;
+    static constexpr const char* kCodes[] = {"USD", "EUR", "GBP", "JPY"};
+    for (const char* code : kCodes) {
+      if (text.substr(j, 3) == code) {
+        *normalized = std::string(text.substr(pos, j + 3 - pos));
+        return j + 3 - pos;
+      }
+    }
+    return 0;
+  }
+  *normalized = std::string(text.substr(pos, i - pos));
+  return i - pos;
+}
+
+// YYYY-MM-DD.
+size_t MatchIsoDate(std::string_view text, size_t pos) {
+  if (pos + 10 > text.size()) return 0;
+  for (size_t k : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (!IsDigit(text[pos + k])) return 0;
+  }
+  if (text[pos + 4] != '-' || text[pos + 7] != '-') return 0;
+  // Not part of a longer number/date.
+  if (pos + 10 < text.size() && IsDigit(text[pos + 10])) return 0;
+  int month = (text[pos + 5] - '0') * 10 + (text[pos + 6] - '0');
+  int day = (text[pos + 8] - '0') * 10 + (text[pos + 9] - '0');
+  if (month < 1 || month > 12 || day < 1 || day > 31) return 0;
+  return 10;
+}
+
+}  // namespace
+
+std::vector<AnnotationSpan> PatternAnnotator::ScanText(
+    std::string_view text) const {
+  std::vector<AnnotationSpan> spans;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    // Try matchers at token starts only (previous char is not a word char).
+    const bool at_boundary =
+        pos == 0 || !IsWordChar(text[pos - 1]);
+    if (!at_boundary) {
+      ++pos;
+      continue;
+    }
+    char c = text[pos];
+    size_t len = 0;
+    AnnotationSpan span;
+
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      // Longest-first: email beats date beats phone for digit starts.
+      if ((len = MatchEmail(text, pos)) > 0) {
+        span.entity_type = "email";
+      } else if (IsDigit(c) && (len = MatchIsoDate(text, pos)) > 0) {
+        span.entity_type = "date";
+      } else if (IsDigit(c) && (len = MatchPhone(text, pos)) > 0) {
+        span.entity_type = "phone";
+      } else if (IsDigit(c)) {
+        std::string normalized;
+        if ((len = MatchMoney(text, pos, &normalized)) > 0) {
+          span.entity_type = "money";
+          span.text = normalized;
+        }
+      }
+      // Business ids: PREFIX-digits.
+      if (len == 0) {
+        for (const IdPattern& pattern : id_patterns_) {
+          if (text.substr(pos, pattern.prefix.size()) == pattern.prefix) {
+            size_t i = pos + pattern.prefix.size();
+            size_t digit_start = i;
+            while (i < text.size() && IsDigit(text[i])) ++i;
+            if (i > digit_start &&
+                (i == text.size() || !IsWordChar(text[i]))) {
+              len = i - pos;
+              span.entity_type = pattern.entity_type;
+              break;
+            }
+          }
+        }
+      }
+    } else if (c == '$' || c == '(') {
+      std::string normalized;
+      if (c == '$' && (len = MatchMoney(text, pos, &normalized)) > 0) {
+        span.entity_type = "money";
+        span.text = normalized;
+      } else if (c == '(' && (len = MatchPhone(text, pos)) > 0) {
+        span.entity_type = "phone";
+      }
+    }
+
+    if (len > 0) {
+      span.begin = static_cast<uint32_t>(pos);
+      span.end = static_cast<uint32_t>(pos + len);
+      if (span.text.empty()) {
+        span.text = std::string(text.substr(pos, len));
+      }
+      spans.push_back(std::move(span));
+      pos += len;
+    } else if (IsWordChar(c)) {
+      // Failed word: skip it whole so inner offsets are never probed.
+      while (pos < text.size() && IsWordChar(text[pos])) ++pos;
+    } else {
+      ++pos;
+    }
+  }
+  return spans;
+}
+
+std::vector<AnnotationSpan> PatternAnnotator::Annotate(
+    const model::Document& doc) const {
+  return ScanText(doc.Text());
+}
+
+}  // namespace impliance::discovery

@@ -1,0 +1,43 @@
+#ifndef IMPLIANCE_DISCOVERY_PATTERN_ANNOTATOR_H_
+#define IMPLIANCE_DISCOVERY_PATTERN_ANNOTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/annotator.h"
+
+namespace impliance::discovery {
+
+// Hand-written lexical scanners for machine-shaped entities: e-mail
+// addresses, phone numbers, money amounts, ISO dates, and prefixed business
+// identifiers (e.g. "PO-12345", "CLM-9"). Deliberately scanner-based rather
+// than std::regex for speed and deterministic behavior.
+class PatternAnnotator : public Annotator {
+ public:
+  struct IdPattern {
+    std::string prefix;       // e.g. "PO-"
+    std::string entity_type;  // e.g. "purchase_order_id"
+  };
+
+  // Default id patterns: none. Add business-id prefixes via AddIdPattern.
+  PatternAnnotator() = default;
+
+  void AddIdPattern(std::string prefix, std::string entity_type) {
+    id_patterns_.push_back(IdPattern{std::move(prefix), std::move(entity_type)});
+  }
+
+  std::string name() const override { return "pattern"; }
+
+  std::vector<AnnotationSpan> Annotate(
+      const model::Document& doc) const override;
+
+  // Exposed for tests: scans raw text.
+  std::vector<AnnotationSpan> ScanText(std::string_view text) const;
+
+ private:
+  std::vector<IdPattern> id_patterns_;
+};
+
+}  // namespace impliance::discovery
+
+#endif  // IMPLIANCE_DISCOVERY_PATTERN_ANNOTATOR_H_

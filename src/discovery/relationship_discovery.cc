@@ -1,0 +1,135 @@
+#include "discovery/relationship_discovery.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "model/item.h"
+
+namespace impliance::discovery {
+
+namespace {
+
+struct PathProfile {
+  std::set<std::string> distinct_values;  // rendered values
+  // value -> documents carrying it at this path.
+  std::map<std::string, std::vector<model::DocId>> value_docs;
+};
+
+// kind -> path -> profile. Only string/int-ish leaves participate (joins on
+// floating-point measures are noise).
+using CorpusProfile = std::map<std::string, std::map<std::string, PathProfile>>;
+
+bool JoinableType(const model::Value& value) {
+  switch (value.type()) {
+    case model::ValueType::kInt:
+    case model::ValueType::kString:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CorpusProfile ProfileCorpus(const std::vector<const model::Document*>& corpus) {
+  CorpusProfile profile;
+  for (const model::Document* doc : corpus) {
+    if (doc->doc_class != model::DocClass::kBase) continue;
+    for (const model::PathValue& pv : model::CollectPaths(doc->root)) {
+      if (pv.value->is_null() || !JoinableType(*pv.value)) continue;
+      PathProfile& pp = profile[doc->kind][pv.path];
+      std::string rendered = pv.value->AsString();
+      pp.distinct_values.insert(rendered);
+      std::vector<model::DocId>& docs = pp.value_docs[rendered];
+      if (docs.empty() || docs.back() != doc->id) docs.push_back(doc->id);
+    }
+  }
+  return profile;
+}
+
+}  // namespace
+
+std::vector<DiscoveredJoin> DiscoverJoins(
+    const std::vector<const model::Document*>& corpus,
+    const RelationshipDiscoveryOptions& options) {
+  CorpusProfile profile = ProfileCorpus(corpus);
+  std::vector<DiscoveredJoin> joins;
+
+  for (const auto& [kind_a, paths_a] : profile) {
+    for (const auto& [path_a, profile_a] : paths_a) {
+      if (profile_a.distinct_values.empty()) continue;
+      for (const auto& [kind_b, paths_b] : profile) {
+        if (kind_a == kind_b) continue;
+        for (const auto& [path_b, profile_b] : paths_b) {
+          if (profile_b.distinct_values.size() < options.min_target_distinct) {
+            continue;
+          }
+          // Heuristic gate: leaf names must share a token ("customer_id"
+          // vs "id", "sku" vs "sku") or be identical, keeping the search
+          // O(paths^2) but cheap per pair.
+          std::vector<std::string> seg_a = Split(path_a, '/');
+          std::vector<std::string> seg_b = Split(path_b, '/');
+          const std::string leaf_a = ToLower(seg_a.back());
+          const std::string leaf_b = ToLower(seg_b.back());
+          bool name_related =
+              leaf_a == leaf_b ||
+              leaf_a.find(leaf_b) != std::string::npos ||
+              leaf_b.find(leaf_a) != std::string::npos;
+          if (!name_related) continue;
+
+          size_t matched = 0;
+          for (const std::string& value : profile_a.distinct_values) {
+            if (profile_b.distinct_values.count(value)) ++matched;
+          }
+          const double containment =
+              static_cast<double>(matched) /
+              static_cast<double>(profile_a.distinct_values.size());
+          if (containment >= options.min_containment &&
+              matched >= options.min_matched_values) {
+            joins.push_back(DiscoveredJoin{kind_a, path_a, kind_b, path_b,
+                                           containment, matched});
+          }
+        }
+      }
+    }
+  }
+  // Deterministic order.
+  std::sort(joins.begin(), joins.end(),
+            [](const DiscoveredJoin& a, const DiscoveredJoin& b) {
+              return std::tie(a.kind_a, a.path_a, a.kind_b, a.path_b) <
+                     std::tie(b.kind_a, b.path_a, b.kind_b, b.path_b);
+            });
+  return joins;
+}
+
+size_t MaterializeJoinEdges(const std::vector<const model::Document*>& corpus,
+                            const DiscoveredJoin& join,
+                            index::JoinIndex* join_index) {
+  CorpusProfile profile = ProfileCorpus(corpus);
+  auto kind_a_it = profile.find(join.kind_a);
+  auto kind_b_it = profile.find(join.kind_b);
+  if (kind_a_it == profile.end() || kind_b_it == profile.end()) return 0;
+  auto path_a_it = kind_a_it->second.find(join.path_a);
+  auto path_b_it = kind_b_it->second.find(join.path_b);
+  if (path_a_it == kind_a_it->second.end() ||
+      path_b_it == kind_b_it->second.end()) {
+    return 0;
+  }
+
+  std::vector<std::string> segments = Split(join.path_a, '/');
+  const std::string relation = "joins:" + segments.back();
+  size_t edges = 0;
+  for (const auto& [value, docs_a] : path_a_it->second.value_docs) {
+    auto match = path_b_it->second.value_docs.find(value);
+    if (match == path_b_it->second.value_docs.end()) continue;
+    for (model::DocId a : docs_a) {
+      for (model::DocId b : match->second) {
+        join_index->AddEdge(a, b, relation, join.containment);
+        ++edges;
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace impliance::discovery

@@ -1,0 +1,53 @@
+#ifndef IMPLIANCE_DISCOVERY_RELATIONSHIP_DISCOVERY_H_
+#define IMPLIANCE_DISCOVERY_RELATIONSHIP_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "index/join_index.h"
+#include "model/document.h"
+
+namespace impliance::discovery {
+
+// A discovered cross-kind join: values at (kind_a, path_a) reference values
+// at (kind_b, path_b). E.g. purchase orders' /doc/customer_id referencing
+// customers' /doc/id. Section 3.2: "a purchase order can be identified to
+// reference several master data records."
+struct DiscoveredJoin {
+  std::string kind_a;
+  std::string path_a;
+  std::string kind_b;
+  std::string path_b;
+  double containment = 0.0;  // |values(a) ∩ values(b)| / |values(a)|
+  size_t matched_values = 0;
+};
+
+struct RelationshipDiscoveryOptions {
+  // Minimum fraction of kind_a's distinct values that appear in kind_b's.
+  double min_containment = 0.8;
+  // Minimum distinct matched values; avoids joins discovered on tiny or
+  // constant columns.
+  size_t min_matched_values = 3;
+  // Minimum distinct values on the referenced side; a 2-value column (e.g.
+  // a boolean) matches everything and means nothing.
+  size_t min_target_distinct = 3;
+};
+
+// Inspects the per-kind (path -> distinct values) profile of a corpus and
+// proposes inclusion-dependency joins. The profile is computed from the
+// given documents (latest versions). Deterministic output order.
+std::vector<DiscoveredJoin> DiscoverJoins(
+    const std::vector<const model::Document*>& corpus,
+    const RelationshipDiscoveryOptions& options = RelationshipDiscoveryOptions());
+
+// Materializes a discovered join into per-document edges in the join index:
+// for every document of kind_a and every document of kind_b sharing the
+// value, an edge "joins:<leaf_a>" with the given confidence. Returns the
+// number of edges added.
+size_t MaterializeJoinEdges(const std::vector<const model::Document*>& corpus,
+                            const DiscoveredJoin& join,
+                            index::JoinIndex* join_index);
+
+}  // namespace impliance::discovery
+
+#endif  // IMPLIANCE_DISCOVERY_RELATIONSHIP_DISCOVERY_H_

@@ -1,0 +1,98 @@
+#include "discovery/schema_mapper.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace impliance::discovery {
+
+namespace {
+
+// Leaf attribute name of a path: last segment, attribute markers and
+// case noise stripped.
+std::string LeafName(const std::string& path) {
+  std::vector<std::string> segments = Split(path, '/');
+  std::string leaf = segments.empty() ? path : segments.back();
+  if (!leaf.empty() && leaf.front() == '@') leaf.erase(leaf.begin());
+  return ToLower(leaf);
+}
+
+std::set<std::string> LeafNames(const std::vector<std::string>& paths) {
+  std::set<std::string> names;
+  for (const std::string& path : paths) {
+    std::string leaf = LeafName(path);
+    // Structural interior segments like "doc" carry no schema signal.
+    if (leaf == "doc" || leaf.empty()) continue;
+    names.insert(std::move(leaf));
+  }
+  return names;
+}
+
+}  // namespace
+
+double SchemaSimilarity(const std::vector<std::string>& paths_a,
+                        const std::vector<std::string>& paths_b) {
+  std::set<std::string> a = LeafNames(paths_a);
+  std::set<std::string> b = LeafNames(paths_b);
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = 0;
+  for (const std::string& name : a) {
+    if (b.count(name)) ++inter;
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+std::vector<SchemaClass> ConsolidateSchemas(
+    const std::vector<KindSchema>& kinds, const SchemaMapperOptions& options) {
+  std::vector<KindSchema> sorted = kinds;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const KindSchema& a, const KindSchema& b) {
+              return a.kind < b.kind;
+            });
+
+  struct Cluster {
+    KindSchema representative;
+    std::vector<const KindSchema*> members;
+  };
+  std::vector<Cluster> clusters;
+  for (const KindSchema& kind : sorted) {
+    bool placed = false;
+    for (Cluster& cluster : clusters) {
+      if (SchemaSimilarity(cluster.representative.leaf_paths,
+                           kind.leaf_paths) >= options.similarity_threshold) {
+        cluster.members.push_back(&kind);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      clusters.push_back(Cluster{kind, {&kind}});
+    }
+  }
+
+  std::vector<SchemaClass> classes;
+  classes.reserve(clusters.size());
+  for (const Cluster& cluster : clusters) {
+    SchemaClass schema_class;
+    schema_class.name = "class_" + cluster.representative.kind;
+    std::set<std::string> attributes;
+    for (const KindSchema* member : cluster.members) {
+      schema_class.kinds.push_back(member->kind);
+      std::map<std::string, std::string>& mapping =
+          schema_class.path_mapping[member->kind];
+      for (const std::string& path : member->leaf_paths) {
+        std::string leaf = LeafName(path);
+        if (leaf == "doc" || leaf.empty()) continue;
+        mapping[path] = leaf;
+        attributes.insert(leaf);
+      }
+    }
+    schema_class.attributes.assign(attributes.begin(), attributes.end());
+    classes.push_back(std::move(schema_class));
+  }
+  return classes;
+}
+
+}  // namespace impliance::discovery

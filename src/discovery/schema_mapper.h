@@ -1,0 +1,51 @@
+#ifndef IMPLIANCE_DISCOVERY_SCHEMA_MAPPER_H_
+#define IMPLIANCE_DISCOVERY_SCHEMA_MAPPER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace impliance::discovery {
+
+// Schema consolidation (Section 3.2, citing Clio): clusters document kinds
+// whose structural fingerprints are similar, so that "customer purchase
+// orders can all be searched together, whether they are ingested via e-mail,
+// a spreadsheet, a Word document, a relational row, or other formats."
+//
+// Input: per-kind leaf paths. Kinds are clustered by Jaccard similarity of
+// their leaf *names* (the path's last segment, since nesting differs across
+// formats); each cluster gets a canonical schema class and a per-kind
+// mapping from concrete path to canonical attribute name.
+
+struct KindSchema {
+  std::string kind;
+  std::vector<std::string> leaf_paths;  // e.g. {"/doc/id", "/doc/total"}
+};
+
+struct SchemaClass {
+  std::string name;                 // canonical class name
+  std::vector<std::string> kinds;   // member kinds
+  // kind -> (concrete path -> canonical attribute).
+  std::map<std::string, std::map<std::string, std::string>> path_mapping;
+  // canonical attributes, sorted.
+  std::vector<std::string> attributes;
+};
+
+struct SchemaMapperOptions {
+  double similarity_threshold = 0.5;  // leaf-name Jaccard to merge kinds
+};
+
+// Deterministic greedy clustering: kinds sorted by name; each joins the
+// first existing cluster whose representative is similar enough, else
+// starts a new cluster named "class_<representative kind>".
+std::vector<SchemaClass> ConsolidateSchemas(
+    const std::vector<KindSchema>& kinds,
+    const SchemaMapperOptions& options = SchemaMapperOptions());
+
+// Leaf-name Jaccard between two path sets (exposed for tests).
+double SchemaSimilarity(const std::vector<std::string>& paths_a,
+                        const std::vector<std::string>& paths_b);
+
+}  // namespace impliance::discovery
+
+#endif  // IMPLIANCE_DISCOVERY_SCHEMA_MAPPER_H_

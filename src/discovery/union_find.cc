@@ -1,0 +1,26 @@
+#include "discovery/union_find.h"
+
+#include <map>
+
+namespace impliance::discovery {
+
+std::vector<std::vector<size_t>> UnionFind::Sets() {
+  std::map<size_t, std::vector<size_t>> by_root;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    by_root[Find(i)].push_back(i);
+  }
+  // map keyed by root; roots found in index order are not necessarily the
+  // smallest member, so re-key by first member for determinism.
+  std::map<size_t, std::vector<size_t>> by_min;
+  for (auto& [root, members] : by_root) {
+    by_min[members.front()] = std::move(members);
+  }
+  std::vector<std::vector<size_t>> sets;
+  sets.reserve(by_min.size());
+  for (auto& [min_member, members] : by_min) {
+    sets.push_back(std::move(members));
+  }
+  return sets;
+}
+
+}  // namespace impliance::discovery

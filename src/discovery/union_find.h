@@ -1,0 +1,51 @@
+#ifndef IMPLIANCE_DISCOVERY_UNION_FIND_H_
+#define IMPLIANCE_DISCOVERY_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace impliance::discovery {
+
+// Disjoint-set forest with path compression and union by size; backs the
+// entity resolver's transitive clustering.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true if the two sets were distinct before the union.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  // Groups element indices by root, sets in ascending order of their
+  // smallest member, members ascending.
+  std::vector<std::vector<size_t>> Sets();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace impliance::discovery
+
+#endif  // IMPLIANCE_DISCOVERY_UNION_FIND_H_

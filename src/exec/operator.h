@@ -1,0 +1,56 @@
+#ifndef IMPLIANCE_EXEC_OPERATOR_H_
+#define IMPLIANCE_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/view.h"
+
+namespace impliance::exec {
+
+using Row = model::Row;
+
+// Column names of an operator's output.
+struct Schema {
+  std::vector<std::string> columns;
+
+  int IndexOf(std::string_view name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  size_t size() const { return columns.size(); }
+};
+
+// Volcano-style iterator. The deliberately small operator set is the
+// paper's "simple planner" premise (Section 3.3): few physical operators,
+// each predictable, instead of a large optimizer search space.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual std::string name() const = 0;
+
+  virtual void Open() = 0;
+  // Produces the next row; returns false at end of stream.
+  virtual bool Next(Row* row) = 0;
+  virtual void Close() = 0;
+
+  uint64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  uint64_t rows_produced_ = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// Drains `op` (Open/Next*/Close) into a vector.
+std::vector<Row> Execute(Operator* op);
+
+}  // namespace impliance::exec
+
+#endif  // IMPLIANCE_EXEC_OPERATOR_H_

@@ -1,0 +1,374 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace impliance::exec {
+
+std::vector<Row> Execute(Operator* op) {
+  std::vector<Row> rows;
+  op->Open();
+  Row row;
+  while (op->Next(&row)) rows.push_back(row);
+  op->Close();
+  return rows;
+}
+
+// ------------------------------------------------------------- RowSource
+
+bool RowSourceOp::Next(Row* row) {
+  if (cursor_ >= rows_.size()) return false;
+  *row = rows_[cursor_++];
+  ++rows_produced_;
+  return true;
+}
+
+// ---------------------------------------------------------------- Filter
+
+FilterOp::FilterOp(OperatorPtr child, std::vector<Predicate> predicates,
+                   bool adaptive)
+    : child_(std::move(child)), adaptive_(adaptive) {
+  predicates_.reserve(predicates.size());
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    Tracked tracked;
+    tracked.predicate = std::move(predicates[i]);
+    tracked.original_index = static_cast<int>(i);
+    predicates_.push_back(std::move(tracked));
+  }
+}
+
+void FilterOp::Open() {
+  child_->Open();
+  input_rows_ = 0;
+}
+
+bool FilterOp::Next(Row* row) {
+  while (child_->Next(row)) {
+    ++input_rows_;
+    if (adaptive_ && input_rows_ % kAdaptBatch == 0) {
+      // Most selective (lowest pass rate) first: cheapest way to reject.
+      std::stable_sort(predicates_.begin(), predicates_.end(),
+                       [](const Tracked& a, const Tracked& b) {
+                         return a.Selectivity() < b.Selectivity();
+                       });
+    }
+    bool pass = true;
+    for (Tracked& tracked : predicates_) {
+      ++tracked.evaluated;
+      ++predicate_evals_;
+      if (tracked.predicate.Eval(*row)) {
+        ++tracked.passed;
+      } else {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int> FilterOp::EvaluationOrder() const {
+  std::vector<int> order;
+  order.reserve(predicates_.size());
+  for (const Tracked& tracked : predicates_) {
+    order.push_back(tracked.original_index);
+  }
+  return order;
+}
+
+// --------------------------------------------------------------- Project
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<int> columns,
+                     std::vector<std::string> names)
+    : child_(std::move(child)), columns_(std::move(columns)) {
+  IMPLIANCE_CHECK(columns_.size() == names.size());
+  schema_.columns = std::move(names);
+}
+
+bool ProjectOp::Next(Row* row) {
+  Row input;
+  if (!child_->Next(&input)) return false;
+  row->clear();
+  row->reserve(columns_.size());
+  for (int column : columns_) {
+    IMPLIANCE_CHECK(column >= 0 && static_cast<size_t>(column) < input.size());
+    row->push_back(input[column]);
+  }
+  ++rows_produced_;
+  return true;
+}
+
+// -------------------------------------------------------------- HashJoin
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, int left_key,
+                       int right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(left_key),
+      right_key_(right_key) {
+  schema_.columns = left_->schema().columns;
+  for (const std::string& column : right_->schema().columns) {
+    schema_.columns.push_back(column);
+  }
+}
+
+void HashJoinOp::Open() {
+  left_->Open();
+  right_->Open();
+  hash_table_.clear();
+  build_size_ = 0;
+  Row row;
+  while (right_->Next(&row)) {
+    const model::Value& key = row[right_key_];
+    if (key.is_null()) continue;  // nulls never join
+    hash_table_[key.HashValue()].push_back(row);
+    ++build_size_;
+  }
+  current_matches_ = nullptr;
+  match_cursor_ = 0;
+}
+
+bool HashJoinOp::Next(Row* row) {
+  while (true) {
+    if (current_matches_ != nullptr) {
+      // Advance within the current probe's match list, re-checking equality
+      // to guard against hash collisions.
+      while (match_cursor_ < current_matches_->size()) {
+        const Row& right_row = (*current_matches_)[match_cursor_++];
+        if (right_row[right_key_].Compare(current_left_[left_key_]) != 0) {
+          continue;
+        }
+        *row = current_left_;
+        row->insert(row->end(), right_row.begin(), right_row.end());
+        ++rows_produced_;
+        return true;
+      }
+      current_matches_ = nullptr;
+    }
+    if (!left_->Next(&current_left_)) return false;
+    const model::Value& key = current_left_[left_key_];
+    if (key.is_null()) continue;
+    auto it = hash_table_.find(key.HashValue());
+    if (it == hash_table_.end()) continue;
+    current_matches_ = &it->second;
+    match_cursor_ = 0;
+  }
+}
+
+void HashJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  hash_table_.clear();
+}
+
+// --------------------------------------------------------- IndexedNLJoin
+
+IndexedNLJoinOp::IndexedNLJoinOp(OperatorPtr left, int left_key,
+                                 LookupFn lookup, Schema right_schema)
+    : left_(std::move(left)),
+      left_key_(left_key),
+      lookup_(std::move(lookup)) {
+  schema_.columns = left_->schema().columns;
+  for (const std::string& column : right_schema.columns) {
+    schema_.columns.push_back(column);
+  }
+}
+
+void IndexedNLJoinOp::Open() {
+  left_->Open();
+  current_matches_.clear();
+  match_cursor_ = 0;
+  index_probes_ = 0;
+}
+
+bool IndexedNLJoinOp::Next(Row* row) {
+  while (true) {
+    if (match_cursor_ < current_matches_.size()) {
+      const Row& right_row = current_matches_[match_cursor_++];
+      *row = current_left_;
+      row->insert(row->end(), right_row.begin(), right_row.end());
+      ++rows_produced_;
+      return true;
+    }
+    if (!left_->Next(&current_left_)) return false;
+    const model::Value& key = current_left_[left_key_];
+    if (key.is_null()) {
+      current_matches_.clear();
+      match_cursor_ = 0;
+      continue;
+    }
+    current_matches_ = lookup_(key);
+    ++index_probes_;
+    match_cursor_ = 0;
+  }
+}
+
+// ------------------------------------------------------------- Aggregate
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<int> group_columns,
+                                 std::vector<AggSpec> aggregates)
+    : child_(std::move(child)),
+      group_columns_(std::move(group_columns)),
+      aggregates_(std::move(aggregates)) {
+  for (int column : group_columns_) {
+    schema_.columns.push_back(child_->schema().columns[column]);
+  }
+  for (const AggSpec& agg : aggregates_) {
+    schema_.columns.push_back(agg.output_name);
+  }
+}
+
+void HashAggregateOp::Open() {
+  child_->Open();
+  groups_.clear();
+  materialized_ = false;
+
+  Row row;
+  while (child_->Next(&row)) {
+    Row key;
+    key.reserve(group_columns_.size());
+    for (int column : group_columns_) key.push_back(row[column]);
+    std::vector<AggState>& states = groups_[key];
+    if (states.empty()) states.resize(aggregates_.size());
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      const AggSpec& agg = aggregates_[i];
+      AggState& state = states[i];
+      if (agg.fn == AggFn::kCount) {
+        ++state.count;
+        continue;
+      }
+      const model::Value& value = row[agg.column];
+      if (value.is_null()) continue;  // SQL semantics: nulls skipped
+      ++state.count;
+      state.sum += value.AsDouble();
+      if (state.count == 1) {
+        state.min = value;
+        state.max = value;
+      } else {
+        if (value.Compare(state.min) < 0) state.min = value;
+        if (value.Compare(state.max) > 0) state.max = value;
+      }
+    }
+  }
+  emit_cursor_ = groups_.begin();
+  materialized_ = true;
+}
+
+bool HashAggregateOp::Next(Row* row) {
+  IMPLIANCE_CHECK(materialized_);
+  if (emit_cursor_ == groups_.end()) return false;
+  const Row& key = emit_cursor_->first;
+  const std::vector<AggState>& states = emit_cursor_->second;
+  *row = key;
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggSpec& agg = aggregates_[i];
+    const AggState& state = states[i];
+    switch (agg.fn) {
+      case AggFn::kCount:
+        row->push_back(model::Value::Int(state.count));
+        break;
+      case AggFn::kSum:
+        row->push_back(state.count == 0 ? model::Value::Null()
+                                        : model::Value::Double(state.sum));
+        break;
+      case AggFn::kAvg:
+        row->push_back(state.count == 0
+                           ? model::Value::Null()
+                           : model::Value::Double(state.sum / state.count));
+        break;
+      case AggFn::kMin:
+        row->push_back(state.count == 0 ? model::Value::Null() : state.min);
+        break;
+      case AggFn::kMax:
+        row->push_back(state.count == 0 ? model::Value::Null() : state.max);
+        break;
+    }
+  }
+  ++emit_cursor_;
+  ++rows_produced_;
+  return true;
+}
+
+// ------------------------------------------------------------ Sort/TopK
+
+bool RowLess(const Row& a, const Row& b, const std::vector<SortKey>& keys) {
+  for (const SortKey& key : keys) {
+    const int c = a[key.column].Compare(b[key.column]);
+    if (c != 0) return key.ascending ? c < 0 : c > 0;
+  }
+  return false;
+}
+
+SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+void SortOp::Open() {
+  child_->Open();
+  rows_.clear();
+  Row row;
+  while (child_->Next(&row)) rows_.push_back(std::move(row));
+  std::stable_sort(rows_.begin(), rows_.end(), [this](const Row& a, const Row& b) {
+    return RowLess(a, b, keys_);
+  });
+  cursor_ = 0;
+}
+
+bool SortOp::Next(Row* row) {
+  if (cursor_ >= rows_.size()) return false;
+  *row = rows_[cursor_++];
+  ++rows_produced_;
+  return true;
+}
+
+TopKOp::TopKOp(OperatorPtr child, std::vector<SortKey> keys, size_t k)
+    : child_(std::move(child)), keys_(std::move(keys)), k_(k) {}
+
+void TopKOp::Open() {
+  child_->Open();
+  heap_.clear();
+  sorted_.clear();
+  auto worst_first = [this](const Row& a, const Row& b) {
+    return RowLess(a, b, keys_);  // max-heap: worst (largest) at front
+  };
+  Row row;
+  while (child_->Next(&row)) {
+    if (heap_.size() < k_) {
+      heap_.push_back(std::move(row));
+      std::push_heap(heap_.begin(), heap_.end(), worst_first);
+    } else if (k_ > 0 && RowLess(row, heap_.front(), keys_)) {
+      std::pop_heap(heap_.begin(), heap_.end(), worst_first);
+      heap_.back() = std::move(row);
+      std::push_heap(heap_.begin(), heap_.end(), worst_first);
+    }
+  }
+  sorted_ = heap_;
+  std::sort(sorted_.begin(), sorted_.end(), [this](const Row& a, const Row& b) {
+    return RowLess(a, b, keys_);
+  });
+  cursor_ = 0;
+}
+
+bool TopKOp::Next(Row* row) {
+  if (cursor_ >= sorted_.size()) return false;
+  *row = sorted_[cursor_++];
+  ++rows_produced_;
+  return true;
+}
+
+// ----------------------------------------------------------------- Limit
+
+bool LimitOp::Next(Row* row) {
+  if (emitted_ >= limit_) return false;
+  if (!child_->Next(row)) return false;
+  ++emitted_;
+  ++rows_produced_;
+  return true;
+}
+
+}  // namespace impliance::exec

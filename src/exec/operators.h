@@ -1,0 +1,257 @@
+#ifndef IMPLIANCE_EXEC_OPERATORS_H_
+#define IMPLIANCE_EXEC_OPERATORS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/predicate.h"
+
+namespace impliance::exec {
+
+// Leaf: a materialized row set (a view scan's rows, an index lookup result,
+// or rows shipped from another node).
+class RowSourceOp : public Operator {
+ public:
+  RowSourceOp(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "RowSource"; }
+  void Open() override { cursor_ = 0; }
+  bool Next(Row* row) override;
+  void Close() override {}
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+// Conjunctive filter. With `adaptive` set, predicate evaluation order is
+// re-sorted by observed selectivity every `kAdaptBatch` input rows — the
+// eddies-flavored runtime adaptivity Section 3.3 leans on in place of
+// optimizer statistics.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::vector<Predicate> predicates,
+           bool adaptive = false);
+
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return adaptive_ ? "AdaptiveFilter" : "Filter"; }
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override { child_->Close(); }
+
+  // Current evaluation order (for tests/benches).
+  std::vector<int> EvaluationOrder() const;
+  uint64_t predicate_evals() const { return predicate_evals_; }
+
+ private:
+  static constexpr uint64_t kAdaptBatch = 256;
+
+  struct Tracked {
+    Predicate predicate;
+    uint64_t evaluated = 0;
+    uint64_t passed = 0;
+    int original_index = 0;
+    double Selectivity() const {
+      return evaluated == 0 ? 1.0
+                            : static_cast<double>(passed) / evaluated;
+    }
+  };
+
+  OperatorPtr child_;
+  std::vector<Tracked> predicates_;
+  bool adaptive_;
+  uint64_t input_rows_ = 0;
+  uint64_t predicate_evals_ = 0;
+};
+
+// Column projection (by child column index).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<int> columns,
+            std::vector<std::string> names);
+
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "Project"; }
+  void Open() override { child_->Open(); }
+  bool Next(Row* row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<int> columns_;
+  Schema schema_;
+};
+
+// Hash equi-join: builds on the right child, probes with the left. Output
+// schema = left columns ++ right columns.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, int left_key, int right_key);
+
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "HashJoin"; }
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override;
+
+  size_t build_rows() const { return build_size_; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  int left_key_;
+  int right_key_;
+  Schema schema_;
+  std::unordered_map<uint64_t, std::vector<Row>> hash_table_;
+  size_t build_size_ = 0;
+  Row current_left_;
+  const std::vector<Row>* current_matches_ = nullptr;
+  size_t match_cursor_ = 0;
+};
+
+// Index nested-loop join: for each left row, fetches matching right rows
+// through a lookup callback (e.g. a ValueIndex probe). Preferred by the
+// simple planner for top-k queries (Section 3.3): no build cost, first
+// results stream immediately.
+class IndexedNLJoinOp : public Operator {
+ public:
+  using LookupFn = std::function<std::vector<Row>(const model::Value&)>;
+
+  IndexedNLJoinOp(OperatorPtr left, int left_key, LookupFn lookup,
+                  Schema right_schema);
+
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "IndexedNLJoin"; }
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override { left_->Close(); }
+
+  uint64_t index_probes() const { return index_probes_; }
+
+ private:
+  OperatorPtr left_;
+  int left_key_;
+  LookupFn lookup_;
+  Schema schema_;
+  Row current_left_;
+  std::vector<Row> current_matches_;
+  size_t match_cursor_ = 0;
+  uint64_t index_probes_ = 0;
+};
+
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  int column = -1;  // ignored for kCount
+  std::string output_name;
+};
+
+// Hash group-by with the standard aggregate functions. Output schema =
+// group columns ++ aggregate outputs. Groups emitted in key order
+// (deterministic).
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<int> group_columns,
+                  std::vector<AggSpec> aggregates);
+
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "HashAggregate"; }
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct AggState {
+    double sum = 0;
+    int64_t count = 0;
+    model::Value min;
+    model::Value max;
+  };
+
+  OperatorPtr child_;
+  std::vector<int> group_columns_;
+  std::vector<AggSpec> aggregates_;
+  Schema schema_;
+  std::map<Row, std::vector<AggState>> groups_;  // Value has operator<
+  std::map<Row, std::vector<AggState>>::const_iterator emit_cursor_;
+  bool materialized_ = false;
+};
+
+// Full sort on (column, ascending) keys, applied in order.
+struct SortKey {
+  int column = 0;
+  bool ascending = true;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys);
+
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "Sort"; }
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+// Bounded top-k by sort keys using a heap; O(n log k) and O(k) memory where
+// SortOp is O(n log n) / O(n).
+class TopKOp : public Operator {
+ public:
+  TopKOp(OperatorPtr child, std::vector<SortKey> keys, size_t k);
+
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "TopK"; }
+  void Open() override;
+  bool Next(Row* row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  size_t k_;
+  std::vector<Row> heap_;
+  std::vector<Row> sorted_;
+  size_t cursor_ = 0;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "Limit"; }
+  void Open() override {
+    child_->Open();
+    emitted_ = 0;
+  }
+  bool Next(Row* row) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t emitted_ = 0;
+};
+
+// Comparator used by SortOp/TopKOp (exposed for tests).
+bool RowLess(const Row& a, const Row& b, const std::vector<SortKey>& keys);
+
+}  // namespace impliance::exec
+
+#endif  // IMPLIANCE_EXEC_OPERATORS_H_

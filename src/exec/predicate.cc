@@ -1,0 +1,68 @@
+#include "exec/predicate.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace impliance::exec {
+
+bool Predicate::Eval(const model::Row& row) const {
+  IMPLIANCE_CHECK(column >= 0 && static_cast<size_t>(column) < row.size())
+      << "predicate column " << column << " out of range";
+  const model::Value& value = row[column];
+  if (op == CompareOp::kContains) {
+    if (value.is_null()) return false;
+    return ToLower(value.AsString()).find(ToLower(literal.AsString())) !=
+           std::string::npos;
+  }
+  // SQL-ish null semantics: null compares false to everything (including
+  // null) except explicit kNe against a non-null, which is also false —
+  // nulls never satisfy a comparison predicate.
+  if (value.is_null() || literal.is_null()) return false;
+  const int c = value.Compare(literal);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+    case CompareOp::kContains:
+      return false;  // handled above
+  }
+  return false;
+}
+
+bool EvalAll(const std::vector<Predicate>& predicates, const model::Row& row) {
+  for (const Predicate& predicate : predicates) {
+    if (!predicate.Eval(row)) return false;
+  }
+  return true;
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kContains:
+      return "CONTAINS";
+  }
+  return "?";
+}
+
+}  // namespace impliance::exec

@@ -1,0 +1,31 @@
+#ifndef IMPLIANCE_EXEC_PREDICATE_H_
+#define IMPLIANCE_EXEC_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/value.h"
+#include "model/view.h"
+
+namespace impliance::exec {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+// One conjunct: <column> <op> <literal>. kContains does a case-insensitive
+// substring test on the rendered value (keyword-ish predicate over fields).
+struct Predicate {
+  int column = -1;
+  CompareOp op = CompareOp::kEq;
+  model::Value literal;
+
+  bool Eval(const model::Row& row) const;
+};
+
+// Conjunction evaluation.
+bool EvalAll(const std::vector<Predicate>& predicates, const model::Row& row);
+
+const char* CompareOpName(CompareOp op);
+
+}  // namespace impliance::exec
+
+#endif  // IMPLIANCE_EXEC_PREDICATE_H_

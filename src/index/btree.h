@@ -1,0 +1,80 @@
+#ifndef IMPLIANCE_INDEX_BTREE_H_
+#define IMPLIANCE_INDEX_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/document.h"
+#include "model/value.h"
+
+namespace impliance::index {
+
+// Entry of the ordered value index: a (value, doc) pair. Duplicate values
+// across documents — and even within one document (repeated siblings) —
+// are allowed; entries are totally ordered by (value, doc).
+struct BTreeEntry {
+  model::Value value;
+  model::DocId doc = model::kInvalidDocId;
+};
+
+// In-memory B+-tree with leaf chaining, the ordered index behind range
+// predicates and index scans. Multiset semantics. Deletion is by lazy
+// removal without node merging (the PostgreSQL approach): ordering and
+// uniform depth are preserved, underfull nodes are tolerated — acceptable
+// because Impliance's documents are immutable and deletes only arise from
+// version supersession.
+class BPlusTree {
+ public:
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  void Insert(const model::Value& value, model::DocId doc);
+
+  // Removes one occurrence of (value, doc); returns false if absent.
+  bool Erase(const model::Value& value, model::DocId doc);
+
+  // Documents whose entry equals `value`, ascending by doc id.
+  std::vector<model::DocId> Lookup(const model::Value& value) const;
+
+  // Visits entries in [lo, hi] order; nullptr bound = unbounded. Returns
+  // early if `fn` returns false.
+  void ScanRange(const model::Value* lo, bool lo_inclusive,
+                 const model::Value* hi, bool hi_inclusive,
+                 const std::function<bool(const model::Value&,
+                                          model::DocId)>& fn) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+  // Structural invariants for tests: sorted keys everywhere, uniform leaf
+  // depth, correct leaf chaining, separator correctness.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  // Result of inserting into a full child: the new right sibling plus the
+  // separator that should be pushed into the parent.
+  struct Split {
+    BTreeEntry separator;  // first key of the new right node's subtree
+    std::unique_ptr<Node> right;
+  };
+
+  static int CompareEntry(const BTreeEntry& a, const BTreeEntry& b);
+  std::optional<Split> InsertInto(Node* node, BTreeEntry entry);
+  const Node* FindLeaf(const BTreeEntry& probe) const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace impliance::index
+
+#endif  // IMPLIANCE_INDEX_BTREE_H_

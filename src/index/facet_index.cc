@@ -1,0 +1,102 @@
+#include "index/facet_index.h"
+
+#include <algorithm>
+
+#include "model/item.h"
+
+namespace impliance::index {
+
+void FacetIndex::AddDocument(const model::Document& doc) {
+  for (const model::PathValue& pv : model::CollectPaths(doc.root)) {
+    if (pv.value->is_null()) continue;
+    std::vector<model::DocId>& docs = facets_[pv.path][*pv.value];
+    auto it = std::lower_bound(docs.begin(), docs.end(), doc.id);
+    if (it == docs.end() || *it != doc.id) docs.insert(it, doc.id);
+  }
+}
+
+void FacetIndex::RemoveDocument(const model::Document& doc) {
+  for (const model::PathValue& pv : model::CollectPaths(doc.root)) {
+    if (pv.value->is_null()) continue;
+    auto path_it = facets_.find(pv.path);
+    if (path_it == facets_.end()) continue;
+    auto value_it = path_it->second.find(*pv.value);
+    if (value_it == path_it->second.end()) continue;
+    std::vector<model::DocId>& docs = value_it->second;
+    auto it = std::lower_bound(docs.begin(), docs.end(), doc.id);
+    if (it != docs.end() && *it == doc.id) docs.erase(it);
+    if (docs.empty()) path_it->second.erase(value_it);
+  }
+}
+
+std::vector<FacetIndex::FacetCount> FacetIndex::CountFacet(
+    std::string_view path, const std::vector<model::DocId>& candidates,
+    size_t max_values) const {
+  auto path_it = facets_.find(path);
+  if (path_it == facets_.end()) return {};
+  std::vector<FacetCount> counts;
+  for (const auto& [value, docs] : path_it->second) {
+    // Both lists are sorted; count the intersection size.
+    size_t n = 0;
+    auto ci = candidates.begin();
+    auto di = docs.begin();
+    while (ci != candidates.end() && di != docs.end()) {
+      if (*ci < *di) {
+        ++ci;
+      } else if (*di < *ci) {
+        ++di;
+      } else {
+        ++n;
+        ++ci;
+        ++di;
+      }
+    }
+    if (n > 0) counts.push_back(FacetCount{value, n});
+  }
+  std::sort(counts.begin(), counts.end(),
+            [](const FacetCount& a, const FacetCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (counts.size() > max_values) counts.resize(max_values);
+  return counts;
+}
+
+std::vector<FacetIndex::FacetCount> FacetIndex::CountFacetAll(
+    std::string_view path, size_t max_values) const {
+  auto path_it = facets_.find(path);
+  if (path_it == facets_.end()) return {};
+  std::vector<FacetCount> counts;
+  for (const auto& [value, docs] : path_it->second) {
+    counts.push_back(FacetCount{value, docs.size()});
+  }
+  std::sort(counts.begin(), counts.end(),
+            [](const FacetCount& a, const FacetCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (counts.size() > max_values) counts.resize(max_values);
+  return counts;
+}
+
+std::vector<model::DocId> FacetIndex::Restrict(
+    std::string_view path, const model::Value& value,
+    const std::vector<model::DocId>& candidates) const {
+  std::vector<model::DocId> with_value = DocsWithValue(path, value);
+  std::vector<model::DocId> out;
+  std::set_intersection(candidates.begin(), candidates.end(),
+                        with_value.begin(), with_value.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<model::DocId> FacetIndex::DocsWithValue(
+    std::string_view path, const model::Value& value) const {
+  auto path_it = facets_.find(path);
+  if (path_it == facets_.end()) return {};
+  auto value_it = path_it->second.find(value);
+  if (value_it == path_it->second.end()) return {};
+  return value_it->second;
+}
+
+}  // namespace impliance::index

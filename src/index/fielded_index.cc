@@ -1,0 +1,74 @@
+#include "index/fielded_index.h"
+
+#include "model/item.h"
+
+namespace impliance::index {
+
+namespace {
+
+// Collects per-path text: repeated siblings' text concatenates under the
+// same path (one field posting per document per path).
+std::map<std::string, std::string> FieldTexts(const model::Document& doc) {
+  std::map<std::string, std::string> texts;
+  for (const model::PathValue& pv : model::CollectPaths(doc.root)) {
+    if (!pv.value->is_string()) continue;
+    std::string& text = texts[pv.path];
+    if (!text.empty()) text.push_back(' ');
+    text += pv.value->string_value();
+  }
+  return texts;
+}
+
+}  // namespace
+
+void FieldedTextIndex::AddDocument(const model::Document& doc) {
+  global_.AddDocument(doc.id, doc.Text());
+  for (const auto& [path, text] : FieldTexts(doc)) {
+    std::unique_ptr<InvertedIndex>& field = fields_[path];
+    if (field == nullptr) field = std::make_unique<InvertedIndex>();
+    field->AddDocument(doc.id, text);
+  }
+}
+
+void FieldedTextIndex::RemoveDocument(const model::Document& doc) {
+  if (global_.ContainsDocument(doc.id)) global_.RemoveDocument(doc.id);
+  for (const auto& [path, text] : FieldTexts(doc)) {
+    auto it = fields_.find(path);
+    if (it != fields_.end()) it->second->RemoveDocument(doc.id);
+  }
+}
+
+std::vector<InvertedIndex::SearchResult> FieldedTextIndex::Search(
+    std::string_view query, size_t k) const {
+  return global_.Search(query, k);
+}
+
+std::vector<InvertedIndex::SearchResult> FieldedTextIndex::SearchField(
+    std::string_view path, std::string_view query, size_t k) const {
+  auto it = fields_.find(path);
+  if (it == fields_.end()) return {};
+  return it->second->Search(query, k);
+}
+
+std::vector<model::DocId> FieldedTextIndex::SearchFieldAll(
+    std::string_view path, std::string_view query) const {
+  auto it = fields_.find(path);
+  if (it == fields_.end()) return {};
+  return it->second->SearchAll(query);
+}
+
+std::vector<model::DocId> FieldedTextIndex::SearchFieldPhrase(
+    std::string_view path, std::string_view phrase) const {
+  auto it = fields_.find(path);
+  if (it == fields_.end()) return {};
+  return it->second->SearchPhrase(phrase);
+}
+
+std::vector<std::string> FieldedTextIndex::TextPaths() const {
+  std::vector<std::string> paths;
+  paths.reserve(fields_.size());
+  for (const auto& [path, field] : fields_) paths.push_back(path);
+  return paths;
+}
+
+}  // namespace impliance::index

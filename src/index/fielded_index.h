@@ -1,0 +1,58 @@
+#ifndef IMPLIANCE_INDEX_FIELDED_INDEX_H_
+#define IMPLIANCE_INDEX_FIELDED_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "model/document.h"
+
+namespace impliance::index {
+
+// Hierarchy-aware full-text index (Section 3.3: "for certain kinds of
+// documents, the text indexer has to support hierarchies natively" —
+// the Lucene/Indri extension the paper says it would need). Every string
+// leaf of a document is indexed both into a global index (whole-document
+// keyword search) and into a per-path index, so queries can be scoped to
+// a field: "widget anywhere" vs "widget in /doc/subject".
+//
+// Not internally synchronized.
+class FieldedTextIndex {
+ public:
+  // Indexes every string leaf of `doc` (document-wide and per path).
+  void AddDocument(const model::Document& doc);
+  void RemoveDocument(const model::Document& doc);
+
+  // Document-wide BM25 top-k (same semantics as InvertedIndex::Search).
+  std::vector<InvertedIndex::SearchResult> Search(std::string_view query,
+                                                  size_t k) const;
+
+  // BM25 top-k restricted to the text under `path`. Unknown paths return
+  // nothing.
+  std::vector<InvertedIndex::SearchResult> SearchField(std::string_view path,
+                                                       std::string_view query,
+                                                       size_t k) const;
+
+  // Field-scoped conjunctive and phrase variants.
+  std::vector<model::DocId> SearchFieldAll(std::string_view path,
+                                           std::string_view query) const;
+  std::vector<model::DocId> SearchFieldPhrase(std::string_view path,
+                                              std::string_view phrase) const;
+
+  // Paths that have any indexed text, sorted.
+  std::vector<std::string> TextPaths() const;
+
+  const InvertedIndex& global() const { return global_; }
+
+ private:
+  InvertedIndex global_;
+  // Lazily created per-path indexes (only paths with string leaves).
+  std::map<std::string, std::unique_ptr<InvertedIndex>, std::less<>> fields_;
+};
+
+}  // namespace impliance::index
+
+#endif  // IMPLIANCE_INDEX_FIELDED_INDEX_H_

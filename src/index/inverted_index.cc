@@ -1,0 +1,183 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace impliance::index {
+
+namespace {
+constexpr double kBm25K1 = 1.2;
+constexpr double kBm25B = 0.75;
+}  // namespace
+
+void InvertedIndex::AddDocument(model::DocId id, std::string_view text) {
+  IMPLIANCE_CHECK(doc_terms_.find(id) == doc_terms_.end())
+      << "document " << id << " already indexed";
+
+  std::vector<std::string> tokens = Tokenize(text);
+  doc_lengths_[id] = static_cast<uint32_t>(tokens.size());
+  total_tokens_ += tokens.size();
+
+  // Group positions per term first so each term gets one posting.
+  std::unordered_map<std::string, std::vector<uint32_t>> term_positions;
+  for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
+    term_positions[tokens[pos]].push_back(pos);
+  }
+  std::vector<std::string>& forward = doc_terms_[id];
+  forward.reserve(term_positions.size());
+  for (auto& [term, positions] : term_positions) {
+    forward.push_back(term);
+    PostingList& list = postings_[term];
+    Posting posting{id, std::move(positions)};
+    // Ids usually arrive ascending; keep the list sorted either way.
+    if (list.empty() || list.back().doc < id) {
+      list.push_back(std::move(posting));
+    } else {
+      auto it = std::lower_bound(
+          list.begin(), list.end(), id,
+          [](const Posting& p, model::DocId d) { return p.doc < d; });
+      list.insert(it, std::move(posting));
+    }
+    ++num_postings_;
+  }
+}
+
+void InvertedIndex::RemoveDocument(model::DocId id) {
+  auto fwd_it = doc_terms_.find(id);
+  if (fwd_it == doc_terms_.end()) return;
+  for (const std::string& term : fwd_it->second) {
+    auto list_it = postings_.find(term);
+    IMPLIANCE_CHECK(list_it != postings_.end());
+    PostingList& list = list_it->second;
+    auto it = std::lower_bound(
+        list.begin(), list.end(), id,
+        [](const Posting& p, model::DocId d) { return p.doc < d; });
+    IMPLIANCE_CHECK(it != list.end() && it->doc == id);
+    list.erase(it);
+    --num_postings_;
+    if (list.empty()) postings_.erase(list_it);
+  }
+  total_tokens_ -= doc_lengths_.at(id);
+  doc_lengths_.erase(id);
+  doc_terms_.erase(fwd_it);
+}
+
+double InvertedIndex::Idf(size_t doc_freq) const {
+  const double n = static_cast<double>(num_documents());
+  const double df = static_cast<double>(doc_freq);
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+std::vector<InvertedIndex::SearchResult> InvertedIndex::Search(
+    std::string_view query, size_t k) const {
+  std::vector<std::string> terms = Tokenize(query);
+  if (terms.empty() || k == 0) return {};
+  // Deduplicate query terms (BM25 treats repeats as one term here).
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  const double avg_len =
+      doc_lengths_.empty() ? 1.0
+                           : static_cast<double>(total_tokens_) /
+                                 static_cast<double>(doc_lengths_.size());
+
+  std::unordered_map<model::DocId, double> scores;
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const double idf = Idf(it->second.size());
+    for (const Posting& p : it->second) {
+      const double tf = static_cast<double>(p.positions.size());
+      const double len = static_cast<double>(doc_lengths_.at(p.doc));
+      const double denom =
+          tf + kBm25K1 * (1.0 - kBm25B + kBm25B * len / avg_len);
+      scores[p.doc] += idf * tf * (kBm25K1 + 1.0) / denom;
+    }
+  }
+
+  std::vector<SearchResult> results;
+  results.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    results.push_back(SearchResult{doc, score});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+std::vector<model::DocId> InvertedIndex::SearchAll(
+    std::string_view query) const {
+  std::vector<std::string> terms = Tokenize(query);
+  if (terms.empty()) return {};
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  std::vector<model::DocId> result = DocsWithTerm(terms[0]);
+  for (size_t i = 1; i < terms.size() && !result.empty(); ++i) {
+    std::vector<model::DocId> next = DocsWithTerm(terms[i]);
+    std::vector<model::DocId> merged;
+    std::set_intersection(result.begin(), result.end(), next.begin(),
+                          next.end(), std::back_inserter(merged));
+    result = std::move(merged);
+  }
+  return result;
+}
+
+std::vector<model::DocId> InvertedIndex::SearchPhrase(
+    std::string_view phrase) const {
+  std::vector<std::string> terms = Tokenize(phrase);
+  if (terms.empty()) return {};
+  if (terms.size() == 1) return DocsWithTerm(terms[0]);
+
+  // Candidates: conjunctive match, then verify adjacency via positions.
+  std::vector<model::DocId> candidates = SearchAll(phrase);
+  std::vector<model::DocId> result;
+  for (model::DocId doc : candidates) {
+    // Positions of the first term; then require each subsequent term at +i.
+    const PostingList& first_list = postings_.at(terms[0]);
+    auto first_it = std::lower_bound(
+        first_list.begin(), first_list.end(), doc,
+        [](const Posting& p, model::DocId d) { return p.doc < d; });
+    IMPLIANCE_CHECK(first_it != first_list.end() && first_it->doc == doc);
+    for (uint32_t start : first_it->positions) {
+      bool match = true;
+      for (size_t i = 1; i < terms.size(); ++i) {
+        const PostingList& list = postings_.at(terms[i]);
+        auto it = std::lower_bound(
+            list.begin(), list.end(), doc,
+            [](const Posting& p, model::DocId d) { return p.doc < d; });
+        IMPLIANCE_CHECK(it != list.end() && it->doc == doc);
+        if (!std::binary_search(it->positions.begin(), it->positions.end(),
+                                start + static_cast<uint32_t>(i))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        result.push_back(doc);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<model::DocId> InvertedIndex::DocsWithTerm(
+    std::string_view term) const {
+  std::string lowered = ToLower(term);
+  auto it = postings_.find(lowered);
+  if (it == postings_.end()) return {};
+  std::vector<model::DocId> docs;
+  docs.reserve(it->second.size());
+  for (const Posting& p : it->second) docs.push_back(p.doc);
+  return docs;
+}
+
+}  // namespace impliance::index

@@ -1,0 +1,78 @@
+#ifndef IMPLIANCE_INDEX_INVERTED_INDEX_H_
+#define IMPLIANCE_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/document.h"
+
+namespace impliance::index {
+
+// Positional full-text inverted index with BM25 ranking. Built from scratch
+// (the paper would embed Lucene/Indri but notes the need to extend them);
+// supports the two properties Section 3.3 calls out: incremental
+// maintenance as annotation documents stream in, and top-k retrieval for
+// the keyword interface. A small forward index (doc -> distinct terms)
+// makes document removal — needed when a new version supersedes an old one —
+// a targeted physical delete rather than a tombstone.
+//
+// Not internally synchronized; callers serialize writes against reads.
+class InvertedIndex {
+ public:
+  struct SearchResult {
+    model::DocId doc = model::kInvalidDocId;
+    double score = 0.0;
+  };
+
+  // Tokenizes `text` and appends postings for document `id`. A document may
+  // be indexed once; to replace it (new version), Remove then Add.
+  void AddDocument(model::DocId id, std::string_view text);
+
+  // Physically removes every posting of `id`. No-op for unknown ids.
+  void RemoveDocument(model::DocId id);
+
+  bool ContainsDocument(model::DocId id) const {
+    return doc_terms_.count(id) > 0;
+  }
+
+  // Disjunctive BM25 top-k. Ties broken by doc id (ascending) so results
+  // are deterministic.
+  std::vector<SearchResult> Search(std::string_view query, size_t k) const;
+
+  // Conjunctive match: ids of documents containing every query term,
+  // ascending. Unranked.
+  std::vector<model::DocId> SearchAll(std::string_view query) const;
+
+  // Exact phrase match using token positions.
+  std::vector<model::DocId> SearchPhrase(std::string_view phrase) const;
+
+  // Documents containing `term` (single token), ascending.
+  std::vector<model::DocId> DocsWithTerm(std::string_view term) const;
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+  uint64_t num_postings() const { return num_postings_; }
+
+ private:
+  struct Posting {
+    model::DocId doc;
+    std::vector<uint32_t> positions;  // token offsets, ascending
+  };
+
+  using PostingList = std::vector<Posting>;  // sorted by doc id
+
+  double Idf(size_t doc_freq) const;
+
+  std::unordered_map<std::string, PostingList> postings_;
+  std::unordered_map<model::DocId, uint32_t> doc_lengths_;  // tokens per doc
+  std::unordered_map<model::DocId, std::vector<std::string>> doc_terms_;
+  uint64_t total_tokens_ = 0;
+  uint64_t num_postings_ = 0;
+};
+
+}  // namespace impliance::index
+
+#endif  // IMPLIANCE_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,145 @@
+#include "index/join_index.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+namespace impliance::index {
+
+void JoinIndex::AddEdge(model::DocId src, model::DocId dst,
+                        std::string_view relation, double confidence) {
+  std::vector<Edge>& out_edges = out_[src];
+  for (Edge& edge : out_edges) {
+    if (edge.dst == dst && edge.relation == relation) {
+      edge.confidence = std::max(edge.confidence, confidence);
+      for (Edge& in_edge : in_[dst]) {
+        if (in_edge.src == src && in_edge.relation == relation) {
+          in_edge.confidence = edge.confidence;
+        }
+      }
+      return;
+    }
+  }
+  Edge edge{src, dst, std::string(relation), confidence};
+  out_edges.push_back(edge);
+  in_[dst].push_back(edge);
+  relation_counts_[edge.relation]++;
+  ++num_edges_;
+}
+
+std::vector<JoinIndex::Edge> JoinIndex::EdgesFrom(
+    model::DocId src, std::string_view relation) const {
+  auto it = out_.find(src);
+  if (it == out_.end()) return {};
+  if (relation.empty()) return it->second;
+  std::vector<Edge> filtered;
+  for (const Edge& edge : it->second) {
+    if (edge.relation == relation) filtered.push_back(edge);
+  }
+  return filtered;
+}
+
+std::vector<JoinIndex::Edge> JoinIndex::EdgesTo(
+    model::DocId dst, std::string_view relation) const {
+  auto it = in_.find(dst);
+  if (it == in_.end()) return {};
+  if (relation.empty()) return it->second;
+  std::vector<Edge> filtered;
+  for (const Edge& edge : it->second) {
+    if (edge.relation == relation) filtered.push_back(edge);
+  }
+  return filtered;
+}
+
+std::vector<model::DocId> JoinIndex::Neighbors(model::DocId doc) const {
+  std::set<model::DocId> neighbors;
+  if (auto it = out_.find(doc); it != out_.end()) {
+    for (const Edge& edge : it->second) neighbors.insert(edge.dst);
+  }
+  if (auto it = in_.find(doc); it != in_.end()) {
+    for (const Edge& edge : it->second) neighbors.insert(edge.src);
+  }
+  return std::vector<model::DocId>(neighbors.begin(), neighbors.end());
+}
+
+std::optional<std::vector<JoinIndex::Edge>> JoinIndex::FindConnection(
+    model::DocId from, model::DocId to, size_t max_depth) const {
+  if (from == to) return std::vector<Edge>{};
+  // BFS recording the edge that discovered each node.
+  std::unordered_map<model::DocId, Edge> parent_edge;
+  std::unordered_map<model::DocId, model::DocId> parent;
+  std::deque<std::pair<model::DocId, size_t>> frontier{{from, 0}};
+  std::set<model::DocId> visited{from};
+
+  auto expand = [&](model::DocId node, size_t depth,
+                    const Edge& edge, model::DocId next) -> bool {
+    if (visited.count(next)) return false;
+    visited.insert(next);
+    parent_edge[next] = edge;
+    parent[next] = node;
+    if (next == to) return true;
+    frontier.emplace_back(next, depth + 1);
+    return false;
+  };
+
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= max_depth) continue;
+    if (auto it = out_.find(node); it != out_.end()) {
+      for (const Edge& edge : it->second) {
+        if (expand(node, depth, edge, edge.dst)) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (found) break;
+    if (auto it = in_.find(node); it != in_.end()) {
+      for (const Edge& edge : it->second) {
+        if (expand(node, depth, edge, edge.src)) {
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!found) return std::nullopt;
+
+  std::vector<Edge> path;
+  for (model::DocId node = to; node != from; node = parent[node]) {
+    path.push_back(parent_edge[node]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<model::DocId> JoinIndex::TransitiveClosure(
+    model::DocId seed, size_t max_depth) const {
+  std::set<model::DocId> visited{seed};
+  std::deque<std::pair<model::DocId, size_t>> frontier{{seed, 0}};
+  while (!frontier.empty()) {
+    auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= max_depth) continue;
+    for (model::DocId next : Neighbors(node)) {
+      if (visited.insert(next).second) {
+        frontier.emplace_back(next, depth + 1);
+      }
+    }
+  }
+  return std::vector<model::DocId>(visited.begin(), visited.end());
+}
+
+std::vector<std::string> JoinIndex::Relations() const {
+  std::vector<std::string> relations;
+  relations.reserve(relation_counts_.size());
+  for (const auto& [relation, count] : relation_counts_) {
+    relations.push_back(relation);
+  }
+  return relations;
+}
+
+}  // namespace impliance::index

@@ -1,0 +1,76 @@
+#ifndef IMPLIANCE_INDEX_JOIN_INDEX_H_
+#define IMPLIANCE_INDEX_JOIN_INDEX_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/document.h"
+
+namespace impliance::index {
+
+// Materialized relationships between documents. Section 3.2: "Discovered
+// relationships can be stored as join indexes and utilized at query time."
+// Edges are typed (relation name) and weighted (discovery confidence); the
+// same structure also backs the graph query interface's connection search.
+//
+// Not internally synchronized.
+class JoinIndex {
+ public:
+  struct Edge {
+    model::DocId src = model::kInvalidDocId;
+    model::DocId dst = model::kInvalidDocId;
+    std::string relation;
+    double confidence = 1.0;
+
+    bool operator==(const Edge& other) const {
+      return src == other.src && dst == other.dst &&
+             relation == other.relation;
+    }
+  };
+
+  // Inserts (or updates the confidence of) a directed edge.
+  void AddEdge(model::DocId src, model::DocId dst, std::string_view relation,
+               double confidence = 1.0);
+
+  // Outgoing edges of `src`, optionally filtered by relation.
+  std::vector<Edge> EdgesFrom(model::DocId src,
+                              std::string_view relation = {}) const;
+
+  // Incoming edges of `dst`, optionally filtered by relation.
+  std::vector<Edge> EdgesTo(model::DocId dst,
+                            std::string_view relation = {}) const;
+
+  // Neighbors in either direction (deduplicated, ascending).
+  std::vector<model::DocId> Neighbors(model::DocId doc) const;
+
+  // Shortest undirected path between two documents (BFS over all relations),
+  // as the sequence of edges traversed; nullopt if not connected within
+  // `max_depth` hops. This answers the paper's "given two pieces of data,
+  // ask how they are connected" (Section 3.2.1).
+  std::optional<std::vector<Edge>> FindConnection(model::DocId from,
+                                                  model::DocId to,
+                                                  size_t max_depth) const;
+
+  // Every document reachable from `seed` within `max_depth` undirected hops,
+  // including the seed — the transitive closure needed by the legal
+  // discovery use case (Section 2.1.3).
+  std::vector<model::DocId> TransitiveClosure(model::DocId seed,
+                                              size_t max_depth) const;
+
+  size_t num_edges() const { return num_edges_; }
+  std::vector<std::string> Relations() const;
+
+ private:
+  // src -> edges out; dst -> edges in (edge stored once in each map).
+  std::map<model::DocId, std::vector<Edge>> out_;
+  std::map<model::DocId, std::vector<Edge>> in_;
+  std::map<std::string, size_t> relation_counts_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace impliance::index
+
+#endif  // IMPLIANCE_INDEX_JOIN_INDEX_H_

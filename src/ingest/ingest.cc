@@ -1,0 +1,259 @@
+#include "ingest/ingest.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "ingest/json_parser.h"
+#include "ingest/xml_parser.h"
+
+namespace impliance::ingest {
+
+model::Document FromRelationalRow(std::string_view table,
+                                  const std::vector<std::string>& columns,
+                                  const std::vector<std::string>& values) {
+  model::Document doc;
+  doc.kind = std::string(table);
+  doc.root = model::Item("doc");
+  const size_t n = std::min(columns.size(), values.size());
+  for (size_t i = 0; i < n; ++i) {
+    doc.root.AddChild(columns[i], model::ParseValue(values[i]));
+  }
+  return doc;
+}
+
+namespace {
+
+// Splits one CSV line honoring double-quoted fields ("" = literal quote).
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace
+
+Result<std::vector<model::Document>> FromCsv(std::string_view kind,
+                                             std::string_view csv) {
+  std::vector<std::string> lines = Split(csv, '\n');
+  // Drop trailing \r (CRLF input) and empty trailing lines.
+  for (std::string& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) {
+    return Status::InvalidArgument("CSV input is empty");
+  }
+  std::vector<std::string> header = SplitCsvLine(lines[0]);
+  if (header.empty() || (header.size() == 1 && header[0].empty())) {
+    return Status::InvalidArgument("CSV header is empty");
+  }
+  std::vector<model::Document> docs;
+  for (size_t row = 1; row < lines.size(); ++row) {
+    if (lines[row].empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(lines[row]);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(row) + " has " +
+          std::to_string(fields.size()) + " fields, header has " +
+          std::to_string(header.size()));
+    }
+    docs.push_back(FromRelationalRow(kind, header, fields));
+  }
+  return docs;
+}
+
+Result<model::Document> FromJson(std::string_view kind,
+                                 std::string_view json) {
+  model::Document doc;
+  doc.kind = std::string(kind);
+  IMPLIANCE_ASSIGN_OR_RETURN(doc.root, ParseJsonToItem(json));
+  return doc;
+}
+
+Result<model::Document> FromXml(std::string_view kind, std::string_view xml) {
+  model::Document doc;
+  doc.kind = std::string(kind);
+  IMPLIANCE_ASSIGN_OR_RETURN(doc.root, ParseXmlToItem(xml));
+  return doc;
+}
+
+Result<model::Document> FromEmail(std::string_view text,
+                                  std::string_view kind) {
+  model::Document doc;
+  doc.kind = kind.empty() ? "email" : std::string(kind);
+  doc.root = model::Item("doc");
+
+  std::vector<std::string> lines = Split(text, '\n');
+  size_t body_start = lines.size();
+  bool saw_header = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string& line = lines[i];
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) {
+      body_start = i + 1;
+      break;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("malformed e-mail header line " +
+                                     std::to_string(i));
+    }
+    std::string name = ToLower(TrimWhitespace(line.substr(0, colon)));
+    std::string_view value = TrimWhitespace(
+        std::string_view(line).substr(colon + 1));
+    doc.root.AddChild(std::move(name), model::ParseValue(value));
+    saw_header = true;
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("e-mail without headers");
+  }
+  std::string body;
+  for (size_t i = body_start; i < lines.size(); ++i) {
+    if (!body.empty()) body.push_back('\n');
+    body += lines[i];
+  }
+  doc.root.AddChild("body", model::Value::String(std::move(body)));
+  return doc;
+}
+
+model::Document FromPlainText(std::string_view kind, std::string_view title,
+                              std::string_view body) {
+  return model::MakeTextDocument(std::string(kind), std::string(title),
+                                 std::string(body));
+}
+
+Result<std::vector<model::Document>> FromLogLines(std::string_view kind,
+                                                  std::string_view text) {
+  std::vector<model::Document> docs;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty()) continue;
+    model::Document doc;
+    doc.kind = std::string(kind);
+    doc.root = model::Item("doc");
+
+    // Try "<date> [LEVEL] source: message".
+    bool structured = false;
+    if (line.size() > 12 && line[4] == '-' && line[7] == '-') {
+      model::Value timestamp = model::ParseValue(line.substr(0, 10));
+      size_t open = line.find('[', 10);
+      size_t close = open == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(']', open);
+      if (timestamp.type() == model::ValueType::kTimestamp &&
+          close != std::string_view::npos) {
+        std::string_view level = line.substr(open + 1, close - open - 1);
+        std::string_view rest = TrimWhitespace(line.substr(close + 1));
+        size_t colon = rest.find(':');
+        if (colon != std::string_view::npos && colon > 0) {
+          doc.root.AddChild("timestamp", timestamp);
+          doc.root.AddChild("level",
+                            model::Value::String(ToLower(level)));
+          doc.root.AddChild(
+              "source",
+              model::Value::String(std::string(
+                  TrimWhitespace(rest.substr(0, colon)))));
+          doc.root.AddChild(
+              "message",
+              model::Value::String(std::string(
+                  TrimWhitespace(rest.substr(colon + 1)))));
+          structured = true;
+        }
+      }
+    }
+    if (!structured) {
+      doc.root.AddChild("message", model::Value::String(std::string(line)));
+    }
+    docs.push_back(std::move(doc));
+  }
+  if (docs.empty()) {
+    return Status::InvalidArgument("log input had no lines");
+  }
+  return docs;
+}
+
+Format DetectFormat(std::string_view content) {
+  std::string_view trimmed = TrimWhitespace(content);
+  if (trimmed.empty()) return Format::kPlainText;
+  if (trimmed.front() == '{' || trimmed.front() == '[') return Format::kJson;
+  if (trimmed.front() == '<') return Format::kXml;
+
+  // E-mail: first line looks like "Header: value" and a known header name.
+  size_t eol = trimmed.find('\n');
+  std::string_view first_line =
+      eol == std::string_view::npos ? trimmed : trimmed.substr(0, eol);
+  size_t colon = first_line.find(':');
+  if (colon != std::string_view::npos) {
+    std::string name = ToLower(TrimWhitespace(first_line.substr(0, colon)));
+    if (name == "from" || name == "to" || name == "subject" ||
+        name == "date" || name == "cc" || name == "message-id") {
+      return Format::kEmail;
+    }
+  }
+
+  // CSV: at least two lines, and a comma in the first line whose field
+  // count is matched by the second line.
+  if (eol != std::string_view::npos &&
+      first_line.find(',') != std::string_view::npos) {
+    std::string_view second = trimmed.substr(eol + 1);
+    size_t eol2 = second.find('\n');
+    if (eol2 != std::string_view::npos) second = second.substr(0, eol2);
+    if (SplitCsvLine(first_line).size() == SplitCsvLine(second).size() &&
+        !second.empty()) {
+      return Format::kCsv;
+    }
+  }
+  return Format::kPlainText;
+}
+
+Result<std::vector<model::Document>> IngestAny(std::string_view kind,
+                                               std::string_view content) {
+  switch (DetectFormat(content)) {
+    case Format::kCsv:
+      return FromCsv(kind, content);
+    case Format::kJson: {
+      IMPLIANCE_ASSIGN_OR_RETURN(model::Document doc, FromJson(kind, content));
+      return std::vector<model::Document>{std::move(doc)};
+    }
+    case Format::kXml: {
+      IMPLIANCE_ASSIGN_OR_RETURN(model::Document doc, FromXml(kind, content));
+      return std::vector<model::Document>{std::move(doc)};
+    }
+    case Format::kEmail: {
+      IMPLIANCE_ASSIGN_OR_RETURN(model::Document doc,
+                                 FromEmail(content, kind));
+      return std::vector<model::Document>{std::move(doc)};
+    }
+    case Format::kPlainText: {
+      return std::vector<model::Document>{
+          FromPlainText(kind, "", std::string(content))};
+    }
+  }
+  return Status::Internal("unreachable format");
+}
+
+}  // namespace impliance::ingest

@@ -1,0 +1,257 @@
+#include "ingest/json_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+namespace impliance::ingest {
+
+namespace {
+
+// Recursive-descent JSON parser writing into Item nodes.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view input) : input_(input) {}
+
+  Result<model::Item> Parse() {
+    model::Item root("doc");
+    IMPLIANCE_RETURN_IF_ERROR(ParseValueInto(&root, "doc"));
+    SkipWhitespace();
+    if (pos_ != input_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    return pos_ < input_.size() ? input_[pos_] : '\0';
+  }
+
+  // Parses the next JSON value and stores it into `node` (scalar -> value,
+  // object -> children, array -> repeated children named `array_name`).
+  Status ParseValueInto(model::Item* node, std::string_view array_name) {
+    switch (Peek()) {
+      case '{':
+        return ParseObjectInto(node);
+      case '[':
+        return ParseArrayInto(node, array_name);
+      case '"': {
+        IMPLIANCE_ASSIGN_OR_RETURN(std::string s, ParseString());
+        node->value = model::Value::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (input_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          node->value = model::Value::Bool(true);
+          return Status::OK();
+        }
+        return Error("expected 'true'");
+      case 'f':
+        if (input_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          node->value = model::Value::Bool(false);
+          return Status::OK();
+        }
+        return Error("expected 'false'");
+      case 'n':
+        if (input_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          node->value = model::Value::Null();
+          return Status::OK();
+        }
+        return Error("expected 'null'");
+      default:
+        return ParseNumberInto(node);
+    }
+  }
+
+  Status ParseObjectInto(model::Item* node) {
+    if (!Consume('{')) return Error("expected '{'");
+    if (Consume('}')) return Status::OK();  // empty object
+    while (true) {
+      if (Peek() != '"') return Error("expected object key");
+      IMPLIANCE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) return Error("expected ':'");
+      // Arrays under a key become repeated children named by the key,
+      // giving natural repeated-sibling structure.
+      if (Peek() == '[') {
+        IMPLIANCE_RETURN_IF_ERROR(ParseArrayAsRepeated(node, key));
+      } else {
+        model::Item& child = node->AddChild(key);
+        IMPLIANCE_RETURN_IF_ERROR(ParseValueInto(&child, key));
+      }
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  // [1, 2] under key "x" -> two children named "x".
+  Status ParseArrayAsRepeated(model::Item* parent, const std::string& name) {
+    if (!Consume('[')) return Error("expected '['");
+    if (Consume(']')) return Status::OK();  // empty array: no children
+    while (true) {
+      model::Item& child = parent->AddChild(name);
+      IMPLIANCE_RETURN_IF_ERROR(ParseValueInto(&child, name));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  // A top-level (or nested-in-array) array: children named "item".
+  Status ParseArrayInto(model::Item* node, std::string_view element_name) {
+    std::string name =
+        element_name.empty() ? "item" : std::string(element_name);
+    return ParseArrayAsRepeated(node, name == "doc" ? "item" : name);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= input_.size()) return Error("dangling escape");
+      char esc = input_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) return Error("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = input_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the code point (BMP only; surrogates unpaired
+          // are encoded as-is, adequate for ingestion).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumberInto(model::Item* node) {
+    SkipWhitespace();
+    const size_t start = pos_;
+    if (pos_ < input_.size() && (input_[pos_] == '-' || input_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view text = input_.substr(start, pos_ - start);
+    if (text.empty() || text == "-" || text == "+") {
+      return Error("expected a value");
+    }
+    if (!is_double) {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec == std::errc() && ptr == text.data() + text.size()) {
+        node->value = model::Value::Int(v);
+        return Status::OK();
+      }
+    }
+    double d = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), d);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      return Error("malformed number '" + std::string(text) + "'");
+    }
+    node->value = model::Value::Double(d);
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<model::Item> ParseJsonToItem(std::string_view json) {
+  return JsonParser(json).Parse();
+}
+
+}  // namespace impliance::ingest

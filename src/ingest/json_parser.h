@@ -1,0 +1,21 @@
+#ifndef IMPLIANCE_INGEST_JSON_PARSER_H_
+#define IMPLIANCE_INGEST_JSON_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "model/item.h"
+
+namespace impliance::ingest {
+
+// Parses a JSON value into an Item tree rooted at a node named "doc".
+// Mapping: object members become children named by key; array elements
+// become repeated children named "item" (or, for arrays that are object
+// members, repeated children with the member's name); scalars become typed
+// Values. Rejects trailing garbage. Supports the full JSON grammar except
+// \uXXXX escapes beyond Latin-1 (mapped byte-wise).
+Result<model::Item> ParseJsonToItem(std::string_view json);
+
+}  // namespace impliance::ingest
+
+#endif  // IMPLIANCE_INGEST_JSON_PARSER_H_

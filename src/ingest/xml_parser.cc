@@ -1,0 +1,214 @@
+#include "ingest/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace impliance::ingest {
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : input_(input) {}
+
+  Result<model::Item> Parse() {
+    SkipProlog();
+    if (Peek() != '<') return Error("expected root element");
+    model::Item root("doc");
+    IMPLIANCE_ASSIGN_OR_RETURN(std::string tag, ParseElementInto(&root));
+    if (tag != "doc") {
+      // Preserve the original root tag for provenance.
+      model::Item tag_item("@tag", model::Value::String(tag));
+      root.children.insert(root.children.begin(), std::move(tag_item));
+    }
+    SkipWhitespaceAndMisc();
+    if (pos_ != input_.size()) return Error("trailing content after root");
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("XML parse error at byte " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace, comments and processing instructions between nodes.
+  void SkipWhitespaceAndMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (input_.substr(pos_, 4) == "<!--") {
+        size_t end = input_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+      } else if (input_.substr(pos_, 2) == "<?") {
+        size_t end = input_.find("?>", pos_ + 2);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespaceAndMisc();
+    if (input_.substr(pos_, 2) == "<!") {  // DOCTYPE: skip to '>'
+      size_t end = input_.find('>', pos_);
+      pos_ = end == std::string_view::npos ? input_.size() : end + 1;
+      SkipWhitespaceAndMisc();
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string DecodeEntities(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] != '&') {
+        out.push_back(text[i]);
+        continue;
+      }
+      if (text.substr(i, 4) == "&lt;") {
+        out.push_back('<');
+        i += 3;
+      } else if (text.substr(i, 4) == "&gt;") {
+        out.push_back('>');
+        i += 3;
+      } else if (text.substr(i, 5) == "&amp;") {
+        out.push_back('&');
+        i += 4;
+      } else if (text.substr(i, 6) == "&quot;") {
+        out.push_back('"');
+        i += 5;
+      } else if (text.substr(i, 6) == "&apos;") {
+        out.push_back('\'');
+        i += 5;
+      } else {
+        out.push_back('&');
+      }
+    }
+    return out;
+  }
+
+  // Parses one element (cursor at '<'); fills `node` with attributes,
+  // children and text; returns the tag name.
+  Result<std::string> ParseElementInto(model::Item* node) {
+    if (Peek() != '<') return Error("expected '<'");
+    ++pos_;
+    IMPLIANCE_ASSIGN_OR_RETURN(std::string tag, ParseName());
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      char c = Peek();
+      if (c == '/') {
+        if (input_.substr(pos_, 2) != "/>") return Error("expected '/>'");
+        pos_ += 2;
+        return tag;  // self-closing, no content
+      }
+      if (c == '>') {
+        ++pos_;
+        break;
+      }
+      IMPLIANCE_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      SkipWhitespace();
+      if (Peek() != '=') return Error("expected '=' after attribute");
+      ++pos_;
+      SkipWhitespace();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') {
+        return Error("expected quoted attribute value");
+      }
+      ++pos_;
+      size_t end = input_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Error("unterminated attribute value");
+      }
+      std::string value = DecodeEntities(input_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+      node->AddChild("@" + attr, model::ParseValue(value));
+    }
+
+    // Content: interleaved text and child elements until </tag>.
+    std::string text;
+    while (true) {
+      if (pos_ >= input_.size()) return Error("unterminated element <" + tag);
+      if (input_[pos_] == '<') {
+        if (input_.substr(pos_, 2) == "</") {
+          pos_ += 2;
+          IMPLIANCE_ASSIGN_OR_RETURN(std::string close, ParseName());
+          if (close != tag) {
+            return Error("mismatched close tag </" + close + "> for <" + tag +
+                         ">");
+          }
+          SkipWhitespace();
+          if (Peek() != '>') return Error("expected '>' in close tag");
+          ++pos_;
+          break;
+        }
+        if (input_.substr(pos_, 4) == "<!--") {
+          size_t end = input_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) {
+            return Error("unterminated comment");
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        if (input_.substr(pos_, 9) == "<![CDATA[") {
+          size_t end = input_.find("]]>", pos_ + 9);
+          if (end == std::string_view::npos) return Error("unterminated CDATA");
+          text.append(input_.substr(pos_ + 9, end - pos_ - 9));
+          pos_ = end + 3;
+          continue;
+        }
+        model::Item child("");
+        IMPLIANCE_ASSIGN_OR_RETURN(std::string child_tag,
+                                   ParseElementInto(&child));
+        child.name = child_tag;
+        node->children.push_back(std::move(child));
+      } else {
+        size_t next = input_.find('<', pos_);
+        if (next == std::string_view::npos) next = input_.size();
+        text.append(DecodeEntities(input_.substr(pos_, next - pos_)));
+        pos_ = next;
+      }
+    }
+
+    std::string_view trimmed = TrimWhitespace(text);
+    if (!trimmed.empty()) {
+      node->value = model::ParseValue(trimmed);
+    }
+    return tag;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<model::Item> ParseXmlToItem(std::string_view xml) {
+  return XmlParser(xml).Parse();
+}
+
+}  // namespace impliance::ingest

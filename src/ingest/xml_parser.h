@@ -1,0 +1,22 @@
+#ifndef IMPLIANCE_INGEST_XML_PARSER_H_
+#define IMPLIANCE_INGEST_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "model/item.h"
+
+namespace impliance::ingest {
+
+// Parses an XML document into an Item tree. Mapping: the root element maps
+// to a node named "doc" with its tag preserved as a child "@tag" when the
+// tag is not "doc"; elements become children named by tag; attributes
+// become children named "@<attr>"; character data becomes the element's
+// (typed) value. Handles comments, processing instructions, the XML
+// declaration, CDATA sections, and the five predefined entities. No
+// namespaces or DTDs.
+Result<model::Item> ParseXmlToItem(std::string_view xml);
+
+}  // namespace impliance::ingest
+
+#endif  // IMPLIANCE_INGEST_XML_PARSER_H_

@@ -1,0 +1,87 @@
+#include "model/document.h"
+
+#include "common/coding.h"
+
+namespace impliance::model {
+
+void Document::Encode(std::string* dst) const {
+  PutVarint64(dst, id);
+  PutVarint32(dst, version);
+  dst->push_back(static_cast<char>(doc_class));
+  PutLengthPrefixed(dst, kind);
+  root.Encode(dst);
+  PutVarint64(dst, refs.size());
+  for (const DocRef& ref : refs) {
+    PutVarint64(dst, ref.target);
+    PutLengthPrefixed(dst, ref.relation);
+    PutLengthPrefixed(dst, ref.path);
+    PutVarint32(dst, ref.begin);
+    PutVarint32(dst, ref.end);
+  }
+}
+
+bool Document::Decode(std::string_view input, Document* out) {
+  uint64_t id = 0;
+  uint32_t version = 0;
+  if (!GetVarint64(&input, &id)) return false;
+  if (!GetVarint32(&input, &version)) return false;
+  if (input.empty()) return false;
+  uint8_t doc_class = static_cast<uint8_t>(input[0]);
+  if (doc_class > static_cast<uint8_t>(DocClass::kDerived)) return false;
+  input.remove_prefix(1);
+  std::string_view kind;
+  if (!GetLengthPrefixed(&input, &kind)) return false;
+  out->id = id;
+  out->version = version;
+  out->doc_class = static_cast<DocClass>(doc_class);
+  out->kind.assign(kind);
+  if (!Item::Decode(&input, &out->root)) return false;
+  uint64_t num_refs = 0;
+  if (!GetVarint64(&input, &num_refs)) return false;
+  if (num_refs > input.size()) return false;
+  out->refs.clear();
+  out->refs.resize(num_refs);
+  for (uint64_t i = 0; i < num_refs; ++i) {
+    DocRef& ref = out->refs[i];
+    std::string_view relation, path;
+    if (!GetVarint64(&input, &ref.target)) return false;
+    if (!GetLengthPrefixed(&input, &relation)) return false;
+    if (!GetLengthPrefixed(&input, &path)) return false;
+    if (!GetVarint32(&input, &ref.begin)) return false;
+    if (!GetVarint32(&input, &ref.end)) return false;
+    ref.relation.assign(relation);
+    ref.path.assign(path);
+  }
+  return input.empty();
+}
+
+bool Document::operator==(const Document& other) const {
+  return id == other.id && version == other.version &&
+         doc_class == other.doc_class && kind == other.kind &&
+         root == other.root && refs == other.refs;
+}
+
+Document MakeRecordDocument(
+    std::string kind, std::vector<std::pair<std::string, Value>> fields) {
+  Document doc;
+  doc.kind = std::move(kind);
+  doc.root = Item("doc");
+  for (auto& [name, value] : fields) {
+    doc.root.AddChild(std::move(name), std::move(value));
+  }
+  return doc;
+}
+
+Document MakeTextDocument(std::string kind, std::string title,
+                          std::string body) {
+  Document doc;
+  doc.kind = std::move(kind);
+  doc.root = Item("doc");
+  if (!title.empty()) {
+    doc.root.AddChild("title", Value::String(std::move(title)));
+  }
+  doc.root.AddChild("text", Value::String(std::move(body)));
+  return doc;
+}
+
+}  // namespace impliance::model

@@ -1,0 +1,75 @@
+#ifndef IMPLIANCE_MODEL_DOCUMENT_H_
+#define IMPLIANCE_MODEL_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/item.h"
+
+namespace impliance::model {
+
+using DocId = uint64_t;
+constexpr DocId kInvalidDocId = 0;
+
+// Storage-management data classes (Section 3.4): user-added data needs the
+// highest reliability; derived data (annotations, indexes, materialized
+// views) can be re-created and may be replicated less.
+enum class DocClass : uint8_t {
+  kBase = 0,        // user-infused data
+  kAnnotation = 1,  // discovery output referring to base documents
+  kDerived = 2,     // materialized/consolidated data
+};
+
+// A typed reference from one document to another — the mechanism by which
+// annotation documents point at the base documents they annotate, and by
+// which discovered relationships (join indexes, entity links) are recorded
+// (Figure 2).
+struct DocRef {
+  DocId target = kInvalidDocId;
+  std::string relation;  // e.g. "annotates", "references_customer"
+  std::string path;      // path within the target the ref is about (optional)
+  uint32_t begin = 0;    // byte span in the target's text (optional)
+  uint32_t end = 0;
+
+  bool operator==(const DocRef& other) const {
+    return target == other.target && relation == other.relation &&
+           path == other.path && begin == other.begin && end == other.end;
+  }
+};
+
+// The unit of storage and retrieval. Documents are immutable once persisted;
+// a logical update creates a new version (Section 4). `kind` tags the source
+// format/shape (e.g. "purchase_order.csv", "email") and is refined by the
+// schema mapper into a canonical schema class.
+struct Document {
+  DocId id = kInvalidDocId;
+  uint32_t version = 1;
+  DocClass doc_class = DocClass::kBase;
+  std::string kind;
+  Item root;
+  std::vector<DocRef> refs;
+
+  // Full text of all string leaves (for keyword indexing / span annotation).
+  std::string Text() const { return CollectText(root); }
+
+  void Encode(std::string* dst) const;
+  static bool Decode(std::string_view input, Document* out);
+
+  bool operator==(const Document& other) const;
+};
+
+// Builders for common shapes.
+
+// A flat record document: kind + (field, value) pairs under a "doc" root.
+Document MakeRecordDocument(std::string kind,
+                            std::vector<std::pair<std::string, Value>> fields);
+
+// A free-text document with a "text" leaf and optional title.
+Document MakeTextDocument(std::string kind, std::string title,
+                          std::string body);
+
+}  // namespace impliance::model
+
+#endif  // IMPLIANCE_MODEL_DOCUMENT_H_

@@ -1,0 +1,72 @@
+#ifndef IMPLIANCE_MODEL_ITEM_H_
+#define IMPLIANCE_MODEL_ITEM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/value.h"
+
+namespace impliance::model {
+
+// One node of a document tree. Every ingested object — a relational row, a
+// CSV record, an XML element, an e-mail, free text — is mapped to a tree of
+// Items ("schema per document", Section 3.2). A node carries a name, an
+// optional scalar value, and children; this covers both record-like and
+// markup-like shapes.
+struct Item {
+  std::string name;
+  Value value;
+  std::vector<Item> children;
+
+  Item() = default;
+  explicit Item(std::string n) : name(std::move(n)) {}
+  Item(std::string n, Value v) : name(std::move(n)), value(std::move(v)) {}
+
+  // Appends a scalar child and returns a reference to it.
+  Item& AddChild(std::string child_name, Value child_value = Value::Null());
+
+  // First child with the given name, or nullptr.
+  const Item* FindChild(std::string_view child_name) const;
+  Item* FindChild(std::string_view child_name);
+
+  bool is_leaf() const { return children.empty(); }
+
+  void Encode(std::string* dst) const;
+  static bool Decode(std::string_view* input, Item* out);
+
+  bool operator==(const Item& other) const;
+};
+
+// A (path, value) pair produced by flattening a document tree. Paths are
+// slash-separated node names rooted at the document root, e.g.
+// "/order/customer/name". Repeated siblings share the same path.
+struct PathValue {
+  std::string path;
+  const Value* value;  // points into the traversed tree
+};
+
+// Flattens the tree rooted at `root` into every root-to-node path paired
+// with that node's value (the paper indexes "every path in the document").
+// Nodes with null values still contribute their path (structure search).
+std::vector<PathValue> CollectPaths(const Item& root);
+
+// Distinct paths only, sorted — the structural fingerprint used by the
+// schema mapper to cluster documents with similar shape.
+std::vector<std::string> CollectDistinctPaths(const Item& root);
+
+// Value of the first node matching `path` (as produced by CollectPaths),
+// or nullptr if absent.
+const Value* ResolvePath(const Item& root, std::string_view path);
+
+// All values matching `path` (repeated siblings).
+std::vector<const Value*> ResolvePathAll(const Item& root,
+                                         std::string_view path);
+
+// Concatenation of every string leaf, separated by spaces — the document's
+// full text for keyword indexing.
+std::string CollectText(const Item& root);
+
+}  // namespace impliance::model
+
+#endif  // IMPLIANCE_MODEL_ITEM_H_

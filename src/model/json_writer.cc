@@ -1,0 +1,154 @@
+#include "model/json_writer.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace impliance::model {
+
+namespace {
+
+void AppendEscaped(std::string_view text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendIndent(int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+void AppendItemBody(const Item& item, int indent, std::string* out);
+
+// Renders either a single child or an array of same-named siblings.
+void AppendChildValue(const std::vector<const Item*>& group, int indent,
+                      std::string* out) {
+  if (group.size() == 1) {
+    AppendItemBody(*group[0], indent, out);
+    return;
+  }
+  *out += "[\n";
+  for (size_t i = 0; i < group.size(); ++i) {
+    AppendIndent(indent + 1, out);
+    AppendItemBody(*group[i], indent + 1, out);
+    if (i + 1 < group.size()) out->push_back(',');
+    out->push_back('\n');
+  }
+  AppendIndent(indent, out);
+  out->push_back(']');
+}
+
+void AppendItemBody(const Item& item, int indent, std::string* out) {
+  if (item.children.empty()) {
+    *out += ValueToJson(item.value);
+    return;
+  }
+  // Group children by name, preserving first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const Item*>> groups;
+  for (const Item& child : item.children) {
+    auto [it, inserted] = groups.try_emplace(child.name);
+    if (inserted) order.push_back(child.name);
+    it->second.push_back(&child);
+  }
+  *out += "{\n";
+  bool first = true;
+  if (!item.value.is_null()) {
+    AppendIndent(indent + 1, out);
+    *out += "\"#text\": ";
+    *out += ValueToJson(item.value);
+    first = false;
+  }
+  for (const std::string& name : order) {
+    if (!first) *out += ",\n";
+    first = false;
+    AppendIndent(indent + 1, out);
+    AppendEscaped(name, out);
+    *out += ": ";
+    AppendChildValue(groups[name], indent + 1, out);
+  }
+  out->push_back('\n');
+  AppendIndent(indent, out);
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string ValueToJson(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return value.bool_value() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(value.int_value());
+    case ValueType::kTimestamp:
+      return std::to_string(value.timestamp_value());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", value.double_value());
+      return buf;
+    }
+    case ValueType::kString: {
+      std::string out;
+      AppendEscaped(value.string_value(), &out);
+      return out;
+    }
+  }
+  return "null";
+}
+
+std::string ItemToJson(const Item& item, int indent) {
+  std::string out;
+  AppendItemBody(item, indent, &out);
+  return out;
+}
+
+std::string DocumentToJson(const Document& doc, int indent) {
+  std::string out;
+  AppendIndent(indent, &out);
+  out += "{\n";
+  AppendIndent(indent + 1, &out);
+  out += "\"_id\": " + std::to_string(doc.id) + ",\n";
+  AppendIndent(indent + 1, &out);
+  out += "\"_version\": " + std::to_string(doc.version) + ",\n";
+  AppendIndent(indent + 1, &out);
+  out += "\"_kind\": ";
+  AppendEscaped(doc.kind, &out);
+  out += ",\n";
+  AppendIndent(indent + 1, &out);
+  out += "\"doc\": ";
+  AppendItemBody(doc.root, indent + 1, &out);
+  out += "\n";
+  AppendIndent(indent, &out);
+  out += "}";
+  return out;
+}
+
+}  // namespace impliance::model

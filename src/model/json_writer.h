@@ -1,0 +1,20 @@
+#ifndef IMPLIANCE_MODEL_JSON_WRITER_H_
+#define IMPLIANCE_MODEL_JSON_WRITER_H_
+
+#include <string>
+
+#include "model/document.h"
+
+namespace impliance::model {
+
+// Renders a Value / Item tree / Document as JSON text (the API's output
+// format; the inverse direction lives in ingest/json_parser). Repeated
+// sibling names become JSON arrays; a node that has both a scalar value
+// and children renders the scalar under the reserved key "#text".
+std::string ValueToJson(const Value& value);
+std::string ItemToJson(const Item& item, int indent = 0);
+std::string DocumentToJson(const Document& doc, int indent = 0);
+
+}  // namespace impliance::model
+
+#endif  // IMPLIANCE_MODEL_JSON_WRITER_H_

@@ -1,0 +1,287 @@
+#include "model/value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace impliance::model {
+
+ValueType Value::type() const {
+  switch (repr_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return is_timestamp_ ? ValueType::kTimestamp : ValueType::kInt;
+    case 3:
+      return ValueType::kDouble;
+    case 4:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+bool Value::bool_value() const {
+  IMPLIANCE_CHECK(type() == ValueType::kBool);
+  return std::get<bool>(repr_);
+}
+
+int64_t Value::int_value() const {
+  IMPLIANCE_CHECK(type() == ValueType::kInt);
+  return std::get<int64_t>(repr_);
+}
+
+double Value::double_value() const {
+  IMPLIANCE_CHECK(type() == ValueType::kDouble);
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::string_value() const {
+  IMPLIANCE_CHECK(type() == ValueType::kString);
+  return std::get<std::string>(repr_);
+}
+
+int64_t Value::timestamp_value() const {
+  IMPLIANCE_CHECK(type() == ValueType::kTimestamp);
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return std::get<bool>(repr_) ? 1.0 : 0.0;
+    case ValueType::kInt:
+    case ValueType::kTimestamp:
+      return static_cast<double>(std::get<int64_t>(repr_));
+    case ValueType::kDouble:
+      return std::get<double>(repr_);
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::AsString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return std::get<bool>(repr_) ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(repr_));
+    case ValueType::kTimestamp: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "@%lld",
+                    static_cast<long long>(std::get<int64_t>(repr_)));
+      return buf;
+    }
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(repr_));
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(repr_);
+  }
+  return "";
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric types compare by value across int/double/timestamp so that
+  // index lookups work regardless of how ingestion typed a field.
+  if (is_numeric() && other.is_numeric()) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  ValueType ta = type();
+  ValueType tb = other.type();
+  if (ta != tb) return ta < tb ? -1 : 1;
+  switch (ta) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool a = std::get<bool>(repr_);
+      bool b = std::get<bool>(other.repr_);
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kString: {
+      int c = std::get<std::string>(repr_).compare(
+          std::get<std::string>(other.repr_));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;  // numeric handled above
+  }
+}
+
+uint64_t Value::HashValue() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6e756c6c;
+    case ValueType::kBool:
+      return Mix64(std::get<bool>(repr_) ? 1 : 2);
+    case ValueType::kInt:
+    case ValueType::kTimestamp: {
+      // Hash via double so 3 (int) and 3.0 (double) — which compare equal —
+      // also hash equal, keeping hash joins consistent with Compare().
+      double d = AsDouble();
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)) ^
+                     0x496e74);
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return Mix64(bits ^ 0x496e74);
+    }
+    case ValueType::kDouble: {
+      double d = std::get<double>(repr_);
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)) ^
+                     0x496e74);
+      }
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return Mix64(bits ^ 0x496e74);
+    }
+    case ValueType::kString:
+      return Hash64(std::get<std::string>(repr_));
+  }
+  return 0;
+}
+
+void Value::Encode(std::string* dst) const {
+  dst->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      dst->push_back(std::get<bool>(repr_) ? 1 : 0);
+      break;
+    case ValueType::kInt:
+    case ValueType::kTimestamp:
+      PutVarint64(dst, ZigZagEncode(std::get<int64_t>(repr_)));
+      break;
+    case ValueType::kDouble: {
+      double d = std::get<double>(repr_);
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      PutFixed64(dst, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutLengthPrefixed(dst, std::get<std::string>(repr_));
+      break;
+  }
+}
+
+bool Value::Decode(std::string_view* input, Value* out) {
+  if (input->empty()) return false;
+  ValueType type = static_cast<ValueType>((*input)[0]);
+  input->remove_prefix(1);
+  switch (type) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kBool: {
+      if (input->empty()) return false;
+      bool b = (*input)[0] != 0;
+      input->remove_prefix(1);
+      *out = Value::Bool(b);
+      return true;
+    }
+    case ValueType::kInt:
+    case ValueType::kTimestamp: {
+      uint64_t z;
+      if (!GetVarint64(input, &z)) return false;
+      int64_t v = ZigZagDecode(z);
+      *out = type == ValueType::kInt ? Value::Int(v) : Value::Timestamp(v);
+      return true;
+    }
+    case ValueType::kDouble: {
+      uint64_t bits;
+      if (!GetFixed64(input, &bits)) return false;
+      double d;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string_view s;
+      if (!GetLengthPrefixed(input, &s)) return false;
+      *out = Value::String(std::string(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+bool LooksLikeDate(std::string_view text, int64_t* micros) {
+  // Accepts YYYY-MM-DD; encodes as days-since-epoch-ish microseconds.
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return false;
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+  }
+  int year = (text[0] - '0') * 1000 + (text[1] - '0') * 100 +
+             (text[2] - '0') * 10 + (text[3] - '0');
+  int month = (text[5] - '0') * 10 + (text[6] - '0');
+  int day = (text[8] - '0') * 10 + (text[9] - '0');
+  if (month < 1 || month > 12 || day < 1 || day > 31) return false;
+  // Simplified civil-to-epoch conversion (30.44-day months would skew
+  // ordering; use a proper days-from-civil algorithm).
+  int y = year;
+  int m = month;
+  if (m <= 2) {
+    y -= 1;
+    m += 12;
+  }
+  int64_t era = (y >= 0 ? y : y - 399) / 400;
+  int64_t yoe = y - era * 400;
+  int64_t doy = (153 * (m - 3) + 2) / 5 + day - 1;
+  int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  int64_t days = era * 146097 + doe - 719468;
+  *micros = days * 86400LL * 1000000LL;
+  return true;
+}
+
+}  // namespace
+
+Value ParseValue(std::string_view text) {
+  if (text.empty()) return Value::Null();
+  if (text == "true") return Value::Bool(true);
+  if (text == "false") return Value::Bool(false);
+  if (text == "null") return Value::Null();
+
+  int64_t date_micros;
+  if (LooksLikeDate(text, &date_micros)) return Value::Timestamp(date_micros);
+
+  // Integer?
+  {
+    int64_t v;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec == std::errc() && ptr == text.data() + text.size()) {
+      return Value::Int(v);
+    }
+  }
+  // Double?
+  {
+    double v;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec == std::errc() && ptr == text.data() + text.size()) {
+      return Value::Double(v);
+    }
+  }
+  return Value::String(std::string(text));
+}
+
+}  // namespace impliance::model

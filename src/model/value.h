@@ -1,0 +1,101 @@
+#ifndef IMPLIANCE_MODEL_VALUE_H_
+#define IMPLIANCE_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/status.h"
+
+namespace impliance::model {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kTimestamp = 5,  // microseconds since epoch
+};
+
+// Typed scalar leaf of the uniform data model. Every attribute of every
+// ingested object — a relational column, a CSV cell, an XML text node, a
+// token span annotation — bottoms out in a Value.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Timestamp(int64_t micros) {
+    Value v{Repr(micros)};
+    v.is_timestamp_ = true;
+    return v;
+  }
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt || t == ValueType::kDouble ||
+           t == ValueType::kTimestamp;
+  }
+
+  // Accessors abort on type mismatch; use type() or the As* conversions when
+  // the type is not known statically.
+  bool bool_value() const;
+  int64_t int_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+  int64_t timestamp_value() const;
+
+  // Lossy conversions used by expression evaluation. AsDouble on non-numeric
+  // returns 0; AsString renders any type.
+  double AsDouble() const;
+  std::string AsString() const;
+
+  // Total order: first by type rank, then by value. Gives indexes and sorts
+  // a deterministic order over heterogeneous data.
+  int Compare(const Value& other) const;
+
+  uint64_t HashValue() const;
+
+  // Binary serialization (appends to *dst / consumes from *input).
+  void Encode(std::string* dst) const;
+  static bool Decode(std::string_view* input, Value* out);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+  bool is_timestamp_ = false;
+};
+
+// Best-effort parse of a textual field into a typed Value: int, double,
+// bool, ISO-ish date (-> Timestamp), else String. This is how ingestion
+// infers types without a schema.
+Value ParseValue(std::string_view text);
+
+}  // namespace impliance::model
+
+#endif  // IMPLIANCE_MODEL_VALUE_H_

@@ -1,0 +1,66 @@
+#include "model/view.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace impliance::model {
+
+int ViewDef::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Row DocumentToRow(const ViewDef& view, const Document& doc) {
+  Row row;
+  row.reserve(view.columns.size());
+  for (const ViewColumn& col : view.columns) {
+    const Value* v = ResolvePath(doc.root, col.path);
+    row.push_back(v == nullptr ? Value::Null() : *v);
+  }
+  return row;
+}
+
+ViewDef InferView(std::string name, std::string kind,
+                  const std::vector<const Document*>& sample) {
+  ViewDef view;
+  view.name = std::move(name);
+  view.kind = std::move(kind);
+
+  // Collect every leaf path seen in the sample, preserving first-seen order.
+  std::vector<std::string> ordered_paths;
+  std::set<std::string> seen;
+  for (const Document* doc : sample) {
+    for (const PathValue& pv : CollectPaths(doc->root)) {
+      if (pv.value->is_null()) continue;  // structural interior node
+      if (seen.insert(pv.path).second) ordered_paths.push_back(pv.path);
+    }
+  }
+
+  // Column names: last path segment, falling back to the full path (with
+  // slashes turned into underscores) when two paths share a leaf name.
+  std::map<std::string, int> leaf_counts;
+  for (const std::string& path : ordered_paths) {
+    std::vector<std::string> segs = Split(path, '/');
+    leaf_counts[segs.back()]++;
+  }
+  for (const std::string& path : ordered_paths) {
+    std::vector<std::string> segs = Split(path, '/');
+    std::string col_name = segs.back();
+    if (leaf_counts[col_name] > 1) {
+      col_name.clear();
+      for (const std::string& seg : segs) {
+        if (seg.empty()) continue;
+        if (!col_name.empty()) col_name += '_';
+        col_name += seg;
+      }
+    }
+    view.columns.push_back(ViewColumn{col_name, path});
+  }
+  return view;
+}
+
+}  // namespace impliance::model

@@ -1,0 +1,139 @@
+#include "query/faceted.h"
+
+#include <algorithm>
+
+namespace impliance::query {
+
+FacetedResult FacetedSearch::Run(const FacetedQuery& query) const {
+  FacetedResult result;
+
+  // 1. Candidate set. Keywords -> ranked; else all docs of the kind (or all
+  // docs with any indexed path).
+  std::vector<model::DocId> candidates;          // sorted by id
+  std::vector<model::DocId> ranked;              // keyword order
+  if (!query.keywords.empty()) {
+    for (const auto& hit :
+         inverted_->Search(query.keywords, static_cast<size_t>(-1))) {
+      ranked.push_back(hit.doc);
+    }
+    candidates = ranked;
+    std::sort(candidates.begin(), candidates.end());
+  } else if (!query.kind.empty()) {
+    candidates = paths_->DocsOfKind(query.kind);
+  } else {
+    for (const std::string& kind : paths_->Kinds()) {
+      std::vector<model::DocId> docs = paths_->DocsOfKind(kind);
+      candidates.insert(candidates.end(), docs.begin(), docs.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+
+  // 2. Kind restriction when keywords were also given.
+  if (!query.keywords.empty() && !query.kind.empty()) {
+    std::vector<model::DocId> of_kind = paths_->DocsOfKind(query.kind);
+    std::vector<model::DocId> merged;
+    std::set_intersection(candidates.begin(), candidates.end(),
+                          of_kind.begin(), of_kind.end(),
+                          std::back_inserter(merged));
+    candidates = std::move(merged);
+  }
+
+  // 3. Drill-downs.
+  for (const auto& [path, value] : query.drilldowns) {
+    candidates = facets_->Restrict(path, value, candidates);
+  }
+  result.total_matches = candidates.size();
+
+  // 4. Top-k results. Preserve keyword ranking when present.
+  if (!ranked.empty()) {
+    std::vector<model::DocId> kept(candidates.begin(), candidates.end());
+    std::sort(kept.begin(), kept.end());
+    for (model::DocId doc : ranked) {
+      if (std::binary_search(kept.begin(), kept.end(), doc)) {
+        result.docs.push_back(doc);
+        if (result.docs.size() >= query.top_k) break;
+      }
+    }
+  } else {
+    for (model::DocId doc : candidates) {
+      result.docs.push_back(doc);
+      if (result.docs.size() >= query.top_k) break;
+    }
+  }
+
+  // 5. Facet counts over the full matching set (not just top-k).
+  for (const std::string& path : query.facet_paths) {
+    result.facets[path] = facets_->CountFacet(path, candidates, 20);
+  }
+
+  // 5b. Numeric range facets: bucketize each candidate's value at the
+  // path via one ordered scan of the value index.
+  for (const FacetedQuery::RangeFacet& range : query.range_facets) {
+    if (range.boundaries.empty()) continue;
+    std::vector<FacetedResult::RangeBucket> buckets(range.boundaries.size() +
+                                                    1);
+    buckets.front().open_below = true;
+    buckets.front().upper = range.boundaries.front();
+    for (size_t i = 1; i < range.boundaries.size(); ++i) {
+      buckets[i].lower = range.boundaries[i - 1];
+      buckets[i].upper = range.boundaries[i];
+    }
+    buckets.back().lower = range.boundaries.back();
+    buckets.back().open_above = true;
+    values_->Scan(range.path,
+                  [&](const model::Value& value, model::DocId doc) {
+                    if (!std::binary_search(candidates.begin(),
+                                            candidates.end(), doc)) {
+                      return true;
+                    }
+                    const double v = value.AsDouble();
+                    size_t bucket = 0;
+                    while (bucket < range.boundaries.size() &&
+                           v >= range.boundaries[bucket]) {
+                      ++bucket;
+                    }
+                    ++buckets[bucket].count;
+                    return true;
+                  });
+    result.range_facet_buckets[range.path] = std::move(buckets);
+  }
+
+  // 6. Aggregates over the matching set via the value index.
+  for (const auto& [path, fn] : query.aggregates) {
+    double sum = 0, min = 0, max = 0;
+    size_t count = 0;
+    values_->Scan(path, [&](const model::Value& value, model::DocId doc) {
+      if (!std::binary_search(candidates.begin(), candidates.end(), doc)) {
+        return true;
+      }
+      const double v = value.AsDouble();
+      if (count == 0) {
+        min = v;
+        max = v;
+      } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+      }
+      sum += v;
+      ++count;
+      return true;
+    });
+    const std::string label = fn + "(" + path + ")";
+    if (fn == "sum") {
+      result.aggregate_values[label] = sum;
+    } else if (fn == "avg") {
+      result.aggregate_values[label] = count == 0 ? 0.0 : sum / count;
+    } else if (fn == "min") {
+      result.aggregate_values[label] = min;
+    } else if (fn == "max") {
+      result.aggregate_values[label] = max;
+    } else {
+      result.aggregate_values[label] = static_cast<double>(count);
+    }
+  }
+  return result;
+}
+
+}  // namespace impliance::query

@@ -1,0 +1,58 @@
+#include "query/graph_query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace impliance::query {
+
+std::optional<GraphQuery::Connection> GraphQuery::HowConnected(
+    model::DocId from, model::DocId to, size_t max_depth) const {
+  auto path = join_index_->FindConnection(from, to, max_depth);
+  if (!path.has_value()) return std::nullopt;
+  Connection connection;
+  connection.hops = path->size();
+  connection.edges = std::move(*path);
+  return connection;
+}
+
+std::string GraphQuery::Label(model::DocId doc) const {
+  if (label_fn_) {
+    std::string label = label_fn_(doc);
+    if (!label.empty()) return label;
+  }
+  return "doc(" + std::to_string(doc) + ")";
+}
+
+std::string GraphQuery::ExplainConnection(model::DocId from,
+                                          const Connection& connection) const {
+  std::string out = Label(from);
+  model::DocId current = from;
+  for (const index::JoinIndex::Edge& edge : connection.edges) {
+    const bool forward = edge.src == current;
+    const model::DocId next = forward ? edge.dst : edge.src;
+    out += forward ? " -[" + edge.relation + "]-> "
+                   : " <-[" + edge.relation + "]- ";
+    out += Label(next);
+    current = next;
+  }
+  return out;
+}
+
+std::vector<model::DocId> GraphQuery::RelatedWithin(model::DocId seed,
+                                                    size_t depth) const {
+  return join_index_->TransitiveClosure(seed, depth);
+}
+
+std::vector<model::DocId> GraphQuery::RelatedBy(
+    model::DocId doc, std::string_view relation) const {
+  std::set<model::DocId> related;
+  for (const auto& edge : join_index_->EdgesFrom(doc, relation)) {
+    related.insert(edge.dst);
+  }
+  for (const auto& edge : join_index_->EdgesTo(doc, relation)) {
+    related.insert(edge.src);
+  }
+  return std::vector<model::DocId>(related.begin(), related.end());
+}
+
+}  // namespace impliance::query

@@ -1,0 +1,60 @@
+#ifndef IMPLIANCE_QUERY_GRAPH_QUERY_H_
+#define IMPLIANCE_QUERY_GRAPH_QUERY_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/join_index.h"
+#include "model/document.h"
+
+namespace impliance::query {
+
+// The second, application-facing query interface (Section 3.2.1): "a
+// graph-based, web semantics-oriented query interface ... given two pieces
+// of data, we should be able to ask how they are connected." Runs over the
+// join index populated by ingestion refs and background discovery.
+class GraphQuery {
+ public:
+  // Resolves a doc id to a short human-readable label (kind + key), used by
+  // ExplainConnection. May be empty.
+  using LabelFn = std::function<std::string(model::DocId)>;
+
+  explicit GraphQuery(const index::JoinIndex* join_index,
+                      LabelFn label_fn = nullptr)
+      : join_index_(join_index), label_fn_(std::move(label_fn)) {}
+
+  struct Connection {
+    std::vector<index::JoinIndex::Edge> edges;
+    size_t hops = 0;
+  };
+
+  // How are `from` and `to` connected? Shortest undirected relationship
+  // chain within `max_depth` hops.
+  std::optional<Connection> HowConnected(model::DocId from, model::DocId to,
+                                         size_t max_depth = 6) const;
+
+  // Renders a connection as "doc(5) -[references_customer]-> doc(9) ...".
+  std::string ExplainConnection(model::DocId from,
+                                const Connection& connection) const;
+
+  // Everything within `depth` hops of `seed` (the e-discovery primitive:
+  // transitive closure of relationships, Section 2.1.3).
+  std::vector<model::DocId> RelatedWithin(model::DocId seed,
+                                          size_t depth) const;
+
+  // Direct neighbors through a specific relation, either direction.
+  std::vector<model::DocId> RelatedBy(model::DocId doc,
+                                      std::string_view relation) const;
+
+ private:
+  std::string Label(model::DocId doc) const;
+
+  const index::JoinIndex* join_index_;
+  LabelFn label_fn_;
+};
+
+}  // namespace impliance::query
+
+#endif  // IMPLIANCE_QUERY_GRAPH_QUERY_H_

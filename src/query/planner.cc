@@ -1,0 +1,510 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "common/string_util.h"
+#include "exec/operators.h"
+#include "query/sql_parser.h"
+
+namespace impliance::query {
+
+namespace {
+
+// Column resolution over the (possibly joined) plan schema. Qualified names
+// ("orders.total") match the owning table's columns; bare names match the
+// first occurrence.
+class NameResolver {
+ public:
+  NameResolver(const Table* left, const Table* right) {
+    for (const std::string& column : left->schema().columns) {
+      names_.push_back(column);
+      qualified_.push_back(left->table_name() + "." + column);
+    }
+    if (right != nullptr) {
+      for (const std::string& column : right->schema().columns) {
+        names_.push_back(column);
+        qualified_.push_back(right->table_name() + "." + column);
+      }
+    }
+  }
+
+  // Index in the combined schema, or -1.
+  int Resolve(const std::string& name) const {
+    for (size_t i = 0; i < qualified_.size(); ++i) {
+      if (qualified_[i] == name) return static_cast<int>(i);
+    }
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // Unqualified output name for the combined schema position.
+  const std::string& NameAt(int index) const { return names_[index]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::string> qualified_;
+};
+
+// Resolution of a column against ONE table (for access-path decisions).
+int ResolveInTable(const Table* table, const std::string& name) {
+  std::string bare = name;
+  const std::string prefix = table->table_name() + ".";
+  if (bare.rfind(prefix, 0) == 0) bare = bare.substr(prefix.size());
+  if (bare.find('.') != std::string::npos) return -1;  // other qualifier
+  return table->schema().IndexOf(bare);
+}
+
+bool IsRangeOp(exec::CompareOp op) {
+  return op == exec::CompareOp::kLt || op == exec::CompareOp::kLe ||
+         op == exec::CompareOp::kGt || op == exec::CompareOp::kGe;
+}
+
+struct AccessPath {
+  std::vector<exec::Row> rows;
+  std::string description;
+  // Index into stmt.where of the predicate consumed by the index (or -1).
+  int consumed_predicate = -1;
+};
+
+// Fetches base rows via the chosen index predicate, or a full scan.
+AccessPath AccessViaIndex(const Table* table, const SelectStatement& stmt,
+                          int predicate_index) {
+  AccessPath path;
+  if (predicate_index < 0) {
+    path.rows = table->ScanAll();
+    path.description = "Scan(" + table->table_name() + ")";
+    return path;
+  }
+  const WhereClause& clause = stmt.where[predicate_index];
+  const int column = ResolveInTable(table, clause.column);
+  path.consumed_predicate = predicate_index;
+  if (clause.op == exec::CompareOp::kEq) {
+    path.rows = table->IndexLookup(column, clause.literal);
+    path.description = "IndexLookup(" + table->table_name() + "." +
+                       clause.column + ")";
+  } else {
+    const model::Value* lo = nullptr;
+    const model::Value* hi = nullptr;
+    if (clause.op == exec::CompareOp::kGt || clause.op == exec::CompareOp::kGe) {
+      lo = &clause.literal;
+    } else {
+      hi = &clause.literal;
+    }
+    path.rows = table->IndexRange(column, lo, hi);
+    path.description = "IndexRange(" + table->table_name() + "." +
+                       clause.column + ")";
+    // Range via index is inclusive; strict bounds keep the predicate as a
+    // residual filter (cheap, correct).
+    path.consumed_predicate =
+        (clause.op == exec::CompareOp::kGe || clause.op == exec::CompareOp::kLe)
+            ? predicate_index
+            : -1;
+  }
+  return path;
+}
+
+struct PlanContext {
+  const SelectStatement& stmt;
+  const Table* left_table = nullptr;
+  const Table* right_table = nullptr;  // join, or nullptr
+  std::vector<std::string> explain_lines;
+};
+
+// Builds everything above the join: residual filter, aggregate, project,
+// order/limit. Shared by both planners; `adaptive_filter` is the one knob
+// that differs (besides access path / join choice made by the caller).
+Result<exec::OperatorPtr> BuildUpperPlan(PlanContext* ctx,
+                                         exec::OperatorPtr plan,
+                                         std::set<int> consumed_predicates,
+                                         std::vector<int> filter_order,
+                                         bool adaptive_filter) {
+  const SelectStatement& stmt = ctx->stmt;
+  NameResolver resolver(ctx->left_table, ctx->right_table);
+
+  // Residual predicates.
+  std::vector<exec::Predicate> predicates;
+  for (int index : filter_order) {
+    if (consumed_predicates.count(index)) continue;
+    const WhereClause& clause = stmt.where[index];
+    const int column = resolver.Resolve(clause.column);
+    if (column < 0) {
+      return Status::InvalidArgument("unknown column in WHERE: " +
+                                     clause.column);
+    }
+    predicates.push_back(exec::Predicate{column, clause.op, clause.literal});
+  }
+  if (!predicates.empty()) {
+    ctx->explain_lines.push_back(
+        std::string(adaptive_filter ? "AdaptiveFilter" : "Filter") + "(" +
+        std::to_string(predicates.size()) + " predicates)");
+    plan = std::make_unique<exec::FilterOp>(std::move(plan),
+                                            std::move(predicates),
+                                            adaptive_filter);
+  }
+
+  // Aggregation.
+  const bool has_aggregate =
+      !stmt.group_by.empty() ||
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& item) {
+                    return item.kind == SelectItem::Kind::kAggregate;
+                  });
+  if (has_aggregate) {
+    std::vector<int> group_columns;
+    for (const std::string& column : stmt.group_by) {
+      const int index = resolver.Resolve(column);
+      if (index < 0) {
+        return Status::InvalidArgument("unknown GROUP BY column: " + column);
+      }
+      group_columns.push_back(index);
+    }
+    std::vector<exec::AggSpec> aggregates;
+    for (const SelectItem& item : stmt.items) {
+      if (item.kind != SelectItem::Kind::kAggregate) continue;
+      exec::AggSpec spec;
+      spec.fn = item.agg_fn;
+      spec.output_name = item.alias;
+      if (!item.column.empty()) {
+        spec.column = resolver.Resolve(item.column);
+        if (spec.column < 0) {
+          return Status::InvalidArgument("unknown aggregate column: " +
+                                         item.column);
+        }
+      }
+      aggregates.push_back(std::move(spec));
+    }
+    ctx->explain_lines.push_back(
+        "HashAggregate(groups=" + std::to_string(group_columns.size()) +
+        ", aggs=" + std::to_string(aggregates.size()) + ")");
+    plan = std::make_unique<exec::HashAggregateOp>(
+        std::move(plan), std::move(group_columns), std::move(aggregates));
+
+    // Project the select list onto the aggregate's output order.
+    std::vector<int> columns;
+    std::vector<std::string> names;
+    for (const SelectItem& item : stmt.items) {
+      std::string wanted;
+      if (item.kind == SelectItem::Kind::kAggregate) {
+        wanted = item.alias;
+      } else if (item.kind == SelectItem::Kind::kColumn) {
+        // Must be a group-by column; match by bare name.
+        wanted = item.column;
+        size_t dot = wanted.rfind('.');
+        if (dot != std::string::npos) wanted = wanted.substr(dot + 1);
+      } else {
+        return Status::InvalidArgument("SELECT * with aggregation");
+      }
+      const int index = plan->schema().IndexOf(wanted);
+      if (index < 0) {
+        return Status::InvalidArgument(
+            "SELECT column not in GROUP BY or aggregates: " + wanted);
+      }
+      columns.push_back(index);
+      names.push_back(item.alias.empty() ? wanted : item.alias);
+    }
+    plan = std::make_unique<exec::ProjectOp>(std::move(plan),
+                                             std::move(columns),
+                                             std::move(names));
+  } else {
+    // Plain projection (unless SELECT *).
+    const bool star = stmt.items.size() == 1 &&
+                      stmt.items[0].kind == SelectItem::Kind::kStar;
+    if (!star) {
+      std::vector<int> columns;
+      std::vector<std::string> names;
+      for (const SelectItem& item : stmt.items) {
+        const int index = resolver.Resolve(item.column);
+        if (index < 0) {
+          return Status::InvalidArgument("unknown SELECT column: " +
+                                         item.column);
+        }
+        columns.push_back(index);
+        names.push_back(item.alias.empty() ? resolver.NameAt(index)
+                                           : item.alias);
+      }
+      plan = std::make_unique<exec::ProjectOp>(std::move(plan),
+                                               std::move(columns),
+                                               std::move(names));
+    }
+  }
+
+  // ORDER BY (against the current output schema) + LIMIT.
+  if (!stmt.order_by.empty()) {
+    std::vector<exec::SortKey> keys;
+    for (const OrderItem& item : stmt.order_by) {
+      int index = plan->schema().IndexOf(item.column);
+      if (index < 0) {
+        // Allow bare-name match against qualified select items.
+        std::string bare = item.column;
+        size_t dot = bare.rfind('.');
+        if (dot != std::string::npos) {
+          index = plan->schema().IndexOf(bare.substr(dot + 1));
+        }
+      }
+      if (index < 0) {
+        return Status::InvalidArgument("unknown ORDER BY column: " +
+                                       item.column);
+      }
+      keys.push_back(exec::SortKey{index, item.ascending});
+    }
+    if (stmt.limit.has_value()) {
+      ctx->explain_lines.push_back("TopK(k=" + std::to_string(*stmt.limit) +
+                                   ")");
+      plan = std::make_unique<exec::TopKOp>(std::move(plan), std::move(keys),
+                                            *stmt.limit);
+    } else {
+      ctx->explain_lines.push_back("Sort");
+      plan = std::make_unique<exec::SortOp>(std::move(plan), std::move(keys));
+    }
+  } else if (stmt.limit.has_value()) {
+    ctx->explain_lines.push_back("Limit(" + std::to_string(*stmt.limit) + ")");
+    plan = std::make_unique<exec::LimitOp>(std::move(plan), *stmt.limit);
+  }
+  return plan;
+}
+
+std::string RenderExplain(const std::vector<std::string>& lines) {
+  // Lines were appended bottom-up; render root-first.
+  std::string out;
+  for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+    if (!out.empty()) out += "\n";
+    out += *it;
+  }
+  return out;
+}
+
+// Shared lookup-callback builder for IndexedNLJoin.
+exec::IndexedNLJoinOp::LookupFn MakeIndexLookup(const Table* table,
+                                                int column) {
+  return [table, column](const model::Value& key) {
+    return table->IndexLookup(column, key);
+  };
+}
+
+struct ResolvedJoin {
+  int left_key = -1;    // in left table schema
+  int right_key = -1;   // in right table schema
+};
+
+Result<ResolvedJoin> ResolveJoin(const Table* left, const Table* right,
+                                 const JoinClause& join) {
+  ResolvedJoin resolved;
+  resolved.left_key = ResolveInTable(left, join.left_column);
+  resolved.right_key = ResolveInTable(right, join.right_column);
+  // The parser's side assignment is heuristic; swap if needed.
+  if (resolved.left_key < 0 || resolved.right_key < 0) {
+    resolved.left_key = ResolveInTable(left, join.right_column);
+    resolved.right_key = ResolveInTable(right, join.left_column);
+  }
+  if (resolved.left_key < 0 || resolved.right_key < 0) {
+    return Status::InvalidArgument("cannot resolve join columns " +
+                                   join.left_column + " = " +
+                                   join.right_column);
+  }
+  return resolved;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- SimplePlanner
+
+Result<PlanResult> SimplePlanner::Plan(const SelectStatement& stmt,
+                                       const Catalog& catalog) {
+  const Table* left = catalog.Lookup(stmt.table);
+  if (left == nullptr) {
+    return Status::NotFound("unknown table: " + stmt.table);
+  }
+  const Table* right = nullptr;
+  if (stmt.join.has_value()) {
+    right = catalog.Lookup(stmt.join->table);
+    if (right == nullptr) {
+      return Status::NotFound("unknown table: " + stmt.join->table);
+    }
+  }
+
+  PlanContext ctx{stmt, left, right, {}};
+
+  // Access path: the FIRST equality predicate with an index wins; else the
+  // first indexed range predicate; else scan. A rule, not a cost decision.
+  int chosen = -1;
+  for (size_t i = 0; i < stmt.where.size() && chosen < 0; ++i) {
+    const int column = ResolveInTable(left, stmt.where[i].column);
+    if (column >= 0 && stmt.where[i].op == exec::CompareOp::kEq &&
+        left->HasIndexOn(column)) {
+      chosen = static_cast<int>(i);
+    }
+  }
+  for (size_t i = 0; i < stmt.where.size() && chosen < 0; ++i) {
+    const int column = ResolveInTable(left, stmt.where[i].column);
+    if (column >= 0 && IsRangeOp(stmt.where[i].op) && left->HasIndexOn(column)) {
+      chosen = static_cast<int>(i);
+    }
+  }
+  AccessPath access = AccessViaIndex(left, stmt, chosen);
+  ctx.explain_lines.push_back(access.description);
+  exec::OperatorPtr plan = std::make_unique<exec::RowSourceOp>(
+      left->schema(), std::move(access.rows));
+
+  std::set<int> consumed;
+  if (access.consumed_predicate >= 0) consumed.insert(access.consumed_predicate);
+
+  if (right != nullptr) {
+    IMPLIANCE_ASSIGN_OR_RETURN(ResolvedJoin join,
+                               ResolveJoin(left, right, *stmt.join));
+    // Rule: top-k query + index on the join column -> IndexedNLJoin.
+    if (stmt.limit.has_value() && right->HasIndexOn(join.right_key)) {
+      ctx.explain_lines.push_back("IndexedNLJoin(" + right->table_name() + ")");
+      plan = std::make_unique<exec::IndexedNLJoinOp>(
+          std::move(plan), join.left_key,
+          MakeIndexLookup(right, join.right_key), right->schema());
+    } else {
+      ctx.explain_lines.push_back("HashJoin(build=" + right->table_name() +
+                                  ")");
+      auto build = std::make_unique<exec::RowSourceOp>(right->schema(),
+                                                       right->ScanAll());
+      plan = std::make_unique<exec::HashJoinOp>(std::move(plan),
+                                                std::move(build),
+                                                join.left_key, join.right_key);
+    }
+  }
+
+  // Residuals in textual order; the adaptive filter reorders at runtime.
+  std::vector<int> order;
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    order.push_back(static_cast<int>(i));
+  }
+  IMPLIANCE_ASSIGN_OR_RETURN(
+      plan, BuildUpperPlan(&ctx, std::move(plan), std::move(consumed),
+                           std::move(order), /*adaptive_filter=*/true));
+  return PlanResult{std::move(plan), RenderExplain(ctx.explain_lines)};
+}
+
+// -------------------------------------------------------- CostBasedPlanner
+
+double CostBasedPlanner::EstimateSelectivity(const std::string& table,
+                                             const WhereClause& clause) const {
+  auto it = stats_.find(table);
+  if (it == stats_.end()) return 1.0;
+  const TableStats& stats = it->second;
+  std::string bare = clause.column;
+  size_t dot = bare.rfind('.');
+  if (dot != std::string::npos) bare = bare.substr(dot + 1);
+  auto ndv_it = stats.distinct_values.find(bare);
+  const double ndv = ndv_it == stats.distinct_values.end()
+                         ? 10.0
+                         : static_cast<double>(std::max<size_t>(1, ndv_it->second));
+  switch (clause.op) {
+    case exec::CompareOp::kEq:
+      return 1.0 / ndv;
+    case exec::CompareOp::kNe:
+      return 1.0 - 1.0 / ndv;
+    case exec::CompareOp::kContains:
+      return 0.1;
+    default:
+      return 1.0 / 3.0;  // textbook range guess
+  }
+}
+
+Result<PlanResult> CostBasedPlanner::Plan(const SelectStatement& stmt,
+                                          const Catalog& catalog) {
+  const Table* left = catalog.Lookup(stmt.table);
+  if (left == nullptr) {
+    return Status::NotFound("unknown table: " + stmt.table);
+  }
+  const Table* right = nullptr;
+  if (stmt.join.has_value()) {
+    right = catalog.Lookup(stmt.join->table);
+    if (right == nullptr) {
+      return Status::NotFound("unknown table: " + stmt.join->table);
+    }
+  }
+
+  PlanContext ctx{stmt, left, right, {}};
+
+  auto stats_it = stats_.find(stmt.table);
+  const double left_rows = stats_it == stats_.end()
+                               ? 1000.0
+                               : static_cast<double>(stats_it->second.row_count);
+
+  // Access path: pick the indexed predicate with the LOWEST estimated
+  // selectivity, but only if it beats a scan by the classic 10% rule.
+  int best = -1;
+  double best_selectivity = 0.1;  // index must look at least this selective
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    const int column = ResolveInTable(left, stmt.where[i].column);
+    if (column < 0 || !left->HasIndexOn(column)) continue;
+    if (stmt.where[i].op != exec::CompareOp::kEq &&
+        !IsRangeOp(stmt.where[i].op)) {
+      continue;
+    }
+    const double selectivity = EstimateSelectivity(stmt.table, stmt.where[i]);
+    if (selectivity < best_selectivity) {
+      best_selectivity = selectivity;
+      best = static_cast<int>(i);
+    }
+  }
+  AccessPath access = AccessViaIndex(left, stmt, best);
+  ctx.explain_lines.push_back(access.description);
+  exec::OperatorPtr plan = std::make_unique<exec::RowSourceOp>(
+      left->schema(), std::move(access.rows));
+
+  std::set<int> consumed;
+  if (access.consumed_predicate >= 0) consumed.insert(access.consumed_predicate);
+
+  if (right != nullptr) {
+    IMPLIANCE_ASSIGN_OR_RETURN(ResolvedJoin join,
+                               ResolveJoin(left, right, *stmt.join));
+    auto right_stats = stats_.find(stmt.join->table);
+    const double right_rows =
+        right_stats == stats_.end()
+            ? 1000.0
+            : static_cast<double>(right_stats->second.row_count);
+    // Estimated probe-side cardinality after the access path.
+    double probe_estimate = best >= 0 ? left_rows * best_selectivity : left_rows;
+    // INLJ costs ~probe * lookup; hash join costs ~build + probe. Use INLJ
+    // when probes are (estimated) much cheaper than building.
+    if (right->HasIndexOn(join.right_key) && probe_estimate * 4 < right_rows) {
+      ctx.explain_lines.push_back("IndexedNLJoin(" + right->table_name() + ")");
+      plan = std::make_unique<exec::IndexedNLJoinOp>(
+          std::move(plan), join.left_key,
+          MakeIndexLookup(right, join.right_key), right->schema());
+    } else {
+      ctx.explain_lines.push_back("HashJoin(build=" + right->table_name() +
+                                  ")");
+      auto build = std::make_unique<exec::RowSourceOp>(right->schema(),
+                                                       right->ScanAll());
+      plan = std::make_unique<exec::HashJoinOp>(std::move(plan),
+                                                std::move(build),
+                                                join.left_key, join.right_key);
+    }
+  }
+
+  // Static predicate order by estimated selectivity (most selective first).
+  std::vector<int> order;
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    order.push_back(static_cast<int>(i));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return EstimateSelectivity(stmt.table, stmt.where[a]) <
+           EstimateSelectivity(stmt.table, stmt.where[b]);
+  });
+  IMPLIANCE_ASSIGN_OR_RETURN(
+      plan, BuildUpperPlan(&ctx, std::move(plan), std::move(consumed),
+                           std::move(order), /*adaptive_filter=*/false));
+  return PlanResult{std::move(plan), RenderExplain(ctx.explain_lines)};
+}
+
+Result<std::vector<exec::Row>> RunSql(std::string_view sql,
+                                      const Catalog& catalog,
+                                      Planner* planner) {
+  IMPLIANCE_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  IMPLIANCE_ASSIGN_OR_RETURN(PlanResult plan, planner->Plan(stmt, catalog));
+  return exec::Execute(plan.root.get());
+}
+
+}  // namespace impliance::query

@@ -1,0 +1,75 @@
+#ifndef IMPLIANCE_QUERY_PLANNER_H_
+#define IMPLIANCE_QUERY_PLANNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "exec/operator.h"
+#include "query/ast.h"
+#include "query/table.h"
+
+namespace impliance::query {
+
+// A compiled query: executable operator tree plus a human-readable plan.
+struct PlanResult {
+  exec::OperatorPtr root;
+  std::string explain;
+};
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+  virtual Result<PlanResult> Plan(const SelectStatement& stmt,
+                                  const Catalog& catalog) = 0;
+};
+
+// The paper's planner (Section 3.3): "a simple planner that allows only a
+// few limited choices of the underlying physical operators", preferring
+// predictable over optimal performance and requiring NO statistics:
+//   - access path: an index is used whenever an equality (else range)
+//     predicate has one — never a cost decision;
+//   - join: indexed nested-loop when the query is top-k (LIMIT) and the
+//     right side has an index on the join column, hash join otherwise;
+//   - residual predicates run through the adaptive filter, which reorders
+//     itself at runtime instead of consulting statistics.
+class SimplePlanner : public Planner {
+ public:
+  Result<PlanResult> Plan(const SelectStatement& stmt,
+                          const Catalog& catalog) override;
+};
+
+// Conventional cost-based comparator for experiment E2. Decisions use
+// registered statistics, which the caller may let go stale — exactly the
+// maintenance burden the paper argues against.
+class CostBasedPlanner : public Planner {
+ public:
+  struct TableStats {
+    size_t row_count = 0;
+    // column name -> number of distinct values.
+    std::map<std::string, size_t> distinct_values;
+  };
+
+  void SetStats(const std::string& table, TableStats stats) {
+    stats_[table] = std::move(stats);
+  }
+
+  Result<PlanResult> Plan(const SelectStatement& stmt,
+                          const Catalog& catalog) override;
+
+ private:
+  double EstimateSelectivity(const std::string& table,
+                             const WhereClause& clause) const;
+
+  std::map<std::string, TableStats> stats_;
+};
+
+// Parses and plans `sql`, executes the plan, and returns the rows.
+Result<std::vector<exec::Row>> RunSql(std::string_view sql,
+                                      const Catalog& catalog,
+                                      Planner* planner);
+
+}  // namespace impliance::query
+
+#endif  // IMPLIANCE_QUERY_PLANNER_H_

@@ -1,0 +1,354 @@
+#include "query/sql_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace impliance::query {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kSymbol,  // , ( ) = != < <= > >= *
+  kEnd,
+};
+
+struct SqlToken {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifiers lowercased; symbols verbatim
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<SqlToken>> Lex() {
+    std::vector<SqlToken> tokens;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) break;
+      char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        tokens.push_back(LexNumber());
+      } else if (c == '\'') {
+        IMPLIANCE_ASSIGN_OR_RETURN(SqlToken token, LexString());
+        tokens.push_back(std::move(token));
+      } else {
+        IMPLIANCE_ASSIGN_OR_RETURN(SqlToken token, LexSymbol());
+        tokens.push_back(std::move(token));
+      }
+    }
+    tokens.push_back(SqlToken{TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  SqlToken LexIdentifier() {
+    const size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_' || input_[pos_] == '.')) {
+      ++pos_;
+    }
+    return SqlToken{TokenKind::kIdentifier,
+                    ToLower(input_.substr(start, pos_ - start))};
+  }
+
+  SqlToken LexNumber() {
+    const size_t start = pos_;
+    if (input_[pos_] == '-') ++pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.')) {
+      ++pos_;
+    }
+    return SqlToken{TokenKind::kNumber,
+                    std::string(input_.substr(start, pos_ - start))};
+  }
+
+  Result<SqlToken> LexString() {
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_++];
+      if (c == '\'') {
+        if (pos_ < input_.size() && input_[pos_] == '\'') {
+          text.push_back('\'');
+          ++pos_;
+        } else {
+          return SqlToken{TokenKind::kString, std::move(text)};
+        }
+      } else {
+        text.push_back(c);
+      }
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  Result<SqlToken> LexSymbol() {
+    char c = input_[pos_];
+    switch (c) {
+      case ',':
+      case '(':
+      case ')':
+      case '*':
+      case '=':
+        ++pos_;
+        return SqlToken{TokenKind::kSymbol, std::string(1, c)};
+      case '!':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          pos_ += 2;
+          return SqlToken{TokenKind::kSymbol, "!="};
+        }
+        return Status::InvalidArgument("unexpected '!'");
+      case '<':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          pos_ += 2;
+          return SqlToken{TokenKind::kSymbol, "<="};
+        }
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+          pos_ += 2;
+          return SqlToken{TokenKind::kSymbol, "!="};
+        }
+        ++pos_;
+        return SqlToken{TokenKind::kSymbol, "<"};
+      case '>':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          pos_ += 2;
+          return SqlToken{TokenKind::kSymbol, ">="};
+        }
+        ++pos_;
+        return SqlToken{TokenKind::kSymbol, ">"};
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' in SQL");
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<SqlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    if (!ConsumeKeyword("select")) return Error("expected SELECT");
+    IMPLIANCE_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    if (!ConsumeKeyword("from")) return Error("expected FROM");
+    IMPLIANCE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (ConsumeKeyword("join")) {
+      IMPLIANCE_RETURN_IF_ERROR(ParseJoin(&stmt));
+    }
+    if (ConsumeKeyword("where")) {
+      IMPLIANCE_RETURN_IF_ERROR(ParseWhere(&stmt));
+    }
+    if (ConsumeKeyword("group")) {
+      if (!ConsumeKeyword("by")) return Error("expected BY after GROUP");
+      IMPLIANCE_RETURN_IF_ERROR(ParseColumnList(&stmt.group_by));
+    }
+    if (ConsumeKeyword("order")) {
+      if (!ConsumeKeyword("by")) return Error("expected BY after ORDER");
+      IMPLIANCE_RETURN_IF_ERROR(ParseOrderBy(&stmt));
+    }
+    if (ConsumeKeyword("limit")) {
+      if (Peek().kind != TokenKind::kNumber) return Error("expected limit count");
+      stmt.limit = static_cast<size_t>(std::stoull(Next().text));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing tokens near '" + Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("SQL parse error: " + message);
+  }
+
+  const SqlToken& Peek() const { return tokens_[pos_]; }
+  const SqlToken& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (Peek().kind == TokenKind::kIdentifier && Peek().text == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(std::string_view symbol) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == symbol) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected " + what + ", got '" + Peek().text + "'");
+    }
+    return Next().text;
+  }
+
+  static bool AggName(const std::string& name, exec::AggFn* fn) {
+    if (name == "count") *fn = exec::AggFn::kCount;
+    else if (name == "sum") *fn = exec::AggFn::kSum;
+    else if (name == "avg") *fn = exec::AggFn::kAvg;
+    else if (name == "min") *fn = exec::AggFn::kMin;
+    else if (name == "max") *fn = exec::AggFn::kMax;
+    else return false;
+    return true;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    while (true) {
+      SelectItem item;
+      if (ConsumeSymbol("*")) {
+        item.kind = SelectItem::Kind::kStar;
+      } else {
+        IMPLIANCE_ASSIGN_OR_RETURN(std::string name,
+                                   ExpectIdentifier("select item"));
+        exec::AggFn fn;
+        if (AggName(name, &fn) && ConsumeSymbol("(")) {
+          item.kind = SelectItem::Kind::kAggregate;
+          item.agg_fn = fn;
+          if (ConsumeSymbol("*")) {
+            if (fn != exec::AggFn::kCount) {
+              return Error("only COUNT(*) supports *");
+            }
+          } else {
+            IMPLIANCE_ASSIGN_OR_RETURN(item.column,
+                                       ExpectIdentifier("aggregate column"));
+          }
+          if (!ConsumeSymbol(")")) return Error("expected ')'");
+          item.alias = name + (item.column.empty() ? "" : "_" + item.column);
+        } else {
+          item.kind = SelectItem::Kind::kColumn;
+          item.column = name;
+          item.alias = name;
+        }
+        if (ConsumeKeyword("as")) {
+          IMPLIANCE_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        }
+      }
+      stmt->items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseJoin(SelectStatement* stmt) {
+    JoinClause join;
+    IMPLIANCE_ASSIGN_OR_RETURN(join.table, ExpectIdentifier("join table"));
+    if (!ConsumeKeyword("on")) return Error("expected ON");
+    IMPLIANCE_ASSIGN_OR_RETURN(std::string lhs, ExpectIdentifier("join column"));
+    if (!ConsumeSymbol("=")) return Error("expected '=' in join condition");
+    IMPLIANCE_ASSIGN_OR_RETURN(std::string rhs, ExpectIdentifier("join column"));
+    // Assign sides by qualifier if present: "<join.table>.x" is the right.
+    auto belongs_to_join = [&join](const std::string& name) {
+      return name.rfind(join.table + ".", 0) == 0;
+    };
+    if (belongs_to_join(lhs) && !belongs_to_join(rhs)) {
+      join.left_column = rhs;
+      join.right_column = lhs;
+    } else {
+      join.left_column = lhs;
+      join.right_column = rhs;
+    }
+    stmt->join = std::move(join);
+    return Status::OK();
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    while (true) {
+      WhereClause clause;
+      IMPLIANCE_ASSIGN_OR_RETURN(clause.column,
+                                 ExpectIdentifier("where column"));
+      if (ConsumeKeyword("contains")) {
+        clause.op = exec::CompareOp::kContains;
+      } else if (Peek().kind == TokenKind::kSymbol) {
+        const std::string symbol = Next().text;
+        if (symbol == "=") clause.op = exec::CompareOp::kEq;
+        else if (symbol == "!=") clause.op = exec::CompareOp::kNe;
+        else if (symbol == "<") clause.op = exec::CompareOp::kLt;
+        else if (symbol == "<=") clause.op = exec::CompareOp::kLe;
+        else if (symbol == ">") clause.op = exec::CompareOp::kGt;
+        else if (symbol == ">=") clause.op = exec::CompareOp::kGe;
+        else return Error("unsupported operator '" + symbol + "'");
+      } else {
+        return Error("expected comparison operator");
+      }
+      // Literal.
+      if (Peek().kind == TokenKind::kNumber) {
+        clause.literal = model::ParseValue(Next().text);
+      } else if (Peek().kind == TokenKind::kString) {
+        // Dates in quotes become timestamps; everything else stays string.
+        clause.literal = model::ParseValue(Next().text);
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 (Peek().text == "true" || Peek().text == "false" ||
+                  Peek().text == "null")) {
+        clause.literal = model::ParseValue(Next().text);
+      } else {
+        return Error("expected literal, got '" + Peek().text + "'");
+      }
+      stmt->where.push_back(std::move(clause));
+      if (!ConsumeKeyword("and")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseColumnList(std::vector<std::string>* columns) {
+    while (true) {
+      IMPLIANCE_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("column"));
+      columns->push_back(std::move(name));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrderBy(SelectStatement* stmt) {
+    while (true) {
+      OrderItem item;
+      IMPLIANCE_ASSIGN_OR_RETURN(item.column,
+                                 ExpectIdentifier("order column"));
+      if (ConsumeKeyword("desc")) {
+        item.ascending = false;
+      } else {
+        ConsumeKeyword("asc");
+      }
+      stmt->order_by.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSql(std::string_view sql) {
+  IMPLIANCE_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, Lexer(sql).Lex());
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace impliance::query

@@ -1,0 +1,19 @@
+#ifndef IMPLIANCE_QUERY_SQL_PARSER_H_
+#define IMPLIANCE_QUERY_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace impliance::query {
+
+// Parses the SQL subset described in ast.h. Keywords are case-insensitive;
+// string literals use single quotes ('' escapes a quote); numbers may be
+// integers or decimals. Traditional SQL "can be mapped to this new query
+// interface" (Section 3.2.1) — this is that mapping's front half.
+Result<SelectStatement> ParseSql(std::string_view sql);
+
+}  // namespace impliance::query
+
+#endif  // IMPLIANCE_QUERY_SQL_PARSER_H_

@@ -1,0 +1,72 @@
+#include "query/table.h"
+
+#include "common/logging.h"
+
+namespace impliance::query {
+
+MemTable::MemTable(std::string name, exec::Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+void MemTable::AddRow(exec::Row row) {
+  IMPLIANCE_CHECK(row.size() == schema_.size());
+  const size_t index = rows_.size();
+  rows_.push_back(std::move(row));
+  for (auto& [column, map] : indexes_) {
+    const model::Value& key = rows_.back()[column];
+    if (!key.is_null()) map.emplace(key, index);
+  }
+}
+
+void MemTable::BuildIndex(int column) {
+  IMPLIANCE_CHECK(column >= 0 && static_cast<size_t>(column) < schema_.size());
+  std::multimap<model::Value, size_t>& map = indexes_[column];
+  map.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const model::Value& key = rows_[i][column];
+    if (!key.is_null()) map.emplace(key, i);
+  }
+}
+
+std::vector<exec::Row> MemTable::IndexLookup(int column,
+                                             const model::Value& value) const {
+  auto it = indexes_.find(column);
+  IMPLIANCE_CHECK(it != indexes_.end()) << "no index on column " << column;
+  std::vector<exec::Row> result;
+  auto [lo, hi] = it->second.equal_range(value);
+  for (auto entry = lo; entry != hi; ++entry) {
+    result.push_back(rows_[entry->second]);
+  }
+  return result;
+}
+
+std::vector<exec::Row> MemTable::IndexRange(int column, const model::Value* lo,
+                                            const model::Value* hi) const {
+  auto it = indexes_.find(column);
+  IMPLIANCE_CHECK(it != indexes_.end()) << "no index on column " << column;
+  const auto& map = it->second;
+  auto begin = lo == nullptr ? map.begin() : map.lower_bound(*lo);
+  auto end = hi == nullptr ? map.end() : map.upper_bound(*hi);
+  std::vector<exec::Row> result;
+  for (auto entry = begin; entry != end; ++entry) {
+    result.push_back(rows_[entry->second]);
+  }
+  return result;
+}
+
+void Catalog::Register(std::shared_ptr<const Table> table) {
+  tables_[table->table_name()] = std::move(table);
+}
+
+const Table* Catalog::Lookup(std::string_view name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace impliance::query

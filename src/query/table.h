@@ -1,0 +1,85 @@
+#ifndef IMPLIANCE_QUERY_TABLE_H_
+#define IMPLIANCE_QUERY_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "model/value.h"
+
+namespace impliance::query {
+
+// Logical relation the planners access: either a system view over documents
+// (bound by the core facade) or an in-memory table (tests, benches,
+// baselines). The planner only sees this interface, so plans are identical
+// regardless of what backs the data.
+class Table {
+ public:
+  virtual ~Table() = default;
+
+  virtual const std::string& table_name() const = 0;
+  virtual const exec::Schema& schema() const = 0;
+
+  // Full scan, materialized.
+  virtual std::vector<exec::Row> ScanAll() const = 0;
+
+  virtual bool HasIndexOn(int column) const = 0;
+
+  // Rows whose `column` equals `value`. Only valid if HasIndexOn(column).
+  virtual std::vector<exec::Row> IndexLookup(int column,
+                                             const model::Value& value) const = 0;
+
+  // Rows with `column` in [lo, hi] (nullptr = unbounded).
+  virtual std::vector<exec::Row> IndexRange(int column, const model::Value* lo,
+                                            const model::Value* hi) const = 0;
+
+  // True cardinality (the simple planner never asks; the cost-based planner
+  // uses Stats which may be stale).
+  virtual size_t RowCount() const = 0;
+};
+
+// Vector-backed table with optional per-column hash + ordered indexes.
+class MemTable : public Table {
+ public:
+  MemTable(std::string name, exec::Schema schema);
+
+  void AddRow(exec::Row row);
+  // Builds (or rebuilds) an index on `column`.
+  void BuildIndex(int column);
+
+  const std::string& table_name() const override { return name_; }
+  const exec::Schema& schema() const override { return schema_; }
+  std::vector<exec::Row> ScanAll() const override { return rows_; }
+  bool HasIndexOn(int column) const override {
+    return indexes_.count(column) > 0;
+  }
+  std::vector<exec::Row> IndexLookup(int column,
+                                     const model::Value& value) const override;
+  std::vector<exec::Row> IndexRange(int column, const model::Value* lo,
+                                    const model::Value* hi) const override;
+  size_t RowCount() const override { return rows_.size(); }
+
+ private:
+  std::string name_;
+  exec::Schema schema_;
+  std::vector<exec::Row> rows_;
+  // column -> ordered multimap value -> row indices.
+  std::map<int, std::multimap<model::Value, size_t>> indexes_;
+};
+
+// Name -> table registry handed to the planner.
+class Catalog {
+ public:
+  void Register(std::shared_ptr<const Table> table);
+  const Table* Lookup(std::string_view name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const Table>, std::less<>> tables_;
+};
+
+}  // namespace impliance::query
+
+#endif  // IMPLIANCE_QUERY_TABLE_H_

@@ -1,0 +1,99 @@
+#include "storage/block_cache.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace impliance::storage {
+
+BlockCache::BlockCache(size_t capacity_bytes)
+    : shard_capacity_(capacity_bytes / kNumShards + 1) {}
+
+uint64_t BlockCache::MakeKey(uint64_t file_id, uint64_t offset) {
+  return Mix64(file_id * 0x100000001B3ULL + offset);
+}
+
+BlockCache::Shard& BlockCache::ShardFor(uint64_t key) {
+  return shards_[key % kNumShards];
+}
+
+std::optional<std::string> BlockCache::Get(uint64_t file_id, uint64_t offset) {
+  const uint64_t key = MakeKey(file_id, offset);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->data;
+}
+
+void BlockCache::Put(uint64_t file_id, uint64_t offset, std::string data) {
+  const uint64_t key = MakeKey(file_id, offset);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->data.size();
+    it->second->data = std::move(data);
+    shard.bytes += it->second->data.size();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(data)});
+    shard.map[key] = shard.lru.begin();
+    shard.bytes += shard.lru.front().data.size();
+  }
+  while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.data.size();
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+void BlockCache::EraseFile(uint64_t file_id) {
+  // Keys do not encode the file id recoverably, so walk each shard.
+  // EraseFile is rare (compaction/close), so O(entries) is acceptable.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      // Re-derive membership by probing: without the original offset we
+      // cannot recompute the key, so EraseFile conservatively clears the
+      // whole shard map. Correctness is unaffected (cache is advisory).
+      shard.bytes -= it->data.size();
+      shard.map.erase(it->key);
+      it = shard.lru.erase(it);
+    }
+  }
+}
+
+uint64_t BlockCache::hits() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.hits;
+  }
+  return total;
+}
+
+uint64_t BlockCache::misses() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.misses;
+  }
+  return total;
+}
+
+size_t BlockCache::charged_bytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+}  // namespace impliance::storage

@@ -1,0 +1,58 @@
+#ifndef IMPLIANCE_STORAGE_BLOCK_CACHE_H_
+#define IMPLIANCE_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace impliance::storage {
+
+// Sharded LRU cache mapping (file_id, offset) -> raw record bytes. Charged
+// by payload size. Thread-safe; one mutex per shard.
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  std::optional<std::string> Get(uint64_t file_id, uint64_t offset);
+  void Put(uint64_t file_id, uint64_t offset, std::string data);
+
+  // Drops every entry belonging to `file_id` (segment deleted/compacted).
+  void EraseFile(uint64_t file_id);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t charged_bytes() const;
+
+ private:
+  static constexpr int kNumShards = 8;
+
+  struct Entry {
+    uint64_t key;
+    std::string data;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  static uint64_t MakeKey(uint64_t file_id, uint64_t offset);
+  Shard& ShardFor(uint64_t key);
+
+  size_t shard_capacity_;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace impliance::storage
+
+#endif  // IMPLIANCE_STORAGE_BLOCK_CACHE_H_

@@ -1,0 +1,56 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace impliance::storage {
+
+BloomFilter::BloomFilter(size_t expected_keys) {
+  const size_t bits = std::max<size_t>(64, expected_keys * 10);
+  bits_.assign((bits + 7) / 8, 0);
+}
+
+bool BloomFilter::Deserialize(std::string_view data, BloomFilter* out) {
+  uint32_t num_hashes = 0;
+  std::string_view bytes;
+  if (!GetVarint32(&data, &num_hashes)) return false;
+  if (!GetLengthPrefixed(&data, &bytes)) return false;
+  if (num_hashes == 0 || num_hashes > 32 || bytes.empty()) return false;
+  out->num_hashes_ = static_cast<int>(num_hashes);
+  out->bits_.assign(bytes.begin(), bytes.end());
+  return true;
+}
+
+void BloomFilter::Add(uint64_t key) {
+  const size_t nbits = bits_.size() * 8;
+  uint64_t h = Mix64(key);
+  const uint64_t delta = Mix64(key ^ 0x9E3779B97F4A7C15ULL) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t bit = h % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    h += delta;
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  const size_t nbits = bits_.size() * 8;
+  uint64_t h = Mix64(key);
+  const uint64_t delta = Mix64(key ^ 0x9E3779B97F4A7C15ULL) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const size_t bit = h % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+void BloomFilter::Serialize(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(num_hashes_));
+  PutLengthPrefixed(
+      dst, std::string_view(reinterpret_cast<const char*>(bits_.data()),
+                            bits_.size()));
+}
+
+}  // namespace impliance::storage

@@ -1,0 +1,77 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace impliance::storage {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   bool sync_each_record) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(file, sync_each_record));
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  std::string header;
+  PutFixed32(&header, Crc32c(payload));
+  PutVarint64(&header, payload.size());
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::IOError("WAL write failed");
+  }
+  bytes_written_ += header.size() + payload.size();
+  if (sync_each_record_) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ReadWalRecords(const std::string& path) {
+  std::vector<std::string> records;
+  if (!std::filesystem::exists(path)) return records;
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot read WAL " + path);
+  }
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(file);
+
+  std::string_view input(contents);
+  while (!input.empty()) {
+    uint32_t crc = 0;
+    uint64_t size = 0;
+    std::string_view cursor = input;
+    if (!GetFixed32(&cursor, &crc)) break;
+    if (!GetVarint64(&cursor, &size)) break;
+    if (cursor.size() < size) break;  // torn tail record
+    std::string_view payload = cursor.substr(0, size);
+    if (Crc32c(payload) != crc) break;  // corrupt record: stop replay
+    records.emplace_back(payload);
+    input = cursor.substr(size);
+  }
+  return records;
+}
+
+}  // namespace impliance::storage

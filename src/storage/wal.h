@@ -1,0 +1,48 @@
+#ifndef IMPLIANCE_STORAGE_WAL_H_
+#define IMPLIANCE_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace impliance::storage {
+
+// Write-ahead log. Record layout on disk:
+//   fixed32 crc32c(payload) | varint64 payload_size | payload bytes
+// Replay stops cleanly at the first torn/corrupt record, which models a
+// crash mid-write; everything before it is recovered.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 bool sync_each_record);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status Append(std::string_view payload);
+  Status Sync();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  WalWriter(std::FILE* file, bool sync_each_record)
+      : file_(file), sync_each_record_(sync_each_record) {}
+
+  std::FILE* file_;
+  bool sync_each_record_;
+  uint64_t bytes_written_ = 0;
+};
+
+// Reads every intact record from a WAL file. A missing file yields an empty
+// record list (fresh store).
+Result<std::vector<std::string>> ReadWalRecords(const std::string& path);
+
+}  // namespace impliance::storage
+
+#endif  // IMPLIANCE_STORAGE_WAL_H_

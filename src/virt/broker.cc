@@ -1,0 +1,61 @@
+#include "virt/broker.h"
+
+namespace impliance::virt {
+
+std::optional<uint32_t> Broker::Acquire(ResourceGroup* requester,
+                                        cluster::NodeKind kind) {
+  ++stats_.requests;
+  // Local spare first: no broker involvement needed.
+  if (std::optional<uint32_t> local = requester->AllocateLocal(kind)) {
+    ++stats_.satisfied;
+    return local;
+  }
+  std::optional<uint32_t> id = mode_ == Mode::kFlat
+                                   ? AcquireFlat(requester, kind)
+                                   : AcquireHierarchical(requester, kind);
+  if (id.has_value()) ++stats_.satisfied;
+  return id;
+}
+
+std::optional<uint32_t> Broker::TransferWithin(ResourceGroup* scope,
+                                               ResourceGroup* requester,
+                                               cluster::NodeKind kind) {
+  for (ResourceGroup* leaf : scope->Leaves()) {
+    if (leaf == requester) continue;
+    ++stats_.groups_inspected;
+    if (std::optional<ResourceGroup::Resource> donated = leaf->Donate(kind)) {
+      requester->Receive(*donated);
+      // The freshly received resource is immediately allocated.
+      return requester->AllocateLocal(kind);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> Broker::AcquireFlat(ResourceGroup* requester,
+                                            cluster::NodeKind kind) {
+  return TransferWithin(root_, requester, kind);
+}
+
+std::optional<uint32_t> Broker::AcquireHierarchical(ResourceGroup* requester,
+                                                    cluster::NodeKind kind) {
+  // Walk up the hierarchy, widening the search scope one ancestor at a
+  // time. Each widening only inspects the *new* subtrees (the ancestor's
+  // other children), never re-scanning where we already looked.
+  ResourceGroup* already_searched = requester;
+  for (ResourceGroup* scope = requester->parent(); scope != nullptr;
+       scope = scope->parent()) {
+    ++stats_.escalations;
+    for (const auto& child : scope->children()) {
+      if (child.get() == already_searched) continue;
+      if (std::optional<uint32_t> id =
+              TransferWithin(child.get(), requester, kind)) {
+        return id;
+      }
+    }
+    already_searched = scope;
+  }
+  return std::nullopt;
+}
+
+}  // namespace impliance::virt

@@ -1,0 +1,42 @@
+#include "virt/execution_manager.h"
+
+#include <condition_variable>
+
+#include "common/clock.h"
+
+namespace impliance::virt {
+
+void ExecutionManager::SubmitBackground(std::function<void()> task) {
+  pool_.Submit(std::move(task), ThreadPool::Priority::kLow);
+}
+
+void ExecutionManager::RunInteractive(std::function<void()> task) {
+  Stopwatch watch;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  // Without priority scheduling, interactive queries queue FIFO behind
+  // whatever background work is already waiting.
+  const ThreadPool::Priority priority = priority_scheduling_
+                                            ? ThreadPool::Priority::kHigh
+                                            : ThreadPool::Priority::kLow;
+  pool_.Submit(
+      [&task, &done_mutex, &done_cv, &done] {
+        task();
+        {
+          std::lock_guard<std::mutex> lock(done_mutex);
+          done = true;
+        }
+        done_cv.notify_one();
+      },
+      priority);
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&done] { return done; });
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_.Add(watch.ElapsedMillis());
+}
+
+}  // namespace impliance::virt

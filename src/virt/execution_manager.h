@@ -1,0 +1,50 @@
+#ifndef IMPLIANCE_VIRT_EXECUTION_MANAGER_H_
+#define IMPLIANCE_VIRT_EXECUTION_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/histogram.h"
+#include "common/thread_pool.h"
+
+namespace impliance::virt {
+
+// Execution management (Section 3.4): "managing queues of long-running
+// analysis tasks and properly interleaving these analysis tasks with the
+// execution of queries with more stringent response-time requirements."
+// Interactive work runs at high priority ahead of queued background
+// discovery; the `priority_scheduling` knob exists so experiment E11 can
+// measure what happens without it (plain FIFO).
+class ExecutionManager {
+ public:
+  ExecutionManager(size_t num_threads, bool priority_scheduling)
+      : priority_scheduling_(priority_scheduling), pool_(num_threads) {}
+
+  // Enqueues long-running analysis work (annotation passes, mining).
+  void SubmitBackground(std::function<void()> task);
+
+  // Runs an interactive query: blocks until done, records its latency
+  // (queue wait + execution) in the interactive histogram.
+  void RunInteractive(std::function<void()> task);
+
+  void WaitIdle() { pool_.WaitIdle(); }
+
+  // Latency of interactive tasks, milliseconds.
+  Histogram interactive_latency_ms() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return latencies_;
+  }
+
+  size_t pending_tasks() const { return pool_.pending_tasks(); }
+
+ private:
+  bool priority_scheduling_;
+  ThreadPool pool_;
+  mutable std::mutex mutex_;
+  Histogram latencies_;
+};
+
+}  // namespace impliance::virt
+
+#endif  // IMPLIANCE_VIRT_EXECUTION_MANAGER_H_

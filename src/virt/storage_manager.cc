@@ -1,0 +1,38 @@
+#include "virt/storage_manager.h"
+
+#include "common/clock.h"
+
+namespace impliance::virt {
+
+size_t StorageManager::CopiesFor(model::DocClass doc_class) const {
+  switch (doc_class) {
+    case model::DocClass::kBase:
+      return policy_.base_copies;
+    case model::DocClass::kDerived:
+      return policy_.derived_copies;
+    case model::DocClass::kAnnotation:
+      return policy_.annotation_copies;
+  }
+  return policy_.base_copies;
+}
+
+Result<model::DocId> StorageManager::Store(model::Document doc) {
+  const size_t copies = CopiesFor(doc.doc_class);
+  return cluster_->Ingest(std::move(doc), copies);
+}
+
+StorageManager::RepairReport StorageManager::RunRepairCycle() {
+  RepairReport report;
+  Stopwatch watch;
+  report.nodes_detected_down = cluster_->DetectFailures().size();
+  const size_t total = cluster_->num_documents();
+  report.docs_under_replicated_before =
+      total - cluster_->num_fully_replicated_documents();
+  report.bytes_copied = cluster_->ReReplicate();
+  report.docs_under_replicated_after =
+      total - cluster_->num_fully_replicated_documents();
+  report.repair_millis = watch.ElapsedMillis();
+  return report;
+}
+
+}  // namespace impliance::virt

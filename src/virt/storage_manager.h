@@ -1,0 +1,51 @@
+#ifndef IMPLIANCE_VIRT_STORAGE_MANAGER_H_
+#define IMPLIANCE_VIRT_STORAGE_MANAGER_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "model/document.h"
+
+namespace impliance::virt {
+
+// Autonomic storage management (Section 3.4): decides "how much to
+// replicate the data for reliability" by data class — user-added data gets
+// the most copies; derived data (annotations, consolidated documents) can
+// be re-created and gets fewer — and repairs redundancy after failures
+// without an administrator turning RAID/replication knobs.
+class StorageManager {
+ public:
+  struct Policy {
+    size_t base_copies = 3;        // user data: highest reliability
+    size_t derived_copies = 2;     // materialized/consolidated data
+    size_t annotation_copies = 1;  // cheaply re-creatable
+  };
+
+  struct RepairReport {
+    size_t nodes_detected_down = 0;
+    size_t docs_under_replicated_before = 0;
+    size_t docs_under_replicated_after = 0;
+    uint64_t bytes_copied = 0;
+    double repair_millis = 0;
+  };
+
+  StorageManager(cluster::SimulatedCluster* cluster, const Policy& policy)
+      : cluster_(cluster), policy_(policy) {}
+
+  size_t CopiesFor(model::DocClass doc_class) const;
+
+  // Ingest under the class policy.
+  Result<model::DocId> Store(model::Document doc);
+
+  // One autonomic maintenance cycle: detect failures, fail ownership over,
+  // re-replicate to policy.
+  RepairReport RunRepairCycle();
+
+ private:
+  cluster::SimulatedCluster* cluster_;
+  Policy policy_;
+};
+
+}  // namespace impliance::virt
+
+#endif  // IMPLIANCE_VIRT_STORAGE_MANAGER_H_

@@ -1,0 +1,272 @@
+#include "workload/corpus.h"
+
+#include <cstdio>
+
+namespace impliance::workload {
+
+namespace {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "ada",   "grace", "alan",  "edgar", "barbara", "donald",
+      "edsger", "tony",  "john",  "jim",   "leslie",  "ken",
+      "dennis", "bjarne", "niklaus", "frances"};
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "lovelace", "hopper",  "turing",   "codd",    "liskov",  "knuth",
+      "dijkstra", "hoare",   "backus",   "gray",    "lamport", "thompson",
+      "ritchie",  "kernighan", "wirth",  "allen"};
+  return *kNames;
+}
+
+const std::vector<std::string>& Products() {
+  static const std::vector<std::string>* kProducts =
+      new std::vector<std::string>{"WidgetPro",  "GizmoMax",  "FlexCable",
+                                   "TurboPump",  "NanoSensor", "PowerCell",
+                                   "DataVault",  "CloudBox"};
+  return *kProducts;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string>* kCities = new std::vector<std::string>{
+      "london", "paris", "rome", "berlin", "madrid", "vienna", "dublin",
+      "lisbon"};
+  return *kCities;
+}
+
+const std::vector<std::string>& Procedures() {
+  static const std::vector<std::string>* kProcedures =
+      new std::vector<std::string>{"appendectomy", "arthroscopy", "biopsy",
+                                   "angioplasty", "colonoscopy",
+                                   "tonsillectomy"};
+  return *kProcedures;
+}
+
+std::string Date(Rng* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "200%d-%02d-%02d",
+                static_cast<int>(5 + rng->Uniform(2)),
+                static_cast<int>(1 + rng->Uniform(12)),
+                static_cast<int>(1 + rng->Uniform(28)));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> CorpusGenerator::ProductNames() { return Products(); }
+std::vector<std::string> CorpusGenerator::CityNames() { return Cities(); }
+std::vector<std::string> CorpusGenerator::ProcedureNames() {
+  return Procedures();
+}
+
+CorpusGenerator::CorpusGenerator(const CorpusOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+std::string CorpusGenerator::MakePersonName() {
+  return rng_.Pick(FirstNames()) + " " + rng_.Pick(LastNames());
+}
+
+std::string CorpusGenerator::Typo(const std::string& name) {
+  std::string out = name;
+  // Swap two adjacent letters away from the word boundary.
+  if (out.size() > 4) {
+    size_t pos = 1 + rng_.Uniform(out.size() - 3);
+    if (out[pos] == ' ' || out[pos + 1] == ' ') pos = 1;
+    std::swap(out[pos], out[pos + 1]);
+  }
+  return out;
+}
+
+std::vector<RawItem> CorpusGenerator::GenerateRaw(GroundTruth* truth) {
+  std::vector<RawItem> items;
+  GroundTruth local_truth;
+  GroundTruth* gt = truth != nullptr ? truth : &local_truth;
+
+  // ----------------------------------------------------------- customers
+  customers_.clear();
+  std::string customer_csv = "id,name,email,city,phone\n";
+  for (size_t i = 0; i < options_.num_customers; ++i) {
+    Customer customer;
+    customer.id = 100 + static_cast<int64_t>(i);
+    customer.name = MakePersonName();
+    std::string user = customer.name;
+    for (char& c : user) {
+      if (c == ' ') c = '.';
+    }
+    customer.email = user + std::to_string(i) + "@example.com";
+    customer.city = rng_.Pick(Cities());
+    customers_.push_back(customer);
+    gt->customer_names[customer.id] = customer.name;
+    char phone[32];
+    std::snprintf(phone, sizeof(phone), "555-%03d-%04d",
+                  static_cast<int>(rng_.Uniform(1000)),
+                  static_cast<int>(rng_.Uniform(10000)));
+    customer_csv += std::to_string(customer.id) + "," + customer.name + "," +
+                    customer.email + "," + customer.city + "," + phone + "\n";
+  }
+  // Duplicate customer records with typo'd names (same email OR same city).
+  int64_t next_dup_id = 100 + static_cast<int64_t>(options_.num_customers);
+  const size_t num_dups =
+      static_cast<size_t>(options_.num_customers * options_.duplicate_rate);
+  for (size_t i = 0; i < num_dups; ++i) {
+    const Customer& original = customers_[rng_.Uniform(customers_.size())];
+    Customer dup = original;
+    dup.id = next_dup_id++;
+    dup.name = Typo(original.name);
+    gt->customer_names[dup.id] = original.name;  // same entity
+    gt->duplicate_customers.emplace_back(original.id, dup.id);
+    customer_csv += std::to_string(dup.id) + "," + dup.name + "," + dup.email +
+                    "," + dup.city + ",555-000-0000\n";
+  }
+  items.push_back(RawItem{"customer", customer_csv});
+
+  // ------------------------------------------------- orders (3 formats)
+  int64_t order_no = 9000;
+  auto pick_customer = [this]() -> const Customer& {
+    return customers_[rng_.Uniform(customers_.size())];
+  };
+
+  std::string order_csv = "order_no,customer_id,product,total,date\n";
+  for (size_t i = 0; i < options_.num_orders_csv; ++i) {
+    const Customer& customer = pick_customer();
+    const std::string& product = rng_.Pick(Products());
+    const double total = 10.0 + rng_.Uniform(5000) / 10.0;
+    gt->order_customer[order_no] = customer.id;
+    gt->order_product[order_no] = product;
+    char total_buf[16];
+    std::snprintf(total_buf, sizeof(total_buf), "%.2f", total);
+    order_csv += std::to_string(order_no++) + "," +
+                 std::to_string(customer.id) + "," + product + "," +
+                 total_buf + "," + Date(&rng_) + "\n";
+  }
+  items.push_back(RawItem{"order_csv", order_csv});
+
+  for (size_t i = 0; i < options_.num_orders_xml; ++i) {
+    const Customer& customer = pick_customer();
+    const std::string& product = rng_.Pick(Products());
+    const double total = 10.0 + rng_.Uniform(5000) / 10.0;
+    gt->order_customer[order_no] = customer.id;
+    gt->order_product[order_no] = product;
+    char xml[512];
+    std::snprintf(xml, sizeof(xml),
+                  "<order>\n  <order_no>%lld</order_no>\n"
+                  "  <customer_id>%lld</customer_id>\n"
+                  "  <product>%s</product>\n  <total>%.2f</total>\n"
+                  "  <date>%s</date>\n</order>",
+                  static_cast<long long>(order_no),
+                  static_cast<long long>(customer.id), product.c_str(), total,
+                  Date(&rng_).c_str());
+    ++order_no;
+    items.push_back(RawItem{"order_xml", xml});
+  }
+
+  for (size_t i = 0; i < options_.num_orders_email; ++i) {
+    const Customer& customer = pick_customer();
+    const std::string& product = rng_.Pick(Products());
+    const double total = 10.0 + rng_.Uniform(5000) / 10.0;
+    gt->order_customer[order_no] = customer.id;
+    gt->order_product[order_no] = product;
+    char body[512];
+    std::snprintf(body, sizeof(body),
+                  "From: %s\nTo: sales@example.com\n"
+                  "Subject: Purchase order PO-%lld\n\n"
+                  "Please process PO-%lld: customer %lld orders one %s "
+                  "for $%.2f. Thanks!",
+                  customer.email.c_str(), static_cast<long long>(order_no),
+                  static_cast<long long>(order_no),
+                  static_cast<long long>(customer.id), product.c_str(), total);
+    ++order_no;
+    items.push_back(RawItem{"order_email", body});
+  }
+
+  // ----------------------------------------------------- CRM transcripts
+  for (size_t i = 0; i < options_.num_transcripts; ++i) {
+    const Customer& customer = pick_customer();
+    const std::string& product = rng_.Pick(Products());
+    const int sentiment = static_cast<int>(rng_.Uniform(3)) - 1;
+    GroundTruth::TranscriptFact fact;
+    fact.customer_id = customer.id;
+    fact.product = product;
+    fact.sentiment = sentiment;
+    gt->transcripts.push_back(fact);
+
+    std::string mood;
+    if (sentiment > 0) {
+      mood = "I love the " + product + ", it is excellent and works great. "
+             "I would recommend it and might buy another.";
+    } else if (sentiment < 0) {
+      mood = "My " + product + " arrived broken. This is terrible and "
+             "unacceptable, I want a refund.";
+    } else {
+      mood = "I have a question about configuring the " + product +
+             " with my existing setup.";
+    }
+    std::string transcript =
+        "Call transcript. Agent: hello, how can I help? Caller: this is " +
+        customer.name + " from " + customer.city + ", customer number " +
+        std::to_string(customer.id) + ". " + mood +
+        " Agent: noted, goodbye.";
+    items.push_back(RawItem{"call_transcript", transcript});
+  }
+
+  // -------------------------------------------------------------- claims
+  int64_t claim_no = 70000;
+  for (size_t i = 0; i < options_.num_claims; ++i) {
+    const Customer& patient = pick_customer();
+    const std::string& procedure = rng_.Pick(Procedures());
+    // Reference price per procedure is deterministic; ~15% of claims are
+    // padded well above it (fraud ground truth).
+    const double reference = 500.0 + 100.0 * (procedure.size() % 7);
+    const bool excessive = rng_.Bernoulli(0.15);
+    const double amount =
+        excessive ? reference * (2.0 + rng_.NextDouble())
+                  : reference * (0.8 + 0.4 * rng_.NextDouble());
+    GroundTruth::ClaimFact fact;
+    fact.patient_id = patient.id;
+    fact.procedure = procedure;
+    fact.amount = amount;
+    fact.excessive = excessive;
+    gt->claims[claim_no] = fact;
+
+    char xml[768];
+    std::snprintf(
+        xml, sizeof(xml),
+        "<claim>\n  <claim_no>%lld</claim_no>\n"
+        "  <patient_id>%lld</patient_id>\n  <provider>clinic_%d</provider>\n"
+        "  <amount>%.2f</amount>\n"
+        "  <notes>Patient %s underwent %s on %s; billed accordingly.</notes>\n"
+        "</claim>",
+        static_cast<long long>(claim_no), static_cast<long long>(patient.id),
+        static_cast<int>(rng_.Uniform(10)), amount, patient.name.c_str(),
+        procedure.c_str(), Date(&rng_).c_str());
+    ++claim_no;
+    items.push_back(RawItem{"claim", xml});
+  }
+
+  // ----------------------------------------- contracts (legal discovery)
+  const size_t num_companies = 2 + options_.num_contract_emails / 4;
+  gt->companies.clear();
+  for (size_t i = 0; i < num_companies; ++i) {
+    gt->companies.push_back("company_" + std::to_string(i));
+  }
+  for (size_t i = 0; i < options_.num_contract_emails; ++i) {
+    // Chain contracts company_k <-> company_k+1 plus random filler.
+    const size_t k = i % (num_companies - 1);
+    char body[512];
+    std::snprintf(body, sizeof(body),
+                  "From: legal@%s.com\nTo: legal@%s.com\n"
+                  "Subject: Partnership agreement %zu\n\n"
+                  "This contract binds %s and %s as partners effective %s.",
+                  gt->companies[k].c_str(), gt->companies[k + 1].c_str(), i,
+                  gt->companies[k].c_str(), gt->companies[k + 1].c_str(),
+                  Date(&rng_).c_str());
+    items.push_back(RawItem{"contract_email", body});
+  }
+
+  return items;
+}
+
+}  // namespace impliance::workload

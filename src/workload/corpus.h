@@ -1,0 +1,103 @@
+#ifndef IMPLIANCE_WORKLOAD_CORPUS_H_
+#define IMPLIANCE_WORKLOAD_CORPUS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/document.h"
+
+namespace impliance::workload {
+
+// Synthetic enterprise corpus covering the paper's use cases (Section 2.1):
+// CRM call transcripts, insurance claims, legal/contract e-mail, and
+// purchase orders arriving in three formats (CSV "spreadsheet", XML, and
+// e-mail). Stands in for the proprietary enterprise data the paper assumes;
+// every generated fact is recorded in GroundTruth so discovery quality can
+// be scored exactly.
+struct CorpusOptions {
+  uint64_t seed = 42;
+  size_t num_customers = 100;
+  // Fraction of customers that get a duplicate record with a typo'd name
+  // (entity-resolution ground truth).
+  double duplicate_rate = 0.2;
+  size_t num_orders_csv = 120;
+  size_t num_orders_xml = 60;
+  size_t num_orders_email = 60;
+  size_t num_transcripts = 80;
+  size_t num_claims = 60;
+  size_t num_contract_emails = 40;
+};
+
+// A pre-ingestion item: raw bytes plus a kind tag, the way data arrives at
+// the appliance ("thrown into the stewing pot with no preparation").
+struct RawItem {
+  std::string kind;
+  std::string content;
+};
+
+struct GroundTruth {
+  // Customer business id -> canonical name.
+  std::map<int64_t, std::string> customer_names;
+  // Pairs of customer business ids that are the same real-world entity.
+  std::vector<std::pair<int64_t, int64_t>> duplicate_customers;
+  // Order number -> customer business id it references (all formats).
+  std::map<int64_t, int64_t> order_customer;
+  // Order number -> product name.
+  std::map<int64_t, std::string> order_product;
+  // Transcript index -> (customer id, product mentioned, sentiment -1/0/1).
+  struct TranscriptFact {
+    int64_t customer_id = 0;
+    std::string product;
+    int sentiment = 0;
+  };
+  std::vector<TranscriptFact> transcripts;
+  // Claim number -> (patient customer id, procedure, amount, excessive?).
+  struct ClaimFact {
+    int64_t patient_id = 0;
+    std::string procedure;
+    double amount = 0;
+    bool excessive = false;
+  };
+  std::map<int64_t, ClaimFact> claims;
+  // Company partnership chain used by the legal-discovery example:
+  // contracts connect companies[i] to companies[i+1].
+  std::vector<std::string> companies;
+};
+
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(const CorpusOptions& options);
+
+  // Generates the whole corpus as raw items (CSV text, XML text, e-mails,
+  // plain text); fills `truth` if non-null. Deterministic per seed.
+  std::vector<RawItem> GenerateRaw(GroundTruth* truth);
+
+  // Gazetteer entries matching what the generator embeds, for wiring up
+  // the dictionary annotator.
+  static std::vector<std::string> ProductNames();
+  static std::vector<std::string> CityNames();
+  static std::vector<std::string> ProcedureNames();
+
+ private:
+  struct Customer {
+    int64_t id;
+    std::string name;
+    std::string email;
+    std::string city;
+  };
+
+  std::string MakePersonName();
+  std::string Typo(const std::string& name);
+
+  CorpusOptions options_;
+  Rng rng_;
+  std::vector<Customer> customers_;
+};
+
+}  // namespace impliance::workload
+
+#endif  // IMPLIANCE_WORKLOAD_CORPUS_H_

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "baseline/content_manager_baseline.h"
+#include "baseline/filesystem_baseline.h"
+#include "baseline/relational_baseline.h"
+#include "workload/corpus.h"
+
+namespace impliance::baseline {
+namespace {
+
+// ------------------------------------------------------------- Relational
+
+TEST(RelationalBaselineTest, RequiresSchemaFirst) {
+  RelationalBaseline db;
+  EXPECT_TRUE(db.LoadRow("orders", {"1", "x"}).IsNotFound());
+  ASSERT_TRUE(db.CreateTable("orders", {"id", "city"}).ok());
+  EXPECT_TRUE(db.LoadRow("orders", {"1", "london"}).ok());
+  EXPECT_EQ(db.admin_steps(), 1u);
+}
+
+TEST(RelationalBaselineTest, RejectsRaggedRows) {
+  RelationalBaseline db;
+  ASSERT_TRUE(db.CreateTable("t", {"a", "b"}).ok());
+  EXPECT_TRUE(db.LoadRow("t", {"1"}).IsInvalidArgument());
+  EXPECT_TRUE(db.LoadRow("t", {"1", "2", "3"}).IsInvalidArgument());
+}
+
+TEST(RelationalBaselineTest, QueriesAfterSetup) {
+  RelationalBaseline db;
+  ASSERT_TRUE(db.CreateTable("orders", {"id", "city", "total"}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.LoadRow("orders", {std::to_string(i),
+                                      i % 2 ? "london" : "paris",
+                                      std::to_string(i * 10)})
+                    .ok());
+  }
+  ASSERT_TRUE(db.CreateIndex("orders", "city").ok());
+  ASSERT_TRUE(db.Analyze("orders").ok());
+  EXPECT_EQ(db.admin_steps(), 3u);
+
+  auto rows = db.Query("SELECT COUNT(*) FROM orders WHERE city = 'london'");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0].int_value(), 5);
+}
+
+TEST(RelationalBaselineTest, NoKeywordSearch) {
+  RelationalBaseline db;
+  EXPECT_TRUE(db.KeywordSearch("anything").status().IsNotSupported());
+}
+
+TEST(RelationalBaselineTest, DuplicateTableRejected) {
+  RelationalBaseline db;
+  ASSERT_TRUE(db.CreateTable("t", {"a"}).ok());
+  EXPECT_TRUE(db.CreateTable("t", {"a"}).IsAlreadyExists());
+}
+
+// --------------------------------------------------------- ContentManager
+
+TEST(ContentManagerTest, CatalogEnforced) {
+  ContentManagerBaseline cm;
+  EXPECT_FALSE(cm.Store("blob", {{"title", "x"}}).ok());  // no catalog yet
+  ASSERT_TRUE(cm.DefineCatalog({"title", "author"}).ok());
+  EXPECT_TRUE(cm.DefineCatalog({"other"}).IsAlreadyExists());
+  auto id = cm.Store("contract text", {{"title", "nda"}, {"author", "bob"}});
+  ASSERT_TRUE(id.ok());
+  // Unknown metadata key (schema chaos) rejected.
+  EXPECT_TRUE(
+      cm.Store("x", {{"subject", "y"}}).status().IsInvalidArgument());
+}
+
+TEST(ContentManagerTest, MetadataSearchOnlyNotContent) {
+  ContentManagerBaseline cm;
+  ASSERT_TRUE(cm.DefineCatalog({"title"}).ok());
+  auto id = cm.Store("the secret word is xylophone", {{"title", "memo"}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cm.SearchMetadata("title", "memo").size(), 1u);
+  EXPECT_TRUE(cm.SearchMetadata("title", "xylophone").empty());
+  // Content search unsupported by architecture.
+  EXPECT_TRUE(cm.SearchContent("xylophone").status().IsNotSupported());
+  // But the blob itself is retrievable.
+  EXPECT_EQ(*cm.Fetch(*id), "the secret word is xylophone");
+}
+
+// ------------------------------------------------------------- FileSystem
+
+TEST(FileSystemTest, WriteReadGrep) {
+  FileSystemBaseline fs;
+  ASSERT_TRUE(fs.Write("a.txt", "alpha beta").ok());
+  ASSERT_TRUE(fs.Write("b.txt", "beta gamma").ok());
+  EXPECT_EQ(*fs.Read("a.txt"), "alpha beta");
+  EXPECT_TRUE(fs.Read("zzz").status().IsNotFound());
+
+  uint64_t scanned = 0;
+  std::vector<std::string> hits = fs.Grep("beta", &scanned);
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_EQ(scanned, fs.total_bytes());  // always a full scan
+}
+
+TEST(FileSystemTest, OverwriteAdjustsBytes) {
+  FileSystemBaseline fs;
+  ASSERT_TRUE(fs.Write("f", "1234567890").ok());
+  ASSERT_TRUE(fs.Write("f", "12").ok());
+  EXPECT_EQ(fs.total_bytes(), 2u);
+  EXPECT_EQ(fs.num_files(), 1u);
+}
+
+}  // namespace
+}  // namespace impliance::baseline
+
+namespace impliance::workload {
+namespace {
+
+TEST(CorpusTest, DeterministicPerSeed) {
+  CorpusOptions options;
+  options.num_customers = 20;
+  options.num_orders_csv = 10;
+  options.num_orders_xml = 5;
+  options.num_orders_email = 5;
+  options.num_transcripts = 10;
+  options.num_claims = 5;
+  options.num_contract_emails = 8;
+
+  GroundTruth truth_a, truth_b;
+  std::vector<RawItem> a = CorpusGenerator(options).GenerateRaw(&truth_a);
+  std::vector<RawItem> b = CorpusGenerator(options).GenerateRaw(&truth_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].content, b[i].content);
+  }
+  EXPECT_EQ(truth_a.order_customer, truth_b.order_customer);
+
+  options.seed = 43;
+  GroundTruth truth_c;
+  std::vector<RawItem> c = CorpusGenerator(options).GenerateRaw(&truth_c);
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a[i].content != c[i].content) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CorpusTest, GroundTruthConsistentWithItems) {
+  CorpusOptions options;
+  options.num_customers = 30;
+  options.num_orders_csv = 20;
+  options.num_orders_xml = 10;
+  options.num_orders_email = 10;
+  options.num_transcripts = 15;
+  options.num_claims = 10;
+  options.num_contract_emails = 8;
+
+  GroundTruth truth;
+  std::vector<RawItem> items = CorpusGenerator(options).GenerateRaw(&truth);
+
+  EXPECT_EQ(truth.order_customer.size(), 40u);  // all three formats
+  EXPECT_EQ(truth.transcripts.size(), 15u);
+  EXPECT_EQ(truth.claims.size(), 10u);
+  EXPECT_FALSE(truth.duplicate_customers.empty());
+  // Each duplicate pair maps both ids to the same canonical name.
+  for (const auto& [a, b] : truth.duplicate_customers) {
+    EXPECT_EQ(truth.customer_names.at(a), truth.customer_names.at(b));
+  }
+  // Item mix: 1 customer CSV + 1 order CSV + per-doc xml/email/etc.
+  size_t xml_items = 0, emails = 0;
+  for (const RawItem& item : items) {
+    if (item.kind == "order_xml") ++xml_items;
+    if (item.kind == "order_email") ++emails;
+  }
+  EXPECT_EQ(xml_items, 10u);
+  EXPECT_EQ(emails, 10u);
+}
+
+TEST(CorpusTest, TranscriptsEmbedSentimentWords) {
+  CorpusOptions options;
+  options.num_customers = 10;
+  options.num_transcripts = 30;
+  options.num_orders_csv = options.num_orders_xml = options.num_orders_email =
+      0;
+  options.num_claims = 0;
+  options.num_contract_emails = 0;
+  GroundTruth truth;
+  std::vector<RawItem> items = CorpusGenerator(options).GenerateRaw(&truth);
+  size_t transcript_index = 0;
+  for (const RawItem& item : items) {
+    if (item.kind != "call_transcript") continue;
+    const auto& fact = truth.transcripts[transcript_index++];
+    EXPECT_NE(item.content.find(fact.product), std::string::npos);
+    if (fact.sentiment < 0) {
+      EXPECT_NE(item.content.find("refund"), std::string::npos);
+    }
+    if (fact.sentiment > 0) {
+      EXPECT_NE(item.content.find("excellent"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(transcript_index, 30u);
+}
+
+}  // namespace
+}  // namespace impliance::workload

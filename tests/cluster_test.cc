@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/node.h"
+#include "cluster/scheduler.h"
+#include "discovery/pattern_annotator.h"
+#include "model/document.h"
+
+namespace impliance::cluster {
+namespace {
+
+using model::Document;
+using model::MakeRecordDocument;
+using model::MakeTextDocument;
+using model::Value;
+
+// ------------------------------------------------------------------- Node
+
+TEST(NodeTest, RunsSubmittedTasks) {
+  Node node(0, NodeKind::kData);
+  int counter = 0;
+  EXPECT_TRUE(node.Run([&counter] { ++counter; }));
+  EXPECT_TRUE(node.Run([&counter] { ++counter; }));
+  EXPECT_EQ(counter, 2);
+  EXPECT_EQ(node.tasks_executed(), 2u);
+  EXPECT_GE(node.heartbeats(), 2u);
+}
+
+TEST(NodeTest, FailedNodeRejectsWork) {
+  Node node(1, NodeKind::kGrid);
+  node.Fail();
+  EXPECT_FALSE(node.alive());
+  EXPECT_FALSE(node.Run([] {}));
+  node.Recover();
+  EXPECT_TRUE(node.Run([] {}));
+}
+
+TEST(NodeTest, TasksRunInFifoOrder) {
+  Node node(2, NodeKind::kData);
+  std::vector<int> order;
+  std::future<void> last;
+  for (int i = 0; i < 10; ++i) {
+    std::future<void> done;
+    ASSERT_TRUE(node.Submit([&order, i] { order.push_back(i); }, &done));
+    if (i == 9) last = std::move(done);
+  }
+  last.wait();
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+// ---------------------------------------------------------------- Cluster
+
+Document Order(const std::string& city, double total) {
+  return MakeRecordDocument("order", {{"city", Value::String(city)},
+                                      {"total", Value::Double(total)}});
+}
+
+TEST(ClusterTest, IngestAndGet) {
+  SimulatedCluster cluster({.num_data_nodes = 4});
+  auto id = cluster.Ingest(Order("london", 10));
+  ASSERT_TRUE(id.ok());
+  auto doc = cluster.Get(*id);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->kind, "order");
+  EXPECT_TRUE(cluster.Get(999).status().IsNotFound());
+  EXPECT_EQ(cluster.num_documents(), 1u);
+}
+
+TEST(ClusterTest, KeywordSearchFindsAcrossPartitions) {
+  SimulatedCluster cluster({.num_data_nodes = 4, .num_grid_nodes = 2});
+  std::vector<model::DocId> needle_ids;
+  for (int i = 0; i < 40; ++i) {
+    Document doc = MakeTextDocument(
+        "note", "", i % 10 == 0 ? "the rare xylophone concert" : "ordinary text");
+    auto id = cluster.Ingest(std::move(doc));
+    ASSERT_TRUE(id.ok());
+    if (i % 10 == 0) needle_ids.push_back(*id);
+  }
+  ShipStats stats;
+  auto hits = cluster.KeywordSearch("xylophone", 10, &stats);
+  ASSERT_EQ(hits.size(), 4u);
+  std::set<model::DocId> got;
+  for (const auto& hit : hits) got.insert(hit.doc);
+  EXPECT_EQ(got, std::set<model::DocId>(needle_ids.begin(), needle_ids.end()));
+  EXPECT_GT(stats.tasks, 1u);
+}
+
+TEST(ClusterTest, FilterAggregatePushdownMatchesNoPushdown) {
+  SimulatedCluster cluster({.num_data_nodes = 4});
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(cluster
+                    .Ingest(Order(i % 3 == 0 ? "london" : "paris",
+                                  10.0 * (i % 7)))
+                    .ok());
+  }
+  SimulatedCluster::AggQuery query;
+  query.kind = "order";
+  query.filter_path = "/doc/total";
+  query.op = exec::CompareOp::kGt;
+  query.literal = Value::Double(20.0);
+  query.group_path = "/doc/city";
+  query.agg_path = "/doc/total";
+
+  auto with = cluster.FilterAggregate(query, /*pushdown=*/true);
+  auto without = cluster.FilterAggregate(query, /*pushdown=*/false);
+  EXPECT_EQ(with.groups, without.groups);
+  ASSERT_TRUE(with.groups.count("london"));
+  // Pushdown ships far fewer bytes.
+  EXPECT_LT(with.stats.bytes_shipped, without.stats.bytes_shipped / 4);
+}
+
+TEST(ClusterTest, CountAggregateNoFilter) {
+  SimulatedCluster cluster({.num_data_nodes = 2});
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.Ingest(Order("x", i)).ok());
+  }
+  SimulatedCluster::AggQuery query;
+  query.kind = "order";
+  auto result = cluster.FilterAggregate(query, true);
+  ASSERT_EQ(result.groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.groups.at(""), 30.0);
+}
+
+TEST(ClusterTest, AnnotationPassCreatesAnnotationDocs) {
+  SimulatedCluster cluster({.num_data_nodes = 3, .num_cluster_nodes = 1});
+  for (int i = 0; i < 10; ++i) {
+    std::string body = i % 2 == 0 ? "contact me at user" + std::to_string(i) +
+                                        "@acme.com please"
+                                  : "no contact info here";
+    ASSERT_TRUE(cluster.Ingest(MakeTextDocument("email", "", body)).ok());
+  }
+  discovery::PatternAnnotator annotator;
+  ShipStats stats;
+  size_t created = cluster.RunAnnotationPass(annotator, "", &stats);
+  EXPECT_EQ(created, 5u);
+  EXPECT_EQ(cluster.num_documents(), 15u);
+  EXPECT_GT(cluster.total_lock_acquisitions(), 0u);
+  EXPECT_GT(stats.bytes_shipped, 0u);
+  // Annotation documents must not be re-annotated (kBase check): a second
+  // pass creates the same number again only for base docs.
+  size_t again = cluster.RunAnnotationPass(annotator, "", nullptr);
+  EXPECT_EQ(again, 5u);
+}
+
+TEST(ClusterTest, ReplicationSurvivesNodeFailure) {
+  SimulatedCluster cluster({.num_data_nodes = 4, .replication = 2});
+  std::vector<model::DocId> ids;
+  for (int i = 0; i < 50; ++i) {
+    auto id = cluster.Ingest(Order("c" + std::to_string(i), i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(cluster.num_fully_replicated_documents(), 50u);
+
+  cluster.FailNode(0);
+  auto dead = cluster.DetectFailures();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 0u);
+  // Everything still readable through surviving replicas.
+  EXPECT_EQ(cluster.num_available_documents(), 50u);
+  for (model::DocId id : ids) {
+    EXPECT_TRUE(cluster.Get(id).ok()) << id;
+  }
+  // But some documents lost a copy.
+  EXPECT_LT(cluster.num_fully_replicated_documents(), 50u);
+
+  // Re-replication restores full redundancy.
+  uint64_t copied = cluster.ReReplicate();
+  EXPECT_GT(copied, 0u);
+  EXPECT_EQ(cluster.num_fully_replicated_documents(), 50u);
+}
+
+TEST(ClusterTest, UnreplicatedDataIsLostOnFailure) {
+  SimulatedCluster cluster({.num_data_nodes = 4, .replication = 1});
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(cluster.Ingest(Order("x", i)).ok());
+  }
+  cluster.FailNode(1);
+  cluster.DetectFailures();
+  EXPECT_LT(cluster.num_available_documents(), 40u);
+  EXPECT_GT(cluster.num_available_documents(), 0u);
+}
+
+TEST(ClusterTest, QueriesStillWorkAfterFailover) {
+  SimulatedCluster cluster({.num_data_nodes = 3, .replication = 2});
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster
+                    .Ingest(MakeTextDocument("note", "",
+                                             "keyword alpha item " +
+                                                 std::to_string(i)))
+                    .ok());
+  }
+  auto before = cluster.KeywordSearch("alpha", 100, nullptr);
+  EXPECT_EQ(before.size(), 30u);
+  cluster.FailNode(2);
+  cluster.DetectFailures();
+  auto after = cluster.KeywordSearch("alpha", 100, nullptr);
+  EXPECT_EQ(after.size(), 30u);  // replicas answer for the dead node
+}
+
+TEST(ClusterTest, RecoveredNodeRejoinsEmptyAndReceivesNewData) {
+  SimulatedCluster cluster({.num_data_nodes = 2, .replication = 2});
+  ASSERT_TRUE(cluster.Ingest(Order("a", 1)).ok());
+  cluster.FailNode(0);
+  cluster.DetectFailures();
+  cluster.RecoverNode(0);
+  EXPECT_EQ(cluster.num_data_nodes_alive(), 2u);
+  // New ingest replicates to both nodes again.
+  auto id = cluster.Ingest(Order("b", 2));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(cluster.Get(*id).ok());
+  // Old doc is still served by node 1.
+  EXPECT_EQ(cluster.num_available_documents(), 2u);
+}
+
+
+// --------------------------------------------------------------- Scheduler
+
+TEST(SchedulerTest, AffinityRules) {
+  Scheduler scheduler;
+  Scheduler::LoadSnapshot idle;
+  auto scan = scheduler.Place(Scheduler::OperatorClass::kScanFilter, idle);
+  EXPECT_EQ(scan.kind, NodeKind::kData);
+  EXPECT_TRUE(scan.pushdown);
+  auto join =
+      scheduler.Place(Scheduler::OperatorClass::kJoinSortAggregate, idle);
+  EXPECT_EQ(join.kind, NodeKind::kGrid);
+  auto update =
+      scheduler.Place(Scheduler::OperatorClass::kConsistentUpdate, idle);
+  EXPECT_EQ(update.kind, NodeKind::kCluster);
+}
+
+TEST(SchedulerTest, BusyDataNodesShiftScanWorkToGrid) {
+  Scheduler scheduler;
+  Scheduler::LoadSnapshot busy;
+  busy.data_queue_depth = 10;
+  busy.grid_queue_depth = 1;
+  auto decision =
+      scheduler.Place(Scheduler::OperatorClass::kScanFilter, busy);
+  EXPECT_EQ(decision.kind, NodeKind::kGrid);
+  EXPECT_FALSE(decision.pushdown);
+  // Equal load: stay pushed down.
+  busy.grid_queue_depth = 10;
+  decision = scheduler.Place(Scheduler::OperatorClass::kScanFilter, busy);
+  EXPECT_TRUE(decision.pushdown);
+}
+
+TEST(ClusterTest, FilterAggregateAutoUsesPushdownWhenIdle) {
+  SimulatedCluster cluster({.num_data_nodes = 2});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.Ingest(Order("c", i)).ok());
+  }
+  SimulatedCluster::AggQuery query;
+  query.kind = "order";
+  auto out = cluster.FilterAggregateAuto(query);
+  EXPECT_TRUE(out.decision.pushdown);
+  EXPECT_DOUBLE_EQ(out.result.groups.at(""), 20.0);
+}
+
+// ----------------------------------------------------- Figure 3 pipeline
+
+TEST(ClusterTest, SearchJoinUpdatePipeline) {
+  SimulatedCluster cluster({.num_data_nodes = 3, .num_grid_nodes = 2,
+                            .num_cluster_nodes = 1});
+  // Dimension: customers keyed by id.
+  std::map<int64_t, model::DocId> customer_docs;
+  for (int i = 0; i < 5; ++i) {
+    auto id = cluster.Ingest(MakeRecordDocument(
+        "customer", {{"id", Value::Int(100 + i)},
+                     {"name", Value::String("cust" + std::to_string(i))}}));
+    ASSERT_TRUE(id.ok());
+    customer_docs[100 + i] = *id;
+  }
+  // Facts: complaint notes referencing customers; only some say "refund".
+  std::vector<model::DocId> refund_docs;
+  for (int i = 0; i < 12; ++i) {
+    model::Document doc = MakeRecordDocument(
+        "note", {{"customer_id", Value::Int(100 + i % 5)},
+                 {"text", Value::String(i % 3 == 0
+                                            ? "customer demands refund now"
+                                            : "routine status update")}});
+    auto id = cluster.Ingest(std::move(doc));
+    ASSERT_TRUE(id.ok());
+    if (i % 3 == 0) refund_docs.push_back(*id);
+  }
+
+  SimulatedCluster::PipelineQuery query;
+  query.keywords = "refund";
+  query.k = 10;
+  query.left_ref_path = "/doc/customer_id";
+  query.dim_kind = "customer";
+  query.dim_key_path = "/doc/id";
+  query.tag_name = "escalated";
+  SimulatedCluster::PipelineResult result = cluster.SearchJoinUpdate(query);
+
+  // Every refund note matched, joined to the right customer, and tagged.
+  ASSERT_EQ(result.matches.size(), refund_docs.size());
+  for (const auto& match : result.matches) {
+    auto doc = cluster.Get(match.doc);
+    ASSERT_TRUE(doc.ok());
+    const model::Value* cid =
+        model::ResolvePath(doc->root, "/doc/customer_id");
+    ASSERT_NE(cid, nullptr);
+    EXPECT_EQ(match.dim_doc, customer_docs.at(cid->int_value()));
+    // Stage 3 applied the consistent update: the tag is visible and the
+    // version advanced.
+    EXPECT_NE(model::ResolvePath(doc->root, "/doc/escalated"), nullptr);
+    EXPECT_EQ(doc->version, 2u);
+  }
+  EXPECT_EQ(result.updates_applied, refund_docs.size());
+  EXPECT_GT(cluster.total_lock_acquisitions(), 0u);
+  EXPECT_GT(result.stats.bytes_shipped, 0u);
+
+  // The update stage re-indexed: tagged docs are now searchable by tag.
+  auto tagged = cluster.KeywordSearch("escalated", 20, nullptr);
+  EXPECT_EQ(tagged.size(), 0u);  // tag is a bool value, not text
+}
+
+TEST(ClusterTest, PipelineSurvivesDataNodeFailure) {
+  SimulatedCluster cluster({.num_data_nodes = 3, .replication = 2});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster
+                    .Ingest(MakeRecordDocument(
+                        "customer", {{"id", Value::Int(100 + i)}}))
+                    .ok());
+  }
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(cluster
+                    .Ingest(MakeRecordDocument(
+                        "note", {{"customer_id", Value::Int(100 + i % 5)},
+                                 {"text", Value::String("refund please")}}))
+                    .ok());
+  }
+  cluster.FailNode(1);
+  cluster.DetectFailures();
+
+  SimulatedCluster::PipelineQuery query;
+  query.keywords = "refund";
+  query.k = 20;
+  query.left_ref_path = "/doc/customer_id";
+  query.dim_kind = "customer";
+  query.dim_key_path = "/doc/id";
+  query.tag_name = "seen";
+  auto result = cluster.SearchJoinUpdate(query);
+  EXPECT_EQ(result.matches.size(), 9u);  // replicas answered
+  EXPECT_EQ(result.updates_applied, 9u);
+}
+
+TEST(ClusterTest, ScaleOutSpreadsOwnershipEvenly) {
+  // More data nodes spread the same corpus thinner (per-node ownership
+  // drops roughly proportionally); this is the structural property behind
+  // experiment E1.
+  constexpr int kDocs = 400;
+  for (size_t nodes : {1u, 2u, 4u, 8u}) {
+    SimulatedCluster cluster({.num_data_nodes = nodes});
+    for (int i = 0; i < kDocs; ++i) {
+      ASSERT_TRUE(cluster.Ingest(Order("x", i)).ok());
+    }
+    std::map<NodeId, size_t> counts = cluster.OwnedCounts();
+    ASSERT_EQ(counts.size(), nodes);
+    size_t total = 0;
+    const size_t expected = kDocs / nodes;
+    for (const auto& [node, count] : counts) {
+      total += count;
+      // Hash partitioning balances within a factor of two at this scale.
+      EXPECT_GT(count, expected / 2) << "nodes=" << nodes;
+      EXPECT_LT(count, expected * 2) << "nodes=" << nodes;
+    }
+    EXPECT_EQ(total, static_cast<size_t>(kDocs));
+  }
+}
+
+}  // namespace
+}  // namespace impliance::cluster

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/compression.h"
+#include "common/rng.h"
+
+namespace impliance {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  LzCompress(input, &compressed);
+  auto restored = LzDecompress(compressed);
+  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+  return restored.ok() ? *restored : "";
+}
+
+TEST(CompressionTest, EmptyAndTinyInputs) {
+  EXPECT_EQ(RoundTrip(""), "");
+  EXPECT_EQ(RoundTrip("a"), "a");
+  EXPECT_EQ(RoundTrip("abc"), "abc");
+}
+
+TEST(CompressionTest, RepetitiveInputShrinks) {
+  std::string input;
+  for (int i = 0; i < 200; ++i) input += "the quick brown fox ";
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 5);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressionTest, AllSameByte) {
+  // Overlapping matches (distance < length).
+  std::string input(10000, 'z');
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), 100u);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressionTest, IncompressibleRandomBytesSurvive) {
+  Rng rng(3);
+  std::string input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<char>(rng.Next() & 0xFF));
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressionTest, BinaryWithEmbeddedNulsAndHighBytes) {
+  std::string input;
+  for (int i = 0; i < 1000; ++i) {
+    input.push_back(static_cast<char>(i % 256));
+    input.push_back('\0');
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressionTest, DecompressRejectsGarbage) {
+  EXPECT_FALSE(LzDecompress("").ok());
+  EXPECT_FALSE(LzDecompress("\xFF\xFF\xFF\xFF").ok());
+  // Declared size larger than actual content.
+  std::string bogus;
+  bogus.push_back(100);  // varint: 100 expected bytes
+  bogus.push_back(0);    // literal op
+  bogus.push_back(2);    // 2 literal bytes
+  bogus += "ab";
+  EXPECT_FALSE(LzDecompress(bogus).ok());
+}
+
+TEST(CompressionTest, DecompressRejectsBadMatchDistance) {
+  // match referring before the start of output.
+  std::string bogus;
+  bogus.push_back(8);  // expected size
+  bogus.push_back(1);  // match op
+  bogus.push_back(8);  // length 8
+  bogus.push_back(5);  // distance 5, but output is empty
+  EXPECT_FALSE(LzDecompress(bogus).ok());
+}
+
+TEST(CompressionTest, TruncatedStreamFails) {
+  std::string input;
+  for (int i = 0; i < 100; ++i) input += "repeat me ";
+  std::string compressed;
+  LzCompress(input, &compressed);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_FALSE(LzDecompress(compressed).ok());
+}
+
+// Property sweep: random structured-ish text round-trips at every size.
+class CompressionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressionPropertyTest, RandomTextsRoundTrip) {
+  Rng rng(GetParam());
+  const std::vector<std::string> vocab = {"order", "customer", "total",
+                                          "widget", "london", "2006-05-17"};
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string input;
+    const size_t words = rng.Uniform(500);
+    for (size_t w = 0; w < words; ++w) {
+      if (rng.Bernoulli(0.7)) {
+        input += rng.Pick(vocab);
+      } else {
+        input += rng.Word(1 + rng.Uniform(10));
+      }
+      input += rng.Bernoulli(0.1) ? '\n' : ' ';
+    }
+    std::string compressed;
+    LzCompress(input, &compressed);
+    auto restored = LzDecompress(compressed);
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(*restored, input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionPropertyTest,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace impliance

@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "discovery/annotator.h"
+#include "discovery/dictionary_annotator.h"
+#include "discovery/entity_resolver.h"
+#include "discovery/pattern_annotator.h"
+#include "discovery/relationship_discovery.h"
+#include "discovery/schema_mapper.h"
+#include "discovery/sentiment_annotator.h"
+#include "discovery/union_find.h"
+#include "index/join_index.h"
+#include "model/document.h"
+
+namespace impliance::discovery {
+namespace {
+
+using model::Document;
+using model::MakeRecordDocument;
+using model::MakeTextDocument;
+using model::Value;
+
+// ---------------------------------------------------------------- Patterns
+
+TEST(PatternAnnotatorTest, FindsEmails) {
+  PatternAnnotator annotator;
+  auto spans = annotator.ScanText("Contact bob.smith+x@acme.co.uk today.");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].entity_type, "email");
+  EXPECT_EQ(spans[0].text, "bob.smith+x@acme.co.uk");
+  EXPECT_EQ(spans[0].begin, 8u);
+}
+
+TEST(PatternAnnotatorTest, FindsPhones) {
+  PatternAnnotator annotator;
+  auto spans = annotator.ScanText("call 555-123-4567 or (800) 555-1212 now");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].entity_type, "phone");
+  EXPECT_EQ(spans[0].text, "555-123-4567");
+  EXPECT_EQ(spans[1].text, "(800) 555-1212");
+}
+
+TEST(PatternAnnotatorTest, FindsMoney) {
+  PatternAnnotator annotator;
+  auto spans = annotator.ScanText("Invoice total $1,234.56 plus 99.90 EUR.");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].entity_type, "money");
+  EXPECT_EQ(spans[0].text, "$1,234.56");
+  EXPECT_EQ(spans[1].text, "99.90 EUR");
+}
+
+TEST(PatternAnnotatorTest, FindsDatesAndRejectsBadOnes) {
+  PatternAnnotator annotator;
+  auto spans = annotator.ScanText("due 2007-01-09, not 2007-13-09 or 20071-01-09");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].entity_type, "date");
+  EXPECT_EQ(spans[0].text, "2007-01-09");
+}
+
+TEST(PatternAnnotatorTest, BusinessIdPatterns) {
+  PatternAnnotator annotator;
+  annotator.AddIdPattern("PO-", "purchase_order_id");
+  annotator.AddIdPattern("CLM-", "claim_id");
+  auto spans = annotator.ScanText("Re: PO-12345 and CLM-7; POX-9 is not one");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].entity_type, "purchase_order_id");
+  EXPECT_EQ(spans[0].text, "PO-12345");
+  EXPECT_EQ(spans[1].entity_type, "claim_id");
+}
+
+TEST(PatternAnnotatorTest, EmptyAndNoMatchTexts) {
+  PatternAnnotator annotator;
+  EXPECT_TRUE(annotator.ScanText("").empty());
+  EXPECT_TRUE(annotator.ScanText("plain words only here").empty());
+}
+
+// -------------------------------------------------------------- Dictionary
+
+TEST(DictionaryAnnotatorTest, SingleAndMultiTokenEntries) {
+  DictionaryAnnotator annotator;
+  annotator.AddEntries("location", {"London", "New York", "San Francisco"});
+  annotator.AddEntry("person", "Ada Lovelace");
+  auto spans =
+      annotator.ScanText("Ada Lovelace moved from London to New York City.");
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].entity_type, "person");
+  EXPECT_EQ(spans[0].text, "ada lovelace");
+  EXPECT_EQ(spans[1].text, "london");
+  EXPECT_EQ(spans[2].text, "new york");
+}
+
+TEST(DictionaryAnnotatorTest, CaseInsensitiveAndOffsetsCorrect) {
+  DictionaryAnnotator annotator;
+  annotator.AddEntry("product", "WidgetPro");
+  auto spans = annotator.ScanText("I love my WIDGETPRO!");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin, 10u);
+  EXPECT_EQ(spans[0].end, 19u);
+}
+
+TEST(DictionaryAnnotatorTest, LongestMatchWins) {
+  DictionaryAnnotator annotator;
+  annotator.AddEntry("location", "york");
+  annotator.AddEntry("location", "new york");
+  auto spans = annotator.ScanText("visiting new york today");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].text, "new york");
+}
+
+// --------------------------------------------------------------- Sentiment
+
+TEST(SentimentAnnotatorTest, ScoresAndLabels) {
+  SentimentAnnotator annotator;
+  EXPECT_GT(annotator.Score("great product, love it, excellent"), 0.5);
+  EXPECT_LT(annotator.Score("terrible, broken, want a refund"), -0.5);
+  EXPECT_DOUBLE_EQ(annotator.Score("the sky is blue"), 0.0);
+
+  Document happy = MakeTextDocument("call", "", "I love it, thank you, great!");
+  auto spans = annotator.Annotate(happy);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].entity_type, "sentiment");
+  EXPECT_EQ(spans[0].text, "positive");
+
+  Document angry = MakeTextDocument("call", "", "broken and terrible, refund");
+  EXPECT_EQ(annotator.Annotate(angry)[0].text, "negative");
+}
+
+TEST(SentimentAnnotatorTest, CustomLexiconWords) {
+  SentimentAnnotator annotator;
+  annotator.AddNegativeWord("jankily");
+  EXPECT_LT(annotator.Score("it works jankily"), 0.0);
+}
+
+// ------------------------------------------------------------- Annotation
+
+TEST(AnnotationDocumentTest, RoundTripSpansAndRefs) {
+  Document base = MakeTextDocument("email", "", "mail bob@x.com now");
+  base.id = 42;
+  PatternAnnotator annotator;
+  auto spans = annotator.Annotate(base);
+  ASSERT_EQ(spans.size(), 1u);
+
+  Document annotation = MakeAnnotationDocument(base, annotator.name(), spans);
+  EXPECT_EQ(annotation.kind, "annotation");
+  EXPECT_EQ(annotation.doc_class, model::DocClass::kAnnotation);
+  ASSERT_EQ(annotation.refs.size(), 1u);
+  EXPECT_EQ(annotation.refs[0].target, 42u);
+  EXPECT_EQ(annotation.refs[0].relation, "annotates");
+
+  auto recovered = SpansFromAnnotationDocument(annotation);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].entity_type, "email");
+  EXPECT_EQ(recovered[0].text, "bob@x.com");
+  EXPECT_EQ(recovered[0].begin, spans[0].begin);
+}
+
+// ---------------------------------------------------------------- UnionFind
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Union(0, 2));
+  EXPECT_TRUE(uf.Connected(1, 3));
+  EXPECT_FALSE(uf.Connected(1, 4));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+
+  auto sets = uf.Sets();
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(sets[1], (std::vector<size_t>{4}));
+}
+
+TEST(UnionFindTest, PathCompressionManyUnions) {
+  const size_t n = 10000;
+  UnionFind uf(n);
+  for (size_t i = 1; i < n; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.SetSize(0), n);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+  EXPECT_EQ(uf.Sets().size(), 1u);
+}
+
+// --------------------------------------------------------------- Resolver
+
+TEST(EntityResolverTest, MatchesTyposAndNameOrder) {
+  EntityResolver resolver;
+  EntityRecord a{1, "Jon Smith", "", "london"};
+  EntityRecord b{2, "Smith Jon", "", "london"};     // reordered
+  EntityRecord c{3, "Jon Smyth", "", "london"};     // typo + same city
+  EntityRecord d{4, "Alice Jones", "", "paris"};
+  EXPECT_TRUE(resolver.Matches(a, b));
+  EXPECT_TRUE(resolver.Matches(a, c));
+  EXPECT_FALSE(resolver.Matches(a, d));
+}
+
+TEST(EntityResolverTest, EmailIsDecisive) {
+  EntityResolver resolver;
+  EntityRecord a{1, "J. Smith", "js@acme.com", ""};
+  EntityRecord b{2, "Jonathan Smith", "js@acme.com", ""};
+  EntityRecord c{3, "Jonathan Smith", "other@acme.com", ""};
+  EXPECT_TRUE(resolver.Matches(a, b));
+  EXPECT_FALSE(resolver.Matches(a, c));
+}
+
+TEST(EntityResolverTest, ResolveClustersTransitively) {
+  EntityResolver resolver;
+  std::vector<EntityRecord> records = {
+      {1, "Jon Smith", "", "london"},
+      {2, "Jon Smyth", "", "london"},
+      {3, "Smith Jon", "", "london"},
+      {4, "Alice Jones", "", "paris"},
+      {5, "Alyce Jones", "", "paris"},
+      {6, "Bob Brown", "", "rome"},
+  };
+  auto clusters = resolver.Resolve(records);
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0].size(), 3u);  // the Smiths
+  EXPECT_EQ(clusters[1].size(), 2u);  // the Joneses
+  EXPECT_EQ(clusters[2].size(), 1u);  // Bob
+}
+
+TEST(EntityResolverTest, BlockingComparesFarFewerPairs) {
+  Rng rng(7);
+  std::vector<EntityRecord> records;
+  const std::vector<std::string> first = {"anna", "bruno", "carla", "dino",
+                                          "elsa", "franz", "greta", "hugo"};
+  const std::vector<std::string> last = {"ametov", "bell",   "costa", "duarte",
+                                         "evans",  "fischer", "gold",  "haas"};
+  for (size_t i = 0; i < 400; ++i) {
+    records.push_back(EntityRecord{i, rng.Pick(first) + " " + rng.Pick(last),
+                                   "", ""});
+  }
+  EntityResolver::Options blocked_options;
+  EntityResolver blocked(blocked_options);
+  blocked.Resolve(records);
+
+  EntityResolver::Options all_pairs_options;
+  all_pairs_options.use_blocking = false;
+  EntityResolver all_pairs(all_pairs_options);
+  all_pairs.Resolve(records);
+
+  EXPECT_EQ(all_pairs.stats().pairs_compared, 400u * 399u / 2);
+  EXPECT_LT(blocked.stats().pairs_compared,
+            all_pairs.stats().pairs_compared / 4);
+}
+
+TEST(EntityResolverTest, BlockingAndAllPairsAgreeOnExactDuplicates) {
+  // Identical names land in the same block, so the two modes must agree.
+  std::vector<EntityRecord> records;
+  for (size_t i = 0; i < 30; ++i) {
+    records.push_back(
+        EntityRecord{i, "person_" + std::to_string(i % 10), "", ""});
+  }
+  EntityResolver::Options all_pairs_options;
+  all_pairs_options.use_blocking = false;
+  EntityResolver blocked;
+  EntityResolver all_pairs(all_pairs_options);
+  EXPECT_EQ(blocked.Resolve(records), all_pairs.Resolve(records));
+}
+
+// ------------------------------------------------------------ SchemaMapper
+
+TEST(SchemaMapperTest, SimilarityOnLeafNames) {
+  double sim = SchemaSimilarity(
+      {"/doc/id", "/doc/total", "/doc/customer"},
+      {"/doc/order/id", "/doc/order/total", "/doc/order/carrier"});
+  EXPECT_NEAR(sim, 0.5, 1e-9);  // {id,total} / {id,total,customer,carrier}
+}
+
+TEST(SchemaMapperTest, ConsolidatesPurchaseOrderVariants) {
+  std::vector<KindSchema> kinds = {
+      {"po_csv", {"/doc/id", "/doc/customer_id", "/doc/total", "/doc/date"}},
+      {"po_xml",
+       {"/doc/@tag", "/doc/id", "/doc/customer_id", "/doc/total",
+        "/doc/date"}},
+      {"po_email", {"/doc/id", "/doc/customer_id", "/doc/total"}},
+      {"clinical_note", {"/doc/patient", "/doc/provider", "/doc/procedure"}},
+  };
+  auto classes = ConsolidateSchemas(kinds);
+  ASSERT_EQ(classes.size(), 2u);
+  // The three purchase-order variants cluster together.
+  const SchemaClass* po_class = nullptr;
+  for (const SchemaClass& c : classes) {
+    if (c.kinds.size() == 3) po_class = &c;
+  }
+  ASSERT_NE(po_class, nullptr);
+  std::set<std::string> members(po_class->kinds.begin(), po_class->kinds.end());
+  EXPECT_TRUE(members.count("po_csv"));
+  EXPECT_TRUE(members.count("po_xml"));
+  EXPECT_TRUE(members.count("po_email"));
+  // Canonical attributes include the shared ones.
+  std::set<std::string> attrs(po_class->attributes.begin(),
+                              po_class->attributes.end());
+  EXPECT_TRUE(attrs.count("customer_id"));
+  EXPECT_TRUE(attrs.count("total"));
+  // Mapping routes each concrete path to its canonical attribute.
+  EXPECT_EQ(po_class->path_mapping.at("po_csv").at("/doc/total"), "total");
+  EXPECT_EQ(po_class->path_mapping.at("po_xml").at("/doc/total"), "total");
+}
+
+TEST(SchemaMapperTest, DisjointSchemasStaySeparate) {
+  std::vector<KindSchema> kinds = {
+      {"a", {"/doc/x", "/doc/y"}},
+      {"b", {"/doc/p", "/doc/q"}},
+  };
+  EXPECT_EQ(ConsolidateSchemas(kinds).size(), 2u);
+}
+
+// ---------------------------------------------------- Relationship discovery
+
+std::vector<Document> MakeJoinCorpus() {
+  std::vector<Document> docs;
+  // Customers with ids 100..104.
+  for (int i = 0; i < 5; ++i) {
+    Document c = MakeRecordDocument(
+        "customer", {{"id", Value::Int(100 + i)},
+                     {"name", Value::String("cust" + std::to_string(i))}});
+    c.id = static_cast<model::DocId>(1 + i);
+    docs.push_back(std::move(c));
+  }
+  // Orders referencing customer ids.
+  for (int i = 0; i < 8; ++i) {
+    Document o = MakeRecordDocument(
+        "order", {{"order_no", Value::Int(9000 + i)},
+                  {"customer_id", Value::Int(100 + (i % 5))},
+                  {"total", Value::Double(10.5 * i)}});
+    o.id = static_cast<model::DocId>(10 + i);
+    docs.push_back(std::move(o));
+  }
+  return docs;
+}
+
+TEST(RelationshipDiscoveryTest, FindsInclusionDependency) {
+  std::vector<Document> docs = MakeJoinCorpus();
+  std::vector<const Document*> corpus;
+  for (const Document& d : docs) corpus.push_back(&d);
+
+  auto joins = DiscoverJoins(corpus);
+  ASSERT_FALSE(joins.empty());
+  bool found = false;
+  for (const DiscoveredJoin& join : joins) {
+    if (join.kind_a == "order" && join.path_a == "/doc/customer_id" &&
+        join.kind_b == "customer" && join.path_b == "/doc/id") {
+      found = true;
+      EXPECT_DOUBLE_EQ(join.containment, 1.0);
+      EXPECT_EQ(join.matched_values, 5u);
+    }
+    // Doubles (totals) must never produce joins.
+    EXPECT_NE(join.path_a, "/doc/total");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RelationshipDiscoveryTest, MaterializesEdges) {
+  std::vector<Document> docs = MakeJoinCorpus();
+  std::vector<const Document*> corpus;
+  for (const Document& d : docs) corpus.push_back(&d);
+
+  DiscoveredJoin join{"order", "/doc/customer_id", "customer", "/doc/id",
+                      1.0, 5};
+  index::JoinIndex join_index;
+  size_t edges = MaterializeJoinEdges(corpus, join, &join_index);
+  EXPECT_EQ(edges, 8u);  // one per order
+  // Order 10 references customer id 100 -> customer doc 1.
+  auto from_order = join_index.EdgesFrom(10, "joins:customer_id");
+  ASSERT_EQ(from_order.size(), 1u);
+  EXPECT_EQ(from_order[0].dst, 1u);
+}
+
+TEST(RelationshipDiscoveryTest, SmallOrConstantColumnsIgnored) {
+  // A boolean-ish column matching everything must not become a join.
+  std::vector<Document> docs;
+  for (int i = 0; i < 6; ++i) {
+    Document a = MakeRecordDocument("a", {{"flag", Value::Int(i % 2)}});
+    a.id = static_cast<model::DocId>(1 + i);
+    docs.push_back(std::move(a));
+    Document b = MakeRecordDocument("b", {{"flag", Value::Int(i % 2)}});
+    b.id = static_cast<model::DocId>(100 + i);
+    docs.push_back(std::move(b));
+  }
+  std::vector<const Document*> corpus;
+  for (const Document& d : docs) corpus.push_back(&d);
+  EXPECT_TRUE(DiscoverJoins(corpus).empty());
+}
+
+TEST(RelationshipDiscoveryTest, AnnotationsExcludedFromProfiling) {
+  std::vector<Document> docs = MakeJoinCorpus();
+  Document ann = MakeRecordDocument("order", {{"customer_id", Value::Int(100)}});
+  ann.id = 99;
+  ann.doc_class = model::DocClass::kAnnotation;
+  docs.push_back(ann);
+  std::vector<const Document*> corpus;
+  for (const Document& d : docs) corpus.push_back(&d);
+  index::JoinIndex join_index;
+  DiscoveredJoin join{"order", "/doc/customer_id", "customer", "/doc/id",
+                      1.0, 5};
+  MaterializeJoinEdges(corpus, join, &join_index);
+  EXPECT_TRUE(join_index.EdgesFrom(99).empty());
+}
+
+}  // namespace
+}  // namespace impliance::discovery

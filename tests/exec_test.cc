@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/operators.h"
+
+namespace impliance::exec {
+namespace {
+
+using model::Value;
+
+Schema TwoColSchema() { return Schema{{"id", "city"}}; }
+
+std::vector<Row> SampleRows() {
+  return {
+      {Value::Int(1), Value::String("london")},
+      {Value::Int(2), Value::String("paris")},
+      {Value::Int(3), Value::String("london")},
+      {Value::Int(4), Value::String("rome")},
+      {Value::Int(5), Value::String("paris")},
+  };
+}
+
+OperatorPtr Source() {
+  return std::make_unique<RowSourceOp>(TwoColSchema(), SampleRows());
+}
+
+// ---------------------------------------------------------------- Basics
+
+TEST(RowSourceTest, EmitsAllRowsThenEos) {
+  auto op = Source();
+  std::vector<Row> rows = Execute(op.get());
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_EQ(op->rows_produced(), 5u);
+}
+
+TEST(FilterTest, AppliesConjunction) {
+  std::vector<Predicate> preds = {
+      {1, CompareOp::kEq, Value::String("london")},
+      {0, CompareOp::kGt, Value::Int(1)},
+  };
+  FilterOp filter(Source(), preds);
+  std::vector<Row> rows = Execute(&filter);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int_value(), 3);
+}
+
+TEST(FilterTest, ContainsPredicate) {
+  std::vector<Predicate> preds = {
+      {1, CompareOp::kContains, Value::String("ROM")},
+  };
+  FilterOp filter(Source(), preds);
+  std::vector<Row> rows = Execute(&filter);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].string_value(), "rome");
+}
+
+TEST(FilterTest, NullsNeverPass) {
+  Schema schema{{"x"}};
+  std::vector<Row> rows = {{Value::Null()}, {Value::Int(1)}};
+  auto src = std::make_unique<RowSourceOp>(schema, rows);
+  FilterOp filter(std::move(src), {{0, CompareOp::kNe, Value::Int(5)}});
+  EXPECT_EQ(Execute(&filter).size(), 1u);
+}
+
+TEST(AdaptiveFilterTest, ReordersBySelectivity) {
+  // Predicate 0 passes ~99%, predicate 1 passes ~1%. After adaptation the
+  // selective one must be evaluated first.
+  Rng rng(5);
+  Schema schema{{"a", "b"}};
+  std::vector<Row> rows;
+  for (int i = 0; i < 4096; ++i) {
+    rows.push_back({Value::Int(rng.Bernoulli(0.99) ? 1 : 0),
+                    Value::Int(rng.Bernoulli(0.01) ? 1 : 0)});
+  }
+  std::vector<Predicate> preds = {
+      {0, CompareOp::kEq, Value::Int(1)},
+      {1, CompareOp::kEq, Value::Int(1)},
+  };
+  FilterOp adaptive(std::make_unique<RowSourceOp>(schema, rows), preds,
+                    /*adaptive=*/true);
+  Execute(&adaptive);
+  std::vector<int> order = adaptive.EvaluationOrder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // the selective predicate moved first
+
+  // And it does fewer predicate evaluations than the static order.
+  FilterOp fixed(std::make_unique<RowSourceOp>(schema, rows), preds, false);
+  Execute(&fixed);
+  EXPECT_LT(adaptive.predicate_evals(), fixed.predicate_evals());
+}
+
+TEST(AdaptiveFilterTest, SameResultsAsStaticFilter) {
+  Rng rng(11);
+  Schema schema{{"a", "b", "c"}};
+  std::vector<Row> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back({Value::Int(rng.UniformInt(0, 4)),
+                    Value::Int(rng.UniformInt(0, 4)),
+                    Value::Int(rng.UniformInt(0, 4))});
+  }
+  std::vector<Predicate> preds = {
+      {0, CompareOp::kLe, Value::Int(2)},
+      {1, CompareOp::kEq, Value::Int(3)},
+      {2, CompareOp::kGe, Value::Int(1)},
+  };
+  FilterOp adaptive(std::make_unique<RowSourceOp>(schema, rows), preds, true);
+  FilterOp fixed(std::make_unique<RowSourceOp>(schema, rows), preds, false);
+  EXPECT_EQ(Execute(&adaptive), Execute(&fixed));
+}
+
+TEST(ProjectTest, SelectsAndRenames) {
+  ProjectOp project(Source(), {1}, {"town"});
+  EXPECT_EQ(project.schema().columns, (std::vector<std::string>{"town"}));
+  std::vector<Row> rows = Execute(&project);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), "london");
+}
+
+// ----------------------------------------------------------------- Joins
+
+OperatorPtr CityRegionSource() {
+  Schema schema{{"city2", "region"}};
+  std::vector<Row> rows = {
+      {Value::String("london"), Value::String("uk")},
+      {Value::String("paris"), Value::String("fr")},
+      {Value::String("berlin"), Value::String("de")},
+  };
+  return std::make_unique<RowSourceOp>(schema, rows);
+}
+
+TEST(HashJoinTest, EquiJoin) {
+  HashJoinOp join(Source(), CityRegionSource(), 1, 0);
+  EXPECT_EQ(join.schema().size(), 4u);
+  std::vector<Row> rows = Execute(&join);
+  // rome has no region; 4 of 5 rows join.
+  ASSERT_EQ(rows.size(), 4u);
+  for (const Row& row : rows) {
+    EXPECT_EQ(row[1].string_value(), row[2].string_value());
+  }
+}
+
+TEST(HashJoinTest, DuplicateBuildKeysProduceAllMatches) {
+  Schema left_schema{{"k"}};
+  Schema right_schema{{"k2", "v"}};
+  auto left = std::make_unique<RowSourceOp>(
+      left_schema, std::vector<Row>{{Value::Int(1)}, {Value::Int(2)}});
+  auto right = std::make_unique<RowSourceOp>(
+      right_schema,
+      std::vector<Row>{{Value::Int(1), Value::String("a")},
+                       {Value::Int(1), Value::String("b")},
+                       {Value::Int(3), Value::String("c")}});
+  HashJoinOp join(std::move(left), std::move(right), 0, 0);
+  EXPECT_EQ(Execute(&join).size(), 2u);
+}
+
+TEST(HashJoinTest, NullKeysNeverJoin) {
+  Schema schema{{"k"}};
+  auto left = std::make_unique<RowSourceOp>(
+      schema, std::vector<Row>{{Value::Null()}, {Value::Int(1)}});
+  auto right = std::make_unique<RowSourceOp>(
+      schema, std::vector<Row>{{Value::Null()}, {Value::Int(1)}});
+  HashJoinOp join(std::move(left), std::move(right), 0, 0);
+  EXPECT_EQ(Execute(&join).size(), 1u);
+}
+
+TEST(IndexedNLJoinTest, LookupPerProbe) {
+  auto lookup = [](const Value& key) -> std::vector<Row> {
+    if (key.AsString() == "london") {
+      return {{Value::String("uk")}};
+    }
+    if (key.AsString() == "paris") {
+      return {{Value::String("fr")}};
+    }
+    return {};
+  };
+  IndexedNLJoinOp join(Source(), 1, lookup, Schema{{"region"}});
+  std::vector<Row> rows = Execute(&join);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(join.index_probes(), 5u);
+  EXPECT_EQ(rows[0][2].string_value(), "uk");
+}
+
+TEST(IndexedNLJoinTest, AgreesWithHashJoin) {
+  Rng rng(3);
+  Schema left_schema{{"k", "payload"}};
+  Schema right_schema{{"k2", "v"}};
+  std::vector<Row> left_rows, right_rows;
+  for (int i = 0; i < 300; ++i) {
+    left_rows.push_back({Value::Int(rng.UniformInt(0, 40)), Value::Int(i)});
+  }
+  for (int i = 0; i < 80; ++i) {
+    right_rows.push_back({Value::Int(rng.UniformInt(0, 40)), Value::Int(i)});
+  }
+  HashJoinOp hash_join(
+      std::make_unique<RowSourceOp>(left_schema, left_rows),
+      std::make_unique<RowSourceOp>(right_schema, right_rows), 0, 0);
+  auto lookup = [&right_rows](const Value& key) {
+    std::vector<Row> matches;
+    for (const Row& row : right_rows) {
+      if (row[0].Compare(key) == 0) matches.push_back(row);
+    }
+    return matches;
+  };
+  IndexedNLJoinOp inl_join(std::make_unique<RowSourceOp>(left_schema, left_rows),
+                           0, lookup, right_schema);
+  std::vector<Row> a = Execute(&hash_join);
+  std::vector<Row> b = Execute(&inl_join);
+  // Same multiset of rows (order may differ within a probe).
+  auto key_fn = [](const Row& row) {
+    std::string repr;
+    for (const Value& value : row) repr += value.AsString() + "|";
+    return repr;
+  };
+  std::vector<std::string> sa, sb;
+  for (const Row& row : a) sa.push_back(key_fn(row));
+  for (const Row& row : b) sb.push_back(key_fn(row));
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+// ------------------------------------------------------------- Aggregate
+
+TEST(HashAggregateTest, GroupByWithAllFunctions) {
+  std::vector<AggSpec> aggs = {
+      {AggFn::kCount, -1, "n"},
+      {AggFn::kSum, 0, "sum_id"},
+      {AggFn::kAvg, 0, "avg_id"},
+      {AggFn::kMin, 0, "min_id"},
+      {AggFn::kMax, 0, "max_id"},
+  };
+  HashAggregateOp agg(Source(), {1}, aggs);
+  EXPECT_EQ(agg.schema().size(), 6u);
+  std::vector<Row> rows = Execute(&agg);
+  ASSERT_EQ(rows.size(), 3u);  // london, paris, rome (key order)
+  // Keys emitted in sorted order: london, paris, rome.
+  EXPECT_EQ(rows[0][0].string_value(), "london");
+  EXPECT_EQ(rows[0][1].int_value(), 2);               // count
+  EXPECT_DOUBLE_EQ(rows[0][2].double_value(), 4.0);   // 1+3
+  EXPECT_DOUBLE_EQ(rows[0][3].double_value(), 2.0);   // avg
+  EXPECT_EQ(rows[0][4].int_value(), 1);               // min
+  EXPECT_EQ(rows[0][5].int_value(), 3);               // max
+}
+
+TEST(HashAggregateTest, GlobalAggregateNoGroups) {
+  HashAggregateOp agg(Source(), {}, {{AggFn::kCount, -1, "n"}});
+  std::vector<Row> rows = Execute(&agg);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int_value(), 5);
+}
+
+TEST(HashAggregateTest, NullsSkippedInAggregates) {
+  Schema schema{{"g", "v"}};
+  std::vector<Row> data = {
+      {Value::Int(1), Value::Int(10)},
+      {Value::Int(1), Value::Null()},
+      {Value::Int(2), Value::Null()},
+  };
+  HashAggregateOp agg(std::make_unique<RowSourceOp>(schema, data), {0},
+                      {{AggFn::kCount, -1, "n"}, {AggFn::kSum, 1, "s"}});
+  std::vector<Row> rows = Execute(&agg);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].int_value(), 2);            // COUNT(*) counts nulls
+  EXPECT_DOUBLE_EQ(rows[0][2].double_value(), 10); // SUM skips nulls
+  EXPECT_TRUE(rows[1][2].is_null());               // all-null group: SUM null
+}
+
+// ------------------------------------------------------------- Sort/TopK
+
+TEST(SortTest, MultiKeyWithDirections) {
+  SortOp sort(Source(), {{1, true}, {0, false}});
+  std::vector<Row> rows = Execute(&sort);
+  ASSERT_EQ(rows.size(), 5u);
+  // london (3, 1), paris (5, 2), rome(4): city asc, id desc within city.
+  EXPECT_EQ(rows[0][0].int_value(), 3);
+  EXPECT_EQ(rows[1][0].int_value(), 1);
+  EXPECT_EQ(rows[2][0].int_value(), 5);
+  EXPECT_EQ(rows[3][0].int_value(), 2);
+  EXPECT_EQ(rows[4][0].int_value(), 4);
+}
+
+TEST(TopKTest, MatchesSortPrefix) {
+  Rng rng(9);
+  Schema schema{{"v"}};
+  std::vector<Row> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back({Value::Int(rng.UniformInt(0, 10000))});
+  }
+  for (size_t k : {0u, 1u, 7u, 100u, 1500u}) {
+    SortOp sort(std::make_unique<RowSourceOp>(schema, data), {{0, true}});
+    TopKOp topk(std::make_unique<RowSourceOp>(schema, data), {{0, true}}, k);
+    std::vector<Row> sorted = Execute(&sort);
+    std::vector<Row> top = Execute(&topk);
+    sorted.resize(std::min(k, sorted.size()));
+    ASSERT_EQ(top.size(), sorted.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i][0].int_value(), sorted[i][0].int_value()) << "k=" << k;
+    }
+  }
+}
+
+TEST(LimitTest, StopsEarly) {
+  LimitOp limit(Source(), 2);
+  EXPECT_EQ(Execute(&limit).size(), 2u);
+  LimitOp over(Source(), 100);
+  EXPECT_EQ(Execute(&over).size(), 5u);
+  LimitOp zero(Source(), 0);
+  EXPECT_TRUE(Execute(&zero).empty());
+}
+
+// Composed pipeline: filter -> join -> aggregate -> topk, sanity end-to-end.
+TEST(PipelineTest, ComposedOperatorsProduceExpectedResult) {
+  std::vector<Predicate> preds = {{0, CompareOp::kGt, Value::Int(1)}};
+  auto filter = std::make_unique<FilterOp>(Source(), preds);
+  auto join =
+      std::make_unique<HashJoinOp>(std::move(filter), CityRegionSource(), 1, 0);
+  auto agg = std::make_unique<HashAggregateOp>(
+      std::move(join), std::vector<int>{3},
+      std::vector<AggSpec>{{AggFn::kCount, -1, "n"}});
+  TopKOp top(std::move(agg), {{1, false}}, 1);
+  std::vector<Row> rows = Execute(&top);
+  ASSERT_EQ(rows.size(), 1u);
+  // ids 2..5 -> paris/fr, london/uk, rome(-), paris/fr: counts fr=2, uk=1;
+  // the top group is fr with count 2.
+  EXPECT_EQ(rows[0][0].string_value(), "fr");
+  EXPECT_EQ(rows[0][1].int_value(), 2);
+}
+
+}  // namespace
+}  // namespace impliance::exec

@@ -1,0 +1,237 @@
+// Tests for the paper-mandated extensions: hierarchy-aware text indexing
+// (Section 3.3), numeric range facets (Section 3.2.1 guided search), and
+// log/sensor-stream ingestion (Section 1 trends).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/impliance.h"
+#include "index/fielded_index.h"
+#include "ingest/ingest.h"
+#include "query/faceted.h"
+
+namespace impliance {
+namespace {
+
+namespace fs = std::filesystem;
+using model::DocId;
+using model::Document;
+using model::MakeRecordDocument;
+using model::Value;
+
+// ----------------------------------------------------------- FieldedIndex
+
+Document EmailDoc(DocId id, const std::string& subject,
+                  const std::string& body) {
+  Document doc = MakeRecordDocument(
+      "email",
+      {{"subject", Value::String(subject)}, {"body", Value::String(body)}});
+  doc.id = id;
+  return doc;
+}
+
+TEST(FieldedIndexTest, FieldScopedSearchDistinguishesPaths) {
+  index::FieldedTextIndex idx;
+  idx.AddDocument(EmailDoc(1, "quarterly budget", "see attached invoice"));
+  idx.AddDocument(EmailDoc(2, "invoice overdue", "the budget was approved"));
+
+  // Global search finds both for either term.
+  EXPECT_EQ(idx.Search("budget", 10).size(), 2u);
+  EXPECT_EQ(idx.Search("invoice", 10).size(), 2u);
+
+  // Field-scoped search distinguishes where the term appears.
+  auto subject_hits = idx.SearchField("/doc/subject", "budget", 10);
+  ASSERT_EQ(subject_hits.size(), 1u);
+  EXPECT_EQ(subject_hits[0].doc, 1u);
+  auto body_hits = idx.SearchField("/doc/body", "budget", 10);
+  ASSERT_EQ(body_hits.size(), 1u);
+  EXPECT_EQ(body_hits[0].doc, 2u);
+  EXPECT_TRUE(idx.SearchField("/doc/nonexistent", "budget", 10).empty());
+}
+
+TEST(FieldedIndexTest, FieldPhraseAndConjunctive) {
+  index::FieldedTextIndex idx;
+  idx.AddDocument(EmailDoc(1, "new york office", "x"));
+  idx.AddDocument(EmailDoc(2, "york has new offices", "x"));
+  EXPECT_EQ(idx.SearchFieldPhrase("/doc/subject", "new york"),
+            (std::vector<DocId>{1}));
+  EXPECT_EQ(idx.SearchFieldAll("/doc/subject", "new york"),
+            (std::vector<DocId>{1, 2}));
+}
+
+TEST(FieldedIndexTest, RemoveDocumentClearsAllFields) {
+  index::FieldedTextIndex idx;
+  Document doc = EmailDoc(1, "alpha", "beta");
+  idx.AddDocument(doc);
+  idx.RemoveDocument(doc);
+  EXPECT_TRUE(idx.Search("alpha", 10).empty());
+  EXPECT_TRUE(idx.SearchField("/doc/subject", "alpha", 10).empty());
+  EXPECT_TRUE(idx.SearchField("/doc/body", "beta", 10).empty());
+}
+
+TEST(FieldedIndexTest, RepeatedSiblingsConcatenateUnderOnePath) {
+  index::FieldedTextIndex idx;
+  Document doc;
+  doc.id = 5;
+  doc.kind = "po";
+  doc.root = model::Item("doc");
+  doc.root.AddChild("line", Value::String("red widget"));
+  doc.root.AddChild("line", Value::String("blue gizmo"));
+  idx.AddDocument(doc);
+  EXPECT_EQ(idx.SearchFieldAll("/doc/line", "widget gizmo"),
+            (std::vector<DocId>{5}));
+  std::vector<std::string> paths = idx.TextPaths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "/doc/line");
+}
+
+TEST(FieldedIndexTest, FacadeSearchFieldEndToEnd) {
+  const std::string dir =
+      (fs::temp_directory_path() / "impliance_ext_fielded").string();
+  fs::remove_all(dir);
+  auto impliance =
+      std::move(core::Impliance::Open({.data_dir = dir})).value();
+  ASSERT_TRUE(impliance
+                  ->InfuseContent("email",
+                                  "From: a@x.com\nSubject: payment overdue\n\n"
+                                  "nothing about money here")
+                  .ok());
+  ASSERT_TRUE(impliance
+                  ->InfuseContent("email",
+                                  "From: b@x.com\nSubject: holiday party\n\n"
+                                  "the payment cleared yesterday")
+                  .ok());
+  auto subject_hits = impliance->SearchField("/doc/subject", "payment", 10);
+  ASSERT_EQ(subject_hits.size(), 1u);
+  auto body_hits = impliance->SearchField("/doc/body", "payment", 10);
+  ASSERT_EQ(body_hits.size(), 1u);
+  EXPECT_NE(subject_hits[0].doc, body_hits[0].doc);
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------ RangeFacets
+
+TEST(RangeFacetTest, BucketizesNumericPath) {
+  index::InvertedIndex inverted;
+  index::PathIndex paths;
+  index::FacetIndex facets;
+  index::ValueIndex values;
+  for (int i = 0; i < 20; ++i) {
+    Document doc = MakeRecordDocument(
+        "order", {{"total", Value::Double(i * 10.0)}});  // 0,10,...,190
+    doc.id = static_cast<DocId>(i + 1);
+    inverted.AddDocument(doc.id, doc.Text());
+    paths.AddDocument(doc);
+    facets.AddDocument(doc);
+    values.AddDocument(doc);
+  }
+  query::FacetedSearch search(&inverted, &paths, &facets, &values);
+  query::FacetedQuery q;
+  q.kind = "order";
+  q.range_facets = {{"/doc/total", {50.0, 100.0, 150.0}}};
+  query::FacetedResult result = search.Run(q);
+
+  const auto& buckets = result.range_facet_buckets.at("/doc/total");
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].count, 5u);   // 0..40
+  EXPECT_EQ(buckets[1].count, 5u);   // 50..90
+  EXPECT_EQ(buckets[2].count, 5u);   // 100..140
+  EXPECT_EQ(buckets[3].count, 5u);   // 150..190
+  EXPECT_TRUE(buckets[0].open_below);
+  EXPECT_TRUE(buckets[3].open_above);
+  EXPECT_DOUBLE_EQ(buckets[1].lower, 50.0);
+  EXPECT_DOUBLE_EQ(buckets[1].upper, 100.0);
+}
+
+TEST(RangeFacetTest, RespectsDrilldownRestriction) {
+  index::InvertedIndex inverted;
+  index::PathIndex paths;
+  index::FacetIndex facets;
+  index::ValueIndex values;
+  for (int i = 0; i < 10; ++i) {
+    Document doc = MakeRecordDocument(
+        "order", {{"region", Value::String(i < 5 ? "emea" : "amer")},
+                  {"total", Value::Double(i * 100.0)}});
+    doc.id = static_cast<DocId>(i + 1);
+    inverted.AddDocument(doc.id, doc.Text());
+    paths.AddDocument(doc);
+    facets.AddDocument(doc);
+    values.AddDocument(doc);
+  }
+  query::FacetedSearch search(&inverted, &paths, &facets, &values);
+  query::FacetedQuery q;
+  q.kind = "order";
+  q.drilldowns = {{"/doc/region", Value::String("emea")}};
+  q.range_facets = {{"/doc/total", {250.0}}};
+  query::FacetedResult result = search.Run(q);
+  const auto& buckets = result.range_facet_buckets.at("/doc/total");
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].count, 3u);  // emea totals 0,100,200
+  EXPECT_EQ(buckets[1].count, 2u);  // emea totals 300,400
+}
+
+// ---------------------------------------------------------------- LogLines
+
+TEST(LogIngestTest, ParsesStructuredLines) {
+  auto docs = ingest::FromLogLines(
+      "pump_log",
+      "2006-11-03 [WARN] pump_7: pressure 812 exceeds threshold\n"
+      "2006-11-04 [info] pump_2: nominal\n"
+      "\n"
+      "free-form line without structure\n");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 3u);
+
+  const Document& first = (*docs)[0];
+  EXPECT_EQ(first.kind, "pump_log");
+  EXPECT_EQ(model::ResolvePath(first.root, "/doc/level")->string_value(),
+            "warn");
+  EXPECT_EQ(model::ResolvePath(first.root, "/doc/source")->string_value(),
+            "pump_7");
+  EXPECT_NE(model::ResolvePath(first.root, "/doc/message")
+                ->string_value()
+                .find("812"),
+            std::string::npos);
+  EXPECT_EQ(model::ResolvePath(first.root, "/doc/timestamp")->type(),
+            model::ValueType::kTimestamp);
+
+  // Unstructured line degrades to a message-only document.
+  const Document& loose = (*docs)[2];
+  EXPECT_EQ(model::ResolvePath(loose.root, "/doc/level"), nullptr);
+  EXPECT_EQ(model::ResolvePath(loose.root, "/doc/message")->string_value(),
+            "free-form line without structure");
+}
+
+TEST(LogIngestTest, EmptyInputIsError) {
+  EXPECT_TRUE(ingest::FromLogLines("k", "").status().IsInvalidArgument());
+  EXPECT_TRUE(ingest::FromLogLines("k", "\n\n\n").status().IsInvalidArgument());
+}
+
+TEST(LogIngestTest, LogsAreQueryableInTheFacade) {
+  const std::string dir =
+      (fs::temp_directory_path() / "impliance_ext_logs").string();
+  fs::remove_all(dir);
+  auto impliance =
+      std::move(core::Impliance::Open({.data_dir = dir})).value();
+  auto docs = ingest::FromLogLines(
+      "sensor",
+      "2006-11-03 [WARN] pump_7: pressure 812\n"
+      "2006-11-03 [ERROR] pump_7: seal failure\n"
+      "2006-11-04 [INFO] pump_2: nominal\n");
+  ASSERT_TRUE(docs.ok());
+  for (Document& doc : *docs) {
+    ASSERT_TRUE(impliance->Infuse(std::move(doc)).ok());
+  }
+  // SQL over the inferred view of the log kind.
+  auto rows = impliance->Sql(
+      "SELECT COUNT(*) FROM sensor WHERE source = 'pump_7'");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0].int_value(), 2);
+  // Field-scoped search over messages only.
+  EXPECT_EQ(impliance->SearchField("/doc/message", "failure", 10).size(), 1u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace impliance

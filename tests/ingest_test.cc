@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ingest/ingest.h"
+#include "ingest/json_parser.h"
+#include "ingest/xml_parser.h"
+#include "model/item.h"
+
+namespace impliance::ingest {
+namespace {
+
+using model::Document;
+using model::ResolvePath;
+using model::ResolvePathAll;
+using model::Value;
+using model::ValueType;
+
+// ---------------------------------------------------------------- Rows/CSV
+
+TEST(RelationalRowTest, MapsColumnsWithTypeInference) {
+  Document doc = FromRelationalRow("customers", {"id", "name", "balance"},
+                                   {"7", "Ada", "12.5"});
+  EXPECT_EQ(doc.kind, "customers");
+  EXPECT_EQ(ResolvePath(doc.root, "/doc/id")->int_value(), 7);
+  EXPECT_EQ(ResolvePath(doc.root, "/doc/name")->string_value(), "Ada");
+  EXPECT_DOUBLE_EQ(ResolvePath(doc.root, "/doc/balance")->double_value(), 12.5);
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto docs = FromCsv("orders", "id,city,total\n1,london,10\n2,paris,20\n");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 2u);
+  EXPECT_EQ(ResolvePath((*docs)[1].root, "/doc/city")->string_value(),
+            "paris");
+  EXPECT_EQ(ResolvePath((*docs)[1].root, "/doc/total")->int_value(), 20);
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto docs = FromCsv("t", "name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 1u);
+  EXPECT_EQ(ResolvePath((*docs)[0].root, "/doc/name")->string_value(),
+            "Smith, John");
+  EXPECT_EQ(ResolvePath((*docs)[0].root, "/doc/notes")->string_value(),
+            "said \"hi\"");
+}
+
+TEST(CsvTest, CrlfAndBlankLinesTolerated) {
+  auto docs = FromCsv("t", "a,b\r\n1,2\r\n\r\n");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->size(), 1u);
+}
+
+TEST(CsvTest, RowArityMismatchIsError) {
+  auto docs = FromCsv("t", "a,b\n1,2,3\n");
+  EXPECT_TRUE(docs.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_TRUE(FromCsv("t", "").status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonTest, ObjectWithScalars) {
+  auto doc = FromJson("po", R"({"id": 12, "open": true, "total": 9.5,
+                               "carrier": "DHL", "note": null})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/id")->int_value(), 12);
+  EXPECT_TRUE(ResolvePath(doc->root, "/doc/open")->bool_value());
+  EXPECT_DOUBLE_EQ(ResolvePath(doc->root, "/doc/total")->double_value(), 9.5);
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/carrier")->string_value(), "DHL");
+  EXPECT_TRUE(ResolvePath(doc->root, "/doc/note")->is_null());
+}
+
+TEST(JsonTest, NestedObjectsBecomeNestedItems) {
+  auto doc = FromJson("po", R"({"customer": {"name": "Ada", "city": "London"}})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/customer/name")->string_value(),
+            "Ada");
+}
+
+TEST(JsonTest, ArraysBecomeRepeatedSiblings) {
+  auto doc = FromJson("po", R"({"lines": [{"sku": "A"}, {"sku": "B"}],
+                               "tags": ["x", "y", "z"]})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ResolvePathAll(doc->root, "/doc/lines/sku").size(), 2u);
+  EXPECT_EQ(ResolvePathAll(doc->root, "/doc/tags").size(), 3u);
+}
+
+TEST(JsonTest, TopLevelArray) {
+  auto doc = FromJson("list", R"([1, 2, 3])");
+  ASSERT_TRUE(doc.ok());
+  std::vector<const Value*> items = ResolvePathAll(doc->root, "/doc/item");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[2]->int_value(), 3);
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto doc = FromJson("t", R"({"s": "a\"b\\c\nAé"})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/s")->string_value(),
+            "a\"b\\c\nA\xC3\xA9");
+  // \uXXXX escapes are UTF-8 encoded.
+  auto doc2 = FromJson("t", "{\"u\": \"\\u0041\\u00e9\\u20ac\"}");
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(ResolvePath(doc2->root, "/doc/u")->string_value(),
+            "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonTest, NegativeAndExponentNumbers) {
+  auto doc = FromJson("t", R"({"a": -17, "b": 2.5e3})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/a")->int_value(), -17);
+  EXPECT_DOUBLE_EQ(ResolvePath(doc->root, "/doc/b")->double_value(), 2500.0);
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(FromJson("t", "{").ok());
+  EXPECT_FALSE(FromJson("t", R"({"a": 1,})").ok());
+  EXPECT_FALSE(FromJson("t", R"({"a" 1})").ok());
+  EXPECT_FALSE(FromJson("t", R"({"a": 1} extra)").ok());
+  EXPECT_FALSE(FromJson("t", R"({"a": tru})").ok());
+  EXPECT_FALSE(FromJson("t", R"({"a": "unterminated)").ok());
+}
+
+TEST(JsonTest, EmptyObjectAndArray) {
+  auto doc = FromJson("t", R"({"empty_obj": {}, "empty_arr": []})");
+  ASSERT_TRUE(doc.ok());
+  // Empty object: child present with no children; empty array: no children.
+  EXPECT_NE(doc->root.FindChild("empty_obj"), nullptr);
+  EXPECT_EQ(doc->root.FindChild("empty_arr"), nullptr);
+}
+
+// ---------------------------------------------------------------- XML
+
+TEST(XmlTest, ElementsAttributesAndText) {
+  auto doc = FromXml("claim", R"(<?xml version="1.0"?>
+    <claim id="C-9">
+      <patient ssn="123">John Doe</patient>
+      <amount>450.75</amount>
+    </claim>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/@id")->string_value(), "C-9");
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/patient")->string_value(),
+            "John Doe");
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/patient/@ssn")->int_value(), 123);
+  EXPECT_DOUBLE_EQ(ResolvePath(doc->root, "/doc/amount")->double_value(),
+                   450.75);
+  // Root tag preserved.
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/@tag")->string_value(), "claim");
+}
+
+TEST(XmlTest, RepeatedElements) {
+  auto doc = FromXml("po", "<po><line>A</line><line>B</line></po>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ResolvePathAll(doc->root, "/doc/line").size(), 2u);
+}
+
+TEST(XmlTest, SelfClosingCommentsCdataEntities) {
+  auto doc = FromXml("t", R"(<t>
+      <!-- a comment -->
+      <empty/>
+      <data><![CDATA[raw <stuff> here]]></data>
+      <esc>a &lt;b&gt; &amp; c</esc>
+    </t>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->root.FindChild("empty"), nullptr);
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/data")->string_value(),
+            "raw <stuff> here");
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/esc")->string_value(), "a <b> & c");
+}
+
+TEST(XmlTest, RejectsMalformed) {
+  EXPECT_FALSE(FromXml("t", "<a><b></a></b>").ok());
+  EXPECT_FALSE(FromXml("t", "<a>").ok());
+  EXPECT_FALSE(FromXml("t", "<a></a><b></b>").ok());
+  EXPECT_FALSE(FromXml("t", "no xml at all").ok());
+  EXPECT_FALSE(FromXml("t", "<a attr=unquoted></a>").ok());
+}
+
+// ---------------------------------------------------------------- E-mail
+
+TEST(EmailTest, HeadersAndBody) {
+  auto doc = FromEmail(
+      "From: alice@example.com\n"
+      "To: bob@example.com\n"
+      "Subject: Contract renewal\n"
+      "\n"
+      "Please find the renewal attached.\n"
+      "Regards, Alice");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->kind, "email");
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/from")->string_value(),
+            "alice@example.com");
+  EXPECT_EQ(ResolvePath(doc->root, "/doc/subject")->string_value(),
+            "Contract renewal");
+  EXPECT_NE(ResolvePath(doc->root, "/doc/body")->string_value().find(
+                "renewal attached"),
+            std::string::npos);
+}
+
+TEST(EmailTest, RejectsHeaderless) {
+  EXPECT_FALSE(FromEmail("just some text without colon header\n").ok());
+  EXPECT_FALSE(FromEmail("").ok());
+}
+
+// ---------------------------------------------------------------- Detection
+
+TEST(DetectFormatTest, RoutesByContent) {
+  EXPECT_EQ(DetectFormat(R"({"a": 1})"), Format::kJson);
+  EXPECT_EQ(DetectFormat("[1,2]"), Format::kJson);
+  EXPECT_EQ(DetectFormat("<root/>"), Format::kXml);
+  EXPECT_EQ(DetectFormat("From: a@b.c\n\nhi"), Format::kEmail);
+  EXPECT_EQ(DetectFormat("a,b\n1,2\n"), Format::kCsv);
+  EXPECT_EQ(DetectFormat("hello world"), Format::kPlainText);
+  // A comma in prose (no matching second line) is not CSV.
+  EXPECT_EQ(DetectFormat("well, hello\nthere"), Format::kPlainText);
+}
+
+TEST(IngestAnyTest, EndToEndAcrossFormats) {
+  auto csv = IngestAny("orders", "id,total\n1,10\n2,20\n");
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv->size(), 2u);
+
+  auto json = IngestAny("po", R"({"id": 3})");
+  ASSERT_TRUE(json.ok());
+  ASSERT_EQ(json->size(), 1u);
+  EXPECT_EQ(ResolvePath((*json)[0].root, "/doc/id")->int_value(), 3);
+
+  auto text = IngestAny("note", "free text note");
+  ASSERT_TRUE(text.ok());
+  ASSERT_EQ(text->size(), 1u);
+  EXPECT_EQ((*text)[0].Text(), "free text note");
+}
+
+// Ragged schemas: two CSVs with different columns can coexist under the
+// same kind — no schema enforcement at ingest (schema chaos is supported).
+TEST(IngestAnyTest, RaggedSchemasAccepted) {
+  auto a = FromCsv("po", "id,total\n1,10\n");
+  auto b = FromCsv("po", "id,carrier,eta\n2,DHL,2007-01-09\n");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ResolvePath((*b)[0].root, "/doc/eta")->type(),
+            ValueType::kTimestamp);
+}
+
+}  // namespace
+}  // namespace impliance::ingest

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "ingest/json_parser.h"
+#include "model/document.h"
+#include "model/json_writer.h"
+
+namespace impliance::model {
+namespace {
+
+TEST(JsonWriterTest, ScalarValues) {
+  EXPECT_EQ(ValueToJson(Value::Null()), "null");
+  EXPECT_EQ(ValueToJson(Value::Bool(true)), "true");
+  EXPECT_EQ(ValueToJson(Value::Int(-42)), "-42");
+  EXPECT_EQ(ValueToJson(Value::Double(2.5)), "2.5");
+  EXPECT_EQ(ValueToJson(Value::String("hi")), "\"hi\"");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(ValueToJson(Value::String("a\"b\\c\nd\te")),
+            "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(ValueToJson(Value::String(std::string(1, '\x01'))), "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, RecordDocumentRendersObject) {
+  Document doc = MakeRecordDocument(
+      "order", {{"id", Value::Int(7)}, {"city", Value::String("rome")}});
+  doc.id = 3;
+  doc.version = 2;
+  std::string json = DocumentToJson(doc);
+  EXPECT_NE(json.find("\"_id\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"_kind\": \"order\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"city\": \"rome\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, RepeatedSiblingsBecomeArrays) {
+  Item root("doc");
+  root.AddChild("line", Value::String("a"));
+  root.AddChild("line", Value::String("b"));
+  root.AddChild("note", Value::String("only one"));
+  std::string json = ItemToJson(root);
+  // "line" is an array of two; "note" is scalar.
+  EXPECT_NE(json.find("\"line\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"note\": \"only one\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, MixedValueAndChildrenUsesTextKey) {
+  Item root("doc");
+  Item& elem = root.AddChild("patient", Value::String("John Doe"));
+  elem.AddChild("@ssn", Value::Int(123));
+  std::string json = ItemToJson(root);
+  EXPECT_NE(json.find("\"#text\": \"John Doe\""), std::string::npos);
+  EXPECT_NE(json.find("\"@ssn\": 123"), std::string::npos);
+}
+
+// Round-trip: rendered JSON re-parses through the ingest JSON parser into
+// an equivalent tree (for the common record shape).
+TEST(JsonWriterTest, RoundTripThroughJsonParser) {
+  Item root("doc");
+  root.AddChild("a", Value::Int(1));
+  root.AddChild("b", Value::String("two"));
+  Item& nested = root.AddChild("c");
+  nested.AddChild("d", Value::Double(2.5));
+  root.AddChild("tag", Value::String("x"));
+  root.AddChild("tag", Value::String("y"));
+
+  std::string json = ItemToJson(root);
+  auto reparsed = ingest::ParseJsonToItem(json);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << json;
+  // The reparsed root is named "doc" and contains the same leaves.
+  EXPECT_EQ(ResolvePath(*reparsed, "/doc/a")->int_value(), 1);
+  EXPECT_EQ(ResolvePath(*reparsed, "/doc/b")->string_value(), "two");
+  EXPECT_DOUBLE_EQ(ResolvePath(*reparsed, "/doc/c/d")->double_value(), 2.5);
+  EXPECT_EQ(ResolvePathAll(*reparsed, "/doc/tag").size(), 2u);
+}
+
+}  // namespace
+}  // namespace impliance::model

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/document.h"
+#include "model/item.h"
+#include "model/value.h"
+#include "model/view.h"
+
+namespace impliance::model {
+namespace {
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(-42).int_value(), -42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Timestamp(123).timestamp_value(), 123);
+  EXPECT_EQ(Value::Timestamp(123).type(), ValueType::kTimestamp);
+}
+
+TEST(ValueTest, NumericCompareCrossesTypes) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(10.0).Compare(Value::Int(9)), 0);
+}
+
+TEST(ValueTest, CrossTypeOrderingIsTotalByTypeRank) {
+  // Null < Bool < numeric < String by type rank.
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).HashValue(), Value::Double(3.0).HashValue());
+  EXPECT_EQ(Value::String("abc").HashValue(), Value::String("abc").HashValue());
+  EXPECT_NE(Value::String("abc").HashValue(), Value::String("abd").HashValue());
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  const std::vector<Value> values = {
+      Value::Null(),         Value::Bool(true),       Value::Bool(false),
+      Value::Int(0),         Value::Int(-123456789),  Value::Double(3.25),
+      Value::Double(-0.001), Value::String(""),       Value::String("héllo"),
+      Value::Timestamp(1136073600LL * 1000000LL)};
+  std::string buf;
+  for (const Value& v : values) v.Encode(&buf);
+  std::string_view in(buf);
+  for (const Value& expected : values) {
+    Value got;
+    ASSERT_TRUE(Value::Decode(&in, &got));
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(got.type(), expected.type());
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(ValueTest, DecodeRejectsGarbage) {
+  std::string_view in("\xFF\xFF\xFF");
+  Value v;
+  EXPECT_FALSE(Value::Decode(&in, &v));
+}
+
+TEST(ParseValueTest, InfersTypes) {
+  EXPECT_EQ(ParseValue("42").type(), ValueType::kInt);
+  EXPECT_EQ(ParseValue("-7").int_value(), -7);
+  EXPECT_EQ(ParseValue("3.14").type(), ValueType::kDouble);
+  EXPECT_EQ(ParseValue("true").type(), ValueType::kBool);
+  EXPECT_EQ(ParseValue("").type(), ValueType::kNull);
+  EXPECT_EQ(ParseValue("2006-01-07").type(), ValueType::kTimestamp);
+  EXPECT_EQ(ParseValue("hello world").type(), ValueType::kString);
+  EXPECT_EQ(ParseValue("12abc").type(), ValueType::kString);
+}
+
+TEST(ParseValueTest, DateOrderingPreserved) {
+  Value a = ParseValue("2006-01-07");
+  Value b = ParseValue("2006-01-10");
+  Value c = ParseValue("2007-01-01");
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_LT(b.Compare(c), 0);
+}
+
+// ---------------------------------------------------------------- Item
+
+Item MakeOrderItem() {
+  Item root("order");
+  root.AddChild("id", Value::Int(1001));
+  Item& customer = root.AddChild("customer");
+  customer.AddChild("name", Value::String("Ada Lovelace"));
+  customer.AddChild("city", Value::String("London"));
+  Item& lines = root.AddChild("lines");
+  Item& l1 = lines.AddChild("line");
+  l1.AddChild("sku", Value::String("X-100"));
+  l1.AddChild("qty", Value::Int(2));
+  Item& l2 = lines.AddChild("line");
+  l2.AddChild("sku", Value::String("Y-200"));
+  l2.AddChild("qty", Value::Int(1));
+  return root;
+}
+
+TEST(ItemTest, FindChild) {
+  Item root = MakeOrderItem();
+  ASSERT_NE(root.FindChild("customer"), nullptr);
+  EXPECT_EQ(root.FindChild("nonexistent"), nullptr);
+}
+
+TEST(ItemTest, CollectPathsCoversEveryNode) {
+  Item root = MakeOrderItem();
+  std::vector<PathValue> paths = CollectPaths(root);
+  // order, id, customer, name, city, lines, 2x line, 2x sku, 2x qty = 12.
+  EXPECT_EQ(paths.size(), 12u);
+  EXPECT_EQ(paths[0].path, "/order");
+}
+
+TEST(ItemTest, DistinctPathsDeduplicateRepeatedSiblings) {
+  Item root = MakeOrderItem();
+  std::vector<std::string> distinct = CollectDistinctPaths(root);
+  // Repeated "line" subtrees collapse: order, id, customer, name, city,
+  // lines, line, sku, qty = 9 distinct paths.
+  EXPECT_EQ(distinct.size(), 9u);
+}
+
+TEST(ItemTest, ResolvePathFindsNestedValues) {
+  Item root = MakeOrderItem();
+  const Value* name = ResolvePath(root, "/order/customer/name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string_value(), "Ada Lovelace");
+  EXPECT_EQ(ResolvePath(root, "/order/missing"), nullptr);
+}
+
+TEST(ItemTest, ResolvePathAllReturnsRepeatedSiblings) {
+  Item root = MakeOrderItem();
+  std::vector<const Value*> skus =
+      ResolvePathAll(root, "/order/lines/line/sku");
+  ASSERT_EQ(skus.size(), 2u);
+  EXPECT_EQ(skus[0]->string_value(), "X-100");
+  EXPECT_EQ(skus[1]->string_value(), "Y-200");
+}
+
+TEST(ItemTest, CollectTextConcatenatesStringLeaves) {
+  Item root = MakeOrderItem();
+  std::string text = CollectText(root);
+  EXPECT_NE(text.find("Ada Lovelace"), std::string::npos);
+  EXPECT_NE(text.find("X-100"), std::string::npos);
+  // Ints are not text.
+  EXPECT_EQ(text.find("1001"), std::string::npos);
+}
+
+TEST(ItemTest, EncodeDecodeRoundTrip) {
+  Item root = MakeOrderItem();
+  std::string buf;
+  root.Encode(&buf);
+  std::string_view in(buf);
+  Item decoded;
+  ASSERT_TRUE(Item::Decode(&in, &decoded));
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded, root);
+}
+
+TEST(ItemTest, DecodeRejectsCorruptChildCount) {
+  Item root("x");
+  std::string buf;
+  root.Encode(&buf);
+  // Corrupt the trailing child count to a huge value.
+  buf.back() = '\x7f';
+  std::string_view in(buf);
+  Item decoded;
+  EXPECT_FALSE(Item::Decode(&in, &decoded));
+}
+
+// ---------------------------------------------------------------- Document
+
+TEST(DocumentTest, MakeRecordDocument) {
+  Document doc = MakeRecordDocument(
+      "customer", {{"name", Value::String("Bob")}, {"age", Value::Int(44)}});
+  EXPECT_EQ(doc.kind, "customer");
+  const Value* age = ResolvePath(doc.root, "/doc/age");
+  ASSERT_NE(age, nullptr);
+  EXPECT_EQ(age->int_value(), 44);
+}
+
+TEST(DocumentTest, MakeTextDocument) {
+  Document doc = MakeTextDocument("email", "Re: contract", "please sign");
+  EXPECT_EQ(doc.Text(), "Re: contract please sign");
+}
+
+TEST(DocumentTest, EncodeDecodeRoundTripWithRefs) {
+  Document doc = MakeRecordDocument("po", {{"total", Value::Double(99.5)}});
+  doc.id = 17;
+  doc.version = 3;
+  doc.doc_class = DocClass::kAnnotation;
+  doc.refs.push_back(DocRef{5, "annotates", "/doc/text", 10, 20});
+  doc.refs.push_back(DocRef{9, "references_customer", "", 0, 0});
+
+  std::string buf;
+  doc.Encode(&buf);
+  Document decoded;
+  ASSERT_TRUE(Document::Decode(buf, &decoded));
+  EXPECT_EQ(decoded, doc);
+}
+
+TEST(DocumentTest, DecodeRejectsTrailingGarbage) {
+  Document doc = MakeRecordDocument("k", {});
+  std::string buf;
+  doc.Encode(&buf);
+  buf += "extra";
+  Document decoded;
+  EXPECT_FALSE(Document::Decode(buf, &decoded));
+}
+
+TEST(DocumentTest, DecodeRejectsBadDocClass) {
+  Document doc = MakeRecordDocument("k", {});
+  doc.id = 1;
+  std::string buf;
+  doc.Encode(&buf);
+  // doc_class byte sits after id varint (1 byte for id=1) + version varint.
+  buf[2] = 9;
+  Document decoded;
+  EXPECT_FALSE(Document::Decode(buf, &decoded));
+}
+
+// Property sweep: random documents round-trip byte-exactly.
+class DocumentRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+Item RandomItem(Rng* rng, int depth) {
+  Item item(rng->Word(1 + rng->Uniform(8)));
+  switch (rng->Uniform(4)) {
+    case 0:
+      item.value = Value::Int(rng->UniformInt(-1000000, 1000000));
+      break;
+    case 1:
+      item.value = Value::String(rng->Word(rng->Uniform(20)));
+      break;
+    case 2:
+      item.value = Value::Double(rng->NextDouble() * 1e6);
+      break;
+    default:
+      break;  // null
+  }
+  if (depth < 3) {
+    const uint64_t n = rng->Uniform(4);
+    for (uint64_t i = 0; i < n; ++i) {
+      item.children.push_back(RandomItem(rng, depth + 1));
+    }
+  }
+  return item;
+}
+
+TEST_P(DocumentRoundTripTest, RandomDocumentsRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Document doc;
+    doc.id = rng.Next() >> 32;
+    doc.version = static_cast<uint32_t>(1 + rng.Uniform(100));
+    doc.kind = rng.Word(6);
+    doc.doc_class = static_cast<DocClass>(rng.Uniform(3));
+    doc.root = RandomItem(&rng, 0);
+    const uint64_t nrefs = rng.Uniform(4);
+    for (uint64_t i = 0; i < nrefs; ++i) {
+      doc.refs.push_back(DocRef{rng.Next() >> 40, rng.Word(5), rng.Word(4),
+                                static_cast<uint32_t>(rng.Uniform(100)),
+                                static_cast<uint32_t>(rng.Uniform(100))});
+    }
+    std::string buf;
+    doc.Encode(&buf);
+    Document decoded;
+    ASSERT_TRUE(Document::Decode(buf, &decoded));
+    EXPECT_EQ(decoded, doc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DocumentRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------- View
+
+TEST(ViewTest, DocumentToRowProjectsPaths) {
+  ViewDef view;
+  view.name = "customers";
+  view.kind = "customer";
+  view.columns = {{"name", "/doc/name"}, {"age", "/doc/age"},
+                  {"missing", "/doc/nope"}};
+  Document doc = MakeRecordDocument(
+      "customer", {{"name", Value::String("Eve")}, {"age", Value::Int(30)}});
+  Row row = DocumentToRow(view, doc);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].string_value(), "Eve");
+  EXPECT_EQ(row[1].int_value(), 30);
+  EXPECT_TRUE(row[2].is_null());
+}
+
+TEST(ViewTest, ColumnIndexLookup) {
+  ViewDef view;
+  view.columns = {{"a", "/a"}, {"b", "/b"}};
+  EXPECT_EQ(view.ColumnIndex("b"), 1);
+  EXPECT_EQ(view.ColumnIndex("z"), -1);
+}
+
+TEST(ViewTest, InferViewUnionsRaggedSchemas) {
+  Document d1 = MakeRecordDocument(
+      "po", {{"id", Value::Int(1)}, {"total", Value::Double(10)}});
+  Document d2 = MakeRecordDocument(
+      "po", {{"id", Value::Int(2)}, {"carrier", Value::String("DHL")}});
+  ViewDef view = InferView("orders", "po", {&d1, &d2});
+  EXPECT_EQ(view.columns.size(), 3u);  // id, total, carrier
+  EXPECT_GE(view.ColumnIndex("carrier"), 0);
+  // d1 has no carrier -> null in that column.
+  Row row = DocumentToRow(view, d1);
+  EXPECT_TRUE(row[view.ColumnIndex("carrier")].is_null());
+}
+
+TEST(ViewTest, InferViewDisambiguatesDuplicateLeafNames) {
+  Document doc;
+  doc.kind = "claim";
+  doc.root = Item("doc");
+  Item& patient = doc.root.AddChild("patient");
+  patient.AddChild("name", Value::String("P"));
+  Item& provider = doc.root.AddChild("provider");
+  provider.AddChild("name", Value::String("Q"));
+  ViewDef view = InferView("claims", "claim", {&doc});
+  ASSERT_EQ(view.columns.size(), 2u);
+  EXPECT_NE(view.columns[0].name, view.columns[1].name);
+}
+
+}  // namespace
+}  // namespace impliance::model

@@ -1,0 +1,249 @@
+// Cross-module property tests: each structure is driven with randomized
+// workloads and checked against a brute-force oracle. Seeds are sweep
+// parameters so failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "exec/operators.h"
+#include "index/facet_index.h"
+#include "index/inverted_index.h"
+#include "index/value_index.h"
+#include "model/document.h"
+
+namespace impliance {
+namespace {
+
+using model::DocId;
+using model::Document;
+using model::MakeRecordDocument;
+using model::Value;
+
+// ----------------------------------------------------- ValueIndex oracle
+
+class ValueIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueIndexPropertyTest, RangeQueriesMatchOracle) {
+  Rng rng(GetParam());
+  index::ValueIndex idx;
+  // Oracle: docid -> value at /doc/x (latest only; docs removable).
+  std::map<DocId, int64_t> oracle;
+  std::map<DocId, Document> live_docs;
+
+  DocId next_id = 1;
+  for (int op = 0; op < 800; ++op) {
+    const uint64_t roll = rng.Uniform(100);
+    if (roll < 60 || oracle.empty()) {
+      const int64_t v = rng.UniformInt(-50, 50);
+      Document doc = MakeRecordDocument("k", {{"x", Value::Int(v)}});
+      doc.id = next_id++;
+      idx.AddDocument(doc);
+      oracle[doc.id] = v;
+      live_docs[doc.id] = std::move(doc);
+    } else if (roll < 75) {
+      auto it = live_docs.begin();
+      std::advance(it, rng.Uniform(live_docs.size()));
+      idx.RemoveDocument(it->second);
+      oracle.erase(it->first);
+      live_docs.erase(it);
+    } else {
+      const int64_t lo = rng.UniformInt(-60, 60);
+      const int64_t hi = lo + rng.UniformInt(0, 40);
+      Value vlo = Value::Int(lo), vhi = Value::Int(hi);
+      std::vector<DocId> got = idx.Range("/doc/x", &vlo, true, &vhi, true);
+      std::vector<DocId> expected;
+      for (const auto& [id, v] : oracle) {
+        if (v >= lo && v <= hi) expected.push_back(id);
+      }
+      ASSERT_EQ(got, expected);
+
+      // Point lookups agree too.
+      const int64_t probe = rng.UniformInt(-50, 50);
+      std::vector<DocId> point = idx.Lookup("/doc/x", Value::Int(probe));
+      std::vector<DocId> point_expected;
+      for (const auto& [id, v] : oracle) {
+        if (v == probe) point_expected.push_back(id);
+      }
+      ASSERT_EQ(point, point_expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueIndexPropertyTest,
+                         ::testing::Values(7, 14, 21, 28));
+
+// ------------------------------------------------------ FacetIndex oracle
+
+class FacetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FacetPropertyTest, DrilldownCountsMatchOracle) {
+  Rng rng(GetParam());
+  index::FacetIndex idx;
+  std::map<DocId, std::pair<std::string, std::string>> oracle;  // id->(c1,c2)
+  const std::vector<std::string> colors = {"red", "green", "blue"};
+  const std::vector<std::string> sizes = {"s", "m", "l", "xl"};
+
+  for (DocId id = 1; id <= 300; ++id) {
+    std::string color = rng.Pick(colors);
+    std::string size = rng.Pick(sizes);
+    Document doc = MakeRecordDocument(
+        "item",
+        {{"color", Value::String(color)}, {"size", Value::String(size)}});
+    doc.id = id;
+    idx.AddDocument(doc);
+    oracle[id] = {color, size};
+  }
+
+  for (int q = 0; q < 40; ++q) {
+    // Random candidate subset.
+    std::vector<DocId> candidates;
+    for (DocId id = 1; id <= 300; ++id) {
+      if (rng.Bernoulli(0.4)) candidates.push_back(id);
+    }
+    // Facet counts over candidates.
+    auto counts = idx.CountFacet("/doc/color", candidates, 10);
+    std::map<std::string, size_t> expected;
+    for (DocId id : candidates) expected[oracle[id].first]++;
+    size_t total_counted = 0;
+    for (const auto& fc : counts) {
+      ASSERT_EQ(fc.count, expected[fc.value.AsString()]);
+      total_counted += fc.count;
+    }
+    ASSERT_EQ(total_counted, candidates.size());
+    // Counts are sorted descending.
+    for (size_t i = 1; i < counts.size(); ++i) {
+      ASSERT_GE(counts[i - 1].count, counts[i].count);
+    }
+    // Drill-down restriction agrees with the oracle.
+    const std::string& pick = rng.Pick(colors);
+    std::vector<DocId> restricted =
+        idx.Restrict("/doc/color", Value::String(pick), candidates);
+    std::vector<DocId> restricted_expected;
+    for (DocId id : candidates) {
+      if (oracle[id].first == pick) restricted_expected.push_back(id);
+    }
+    ASSERT_EQ(restricted, restricted_expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FacetPropertyTest,
+                         ::testing::Values(31, 32, 33));
+
+// ----------------------------------------------- Phrase search vs oracle
+
+class PhrasePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PhrasePropertyTest, PhraseMatchesNaiveSubstringOfTokens) {
+  Rng rng(GetParam());
+  const std::vector<std::string> vocab = {"aa", "bb", "cc", "dd", "ee"};
+  index::InvertedIndex idx;
+  std::map<DocId, std::vector<std::string>> docs;
+  for (DocId id = 1; id <= 80; ++id) {
+    std::vector<std::string> tokens;
+    const size_t len = 1 + rng.Uniform(15);
+    for (size_t i = 0; i < len; ++i) tokens.push_back(rng.Pick(vocab));
+    idx.AddDocument(id, Join(tokens, " "));
+    docs[id] = std::move(tokens);
+  }
+  for (int q = 0; q < 60; ++q) {
+    const size_t phrase_len = 1 + rng.Uniform(3);
+    std::vector<std::string> phrase;
+    for (size_t i = 0; i < phrase_len; ++i) phrase.push_back(rng.Pick(vocab));
+    std::vector<DocId> got = idx.SearchPhrase(Join(phrase, " "));
+    std::vector<DocId> expected;
+    for (const auto& [id, tokens] : docs) {
+      bool found = false;
+      for (size_t start = 0;
+           start + phrase.size() <= tokens.size() && !found; ++start) {
+        found = std::equal(phrase.begin(), phrase.end(),
+                           tokens.begin() + start);
+      }
+      if (found) expected.push_back(id);
+    }
+    ASSERT_EQ(got, expected) << "phrase: " << Join(phrase, " ");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhrasePropertyTest,
+                         ::testing::Values(41, 42, 43, 44));
+
+// ------------------------------------------------- Aggregate vs oracle
+
+class AggregatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatePropertyTest, GroupByMatchesOracle) {
+  Rng rng(GetParam());
+  const exec::Schema schema{{"g", "v"}};
+  std::vector<exec::Row> rows;
+  std::map<int64_t, std::vector<double>> oracle;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t g = rng.UniformInt(0, 12);
+    const bool is_null = rng.Bernoulli(0.1);
+    const double v = rng.NextDouble() * 100;
+    rows.push_back(
+        {Value::Int(g), is_null ? Value::Null() : Value::Double(v)});
+    if (!is_null) oracle[g].push_back(v);
+    else oracle[g];  // group exists even if all-null
+  }
+  exec::HashAggregateOp agg(
+      std::make_unique<exec::RowSourceOp>(schema, rows), {0},
+      {{exec::AggFn::kCount, -1, "n"},
+       {exec::AggFn::kSum, 1, "s"},
+       {exec::AggFn::kMin, 1, "lo"},
+       {exec::AggFn::kMax, 1, "hi"},
+       {exec::AggFn::kAvg, 1, "avg"}});
+  std::vector<exec::Row> out = exec::Execute(&agg);
+  ASSERT_EQ(out.size(), oracle.size());
+  for (const exec::Row& row : out) {
+    const int64_t g = row[0].int_value();
+    const auto& values = oracle.at(g);
+    if (values.empty()) {
+      EXPECT_TRUE(row[2].is_null());
+      EXPECT_TRUE(row[3].is_null());
+      continue;
+    }
+    double sum = 0, lo = values[0], hi = values[0];
+    for (double v : values) {
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_NEAR(row[2].double_value(), sum, 1e-6);
+    EXPECT_NEAR(row[3].double_value(), lo, 1e-9);
+    EXPECT_NEAR(row[4].double_value(), hi, 1e-9);
+    EXPECT_NEAR(row[5].double_value(), sum / values.size(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatePropertyTest,
+                         ::testing::Values(51, 52, 53, 54, 55));
+
+// ----------------------------------------- Sort stability & determinism
+
+TEST(SortPropertyTest, StableSortPreservesInputOrderOnTies) {
+  const exec::Schema schema{{"key", "seq"}};
+  std::vector<exec::Row> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({Value::Int(i % 5), Value::Int(i)});
+  }
+  exec::SortOp sort(std::make_unique<exec::RowSourceOp>(schema, rows),
+                    {{0, true}});
+  std::vector<exec::Row> out = exec::Execute(&sort);
+  // Within equal keys, the original sequence order must be preserved.
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i - 1][0].int_value() == out[i][0].int_value()) {
+      EXPECT_LT(out[i - 1][1].int_value(), out[i][1].int_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impliance

@@ -1,0 +1,604 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/document.h"
+#include "storage/block_cache.h"
+#include "storage/bloom.h"
+#include "storage/document_store.h"
+#include "storage/segment.h"
+#include "storage/wal.h"
+
+namespace impliance::storage {
+namespace {
+
+namespace fs = std::filesystem;
+using model::Document;
+using model::MakeRecordDocument;
+using model::Value;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(fs::temp_directory_path() /
+              ("impliance_test_" + name + "_" +
+               std::to_string(reinterpret_cast<uintptr_t>(this)))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+Document Doc(const std::string& kind, int64_t payload) {
+  return MakeRecordDocument(kind, {{"payload", Value::Int(payload)}});
+}
+
+int64_t Payload(const Document& doc) {
+  const Value* v = model::ResolvePath(doc.root, "/doc/payload");
+  return v == nullptr ? -1 : v->int_value();
+}
+
+// ---------------------------------------------------------------- Bloom
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(1000);
+  for (uint64_t k = 0; k < 1000; ++k) bloom.Add(k * 7919);
+  for (uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(bloom.MayContain(k * 7919));
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilter bloom(1000);
+  for (uint64_t k = 0; k < 1000; ++k) bloom.Add(k);
+  int false_positives = 0;
+  for (uint64_t k = 1000000; k < 1010000; ++k) {
+    if (bloom.MayContain(k)) ++false_positives;
+  }
+  // 10 bits/key should be ~1%; allow 3%.
+  EXPECT_LT(false_positives, 300);
+}
+
+TEST(BloomTest, SerializeRoundTrip) {
+  BloomFilter bloom(100);
+  for (uint64_t k = 0; k < 100; ++k) bloom.Add(k * 31);
+  std::string buf;
+  bloom.Serialize(&buf);
+  BloomFilter restored(1);
+  ASSERT_TRUE(BloomFilter::Deserialize(buf, &restored));
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(restored.MayContain(k * 31));
+}
+
+TEST(BloomTest, DeserializeRejectsGarbage) {
+  BloomFilter bloom(1);
+  EXPECT_FALSE(BloomFilter::Deserialize("", &bloom));
+  EXPECT_FALSE(BloomFilter::Deserialize("\x00\x00", &bloom));
+}
+
+// ---------------------------------------------------------------- Cache
+
+TEST(BlockCacheTest, HitAfterPut) {
+  BlockCache cache(1 << 20);
+  cache.Put(1, 0, "hello");
+  auto got = cache.Get(1, 0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(BlockCacheTest, MissOnAbsent) {
+  BlockCache cache(1 << 20);
+  EXPECT_FALSE(cache.Get(1, 999).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsWhenOverCapacity) {
+  BlockCache cache(800);  // 100 bytes/shard
+  for (uint64_t i = 0; i < 100; ++i) {
+    cache.Put(1, i * 64, std::string(50, 'x'));
+  }
+  EXPECT_LE(cache.charged_bytes(), 800u + 50u * 8);
+}
+
+TEST(BlockCacheTest, LruKeepsRecentlyUsed) {
+  // Single-shard-sized cache exercise: repeatedly touch one key while
+  // inserting others; the hot key should stay resident.
+  BlockCache cache(8 * 120);  // ~120 bytes per shard
+  cache.Put(2, 7, std::string(40, 'h'));
+  for (uint64_t i = 0; i < 200; ++i) {
+    cache.Put(2, 1000 + i, std::string(40, 'c'));
+    cache.Get(2, 7);  // keep hot
+  }
+  // The hot entry may hash to any shard; it must still be present.
+  EXPECT_TRUE(cache.Get(2, 7).has_value());
+}
+
+TEST(BlockCacheTest, PutOverwritesValue) {
+  BlockCache cache(1 << 20);
+  cache.Put(3, 5, "old");
+  cache.Put(3, 5, "new");
+  EXPECT_EQ(*cache.Get(3, 5), "new");
+}
+
+// ---------------------------------------------------------------- WAL
+
+TEST(WalTest, AppendAndReplay) {
+  TempDir dir("wal");
+  const std::string path = dir.path() + "/wal.log";
+  {
+    auto writer = WalWriter::Open(path, /*sync_each_record=*/true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("alpha").ok());
+    ASSERT_TRUE((*writer)->Append("beta").ok());
+    ASSERT_TRUE((*writer)->Append(std::string(100000, 'z')).ok());
+  }
+  auto records = ReadWalRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0], "alpha");
+  EXPECT_EQ((*records)[1], "beta");
+  EXPECT_EQ((*records)[2].size(), 100000u);
+}
+
+TEST(WalTest, MissingFileIsEmpty) {
+  auto records = ReadWalRecords("/nonexistent/path/wal.log");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(WalTest, TornTailRecordIsDropped) {
+  TempDir dir("wal_torn");
+  const std::string path = dir.path() + "/wal.log";
+  {
+    auto writer = WalWriter::Open(path, true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("keep-me").ok());
+    ASSERT_TRUE((*writer)->Append("torn-record-payload").ok());
+  }
+  // Simulate a crash mid-write: chop the last 5 bytes.
+  fs::resize_file(path, fs::file_size(path) - 5);
+  auto records = ReadWalRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "keep-me");
+}
+
+TEST(WalTest, CorruptRecordStopsReplay) {
+  TempDir dir("wal_corrupt");
+  const std::string path = dir.path() + "/wal.log";
+  {
+    auto writer = WalWriter::Open(path, true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("first").ok());
+    ASSERT_TRUE((*writer)->Append("second").ok());
+  }
+  // Flip a byte inside the second record's payload.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -2, SEEK_END);
+    char c;
+    ASSERT_EQ(std::fread(&c, 1, 1, f), 1u);
+    std::fseek(f, -2, SEEK_END);
+    c ^= 0x40;
+    std::fwrite(&c, 1, 1, f);
+    std::fclose(f);
+  }
+  auto records = ReadWalRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "first");
+}
+
+// ---------------------------------------------------------------- Segment
+
+TEST(SegmentTest, BuildOpenGet) {
+  TempDir dir("segment");
+  const std::string path = dir.path() + "/segment_1.seg";
+  BlockCache cache(1 << 20);
+  {
+    SegmentBuilder builder(path, 1, 10);
+    for (int i = 1; i <= 10; ++i) {
+      Document doc = Doc("k", i * 100);
+      doc.id = static_cast<model::DocId>(i);
+      doc.version = 1;
+      ASSERT_TRUE(builder.Add(doc).ok());
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+  }
+  auto reader = SegmentReader::Open(path, 1, &cache);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_docs(), 10u);
+  auto doc = (*reader)->Get(VersionKey{5, 1});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Payload(*doc), 500);
+  EXPECT_TRUE((*reader)->Get(VersionKey{5, 2}).status().IsNotFound());
+  EXPECT_TRUE((*reader)->Get(VersionKey{99, 1}).status().IsNotFound());
+}
+
+TEST(SegmentTest, SecondGetServedFromCache) {
+  TempDir dir("segment_cache");
+  const std::string path = dir.path() + "/segment_1.seg";
+  BlockCache cache(1 << 20);
+  {
+    SegmentBuilder builder(path, 1, 1);
+    Document doc = Doc("k", 7);
+    doc.id = 1;
+    ASSERT_TRUE(builder.Add(doc).ok());
+    ASSERT_TRUE(builder.Finish().ok());
+  }
+  auto reader = SegmentReader::Open(path, 1, &cache);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE((*reader)->Get(VersionKey{1, 1}).ok());
+  const uint64_t misses_before = cache.misses();
+  ASSERT_TRUE((*reader)->Get(VersionKey{1, 1}).ok());
+  EXPECT_EQ(cache.misses(), misses_before);
+  EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST(SegmentTest, OpenRejectsTruncatedFile) {
+  TempDir dir("segment_trunc");
+  const std::string path = dir.path() + "/segment_1.seg";
+  {
+    SegmentBuilder builder(path, 1, 1);
+    Document doc = Doc("k", 1);
+    doc.id = 1;
+    ASSERT_TRUE(builder.Add(doc).ok());
+    ASSERT_TRUE(builder.Finish().ok());
+  }
+  fs::resize_file(path, fs::file_size(path) - 9);
+  auto reader = SegmentReader::Open(path, 1, nullptr);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SegmentTest, GetDetectsFlippedRecordByte) {
+  TempDir dir("segment_flip");
+  const std::string path = dir.path() + "/segment_1.seg";
+  {
+    SegmentBuilder builder(path, 1, 1);
+    Document doc = MakeRecordDocument(
+        "k", {{"body", Value::String(std::string(64, 'A'))}});
+    doc.id = 1;
+    ASSERT_TRUE(builder.Add(doc).ok());
+    ASSERT_TRUE(builder.Finish().ok());
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 20, SEEK_SET);  // inside the record body
+    char c = 0;
+    ASSERT_EQ(std::fread(&c, 1, 1, f), 1u);
+    std::fseek(f, 20, SEEK_SET);
+    c ^= 0x01;
+    std::fwrite(&c, 1, 1, f);
+    std::fclose(f);
+  }
+  auto reader = SegmentReader::Open(path, 1, nullptr);
+  ASSERT_TRUE(reader.ok());
+  auto doc = (*reader)->Get(VersionKey{1, 1});
+  EXPECT_TRUE(doc.status().IsCorruption());
+}
+
+// ---------------------------------------------------------------- Store
+
+TEST(DocumentStoreTest, InsertAndGet) {
+  TempDir dir("store_basic");
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  auto id = (*store)->Insert(Doc("customer", 1));
+  ASSERT_TRUE(id.ok());
+  auto doc = (*store)->Get(*id);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Payload(*doc), 1);
+  EXPECT_EQ(doc->version, 1u);
+  EXPECT_TRUE((*store)->Get(*id + 100).status().IsNotFound());
+}
+
+TEST(DocumentStoreTest, IdsAreUniqueAndMonotonic) {
+  TempDir dir("store_ids");
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  std::set<model::DocId> ids;
+  model::DocId prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto id = (*store)->Insert(Doc("k", i));
+    ASSERT_TRUE(id.ok());
+    EXPECT_GT(*id, prev);
+    prev = *id;
+    ids.insert(*id);
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(DocumentStoreTest, VersionsAreImmutableAndOrdered) {
+  TempDir dir("store_versions");
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  auto id = (*store)->Insert(Doc("k", 10));
+  ASSERT_TRUE(id.ok());
+  auto v2 = (*store)->AddVersion(*id, Doc("k", 20));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2u);
+  auto v3 = (*store)->AddVersion(*id, Doc("k", 30));
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(*v3, 3u);
+
+  // Latest is v3; historical versions remain readable (time travel).
+  EXPECT_EQ(Payload(*(*store)->Get(*id)), 30);
+  EXPECT_EQ(Payload(*(*store)->GetVersion(*id, 1)), 10);
+  EXPECT_EQ(Payload(*(*store)->GetVersion(*id, 2)), 20);
+  EXPECT_EQ(*(*store)->LatestVersion(*id), 3u);
+  EXPECT_TRUE((*store)->GetVersion(*id, 9).status().IsNotFound());
+}
+
+TEST(DocumentStoreTest, AddVersionToUnknownIdFails) {
+  TempDir dir("store_nover");
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->AddVersion(42, Doc("k", 1)).status().IsNotFound());
+}
+
+TEST(DocumentStoreTest, ScanVisitsLatestVersionsInIdOrder) {
+  TempDir dir("store_scan");
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  std::vector<model::DocId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(*(*store)->Insert(Doc("k", i)));
+  }
+  ASSERT_TRUE((*store)->AddVersion(ids[5], Doc("k", 555)).ok());
+
+  std::vector<model::DocId> seen;
+  std::vector<int64_t> payloads;
+  ASSERT_TRUE((*store)
+                  ->Scan([&](const Document& doc) {
+                    seen.push_back(doc.id);
+                    payloads.push_back(Payload(doc));
+                    return true;
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(payloads[5], 555);  // latest version wins
+}
+
+TEST(DocumentStoreTest, FlushMovesMemtableToSegment) {
+  TempDir dir("store_flush");
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE((*store)->Insert(Doc("k", i)).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  StoreStats stats = (*store)->GetStats();
+  EXPECT_EQ(stats.num_segments, 1u);
+  EXPECT_EQ(stats.memtable_docs, 0u);
+  EXPECT_EQ(stats.num_documents, 50u);
+  // Everything still readable post-flush.
+  EXPECT_EQ(Payload(*(*store)->Get(1)), 0);
+  EXPECT_EQ(Payload(*(*store)->Get(50)), 49);
+}
+
+TEST(DocumentStoreTest, AutoFlushAtThreshold) {
+  TempDir dir("store_autoflush");
+  auto store = DocumentStore::Open({.dir = dir.path(),
+                                    .memtable_max_docs = 16});
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE((*store)->Insert(Doc("k", i)).ok());
+  StoreStats stats = (*store)->GetStats();
+  EXPECT_GE(stats.num_segments, 5u);
+  EXPECT_LT(stats.memtable_docs, 16u);
+}
+
+TEST(DocumentStoreTest, RecoversFromWalAfterReopen) {
+  TempDir dir("store_recover_wal");
+  {
+    auto store = DocumentStore::Open({.dir = dir.path()});
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*store)->Insert(Doc("k", i)).ok());
+    }
+    ASSERT_TRUE((*store)->AddVersion(3, Doc("k", 333)).ok());
+    // No flush: documents only exist in the WAL. Store dropped here
+    // (simulated crash — destructor does not flush).
+  }
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  StoreStats stats = (*store)->GetStats();
+  EXPECT_EQ(stats.num_documents, 10u);
+  EXPECT_EQ(Payload(*(*store)->Get(3)), 333);
+  EXPECT_EQ(Payload(*(*store)->GetVersion(3, 1)), 2);
+  // New inserts must not reuse ids.
+  auto id = (*store)->Insert(Doc("k", 11));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 11u);
+}
+
+TEST(DocumentStoreTest, RecoversFromSegmentsAndWalTogether) {
+  TempDir dir("store_recover_mix");
+  {
+    auto store = DocumentStore::Open({.dir = dir.path()});
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE((*store)->Insert(Doc("k", i)).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    for (int i = 30; i < 40; ++i) {
+      ASSERT_TRUE((*store)->Insert(Doc("k", i)).ok());
+    }
+  }
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->GetStats().num_documents, 40u);
+  for (model::DocId id = 1; id <= 40; ++id) {
+    EXPECT_EQ(Payload(*(*store)->Get(id)), static_cast<int64_t>(id - 1));
+  }
+}
+
+TEST(DocumentStoreTest, TornWalTailLosesOnlyLastWrite) {
+  TempDir dir("store_torn");
+  {
+    auto store = DocumentStore::Open({.dir = dir.path()});
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE((*store)->Insert(Doc("k", i)).ok());
+  }
+  const std::string wal = dir.path() + "/wal.log";
+  fs::resize_file(wal, fs::file_size(wal) - 3);
+  auto store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->GetStats().num_documents, 4u);
+}
+
+TEST(DocumentStoreTest, CompactMergesSegmentsKeepingAllVersions) {
+  TempDir dir("store_compact");
+  auto store = DocumentStore::Open({.dir = dir.path(),
+                                    .memtable_max_docs = 8});
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 40; ++i) {
+    auto id = (*store)->Insert(Doc("k", i));
+    ASSERT_TRUE(id.ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE((*store)->AddVersion(*id, Doc("k", i + 1000)).ok());
+    }
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_GT((*store)->GetStats().num_segments, 1u);
+
+  ASSERT_TRUE((*store)->Compact().ok());
+  StoreStats stats = (*store)->GetStats();
+  EXPECT_EQ(stats.num_segments, 1u);
+  EXPECT_EQ(stats.num_documents, 40u);
+  // All versions still readable after compaction.
+  for (model::DocId id = 1; id <= 40; ++id) {
+    ASSERT_TRUE((*store)->Get(id).ok()) << id;
+  }
+  EXPECT_EQ(Payload(*(*store)->GetVersion(1, 1)), 0);
+  EXPECT_EQ(Payload(*(*store)->GetVersion(1, 2)), 1000);
+  // And survives a reopen.
+  store = DocumentStore::Open({.dir = dir.path()});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->GetStats().num_documents, 40u);
+  EXPECT_EQ(Payload(*(*store)->GetVersion(1, 2)), 1000);
+}
+
+TEST(DocumentStoreTest, CompressedSegmentsRoundTripAndShrink) {
+  TempDir plain_dir("store_plain");
+  TempDir packed_dir("store_packed");
+  // Documents with repetitive text compress well.
+  auto fill = [](DocumentStore* store) {
+    for (int i = 0; i < 200; ++i) {
+      std::string body;
+      for (int r = 0; r < 30; ++r) {
+        body += "the quick brown fox jumps over the lazy dog ";
+      }
+      ASSERT_TRUE(store
+                      ->Insert(MakeRecordDocument(
+                          "memo", {{"i", Value::Int(i)},
+                                   {"body", Value::String(body)}}))
+                      .ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+  };
+  auto plain = DocumentStore::Open({.dir = plain_dir.path()});
+  ASSERT_TRUE(plain.ok());
+  fill(plain->get());
+  auto packed = DocumentStore::Open(
+      {.dir = packed_dir.path(), .compress_segments = true});
+  ASSERT_TRUE(packed.ok());
+  fill(packed->get());
+
+  auto dir_bytes = [](const std::string& dir) {
+    uint64_t total = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".seg") total += fs::file_size(entry);
+    }
+    return total;
+  };
+  EXPECT_LT(dir_bytes(packed_dir.path()), dir_bytes(plain_dir.path()) / 3);
+
+  // Everything reads back identically (through decompression).
+  for (model::DocId id = 1; id <= 200; ++id) {
+    auto a = (*plain)->Get(id);
+    auto b = (*packed)->Get(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(*a == *b);
+  }
+  // Recovery of compressed segments works too.
+  packed = DocumentStore::Open(
+      {.dir = packed_dir.path(), .compress_segments = true});
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ((*packed)->GetStats().num_documents, 200u);
+  EXPECT_TRUE((*packed)->Get(123).ok());
+}
+
+// Property sweep: randomized workload matches an in-memory oracle across
+// flush/reopen cycles.
+class StorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StorePropertyTest, MatchesOracleAcrossReopen) {
+  Rng rng(GetParam());
+  TempDir dir("store_prop_" + std::to_string(GetParam()));
+  std::map<model::DocId, std::vector<int64_t>> oracle;  // id -> payload/version
+
+  auto store_result =
+      DocumentStore::Open({.dir = dir.path(), .memtable_max_docs = 32});
+  ASSERT_TRUE(store_result.ok());
+  std::unique_ptr<DocumentStore> store = std::move(store_result).value();
+
+  for (int op = 0; op < 400; ++op) {
+    const uint64_t roll = rng.Uniform(100);
+    if (roll < 50 || oracle.empty()) {
+      int64_t payload = rng.UniformInt(0, 1 << 20);
+      auto id = store->Insert(Doc("k", payload));
+      ASSERT_TRUE(id.ok());
+      oracle[*id] = {payload};
+    } else if (roll < 80) {
+      auto it = oracle.begin();
+      std::advance(it, rng.Uniform(oracle.size()));
+      int64_t payload = rng.UniformInt(0, 1 << 20);
+      auto version = store->AddVersion(it->first, Doc("k", payload));
+      ASSERT_TRUE(version.ok());
+      EXPECT_EQ(*version, it->second.size() + 1);
+      it->second.push_back(payload);
+    } else if (roll < 85) {
+      ASSERT_TRUE(store->Flush().ok());
+    } else if (roll < 90) {
+      store.reset();
+      auto reopened =
+          DocumentStore::Open({.dir = dir.path(), .memtable_max_docs = 32});
+      ASSERT_TRUE(reopened.ok());
+      store = std::move(reopened).value();
+    } else {
+      auto it = oracle.begin();
+      std::advance(it, rng.Uniform(oracle.size()));
+      uint32_t version =
+          static_cast<uint32_t>(1 + rng.Uniform(it->second.size()));
+      auto doc = store->GetVersion(it->first, version);
+      ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+      EXPECT_EQ(Payload(*doc), it->second[version - 1]);
+    }
+  }
+
+  // Final exhaustive verification of every id and every version.
+  for (const auto& [id, payloads] : oracle) {
+    auto latest = store->Get(id);
+    ASSERT_TRUE(latest.ok());
+    EXPECT_EQ(Payload(*latest), payloads.back());
+    for (size_t v = 1; v <= payloads.size(); ++v) {
+      auto doc = store->GetVersion(id, static_cast<uint32_t>(v));
+      ASSERT_TRUE(doc.ok());
+      EXPECT_EQ(Payload(*doc), payloads[v - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorePropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace impliance::storage

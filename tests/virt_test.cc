@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "model/document.h"
+#include "virt/broker.h"
+#include "virt/execution_manager.h"
+#include "virt/resource_group.h"
+#include "virt/storage_manager.h"
+
+namespace impliance::virt {
+namespace {
+
+using cluster::NodeKind;
+using model::Document;
+using model::MakeRecordDocument;
+using model::Value;
+
+// ----------------------------------------------------------- ResourceGroup
+
+TEST(ResourceGroupTest, AllocateReleaseDonate) {
+  ResourceGroup group("g");
+  group.AddResource(1, NodeKind::kData);
+  group.AddResource(2, NodeKind::kData);
+  group.AddResource(3, NodeKind::kGrid);
+
+  EXPECT_EQ(group.CountFree(NodeKind::kData), 2u);
+  auto id = group.AllocateLocal(NodeKind::kData);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(group.CountFree(NodeKind::kData), 1u);
+  EXPECT_TRUE(group.Release(*id));
+  EXPECT_FALSE(group.Release(*id));  // already free
+  EXPECT_EQ(group.CountFree(NodeKind::kData), 2u);
+
+  auto donated = group.Donate(NodeKind::kGrid);
+  ASSERT_TRUE(donated.has_value());
+  EXPECT_EQ(donated->id, 3u);
+  EXPECT_EQ(group.CountTotal(NodeKind::kGrid), 0u);
+  EXPECT_FALSE(group.Donate(NodeKind::kGrid).has_value());
+}
+
+TEST(ResourceGroupTest, HierarchyAggregatesCounts) {
+  ResourceGroup root("root");
+  ResourceGroup* rack1 = root.AddChild("rack1");
+  ResourceGroup* rack2 = root.AddChild("rack2");
+  rack1->AddResource(1, NodeKind::kData);
+  rack2->AddResource(2, NodeKind::kData);
+  rack2->AddResource(3, NodeKind::kData);
+  EXPECT_EQ(root.CountTotal(NodeKind::kData), 3u);
+  EXPECT_EQ(root.Leaves().size(), 2u);
+  EXPECT_EQ(rack2->parent(), &root);
+}
+
+// ------------------------------------------------------------------ Broker
+
+// Builds a hierarchy of `racks` leaves under one root, each with
+// `per_rack` free data nodes.
+std::unique_ptr<ResourceGroup> BuildHierarchy(size_t racks, size_t per_rack) {
+  auto root = std::make_unique<ResourceGroup>("root");
+  uint32_t next_id = 0;
+  for (size_t r = 0; r < racks; ++r) {
+    ResourceGroup* rack = root->AddChild("rack" + std::to_string(r));
+    for (size_t i = 0; i < per_rack; ++i) {
+      rack->AddResource(next_id++, NodeKind::kData);
+    }
+  }
+  return root;
+}
+
+TEST(BrokerTest, LocalSatisfactionNeedsNoTransfer) {
+  auto root = BuildHierarchy(4, 2);
+  Broker broker(root.get(), Broker::Mode::kFlat);
+  ResourceGroup* rack0 = root->children()[0].get();
+  auto id = broker.Acquire(rack0, NodeKind::kData);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(broker.stats().groups_inspected, 0u);
+}
+
+TEST(BrokerTest, TransfersWhenLocalExhausted) {
+  auto root = BuildHierarchy(3, 1);
+  Broker broker(root.get(), Broker::Mode::kFlat);
+  ResourceGroup* rack0 = root->children()[0].get();
+  // Drain local, then two more: both must come from other racks.
+  EXPECT_TRUE(broker.Acquire(rack0, NodeKind::kData).has_value());
+  EXPECT_TRUE(broker.Acquire(rack0, NodeKind::kData).has_value());
+  EXPECT_TRUE(broker.Acquire(rack0, NodeKind::kData).has_value());
+  // Hierarchy exhausted now.
+  EXPECT_FALSE(broker.Acquire(rack0, NodeKind::kData).has_value());
+  EXPECT_EQ(broker.stats().satisfied, 3u);
+  EXPECT_EQ(rack0->CountTotal(NodeKind::kData), 3u);
+}
+
+TEST(BrokerTest, HierarchicalInspectsFewerGroupsWithLocality) {
+  // Two-level hierarchy: 16 pods x 8 racks. Spares exist only in the
+  // requester's pod (the common case after local churn: neighbors hold the
+  // spares). The flat broker scans the global leaf list from pod0 and
+  // wades through ~120 exhausted racks; the hierarchical broker escalates
+  // one level and finds a sibling donor immediately.
+  auto build = [] {
+    auto root = std::make_unique<ResourceGroup>("root");
+    uint32_t next_id = 0;
+    for (size_t p = 0; p < 16; ++p) {
+      ResourceGroup* pod = root->AddChild("pod" + std::to_string(p));
+      for (size_t r = 0; r < 8; ++r) {
+        ResourceGroup* rack = pod->AddChild("rack" + std::to_string(r));
+        rack->AddResource(next_id++, NodeKind::kData);
+        // Pods 0..14 are fully busy; only pod 15 has spares.
+        if (p != 15) rack->AllocateLocal(NodeKind::kData);
+      }
+    }
+    return root;
+  };
+
+  // Requests come from rack (15, 0).
+  auto flat_root = build();
+  Broker flat(flat_root.get(), Broker::Mode::kFlat);
+  ResourceGroup* flat_requester =
+      flat_root->children()[15]->children()[0].get();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(flat.Acquire(flat_requester, NodeKind::kData).has_value());
+  }
+
+  auto hier_root = build();
+  Broker hier(hier_root.get(), Broker::Mode::kHierarchical);
+  ResourceGroup* hier_requester =
+      hier_root->children()[15]->children()[0].get();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(hier.Acquire(hier_requester, NodeKind::kData).has_value());
+  }
+
+  EXPECT_LT(hier.stats().groups_inspected,
+            flat.stats().groups_inspected / 10);
+}
+
+TEST(BrokerTest, HierarchicalEscalatesWhenPodExhausted) {
+  auto root = BuildHierarchy(2, 1);  // flat two racks under root
+  Broker broker(root.get(), Broker::Mode::kHierarchical);
+  ResourceGroup* rack0 = root->children()[0].get();
+  EXPECT_TRUE(broker.Acquire(rack0, NodeKind::kData).has_value());
+  EXPECT_TRUE(broker.Acquire(rack0, NodeKind::kData).has_value());
+  EXPECT_GE(broker.stats().escalations, 1u);
+  EXPECT_FALSE(broker.Acquire(rack0, NodeKind::kData).has_value());
+}
+
+// ---------------------------------------------------------- StorageManager
+
+TEST(StorageManagerTest, PolicyCopiesPerClass) {
+  cluster::SimulatedCluster sim({.num_data_nodes = 4, .replication = 1});
+  StorageManager manager(&sim, StorageManager::Policy{3, 2, 1});
+  EXPECT_EQ(manager.CopiesFor(model::DocClass::kBase), 3u);
+  EXPECT_EQ(manager.CopiesFor(model::DocClass::kDerived), 2u);
+  EXPECT_EQ(manager.CopiesFor(model::DocClass::kAnnotation), 1u);
+
+  Document base = MakeRecordDocument("order", {{"x", Value::Int(1)}});
+  Document annotation = MakeRecordDocument("annotation", {});
+  annotation.doc_class = model::DocClass::kAnnotation;
+  ASSERT_TRUE(manager.Store(base).ok());
+  ASSERT_TRUE(manager.Store(annotation).ok());
+  // Base doc has 3 copies: any single failure keeps it fully replicated.
+  EXPECT_EQ(sim.num_fully_replicated_documents(), 2u);
+}
+
+TEST(StorageManagerTest, RepairCycleRestoresRedundancy) {
+  cluster::SimulatedCluster sim({.num_data_nodes = 5, .replication = 1});
+  StorageManager manager(&sim, StorageManager::Policy{3, 2, 1});
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        manager.Store(MakeRecordDocument("order", {{"i", Value::Int(i)}}))
+            .ok());
+  }
+  sim.FailNode(2);
+  StorageManager::RepairReport report = manager.RunRepairCycle();
+  EXPECT_EQ(report.nodes_detected_down, 1u);
+  EXPECT_GT(report.docs_under_replicated_before, 0u);
+  EXPECT_EQ(report.docs_under_replicated_after, 0u);
+  EXPECT_GT(report.bytes_copied, 0u);
+  // All data still present.
+  EXPECT_EQ(sim.num_available_documents(), 40u);
+}
+
+// -------------------------------------------------------- ExecutionManager
+
+TEST(ExecutionManagerTest, InteractiveRunsAheadOfBackgroundQueue) {
+  // One worker; pile up slow background tasks, then time an interactive
+  // task under both policies.
+  auto run_with_policy = [](bool priority) {
+    ExecutionManager manager(1, priority);
+    for (int i = 0; i < 8; ++i) {
+      manager.SubmitBackground(
+          [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+    }
+    manager.RunInteractive([] {});
+    double p = manager.interactive_latency_ms().Max();
+    manager.WaitIdle();
+    return p;
+  };
+  const double with_priority = run_with_policy(true);
+  const double without_priority = run_with_policy(false);
+  // FIFO waits for ~8 x 10ms of background work; priority jumps the queue
+  // (only the in-flight task blocks it).
+  EXPECT_LT(with_priority, without_priority / 2);
+}
+
+TEST(ExecutionManagerTest, RecordsAllInteractiveLatencies) {
+  ExecutionManager manager(2, true);
+  for (int i = 0; i < 5; ++i) {
+    manager.RunInteractive([] {});
+  }
+  EXPECT_EQ(manager.interactive_latency_ms().count(), 5u);
+  manager.WaitIdle();
+}
+
+}  // namespace
+}  // namespace impliance::virt

@@ -1,0 +1,244 @@
+// Interactive appliance shell: the operator's view of the single-system
+// image. Everything goes through the public Impliance API.
+//
+//   $ impliance_shell /data/impliance
+//   impliance> infuse order /tmp/orders.csv
+//   impliance> search refund broken
+//   impliance> sql SELECT city, SUM(total) FROM order GROUP BY city
+//   impliance> discover
+//   impliance> connect 12 3
+//   impliance> help
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/impliance.h"
+#include "model/json_writer.h"
+
+using impliance::core::Impliance;
+using impliance::model::DocId;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  infuse <kind> <file>     ingest a file (format auto-detected)\n"
+      "  put <kind> <inline...>   ingest inline text\n"
+      "  search <keywords...>     ranked keyword search\n"
+      "  field <path> <words...>  field-scoped search\n"
+      "  sql <statement...>       SQL over inferred views\n"
+      "  get <id>                 print a document as JSON\n"
+      "  history <id> <version>   print an older version\n"
+      "  discover                 run one discovery pass\n"
+      "  kinds                    list document kinds\n"
+      "  view <kind>              show the inferred view (columns/paths)\n"
+      "  annotations <id>         annotations referencing a document\n"
+      "  lineage <id>             derivation chain of a document\n"
+      "  connect <id> <id>        how are two documents connected?\n"
+      "  audit <id>               queries that touched a document\n"
+      "  compact                  merge storage segments\n"
+      "  stats                    appliance statistics\n"
+      "  quit\n");
+}
+
+void PrintHits(const std::vector<impliance::core::SearchHit>& hits) {
+  for (const auto& hit : hits) {
+    std::printf("  [%.2f] %s#%llu  %s\n", hit.score, hit.kind.c_str(),
+                static_cast<unsigned long long>(hit.doc),
+                hit.snippet.c_str());
+  }
+  if (hits.empty()) std::printf("  (no results)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string data_dir =
+      argc > 1 ? argv[1] : "/tmp/impliance_shell_data";
+  auto opened = Impliance::Open({.data_dir = data_dir});
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Impliance> impliance = std::move(opened).value();
+  std::printf("Impliance shell — data at %s. Type 'help'.\n",
+              data_dir.c_str());
+
+  std::string line;
+  while (true) {
+    std::printf("impliance> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream input(line);
+    std::string command;
+    input >> command;
+    if (command.empty()) continue;
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "infuse") {
+      std::string kind, path;
+      input >> kind >> path;
+      std::ifstream file(path);
+      if (!file) {
+        std::printf("  cannot read %s\n", path.c_str());
+        continue;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      auto ids = impliance->InfuseContent(kind, buffer.str());
+      if (ids.ok()) {
+        std::printf("  infused %zu document(s)\n", ids->size());
+      } else {
+        std::printf("  error: %s\n", ids.status().ToString().c_str());
+      }
+    } else if (command == "put") {
+      std::string kind;
+      input >> kind;
+      std::string rest;
+      std::getline(input, rest);
+      auto ids = impliance->InfuseContent(
+          kind, impliance::TrimWhitespace(rest));
+      if (ids.ok()) {
+        std::printf("  infused %zu document(s)\n", ids->size());
+      } else {
+        std::printf("  error: %s\n", ids.status().ToString().c_str());
+      }
+    } else if (command == "search") {
+      std::string rest;
+      std::getline(input, rest);
+      PrintHits(impliance->Search(std::string(impliance::TrimWhitespace(rest)),
+                                  10));
+    } else if (command == "field") {
+      std::string path, rest;
+      input >> path;
+      std::getline(input, rest);
+      PrintHits(impliance->SearchField(
+          path, std::string(impliance::TrimWhitespace(rest)), 10));
+    } else if (command == "sql") {
+      std::string rest;
+      std::getline(input, rest);
+      auto rows = impliance->Sql(std::string(impliance::TrimWhitespace(rest)));
+      if (!rows.ok()) {
+        std::printf("  error: %s\n", rows.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& row : *rows) {
+        std::printf("  ");
+        for (const auto& value : row) {
+          std::printf("%s\t", value.AsString().c_str());
+        }
+        std::printf("\n");
+      }
+      std::printf("  (%zu rows)\n", rows->size());
+    } else if (command == "get" || command == "history") {
+      DocId id = 0;
+      uint32_t version = 0;
+      input >> id;
+      if (command == "history") input >> version;
+      auto doc = command == "get" ? impliance->Get(id)
+                                  : impliance->GetVersion(id, version);
+      if (doc.ok()) {
+        std::printf("%s\n",
+                    impliance::model::DocumentToJson(*doc).c_str());
+      } else {
+        std::printf("  error: %s\n", doc.status().ToString().c_str());
+      }
+    } else if (command == "discover") {
+      auto report = impliance->RunDiscovery();
+      if (report.ok()) {
+        std::printf(
+            "  annotations=%zu schema_classes=%zu join_edges=%zu "
+            "entity_merges=%zu entity_links=%zu\n",
+            report->annotations_created, report->schema_classes,
+            report->join_edges_added, report->entity_clusters_merged,
+            report->entity_link_edges);
+      } else {
+        std::printf("  error: %s\n", report.status().ToString().c_str());
+      }
+    } else if (command == "kinds") {
+      for (const std::string& kind : impliance->Kinds()) {
+        std::printf("  %s (%zu docs)\n", kind.c_str(),
+                    impliance->DocsOfKind(kind).size());
+      }
+    } else if (command == "view") {
+      std::string kind;
+      input >> kind;
+      auto view = impliance->ViewFor(kind);
+      if (!view.ok()) {
+        std::printf("  error: %s\n", view.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& column : view->columns) {
+        std::printf("  %-24s <- %s\n", column.name.c_str(),
+                    column.path.c_str());
+      }
+    } else if (command == "annotations") {
+      DocId id = 0;
+      input >> id;
+      for (const auto& annotation : impliance->AnnotationsFor(id)) {
+        for (const auto& span :
+             impliance::discovery::SpansFromAnnotationDocument(annotation)) {
+          std::printf("  %-16s %s [%u,%u)\n", span.entity_type.c_str(),
+                      span.text.c_str(), span.begin, span.end);
+        }
+      }
+    } else if (command == "lineage") {
+      DocId id = 0;
+      input >> id;
+      for (const auto& step : impliance->Lineage(id)) {
+        if (step.relation.empty()) {
+          std::printf("  doc#%llu\n",
+                      static_cast<unsigned long long>(step.doc));
+        } else {
+          std::printf("   -[%s]-> doc#%llu\n", step.relation.c_str(),
+                      static_cast<unsigned long long>(step.doc));
+        }
+      }
+    } else if (command == "connect") {
+      DocId from = 0, to = 0;
+      input >> from >> to;
+      auto graph = impliance->Graph();
+      auto connection = graph.HowConnected(from, to, 8);
+      if (connection.has_value()) {
+        std::printf("  %s\n",
+                    graph.ExplainConnection(from, *connection).c_str());
+      } else {
+        std::printf("  not connected within 8 hops\n");
+      }
+    } else if (command == "audit") {
+      DocId id = 0;
+      input >> id;
+      for (const auto& entry : impliance->audit_log().QueriesTouching(id)) {
+        std::printf("  #%llu %s %s: %s\n",
+                    static_cast<unsigned long long>(entry.seq),
+                    entry.principal.c_str(), entry.interface.c_str(),
+                    entry.query.c_str());
+      }
+    } else if (command == "compact") {
+      auto status = impliance->CompactStorage();
+      std::printf("  %s\n", status.ToString().c_str());
+    } else if (command == "stats") {
+      auto stats = impliance->GetStats();
+      std::printf("  docs=%zu versions=%zu kinds=%zu terms=%zu paths=%zu "
+                  "edges=%zu segments=%zu cache_hit=%llu/%llu admin_steps=%zu\n",
+                  stats.indexed_documents, stats.store.num_versions,
+                  stats.kinds, stats.indexed_terms, stats.indexed_paths,
+                  stats.join_edges, stats.store.num_segments,
+                  static_cast<unsigned long long>(stats.store.cache_hits),
+                  static_cast<unsigned long long>(stats.store.cache_hits +
+                                                  stats.store.cache_misses),
+                  stats.admin_steps);
+    } else {
+      std::printf("  unknown command '%s' (try 'help')\n", command.c_str());
+    }
+  }
+  return 0;
+}
