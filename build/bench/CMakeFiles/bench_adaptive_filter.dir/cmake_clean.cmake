@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_filter.dir/bench_adaptive_filter.cpp.o"
+  "CMakeFiles/bench_adaptive_filter.dir/bench_adaptive_filter.cpp.o.d"
+  "bench_adaptive_filter"
+  "bench_adaptive_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

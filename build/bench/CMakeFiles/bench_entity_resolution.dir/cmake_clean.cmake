@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_entity_resolution.dir/bench_entity_resolution.cpp.o"
+  "CMakeFiles/bench_entity_resolution.dir/bench_entity_resolution.cpp.o.d"
+  "bench_entity_resolution"
+  "bench_entity_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_entity_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topk_join.dir/bench_topk_join.cpp.o"
+  "CMakeFiles/bench_topk_join.dir/bench_topk_join.cpp.o.d"
+  "bench_topk_join"
+  "bench_topk_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topk_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

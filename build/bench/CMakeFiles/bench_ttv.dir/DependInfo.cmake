@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ttv.cpp" "bench/CMakeFiles/bench_ttv.dir/bench_ttv.cpp.o" "gcc" "bench/CMakeFiles/bench_ttv.dir/bench_ttv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/impliance_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/impliance_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/impliance_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/impliance_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/impliance_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/impliance_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/ingest/CMakeFiles/impliance_ingest.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/impliance_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/impliance_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/impliance_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/impliance_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/impliance_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impliance_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ttv.dir/bench_ttv.cpp.o"
+  "CMakeFiles/bench_ttv.dir/bench_ttv.cpp.o.d"
+  "bench_ttv"
+  "bench_ttv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ttv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_fraud.dir/claims_fraud.cpp.o"
+  "CMakeFiles/claims_fraud.dir/claims_fraud.cpp.o.d"
+  "claims_fraud"
+  "claims_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

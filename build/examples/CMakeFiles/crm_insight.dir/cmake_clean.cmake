@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crm_insight.dir/crm_insight.cpp.o"
+  "CMakeFiles/crm_insight.dir/crm_insight.cpp.o.d"
+  "crm_insight"
+  "crm_insight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crm_insight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legal_discovery.dir/legal_discovery.cpp.o"
+  "CMakeFiles/legal_discovery.dir/legal_discovery.cpp.o.d"
+  "legal_discovery"
+  "legal_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legal_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

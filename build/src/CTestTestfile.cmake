@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("model")
+subdirs("storage")
+subdirs("ingest")
+subdirs("index")
+subdirs("discovery")
+subdirs("exec")
+subdirs("query")
+subdirs("cluster")
+subdirs("virt")
+subdirs("baseline")
+subdirs("workload")
+subdirs("core")

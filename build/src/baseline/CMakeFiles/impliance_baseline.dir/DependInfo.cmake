@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/content_manager_baseline.cc" "src/baseline/CMakeFiles/impliance_baseline.dir/content_manager_baseline.cc.o" "gcc" "src/baseline/CMakeFiles/impliance_baseline.dir/content_manager_baseline.cc.o.d"
+  "/root/repo/src/baseline/filesystem_baseline.cc" "src/baseline/CMakeFiles/impliance_baseline.dir/filesystem_baseline.cc.o" "gcc" "src/baseline/CMakeFiles/impliance_baseline.dir/filesystem_baseline.cc.o.d"
+  "/root/repo/src/baseline/relational_baseline.cc" "src/baseline/CMakeFiles/impliance_baseline.dir/relational_baseline.cc.o" "gcc" "src/baseline/CMakeFiles/impliance_baseline.dir/relational_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/impliance_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/impliance_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impliance_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/impliance_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/impliance_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

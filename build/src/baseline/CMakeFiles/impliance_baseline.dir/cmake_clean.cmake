@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_baseline.dir/content_manager_baseline.cc.o"
+  "CMakeFiles/impliance_baseline.dir/content_manager_baseline.cc.o.d"
+  "CMakeFiles/impliance_baseline.dir/filesystem_baseline.cc.o"
+  "CMakeFiles/impliance_baseline.dir/filesystem_baseline.cc.o.d"
+  "CMakeFiles/impliance_baseline.dir/relational_baseline.cc.o"
+  "CMakeFiles/impliance_baseline.dir/relational_baseline.cc.o.d"
+  "libimpliance_baseline.a"
+  "libimpliance_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_cluster.dir/cluster.cc.o"
+  "CMakeFiles/impliance_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/impliance_cluster.dir/node.cc.o"
+  "CMakeFiles/impliance_cluster.dir/node.cc.o.d"
+  "CMakeFiles/impliance_cluster.dir/scheduler.cc.o"
+  "CMakeFiles/impliance_cluster.dir/scheduler.cc.o.d"
+  "libimpliance_cluster.a"
+  "libimpliance_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimpliance_cluster.a"
+)

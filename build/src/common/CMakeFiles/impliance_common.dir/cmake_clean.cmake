@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_common.dir/coding.cc.o"
+  "CMakeFiles/impliance_common.dir/coding.cc.o.d"
+  "CMakeFiles/impliance_common.dir/compression.cc.o"
+  "CMakeFiles/impliance_common.dir/compression.cc.o.d"
+  "CMakeFiles/impliance_common.dir/hash.cc.o"
+  "CMakeFiles/impliance_common.dir/hash.cc.o.d"
+  "CMakeFiles/impliance_common.dir/histogram.cc.o"
+  "CMakeFiles/impliance_common.dir/histogram.cc.o.d"
+  "CMakeFiles/impliance_common.dir/logging.cc.o"
+  "CMakeFiles/impliance_common.dir/logging.cc.o.d"
+  "CMakeFiles/impliance_common.dir/rng.cc.o"
+  "CMakeFiles/impliance_common.dir/rng.cc.o.d"
+  "CMakeFiles/impliance_common.dir/status.cc.o"
+  "CMakeFiles/impliance_common.dir/status.cc.o.d"
+  "CMakeFiles/impliance_common.dir/string_util.cc.o"
+  "CMakeFiles/impliance_common.dir/string_util.cc.o.d"
+  "CMakeFiles/impliance_common.dir/thread_pool.cc.o"
+  "CMakeFiles/impliance_common.dir/thread_pool.cc.o.d"
+  "libimpliance_common.a"
+  "libimpliance_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_core.dir/impliance.cc.o"
+  "CMakeFiles/impliance_core.dir/impliance.cc.o.d"
+  "CMakeFiles/impliance_core.dir/security.cc.o"
+  "CMakeFiles/impliance_core.dir/security.cc.o.d"
+  "libimpliance_core.a"
+  "libimpliance_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

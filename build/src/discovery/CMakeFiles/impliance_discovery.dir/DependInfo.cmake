@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/annotator.cc" "src/discovery/CMakeFiles/impliance_discovery.dir/annotator.cc.o" "gcc" "src/discovery/CMakeFiles/impliance_discovery.dir/annotator.cc.o.d"
+  "/root/repo/src/discovery/dictionary_annotator.cc" "src/discovery/CMakeFiles/impliance_discovery.dir/dictionary_annotator.cc.o" "gcc" "src/discovery/CMakeFiles/impliance_discovery.dir/dictionary_annotator.cc.o.d"
+  "/root/repo/src/discovery/entity_resolver.cc" "src/discovery/CMakeFiles/impliance_discovery.dir/entity_resolver.cc.o" "gcc" "src/discovery/CMakeFiles/impliance_discovery.dir/entity_resolver.cc.o.d"
+  "/root/repo/src/discovery/pattern_annotator.cc" "src/discovery/CMakeFiles/impliance_discovery.dir/pattern_annotator.cc.o" "gcc" "src/discovery/CMakeFiles/impliance_discovery.dir/pattern_annotator.cc.o.d"
+  "/root/repo/src/discovery/relationship_discovery.cc" "src/discovery/CMakeFiles/impliance_discovery.dir/relationship_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/impliance_discovery.dir/relationship_discovery.cc.o.d"
+  "/root/repo/src/discovery/schema_mapper.cc" "src/discovery/CMakeFiles/impliance_discovery.dir/schema_mapper.cc.o" "gcc" "src/discovery/CMakeFiles/impliance_discovery.dir/schema_mapper.cc.o.d"
+  "/root/repo/src/discovery/sentiment_annotator.cc" "src/discovery/CMakeFiles/impliance_discovery.dir/sentiment_annotator.cc.o" "gcc" "src/discovery/CMakeFiles/impliance_discovery.dir/sentiment_annotator.cc.o.d"
+  "/root/repo/src/discovery/union_find.cc" "src/discovery/CMakeFiles/impliance_discovery.dir/union_find.cc.o" "gcc" "src/discovery/CMakeFiles/impliance_discovery.dir/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/impliance_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/impliance_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impliance_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_discovery.dir/annotator.cc.o"
+  "CMakeFiles/impliance_discovery.dir/annotator.cc.o.d"
+  "CMakeFiles/impliance_discovery.dir/dictionary_annotator.cc.o"
+  "CMakeFiles/impliance_discovery.dir/dictionary_annotator.cc.o.d"
+  "CMakeFiles/impliance_discovery.dir/entity_resolver.cc.o"
+  "CMakeFiles/impliance_discovery.dir/entity_resolver.cc.o.d"
+  "CMakeFiles/impliance_discovery.dir/pattern_annotator.cc.o"
+  "CMakeFiles/impliance_discovery.dir/pattern_annotator.cc.o.d"
+  "CMakeFiles/impliance_discovery.dir/relationship_discovery.cc.o"
+  "CMakeFiles/impliance_discovery.dir/relationship_discovery.cc.o.d"
+  "CMakeFiles/impliance_discovery.dir/schema_mapper.cc.o"
+  "CMakeFiles/impliance_discovery.dir/schema_mapper.cc.o.d"
+  "CMakeFiles/impliance_discovery.dir/sentiment_annotator.cc.o"
+  "CMakeFiles/impliance_discovery.dir/sentiment_annotator.cc.o.d"
+  "CMakeFiles/impliance_discovery.dir/union_find.cc.o"
+  "CMakeFiles/impliance_discovery.dir/union_find.cc.o.d"
+  "libimpliance_discovery.a"
+  "libimpliance_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

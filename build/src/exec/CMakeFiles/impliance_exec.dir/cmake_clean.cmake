@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_exec.dir/operators.cc.o"
+  "CMakeFiles/impliance_exec.dir/operators.cc.o.d"
+  "CMakeFiles/impliance_exec.dir/predicate.cc.o"
+  "CMakeFiles/impliance_exec.dir/predicate.cc.o.d"
+  "libimpliance_exec.a"
+  "libimpliance_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/btree.cc" "src/index/CMakeFiles/impliance_index.dir/btree.cc.o" "gcc" "src/index/CMakeFiles/impliance_index.dir/btree.cc.o.d"
+  "/root/repo/src/index/facet_index.cc" "src/index/CMakeFiles/impliance_index.dir/facet_index.cc.o" "gcc" "src/index/CMakeFiles/impliance_index.dir/facet_index.cc.o.d"
+  "/root/repo/src/index/fielded_index.cc" "src/index/CMakeFiles/impliance_index.dir/fielded_index.cc.o" "gcc" "src/index/CMakeFiles/impliance_index.dir/fielded_index.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/impliance_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/impliance_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/join_index.cc" "src/index/CMakeFiles/impliance_index.dir/join_index.cc.o" "gcc" "src/index/CMakeFiles/impliance_index.dir/join_index.cc.o.d"
+  "/root/repo/src/index/path_index.cc" "src/index/CMakeFiles/impliance_index.dir/path_index.cc.o" "gcc" "src/index/CMakeFiles/impliance_index.dir/path_index.cc.o.d"
+  "/root/repo/src/index/value_index.cc" "src/index/CMakeFiles/impliance_index.dir/value_index.cc.o" "gcc" "src/index/CMakeFiles/impliance_index.dir/value_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/impliance_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impliance_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

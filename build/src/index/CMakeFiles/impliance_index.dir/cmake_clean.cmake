@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_index.dir/btree.cc.o"
+  "CMakeFiles/impliance_index.dir/btree.cc.o.d"
+  "CMakeFiles/impliance_index.dir/facet_index.cc.o"
+  "CMakeFiles/impliance_index.dir/facet_index.cc.o.d"
+  "CMakeFiles/impliance_index.dir/fielded_index.cc.o"
+  "CMakeFiles/impliance_index.dir/fielded_index.cc.o.d"
+  "CMakeFiles/impliance_index.dir/inverted_index.cc.o"
+  "CMakeFiles/impliance_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/impliance_index.dir/join_index.cc.o"
+  "CMakeFiles/impliance_index.dir/join_index.cc.o.d"
+  "CMakeFiles/impliance_index.dir/path_index.cc.o"
+  "CMakeFiles/impliance_index.dir/path_index.cc.o.d"
+  "CMakeFiles/impliance_index.dir/value_index.cc.o"
+  "CMakeFiles/impliance_index.dir/value_index.cc.o.d"
+  "libimpliance_index.a"
+  "libimpliance_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_ingest.dir/ingest.cc.o"
+  "CMakeFiles/impliance_ingest.dir/ingest.cc.o.d"
+  "CMakeFiles/impliance_ingest.dir/json_parser.cc.o"
+  "CMakeFiles/impliance_ingest.dir/json_parser.cc.o.d"
+  "CMakeFiles/impliance_ingest.dir/xml_parser.cc.o"
+  "CMakeFiles/impliance_ingest.dir/xml_parser.cc.o.d"
+  "libimpliance_ingest.a"
+  "libimpliance_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

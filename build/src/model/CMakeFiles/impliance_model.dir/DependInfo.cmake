@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/document.cc" "src/model/CMakeFiles/impliance_model.dir/document.cc.o" "gcc" "src/model/CMakeFiles/impliance_model.dir/document.cc.o.d"
+  "/root/repo/src/model/item.cc" "src/model/CMakeFiles/impliance_model.dir/item.cc.o" "gcc" "src/model/CMakeFiles/impliance_model.dir/item.cc.o.d"
+  "/root/repo/src/model/json_writer.cc" "src/model/CMakeFiles/impliance_model.dir/json_writer.cc.o" "gcc" "src/model/CMakeFiles/impliance_model.dir/json_writer.cc.o.d"
+  "/root/repo/src/model/value.cc" "src/model/CMakeFiles/impliance_model.dir/value.cc.o" "gcc" "src/model/CMakeFiles/impliance_model.dir/value.cc.o.d"
+  "/root/repo/src/model/view.cc" "src/model/CMakeFiles/impliance_model.dir/view.cc.o" "gcc" "src/model/CMakeFiles/impliance_model.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/impliance_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_model.dir/document.cc.o"
+  "CMakeFiles/impliance_model.dir/document.cc.o.d"
+  "CMakeFiles/impliance_model.dir/item.cc.o"
+  "CMakeFiles/impliance_model.dir/item.cc.o.d"
+  "CMakeFiles/impliance_model.dir/json_writer.cc.o"
+  "CMakeFiles/impliance_model.dir/json_writer.cc.o.d"
+  "CMakeFiles/impliance_model.dir/value.cc.o"
+  "CMakeFiles/impliance_model.dir/value.cc.o.d"
+  "CMakeFiles/impliance_model.dir/view.cc.o"
+  "CMakeFiles/impliance_model.dir/view.cc.o.d"
+  "libimpliance_model.a"
+  "libimpliance_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

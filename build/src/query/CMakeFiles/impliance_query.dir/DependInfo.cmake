@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/faceted.cc" "src/query/CMakeFiles/impliance_query.dir/faceted.cc.o" "gcc" "src/query/CMakeFiles/impliance_query.dir/faceted.cc.o.d"
+  "/root/repo/src/query/graph_query.cc" "src/query/CMakeFiles/impliance_query.dir/graph_query.cc.o" "gcc" "src/query/CMakeFiles/impliance_query.dir/graph_query.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/query/CMakeFiles/impliance_query.dir/planner.cc.o" "gcc" "src/query/CMakeFiles/impliance_query.dir/planner.cc.o.d"
+  "/root/repo/src/query/sql_parser.cc" "src/query/CMakeFiles/impliance_query.dir/sql_parser.cc.o" "gcc" "src/query/CMakeFiles/impliance_query.dir/sql_parser.cc.o.d"
+  "/root/repo/src/query/table.cc" "src/query/CMakeFiles/impliance_query.dir/table.cc.o" "gcc" "src/query/CMakeFiles/impliance_query.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/impliance_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/impliance_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/impliance_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impliance_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_query.dir/faceted.cc.o"
+  "CMakeFiles/impliance_query.dir/faceted.cc.o.d"
+  "CMakeFiles/impliance_query.dir/graph_query.cc.o"
+  "CMakeFiles/impliance_query.dir/graph_query.cc.o.d"
+  "CMakeFiles/impliance_query.dir/planner.cc.o"
+  "CMakeFiles/impliance_query.dir/planner.cc.o.d"
+  "CMakeFiles/impliance_query.dir/sql_parser.cc.o"
+  "CMakeFiles/impliance_query.dir/sql_parser.cc.o.d"
+  "CMakeFiles/impliance_query.dir/table.cc.o"
+  "CMakeFiles/impliance_query.dir/table.cc.o.d"
+  "libimpliance_query.a"
+  "libimpliance_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

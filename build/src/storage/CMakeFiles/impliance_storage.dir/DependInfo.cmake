@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_cache.cc" "src/storage/CMakeFiles/impliance_storage.dir/block_cache.cc.o" "gcc" "src/storage/CMakeFiles/impliance_storage.dir/block_cache.cc.o.d"
+  "/root/repo/src/storage/bloom.cc" "src/storage/CMakeFiles/impliance_storage.dir/bloom.cc.o" "gcc" "src/storage/CMakeFiles/impliance_storage.dir/bloom.cc.o.d"
+  "/root/repo/src/storage/document_store.cc" "src/storage/CMakeFiles/impliance_storage.dir/document_store.cc.o" "gcc" "src/storage/CMakeFiles/impliance_storage.dir/document_store.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/storage/CMakeFiles/impliance_storage.dir/segment.cc.o" "gcc" "src/storage/CMakeFiles/impliance_storage.dir/segment.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/impliance_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/impliance_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/impliance_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impliance_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

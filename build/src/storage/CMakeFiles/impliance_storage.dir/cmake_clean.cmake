@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_storage.dir/block_cache.cc.o"
+  "CMakeFiles/impliance_storage.dir/block_cache.cc.o.d"
+  "CMakeFiles/impliance_storage.dir/bloom.cc.o"
+  "CMakeFiles/impliance_storage.dir/bloom.cc.o.d"
+  "CMakeFiles/impliance_storage.dir/document_store.cc.o"
+  "CMakeFiles/impliance_storage.dir/document_store.cc.o.d"
+  "CMakeFiles/impliance_storage.dir/segment.cc.o"
+  "CMakeFiles/impliance_storage.dir/segment.cc.o.d"
+  "CMakeFiles/impliance_storage.dir/wal.cc.o"
+  "CMakeFiles/impliance_storage.dir/wal.cc.o.d"
+  "libimpliance_storage.a"
+  "libimpliance_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

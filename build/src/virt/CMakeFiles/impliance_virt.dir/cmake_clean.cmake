@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_virt.dir/broker.cc.o"
+  "CMakeFiles/impliance_virt.dir/broker.cc.o.d"
+  "CMakeFiles/impliance_virt.dir/execution_manager.cc.o"
+  "CMakeFiles/impliance_virt.dir/execution_manager.cc.o.d"
+  "CMakeFiles/impliance_virt.dir/resource_group.cc.o"
+  "CMakeFiles/impliance_virt.dir/resource_group.cc.o.d"
+  "CMakeFiles/impliance_virt.dir/storage_manager.cc.o"
+  "CMakeFiles/impliance_virt.dir/storage_manager.cc.o.d"
+  "libimpliance_virt.a"
+  "libimpliance_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

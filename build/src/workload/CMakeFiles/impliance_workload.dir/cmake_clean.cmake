@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_workload.dir/corpus.cc.o"
+  "CMakeFiles/impliance_workload.dir/corpus.cc.o.d"
+  "libimpliance_workload.a"
+  "libimpliance_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

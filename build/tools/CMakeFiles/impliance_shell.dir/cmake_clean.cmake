@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impliance_shell.dir/impliance_shell.cpp.o"
+  "CMakeFiles/impliance_shell.dir/impliance_shell.cpp.o.d"
+  "impliance_shell"
+  "impliance_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impliance_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
