@@ -24,9 +24,21 @@ class Histogram {
   double Stddev() const;
   // p in [0, 100]; nearest-rank percentile.
   double Percentile(double p) const;
+  // The tail percentiles every latency report wants, by name.
+  double P50() const { return Percentile(50); }
+  double P95() const { return Percentile(95); }
+  double P99() const { return Percentile(99); }
 
   // One-line summary "n=... mean=... p50=... p95=... p99=... max=...".
   std::string Summary() const;
+
+  // Absorbs every sample of `other` — exact (sample-level) merge, used to
+  // combine per-thread latency recordings into one distribution.
+  void Merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
 
   void Clear() {
     samples_.clear();

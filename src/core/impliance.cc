@@ -151,6 +151,15 @@ class Impliance::ClassTable : public query::Table {
 Impliance::Impliance(ImplianceOptions options) : options_(std::move(options)) {}
 
 Impliance::~Impliance() {
+  Quiesce();
+  // Join the pool threads *now*: the index members are declared after
+  // execution_ and would otherwise be destroyed while a late background
+  // task could still be touching them.
+  execution_.reset();
+}
+
+void Impliance::Quiesce() {
+  quiesced_.store(true, std::memory_order_release);
   if (execution_ != nullptr) execution_->WaitIdle();
 }
 
@@ -634,6 +643,7 @@ Result<DiscoveryReport> Impliance::RunDiscovery() {
 }
 
 void Impliance::StartBackgroundDiscovery() {
+  if (quiesced_.load(std::memory_order_acquire)) return;
   execution_->SubmitBackground([this] {
     Result<DiscoveryReport> report = RunDiscovery();
     if (!report.ok()) {
@@ -691,6 +701,7 @@ ImplianceStats Impliance::GetStats() const {
   stats.join_edges = joins_.num_edges();
   stats.kinds = paths_.Kinds().size();
   stats.admin_steps = 0;  // nothing to create, tune, or analyze — by design
+  stats.interactive_latency_ms = execution_->interactive_latency_ms();
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #ifndef IMPLIANCE_CORE_IMPLIANCE_H_
 #define IMPLIANCE_CORE_IMPLIANCE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -8,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/result.h"
 #include "discovery/annotator.h"
 #include "discovery/dictionary_annotator.h"
@@ -57,6 +59,10 @@ struct DiscoveryReport {
 
 struct ImplianceStats {
   storage::StoreStats store;
+  // Interactive-path latency (queue wait + execution) recorded by the
+  // execution manager; exposed so the serving layer's Stats op can report
+  // core p50/p95/p99 alongside end-to-end numbers.
+  Histogram interactive_latency_ms;
   size_t indexed_documents = 0;
   size_t indexed_terms = 0;
   size_t indexed_paths = 0;
@@ -160,9 +166,16 @@ class Impliance {
   Result<DiscoveryReport> RunDiscovery();
 
   // Queues the same pass at background priority; interactive queries keep
-  // jumping the queue (Section 3.4 execution management).
+  // jumping the queue (Section 3.4 execution management). No-op once
+  // Quiesce() has been called.
   void StartBackgroundDiscovery();
   void WaitForDiscovery();
+
+  // Permanently stops accepting new background discovery work and blocks
+  // until in-flight background tasks finish. Called by the serving layer
+  // during graceful drain (and by the destructor) so discovery workers are
+  // quiesced *before* the indexes and store they touch are torn down.
+  void Quiesce();
 
   // -------------------------------------------------------- Introspection
 
@@ -197,6 +210,7 @@ class Impliance {
   ImplianceOptions options_;
   std::unique_ptr<storage::DocumentStore> store_;
   std::unique_ptr<virt::ExecutionManager> execution_;
+  std::atomic<bool> quiesced_{false};
 
   mutable std::shared_mutex mutex_;
   index::FieldedTextIndex text_index_;

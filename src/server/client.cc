@@ -1,0 +1,169 @@
+#include "server/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "server/net_util.h"
+
+namespace impliance::server {
+
+ImplianceClient::ImplianceClient(ClientOptions options)
+    : options_(std::move(options)) {}
+
+ImplianceClient::~ImplianceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<ImplianceClient>> ImplianceClient::Connect(
+    ClientOptions options) {
+  if (options.port == 0) return Status::InvalidArgument("port is required");
+  auto client =
+      std::unique_ptr<ImplianceClient>(new ImplianceClient(options));
+
+  Status last = Status::OK();
+  uint64_t backoff_ms = client->options_.retry_backoff_ms;
+  const int attempts = std::max(1, client->options_.connect_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    last = ConnectTcp(client->options_.host, client->options_.port,
+                      &client->fd_);
+    if (last.ok()) break;
+  }
+  IMPLIANCE_RETURN_IF_ERROR(last);
+  if (client->options_.recv_timeout_ms != 0) {
+    IMPLIANCE_RETURN_IF_ERROR(
+        SetRecvTimeout(client->fd_, client->options_.recv_timeout_ms));
+  }
+  return client;
+}
+
+Result<wire::Response> ImplianceClient::Call(wire::Request request) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  request.id = next_request_id_++;
+  if (request.deadline_ms == 0) request.deadline_ms = options_.deadline_ms;
+
+  std::string frame;
+  wire::EncodeRequest(request, &frame);
+  IMPLIANCE_RETURN_IF_ERROR(WriteFully(fd_, frame));
+
+  std::string body;
+  Status status = RecvFrame(fd_, &body);
+  if (status.IsNotFound()) return Status::IOError("server closed connection");
+  IMPLIANCE_RETURN_IF_ERROR(status);
+
+  wire::Response response;
+  IMPLIANCE_RETURN_IF_ERROR(wire::DecodeResponse(body, &response));
+  if (response.id != 0 && response.id != request.id) {
+    return Status::Internal("response id " + std::to_string(response.id) +
+                            " does not match request id " +
+                            std::to_string(request.id));
+  }
+  return response;
+}
+
+Status ImplianceClient::ToStatus(const wire::Response& response) {
+  const std::string& message = response.error;
+  switch (response.status) {
+    case wire::WireStatus::kOk:
+      return Status::OK();
+    case wire::WireStatus::kNotFound:
+      return Status::NotFound(message);
+    case wire::WireStatus::kInvalidRequest:
+      return Status::InvalidArgument(message);
+    case wire::WireStatus::kOverloaded:
+      return Status::Busy(message.empty() ? "server overloaded" : message);
+    case wire::WireStatus::kDeadlineExceeded:
+      return Status::Aborted(message.empty() ? "deadline exceeded" : message);
+    case wire::WireStatus::kShuttingDown:
+      return Status::Busy(message.empty() ? "server shutting down" : message);
+    case wire::WireStatus::kError:
+      break;
+  }
+  return Status::Internal(message.empty() ? "server error" : message);
+}
+
+Status ImplianceClient::Ping() {
+  wire::Request request;
+  request.op = wire::Op::kPing;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  return ToStatus(response);
+}
+
+Result<std::vector<uint64_t>> ImplianceClient::Ingest(const std::string& kind,
+                                                      const std::string& raw) {
+  wire::Request request;
+  request.op = wire::Op::kIngest;
+  request.kind = kind;
+  request.payload = raw;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  return std::move(response.doc_ids);
+}
+
+Result<std::string> ImplianceClient::Get(uint64_t doc_id) {
+  wire::Request request;
+  request.op = wire::Op::kGet;
+  request.doc_id = doc_id;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  return std::move(response.body);
+}
+
+Result<std::vector<wire::SearchResult>> ImplianceClient::Search(
+    const std::string& keywords, uint64_t limit) {
+  wire::Request request;
+  request.op = wire::Op::kSearch;
+  request.payload = keywords;
+  request.limit = limit;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  return std::move(response.hits);
+}
+
+Result<std::vector<std::string>> ImplianceClient::Sql(
+    const std::string& statement) {
+  wire::Request request;
+  request.op = wire::Op::kSql;
+  request.payload = statement;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  return std::move(response.rows);
+}
+
+Result<wire::Response> ImplianceClient::Facet(
+    const std::string& keywords, const std::string& kind,
+    const std::vector<std::string>& facet_paths, uint64_t limit) {
+  wire::Request request;
+  request.op = wire::Op::kFacet;
+  request.payload = keywords;
+  request.kind = kind;
+  request.facet_paths = facet_paths;
+  request.limit = limit;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  return response;
+}
+
+Result<wire::Response> ImplianceClient::Stats() {
+  wire::Request request;
+  request.op = wire::Op::kStats;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  return response;
+}
+
+Status ImplianceClient::RequestShutdown() {
+  wire::Request request;
+  request.op = wire::Op::kShutdown;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  return ToStatus(response);
+}
+
+}  // namespace impliance::server

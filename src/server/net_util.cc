@@ -1,0 +1,141 @@
+#include "server/net_util.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/coding.h"
+
+namespace impliance::server {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status WriteFully(int fd, std::string_view data) {
+  while (!data.empty()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not kill
+    // the process with SIGPIPE.
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status ReadFully(int fd, size_t n, std::string* out) {
+  out->clear();
+  out->resize(n);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out->data() + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status RecvFrame(int fd, std::string* body, uint32_t max_frame_bytes) {
+  std::string prefix;
+  IMPLIANCE_RETURN_IF_ERROR(ReadFully(fd, 4, &prefix));
+  std::string_view view(prefix);
+  uint32_t length = 0;
+  GetFixed32(&view, &length);
+  if (length > max_frame_bytes) {
+    return Status::InvalidArgument("frame of " + std::to_string(length) +
+                                   " bytes exceeds limit of " +
+                                   std::to_string(max_frame_bytes));
+  }
+  return ReadFully(fd, length, body);
+}
+
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  // Request/response frames are small; never wait for Nagle coalescing.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *fd_out = fd;
+  return Status::OK();
+}
+
+Status ListenTcp(const std::string& host, uint16_t port, int* fd_out,
+                 uint16_t* port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  *fd_out = fd;
+  *port_out = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+Status SetRecvTimeout(int fd, uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+}  // namespace impliance::server

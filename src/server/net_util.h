@@ -1,0 +1,44 @@
+#ifndef IMPLIANCE_SERVER_NET_UTIL_H_
+#define IMPLIANCE_SERVER_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/wire_protocol.h"
+
+namespace impliance::server {
+
+// Thin POSIX socket helpers shared by ImplianceServer and ImplianceClient.
+// All functions are blocking and EINTR-safe.
+
+// Writes every byte of `data` to `fd`.
+Status WriteFully(int fd, std::string_view data);
+
+// Reads exactly `n` bytes into *out (replacing its contents). An EOF before
+// any byte arrives returns NotFound ("connection closed"); a partial read
+// followed by EOF returns IOError.
+Status ReadFully(int fd, size_t n, std::string* out);
+
+// Reads one length-prefixed frame body from `fd`. NotFound on clean EOF at
+// a frame boundary, InvalidArgument when the announced length exceeds
+// `max_frame_bytes` (caller should drop the connection — the stream can no
+// longer be trusted to be framed).
+Status RecvFrame(int fd, std::string* body,
+                 uint32_t max_frame_bytes = wire::kMaxFrameBytes);
+
+// Creates a TCP socket connected to host:port, or an error Status.
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd_out);
+
+// Creates a listening TCP socket bound to host:port (SO_REUSEADDR; port 0
+// picks an ephemeral port). On success stores the fd and the actual port.
+Status ListenTcp(const std::string& host, uint16_t port, int* fd_out,
+                 uint16_t* port_out);
+
+// Sets SO_RCVTIMEO so blocking reads fail with IOError instead of hanging.
+Status SetRecvTimeout(int fd, uint64_t timeout_ms);
+
+}  // namespace impliance::server
+
+#endif  // IMPLIANCE_SERVER_NET_UTIL_H_

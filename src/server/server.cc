@@ -1,0 +1,477 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "model/json_writer.h"
+#include "server/net_util.h"
+
+namespace impliance::server {
+
+namespace {
+
+wire::Response ErrorResponse(uint64_t id, wire::WireStatus status,
+                             std::string error) {
+  wire::Response response;
+  response.id = id;
+  response.status = status;
+  response.error = std::move(error);
+  return response;
+}
+
+// Maps a core Status onto the wire status vocabulary.
+wire::WireStatus WireStatusFor(const Status& status) {
+  if (status.IsNotFound()) return wire::WireStatus::kNotFound;
+  return wire::WireStatus::kError;
+}
+
+}  // namespace
+
+ImplianceServer::ImplianceServer(core::Impliance* impliance,
+                                 ServerOptions options)
+    : impliance_(impliance), options_(std::move(options)) {}
+
+Result<std::unique_ptr<ImplianceServer>> ImplianceServer::Start(
+    core::Impliance* impliance, ServerOptions options) {
+  if (impliance == nullptr) {
+    return Status::InvalidArgument("impliance must not be null");
+  }
+  if (options.worker_threads == 0 || options.max_queue_depth == 0) {
+    return Status::InvalidArgument(
+        "worker_threads and max_queue_depth must be positive");
+  }
+  auto server = std::unique_ptr<ImplianceServer>(
+      new ImplianceServer(impliance, std::move(options)));
+  IMPLIANCE_RETURN_IF_ERROR(ListenTcp(server->options_.host,
+                                      server->options_.port,
+                                      &server->listen_fd_, &server->port_));
+  server->workers_ =
+      std::make_unique<ThreadPool>(server->options_.worker_threads);
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  IMPLIANCE_LOG(Info) << "serving on " << server->options_.host << ":"
+                      << server->port_;
+  return server;
+}
+
+ImplianceServer::~ImplianceServer() {
+  Shutdown();
+  if (remote_shutdown_thread_.joinable()) remote_shutdown_thread_.join();
+}
+
+// ------------------------------------------------------------ Accept/read
+
+void ImplianceServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed during drain (or a transient accept failure while
+      // shutting down) — either way the loop is done.
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    ReapFinishedConnections();
+    connections_.push_back(connection);
+    connections_.back()->reader = std::thread(
+        [this, connection] { ReaderLoop(connection.get()); });
+  }
+}
+
+// Joins and closes connections whose reader has already exited (client
+// hung up). Caller holds connections_mutex_.
+void ImplianceServer::ReapFinishedConnections() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection* connection = it->get();
+    if (!connection->done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (connection->reader.joinable()) connection->reader.join();
+    {
+      std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+      if (connection->fd >= 0) {
+        ::close(connection->fd);
+        connection->fd = -1;
+      }
+    }
+    it = connections_.erase(it);
+  }
+}
+
+void ImplianceServer::ReaderLoop(Connection* connection) {
+  std::string body;
+  while (true) {
+    Status status = RecvFrame(connection->fd, &body,
+                              options_.max_frame_bytes);
+    if (status.IsNotFound()) break;  // clean close
+    if (status.IsInvalidArgument()) {
+      // Oversized length prefix: answer, then drop the connection — the
+      // byte stream can no longer be trusted to be framed.
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.invalid_frames;
+      }
+      SendResponse(connection,
+                   ErrorResponse(0, wire::WireStatus::kInvalidRequest,
+                                 status.message()));
+      break;
+    }
+    if (!status.ok()) break;  // torn read / connection reset
+
+    wire::Request request;
+    status = wire::DecodeRequest(body, &request);
+    if (!status.ok()) {
+      // Garbage inside a well-framed body: reject the request but keep
+      // the connection — framing is still intact.
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.invalid_frames;
+      }
+      SendResponse(connection,
+                   ErrorResponse(0, wire::WireStatus::kInvalidRequest,
+                                 status.message()));
+      continue;
+    }
+
+    // Find the shared_ptr for this connection so workers can outlive the
+    // reader safely.
+    std::shared_ptr<Connection> self;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const auto& candidate : connections_) {
+        if (candidate.get() == connection) {
+          self = candidate;
+          break;
+        }
+      }
+    }
+    if (self == nullptr) break;  // being torn down
+    Dispatch(std::move(self), std::move(request));
+  }
+  // Signal EOF to the peer right away — the fd itself is closed at reap or
+  // drain time, strictly after this thread is joined.
+  ::shutdown(connection->fd, SHUT_RDWR);
+  connection->done.store(true, std::memory_order_release);
+}
+
+// ------------------------------------------------- Admission + execution
+
+void ImplianceServer::Dispatch(std::shared_ptr<Connection> connection,
+                               wire::Request request) {
+  if (draining_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_rejected_draining;
+    }
+    SendResponse(connection.get(),
+                 ErrorResponse(request.id, wire::WireStatus::kShuttingDown,
+                               "server is draining"));
+    return;
+  }
+
+  // Admission control: bound the number of admitted-but-not-executing
+  // requests. Overload turns into an immediate, explicit signal the client
+  // can back off on, instead of latency creep followed by a timeout.
+  size_t depth = queued_.load(std::memory_order_relaxed);
+  do {
+    if (depth >= options_.max_queue_depth) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.requests_shed;
+      }
+      SendResponse(connection.get(),
+                   ErrorResponse(request.id, wire::WireStatus::kOverloaded,
+                                 "admission queue full"));
+      return;
+    }
+  } while (!queued_.compare_exchange_weak(depth, depth + 1,
+                                          std::memory_order_acq_rel));
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_admitted;
+  }
+
+  const uint64_t received_micros = NowMicros();
+  const uint64_t deadline_ms = request.deadline_ms != 0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+  workers_->Submit([this, connection = std::move(connection),
+                    request = std::move(request), received_micros,
+                    deadline_ms]() mutable {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+
+    // Per-request deadline: a request that waited out its whole budget in
+    // the queue is dead on arrival — tell the client instead of burning a
+    // worker on an answer nobody is waiting for.
+    if (deadline_ms != 0 &&
+        NowMicros() > received_micros + deadline_ms * 1000) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.deadline_expired;
+      }
+      SendResponse(connection.get(),
+                   ErrorResponse(request.id,
+                                 wire::WireStatus::kDeadlineExceeded,
+                                 "deadline expired in queue"));
+      return;
+    }
+
+    if (options_.pre_execute_hook) options_.pre_execute_hook(request);
+
+    wire::Response response = Execute(request);
+    response.id = request.id;
+    RecordLatency(request.op, (NowMicros() - received_micros) / 1000.0);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_completed;
+    }
+    SendResponse(connection.get(), response);
+
+    if (request.op == wire::Op::kShutdown &&
+        response.status == wire::WireStatus::kOk) {
+      // Drain on a dedicated thread: Shutdown() waits for this worker
+      // pool to go idle, so the drain must not run on a pool thread.
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      if (!remote_shutdown_thread_.joinable()) {
+        remote_shutdown_thread_ = std::thread([this] { Shutdown(); });
+      }
+    }
+  });
+}
+
+wire::Response ImplianceServer::Execute(const wire::Request& request) {
+  wire::Response response;
+  switch (request.op) {
+    case wire::Op::kPing:
+      response.body = request.payload;
+      return response;
+
+    case wire::Op::kIngest: {
+      auto ids = impliance_->InfuseContent(request.kind, request.payload);
+      if (!ids.ok()) {
+        return ErrorResponse(request.id, WireStatusFor(ids.status()),
+                             ids.status().ToString());
+      }
+      response.doc_ids.assign(ids->begin(), ids->end());
+      return response;
+    }
+
+    case wire::Op::kGet: {
+      auto doc = impliance_->Get(request.doc_id);
+      if (!doc.ok()) {
+        return ErrorResponse(request.id, WireStatusFor(doc.status()),
+                             doc.status().ToString());
+      }
+      response.body = model::DocumentToJson(*doc);
+      return response;
+    }
+
+    case wire::Op::kSearch: {
+      for (const core::SearchHit& hit :
+           impliance_->Search(request.payload, request.limit)) {
+        response.hits.push_back(
+            {hit.doc, hit.score, hit.kind, hit.snippet});
+      }
+      return response;
+    }
+
+    case wire::Op::kFacet: {
+      query::FacetedQuery faceted;
+      faceted.keywords = request.payload;
+      faceted.kind = request.kind;
+      faceted.facet_paths = request.facet_paths;
+      faceted.top_k = request.limit;
+      query::FacetedResult result = impliance_->Faceted(faceted);
+      response.doc_ids.assign(result.docs.begin(), result.docs.end());
+      response.counters.emplace_back("total_matches", result.total_matches);
+      std::string rendered;
+      for (const auto& [path, counts] : result.facets) {
+        for (const auto& facet : counts) {
+          rendered += path + "\t" + facet.value.AsString() + "\t" +
+                      std::to_string(facet.count) + "\n";
+        }
+      }
+      response.body = std::move(rendered);
+      return response;
+    }
+
+    case wire::Op::kSql: {
+      auto rows = impliance_->Sql(request.payload);
+      if (!rows.ok()) {
+        return ErrorResponse(request.id, WireStatusFor(rows.status()),
+                             rows.status().ToString());
+      }
+      response.rows.reserve(rows->size());
+      for (const exec::Row& row : *rows) {
+        std::string line;
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (i > 0) line += '\t';
+          line += row[i].AsString();
+        }
+        response.rows.push_back(std::move(line));
+      }
+      return response;
+    }
+
+    case wire::Op::kStats:
+      return BuildStatsResponse();
+
+    case wire::Op::kShutdown:
+      response.body = "draining";
+      return response;
+  }
+  return ErrorResponse(request.id, wire::WireStatus::kInvalidRequest,
+                       "unknown op");
+}
+
+wire::Response ImplianceServer::BuildStatsResponse() const {
+  wire::Response response;
+  const core::ImplianceStats core_stats = impliance_->GetStats();
+  response.counters = {
+      {"documents", core_stats.indexed_documents},
+      {"versions", core_stats.store.num_versions},
+      {"kinds", core_stats.kinds},
+      {"terms", core_stats.indexed_terms},
+      {"paths", core_stats.indexed_paths},
+      {"join_edges", core_stats.join_edges},
+      {"segments", core_stats.store.num_segments},
+      {"admin_steps", core_stats.admin_steps},
+  };
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    response.counters.insert(
+        response.counters.end(),
+        {{"connections_accepted", stats_.connections_accepted},
+         {"requests_admitted", stats_.requests_admitted},
+         {"requests_completed", stats_.requests_completed},
+         {"requests_shed", stats_.requests_shed},
+         {"deadline_expired", stats_.deadline_expired},
+         {"invalid_frames", stats_.invalid_frames}});
+    for (const auto& [op, histogram] : stats_.op_latency_ms) {
+      response.op_latencies.push_back({op, histogram.count(),
+                                       histogram.P50(), histogram.P95(),
+                                       histogram.P99()});
+    }
+  }
+  // The appliance's own interactive-path latency (queue wait + execution
+  // inside the core), distinct from end-to-end serving latency.
+  const Histogram& interactive = core_stats.interactive_latency_ms;
+  if (interactive.count() > 0) {
+    response.op_latencies.push_back({"core.interactive", interactive.count(),
+                                     interactive.P50(), interactive.P95(),
+                                     interactive.P99()});
+  }
+  response.body = "documents=" +
+                  std::to_string(core_stats.indexed_documents) +
+                  " kinds=" + std::to_string(core_stats.kinds);
+  return response;
+}
+
+void ImplianceServer::SendResponse(Connection* connection,
+                                   const wire::Response& response) {
+  std::string frame;
+  wire::EncodeResponse(response, &frame);
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (connection->fd < 0) return;  // connection already closed
+  Status status = WriteFully(connection->fd, frame);
+  if (!status.ok()) {
+    // The client went away mid-response; the reader will notice on its
+    // next recv. Nothing further to do.
+    IMPLIANCE_LOG(Debug) << "response write failed: " << status.ToString();
+  }
+}
+
+void ImplianceServer::RecordLatency(wire::Op op, double millis) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.op_latency_ms[wire::OpName(op)].Add(millis);
+}
+
+ServingStats ImplianceServer::GetServingStats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+// ----------------------------------------------------------------- Drain
+
+void ImplianceServer::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    if (shutdown_complete_) return;
+  }
+
+  // 1. Stop accepting: new requests on existing connections now get
+  //    kShuttingDown; closing the listener wakes the accept loop.
+  draining_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Finish everything already admitted — in-flight requests complete
+  //    and their responses are written before any connection closes.
+  workers_->WaitIdle();
+
+  // 3. Close connections: wake blocked readers, join them, then close.
+  //    Joining happens outside connections_mutex_ — readers take it to
+  //    look up their own shared_ptr, so holding it here would deadlock.
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) {
+    if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (const auto& connection : connections) {
+    if (connection->reader.joinable()) connection->reader.join();
+    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    if (connection->fd >= 0) {
+      ::close(connection->fd);
+      connection->fd = -1;
+    }
+  }
+  connections.clear();
+
+  // 4. Join the worker pool (a rare late submission racing the drain flag
+  //    finishes here; its response write is a no-op on the closed fd).
+  workers_->WaitIdle();
+  workers_.reset();
+
+  // 5. Quiesce the appliance's background workers so the core is torn
+  //    down only once nothing is running behind it.
+  if (options_.quiesce_core_on_drain) impliance_->Quiesce();
+
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    shutdown_complete_ = true;
+  }
+  done_cv_.notify_all();
+  IMPLIANCE_LOG(Info) << "drain complete on port " << port_;
+}
+
+void ImplianceServer::WaitUntilShutdown() {
+  std::unique_lock<std::mutex> lock(done_mutex_);
+  done_cv_.wait(lock, [this] { return shutdown_complete_; });
+}
+
+}  // namespace impliance::server

@@ -1,0 +1,147 @@
+#ifndef IMPLIANCE_SERVER_WIRE_PROTOCOL_H_
+#define IMPLIANCE_SERVER_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace impliance::server::wire {
+
+// The appliance wire protocol: a compact length-prefixed binary framing
+// that turns the in-process `core::Impliance` facade into a network
+// service ("users interact with it through a network API", Section 2.1).
+// Encode/decode is fully separated from transport so every frame shape is
+// unit-testable without sockets.
+//
+// Frame layout on the wire:
+//
+//   fixed32 body_length | body
+//
+// where body is, for requests:
+//
+//   byte version | byte op | varint64 request_id | varint64 deadline_ms |
+//   lp(kind) | lp(payload) | varint64 doc_id | varint64 limit |
+//   varint32 n_facet_paths | n * lp(path)
+//
+// and for responses:
+//
+//   byte version | byte status | varint64 request_id | lp(error) |
+//   varint32 n_doc_ids | n * varint64 |
+//   varint32 n_hits   | n * (varint64 doc | fixed64 score-bits |
+//                            lp(kind) | lp(snippet)) |
+//   varint32 n_rows   | n * lp(row) |
+//   varint32 n_counters | n * (lp(name) | varint64 value) |
+//   varint32 n_latencies | n * (lp(op) | varint64 count |
+//                               3 * fixed64 pXX-ms-bits) |
+//   lp(body)
+//
+// (`lp` = length-prefixed string: varint32 size + bytes.) Every field is
+// always present — absent semantics are "empty"/0 — which keeps decode
+// branch-free and makes randomized round-trip testing exhaustive.
+
+// Bumped on any incompatible layout change; peers reject mismatches.
+inline constexpr uint8_t kWireVersion = 1;
+
+// Upper bound on a frame body; anything larger is rejected before
+// allocation so a garbage length prefix cannot OOM the server.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class Op : uint8_t {
+  kPing = 0,
+  kIngest = 1,    // kind + payload (raw content, format sniffed)
+  kGet = 2,       // doc_id -> JSON body
+  kSearch = 3,    // payload = keywords, limit = top-k
+  kFacet = 4,     // payload = keywords, kind, facet_paths
+  kSql = 5,       // payload = statement -> rows
+  kStats = 6,     // appliance + serving statistics
+  kShutdown = 7,  // graceful drain
+};
+
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kError = 1,             // op-level failure; see `error`
+  kNotFound = 2,
+  kInvalidRequest = 3,    // malformed frame / unknown op / bad version
+  kOverloaded = 4,        // admission queue full — load was shed
+  kDeadlineExceeded = 5,  // expired before a worker picked it up
+  kShuttingDown = 6,      // server is draining; no new work accepted
+};
+
+const char* OpName(Op op);
+const char* WireStatusName(WireStatus status);
+
+struct Request {
+  Op op = Op::kPing;
+  uint64_t id = 0;
+  // Total budget for the request measured from server receipt; 0 = none.
+  // Requests still queued when the budget lapses are answered with
+  // kDeadlineExceeded instead of being executed.
+  uint64_t deadline_ms = 0;
+  std::string kind;     // Ingest, Facet kind restriction
+  std::string payload;  // Ingest raw / Search+Facet keywords / Sql text
+  uint64_t doc_id = 0;  // Get
+  uint64_t limit = 10;  // Search/Facet top-k
+  std::vector<std::string> facet_paths;  // Facet
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+struct SearchResult {
+  uint64_t doc = 0;
+  double score = 0.0;
+  std::string kind;
+  std::string snippet;
+
+  friend bool operator==(const SearchResult&, const SearchResult&) = default;
+};
+
+// Per-op serving latency, extracted server-side from a Histogram.
+struct OpLatency {
+  std::string op;
+  uint64_t count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  friend bool operator==(const OpLatency&, const OpLatency&) = default;
+};
+
+struct Response {
+  uint64_t id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string error;               // non-empty iff status != kOk
+  std::vector<uint64_t> doc_ids;   // Ingest
+  std::vector<SearchResult> hits;  // Search
+  std::vector<std::string> rows;   // Sql (tab-separated values per row)
+  // Stats: named counters (documents, terms, shed_total, ...).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<OpLatency> op_latencies;  // Stats
+  std::string body;                // Get JSON / Facet rendering
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+// Appends a complete frame (length prefix + body) to *dst.
+void EncodeRequest(const Request& request, std::string* dst);
+void EncodeResponse(const Response& response, std::string* dst);
+
+// Decodes a frame *body* (without the length prefix). Returns
+// InvalidArgument on version mismatch, unknown op/status, or trailing or
+// truncated bytes; *out is unspecified on error.
+Status DecodeRequest(std::string_view body, Request* out);
+Status DecodeResponse(std::string_view body, Response* out);
+
+// Incremental frame extraction for buffered transports. Inspects *buffer:
+// returns kOk and moves one frame body into *body (consuming it from
+// *buffer), kBusy when more bytes are needed, or kInvalidArgument when the
+// length prefix exceeds max_frame_bytes (connection should be dropped).
+Status ExtractFrame(std::string* buffer, std::string* body,
+                    uint32_t max_frame_bytes = kMaxFrameBytes);
+
+}  // namespace impliance::server::wire
+
+#endif  // IMPLIANCE_SERVER_WIRE_PROTOCOL_H_

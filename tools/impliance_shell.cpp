@@ -3,6 +3,10 @@
 //
 //   $ impliance_shell /data/impliance
 //   impliance> infuse order /tmp/orders.csv
+//
+// Or run the same appliance as a network service (see tools/impliance_client):
+//
+//   $ impliance_shell serve /data/impliance 9876
 //   impliance> search refund broken
 //   impliance> sql SELECT city, SUM(total) FROM order GROUP BY city
 //   impliance> discover
@@ -10,6 +14,7 @@
 //   impliance> help
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,6 +23,7 @@
 #include "common/string_util.h"
 #include "core/impliance.h"
 #include "model/json_writer.h"
+#include "server/server.h"
 
 using impliance::core::Impliance;
 using impliance::model::DocId;
@@ -57,7 +63,43 @@ void PrintHits(const std::vector<impliance::core::SearchHit>& hits) {
 
 }  // namespace
 
+// `impliance_shell serve <data_dir> [port]`: run the appliance as a TCP
+// service instead of an interactive shell. Blocks until a client sends the
+// shutdown op (e.g. `impliance_client host:port shutdown`).
+int RunServe(int argc, char** argv) {
+  const std::string data_dir =
+      argc > 2 ? argv[2] : "/tmp/impliance_shell_data";
+  auto opened = Impliance::Open({.data_dir = data_dir});
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Impliance> impliance = std::move(opened).value();
+
+  impliance::server::ServerOptions options;
+  if (argc > 3) options.port = static_cast<uint16_t>(std::atoi(argv[3]));
+  auto started =
+      impliance::server::ImplianceServer::Start(impliance.get(), options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(started).value();
+  std::printf("Impliance serving on %s:%u — data at %s.\n",
+              server->host().c_str(), server->port(), data_dir.c_str());
+  std::printf("Stop with: impliance_client %s:%u shutdown\n",
+              server->host().c_str(), server->port());
+  std::fflush(stdout);
+  server->WaitUntilShutdown();
+  std::printf("drained; bye.\n");
+  return 0;
+}
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "serve") return RunServe(argc, argv);
+
   const std::string data_dir =
       argc > 1 ? argv[1] : "/tmp/impliance_shell_data";
   auto opened = Impliance::Open({.data_dir = data_dir});
