@@ -12,8 +12,7 @@ Status RelationalBaseline::CreateTable(
     return Status::AlreadyExists("table exists: " + name);
   }
   ++admin_steps_;
-  exec::Schema schema;
-  schema.columns = columns;
+  exec::Schema schema(columns);
   auto table = std::make_shared<query::MemTable>(name, schema);
   tables_[name] = table;
   catalog_.Register(table);

@@ -27,4 +27,17 @@ Scheduler::Decision Scheduler::Place(OperatorClass op,
   return decision;
 }
 
+size_t Scheduler::ChooseDop(size_t max_workers,
+                            const LoadSnapshot& load) const {
+  if (max_workers <= 1) return 1;
+  // Each unit of mean grid queue depth is one worker's worth of pending
+  // work; give it back. busy_margin tasks of slack are free (same tolerance
+  // Place() grants the data nodes).
+  double loaded = load.grid_queue_depth - options_.busy_margin;
+  if (loaded < 0) loaded = 0;
+  const double free_workers = static_cast<double>(max_workers) - loaded;
+  if (free_workers <= 1.0) return 1;
+  return static_cast<size_t>(free_workers);
+}
+
 }  // namespace impliance::cluster

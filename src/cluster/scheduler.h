@@ -48,6 +48,13 @@ class Scheduler {
 
   Decision Place(OperatorClass op, const LoadSnapshot& load) const;
 
+  // Degree of parallelism for one query's morsel-parallel segment, given
+  // `max_workers` execution slots. Same philosophy as Place(): a rule over
+  // the live load picture, not a cost model. A loaded grid (queued
+  // background tasks per worker) linearly squeezes the per-query DOP down
+  // to 1 so intra-query parallelism never starves concurrent queries.
+  size_t ChooseDop(size_t max_workers, const LoadSnapshot& load) const;
+
  private:
   Options options_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/scheduler.h"
 #include "discovery/entity_resolver.h"
 #include "discovery/pattern_annotator.h"
 #include "discovery/relationship_discovery.h"
@@ -34,7 +35,7 @@ class Impliance::DocumentTable : public query::Table {
   DocumentTable(const Impliance* owner, std::string kind, model::ViewDef view)
       : owner_(owner), kind_(std::move(kind)), view_(std::move(view)) {
     for (const model::ViewColumn& column : view_.columns) {
-      schema_.columns.push_back(column.name);
+      schema_.AddColumn(column.name);
     }
   }
 
@@ -92,7 +93,7 @@ class Impliance::ClassTable : public query::Table {
  public:
   ClassTable(const Impliance* owner, discovery::SchemaClass schema_class)
       : owner_(owner), class_(std::move(schema_class)) {
-    schema_.columns = class_.attributes;
+    schema_ = exec::Schema(class_.attributes);
   }
 
   const std::string& table_name() const override { return class_.name; }
@@ -342,6 +343,13 @@ query::FacetedResult Impliance::Faceted(
   std::shared_lock<std::shared_mutex> lock(mutex_);
   query::FacetedSearch search(&text_index_.global(), &paths_, &facets_,
                               &values_);
+  // Facet counts / range buckets / aggregates fan out like a SQL segment:
+  // DOP capped by the scheduler's view of free workers.
+  cluster::Scheduler scheduler;
+  cluster::Scheduler::LoadSnapshot load;
+  load.grid_queue_depth = static_cast<double>(execution_->pending_tasks());
+  search.set_parallelism(
+      scheduler.ChooseDop(exec::ParallelExecutor::Shared().num_threads(), load));
   return search.Run(faceted_query);
 }
 
@@ -432,11 +440,22 @@ Result<std::vector<exec::Row>> Impliance::SqlAs(const std::string& principal,
     return Status::Aborted("principal " + principal +
                            " may not read the queried kinds");
   }
+  // Intra-query parallelism: cap the morsel DOP by the cluster scheduler's
+  // view of free workers. Queued background discovery counts as grid load,
+  // so a busy appliance degrades gracefully to serial execution.
+  exec::ExecOptions exec_options;
+  {
+    cluster::Scheduler scheduler;
+    cluster::Scheduler::LoadSnapshot load;
+    load.grid_queue_depth = static_cast<double>(execution_->pending_tasks());
+    exec_options.dop = scheduler.ChooseDop(
+        exec::ParallelExecutor::Shared().num_threads(), load);
+  }
   Result<std::vector<exec::Row>> rows = [&]() {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     query::Catalog catalog = BuildCatalogLocked();
     query::SimplePlanner planner;
-    return query::RunSql(sql, catalog, &planner);
+    return query::RunSql(sql, catalog, &planner, exec_options);
   }();
   if (rows.ok()) {
     // Row-level ids are not surfaced by SQL; audit the kinds touched.
@@ -471,8 +490,14 @@ query::GraphQuery Impliance::Graph() const {
   // NOTE: graph queries read the join index without locking; do not run
   // them concurrently with an active discovery pass (WaitForDiscovery()
   // first). Interactive use after discovery is the intended pattern.
-  return query::GraphQuery(&joins_,
-                           [this](model::DocId id) { return LabelFor(id); });
+  query::GraphQuery graph(&joins_,
+                          [this](model::DocId id) { return LabelFor(id); });
+  cluster::Scheduler scheduler;
+  cluster::Scheduler::LoadSnapshot load;
+  load.grid_queue_depth = static_cast<double>(execution_->pending_tasks());
+  graph.set_parallelism(
+      scheduler.ChooseDop(exec::ParallelExecutor::Shared().num_threads(), load));
+  return graph;
 }
 
 // --------------------------------------------------------------- Discovery

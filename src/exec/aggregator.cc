@@ -1,0 +1,169 @@
+#include "exec/aggregator.h"
+
+#include <algorithm>
+
+namespace impliance::exec {
+
+// ------------------------------------------------------ GroupByAggregator
+
+GroupByAggregator::GroupByAggregator(std::vector<int> group_columns,
+                                     std::vector<AggSpec> aggregates)
+    : group_columns_(std::move(group_columns)),
+      aggregates_(std::move(aggregates)) {}
+
+void GroupByAggregator::AccumulateInto(std::vector<AggState>& states,
+                                       const Row& row) const {
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggSpec& agg = aggregates_[i];
+    AggState& state = states[i];
+    if (agg.fn == AggFn::kCount) {
+      ++state.count;
+      continue;
+    }
+    const model::Value& value = row[agg.column];
+    if (value.is_null()) continue;  // SQL semantics: nulls skipped
+    ++state.count;
+    state.sum += value.AsDouble();
+    if (state.count == 1) {
+      state.min = value;
+      state.max = value;
+    } else {
+      if (value.Compare(state.min) < 0) state.min = value;
+      if (value.Compare(state.max) > 0) state.max = value;
+    }
+  }
+}
+
+void GroupByAggregator::Accumulate(const Row& row) {
+  Row key;
+  key.reserve(group_columns_.size());
+  for (int column : group_columns_) key.push_back(row[column]);
+  std::vector<AggState>& states = groups_[std::move(key)];
+  if (states.empty()) states.resize(aggregates_.size());
+  AccumulateInto(states, row);
+}
+
+void GroupByAggregator::AccumulateBatch(const RowBatch& batch) {
+  for (const Row& row : batch.rows) Accumulate(row);
+}
+
+void GroupByAggregator::MergeState(AggState& into, const AggState& from) {
+  if (from.count > 0) {
+    if (into.count == 0) {
+      into.min = from.min;
+      into.max = from.max;
+    } else {
+      if (from.min.Compare(into.min) < 0) into.min = from.min;
+      if (from.max.Compare(into.max) > 0) into.max = from.max;
+    }
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+}
+
+void GroupByAggregator::Merge(GroupByAggregator&& other) {
+  for (auto& [key, other_states] : other.groups_) {
+    auto [it, inserted] = groups_.try_emplace(key, std::move(other_states));
+    if (inserted) continue;
+    std::vector<AggState>& states = it->second;
+    for (size_t i = 0; i < states.size(); ++i) {
+      MergeState(states[i], other_states[i]);
+    }
+  }
+  other.groups_.clear();
+}
+
+std::vector<Row> GroupByAggregator::Finalize() const {
+  std::vector<Row> out;
+  out.reserve(groups_.size());
+  for (const auto& [key, states] : groups_) {
+    Row row = key;
+    row.reserve(key.size() + aggregates_.size());
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      const AggSpec& agg = aggregates_[i];
+      const AggState& state = states[i];
+      switch (agg.fn) {
+        case AggFn::kCount:
+          row.push_back(model::Value::Int(state.count));
+          break;
+        case AggFn::kSum:
+          row.push_back(state.count == 0 ? model::Value::Null()
+                                         : model::Value::Double(state.sum));
+          break;
+        case AggFn::kAvg:
+          row.push_back(state.count == 0
+                            ? model::Value::Null()
+                            : model::Value::Double(state.sum / state.count));
+          break;
+        case AggFn::kMin:
+          row.push_back(state.count == 0 ? model::Value::Null() : state.min);
+          break;
+        case AggFn::kMax:
+          row.push_back(state.count == 0 ? model::Value::Null() : state.max);
+          break;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Schema GroupByAggregator::OutputSchema(const Schema& input,
+                                       const std::vector<int>& group_columns,
+                                       const std::vector<AggSpec>& aggregates) {
+  Schema schema;
+  for (int column : group_columns) schema.AddColumn(input.columns[column]);
+  for (const AggSpec& agg : aggregates) schema.AddColumn(agg.output_name);
+  return schema;
+}
+
+// ------------------------------------------------------------- Sort order
+
+bool RowLess(const Row& a, const Row& b, const std::vector<SortKey>& keys) {
+  for (const SortKey& key : keys) {
+    const int c = a[key.column].Compare(b[key.column]);
+    if (c != 0) return key.ascending ? c < 0 : c > 0;
+  }
+  return false;
+}
+
+// -------------------------------------------------------- TopKAccumulator
+
+TopKAccumulator::TopKAccumulator(std::vector<SortKey> keys, size_t k)
+    : keys_(std::move(keys)), k_(k) {
+  heap_.reserve(k_ < 4096 ? k_ : 4096);
+}
+
+void TopKAccumulator::Add(Row row) {
+  auto worst_first = [this](const Row& a, const Row& b) {
+    return WorstFirst(a, b);
+  };
+  if (heap_.size() < k_) {
+    heap_.push_back(std::move(row));
+    std::push_heap(heap_.begin(), heap_.end(), worst_first);
+  } else if (k_ > 0 && RowLess(row, heap_.front(), keys_)) {
+    std::pop_heap(heap_.begin(), heap_.end(), worst_first);
+    heap_.back() = std::move(row);
+    std::push_heap(heap_.begin(), heap_.end(), worst_first);
+  }
+}
+
+void TopKAccumulator::AddBatch(RowBatch&& batch) {
+  for (Row& row : batch.rows) Add(std::move(row));
+  batch.clear();
+}
+
+void TopKAccumulator::Merge(TopKAccumulator&& other) {
+  for (Row& row : other.heap_) Add(std::move(row));
+  other.heap_.clear();
+}
+
+std::vector<Row> TopKAccumulator::Finalize() const {
+  std::vector<Row> sorted = heap_;
+  std::sort(sorted.begin(), sorted.end(), [this](const Row& a, const Row& b) {
+    return RowLess(a, b, keys_);
+  });
+  return sorted;
+}
+
+}  // namespace impliance::exec

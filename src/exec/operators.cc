@@ -9,18 +9,35 @@ namespace impliance::exec {
 std::vector<Row> Execute(Operator* op) {
   std::vector<Row> rows;
   op->Open();
-  Row row;
-  while (op->Next(&row)) rows.push_back(row);
+  rows.reserve(op->EstimatedRows());
+  RowBatch batch;
+  while (op->NextBatch(&batch)) {
+    for (Row& row : batch.rows) rows.push_back(std::move(row));
+  }
   op->Close();
   return rows;
 }
 
 // ------------------------------------------------------------- RowSource
 
-bool RowSourceOp::Next(Row* row) {
+bool RowSourceOp::NextBatch(RowBatch* batch) {
+  batch->clear();
   if (cursor_ >= rows_.size()) return false;
-  *row = rows_[cursor_++];
-  ++rows_produced_;
+  const size_t end = std::min(rows_.size(), cursor_ + batch_rows_);
+  batch->reserve(end - cursor_);
+  for (; cursor_ < end; ++cursor_) batch->AppendCopy(rows_[cursor_]);
+  rows_produced_ += batch->size();
+  return true;
+}
+
+bool RowSliceSourceOp::NextBatch(RowBatch* batch) {
+  batch->clear();
+  if (cursor_ >= end_) return false;
+  const size_t end = std::min(end_, cursor_ + batch_rows_);
+  batch->reserve(end - cursor_);
+  const std::vector<Row>& rows = *rows_;
+  for (; cursor_ < end; ++cursor_) batch->AppendCopy(rows[cursor_]);
+  rows_produced_ += batch->size();
   return true;
 }
 
@@ -43,33 +60,56 @@ void FilterOp::Open() {
   input_rows_ = 0;
 }
 
-bool FilterOp::Next(Row* row) {
-  while (child_->Next(row)) {
-    ++input_rows_;
-    if (adaptive_ && input_rows_ % kAdaptBatch == 0) {
-      // Most selective (lowest pass rate) first: cheapest way to reject.
-      std::stable_sort(predicates_.begin(), predicates_.end(),
-                       [](const Tracked& a, const Tracked& b) {
-                         return a.Selectivity() < b.Selectivity();
-                       });
-    }
-    bool pass = true;
-    for (Tracked& tracked : predicates_) {
-      ++tracked.evaluated;
-      ++predicate_evals_;
-      if (tracked.predicate.Eval(*row)) {
-        ++tracked.passed;
-      } else {
-        pass = false;
-        break;
+bool FilterOp::NextBatch(RowBatch* batch) {
+  batch->clear();
+  // Keep pulling child batches until at least one row survives, so false
+  // still means end-of-stream.
+  while (batch->empty()) {
+    if (!child_->NextBatch(&input_)) return false;
+    batch->reserve(input_.size());
+    if (adaptive_) {
+      for (Row& row : input_.rows) {
+        ++input_rows_;
+        if (input_rows_ % kAdaptBatch == 0) {
+          // Most selective (lowest pass rate) first: cheapest way to reject.
+          std::stable_sort(predicates_.begin(), predicates_.end(),
+                           [](const Tracked& a, const Tracked& b) {
+                             return a.Selectivity() < b.Selectivity();
+                           });
+        }
+        bool pass = true;
+        for (Tracked& tracked : predicates_) {
+          ++tracked.evaluated;
+          ++predicate_evals_;
+          if (tracked.predicate.Eval(row)) {
+            ++tracked.passed;
+          } else {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) batch->push_back(std::move(row));
       }
-    }
-    if (pass) {
-      ++rows_produced_;
-      return true;
+    } else {
+      // Lean loop: no per-predicate selectivity tracking, no reorder check.
+      uint64_t evals = 0;
+      for (Row& row : input_.rows) {
+        bool pass = true;
+        for (Tracked& tracked : predicates_) {
+          ++evals;
+          if (!tracked.predicate.Eval(row)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) batch->push_back(std::move(row));
+      }
+      input_rows_ += input_.size();
+      predicate_evals_ += evals;
     }
   }
-  return false;
+  rows_produced_ += batch->size();
+  return true;
 }
 
 std::vector<int> FilterOp::EvaluationOrder() const {
@@ -87,23 +127,109 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<int> columns,
                      std::vector<std::string> names)
     : child_(std::move(child)), columns_(std::move(columns)) {
   IMPLIANCE_CHECK(columns_.size() == names.size());
-  schema_.columns = std::move(names);
+  schema_ = Schema(std::move(names));
+  for (int column : columns_) {
+    IMPLIANCE_CHECK(column >= 0 &&
+                    static_cast<size_t>(column) < child_->schema().size());
+  }
+  std::vector<int> sorted = columns_;
+  std::sort(sorted.begin(), sorted.end());
+  distinct_columns_ =
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
 }
 
-bool ProjectOp::Next(Row* row) {
-  Row input;
-  if (!child_->Next(&input)) return false;
-  row->clear();
-  row->reserve(columns_.size());
-  for (int column : columns_) {
-    IMPLIANCE_CHECK(column >= 0 && static_cast<size_t>(column) < input.size());
-    row->push_back(input[column]);
+bool ProjectOp::NextBatch(RowBatch* batch) {
+  batch->clear();
+  if (!child_->NextBatch(&input_)) return false;
+  batch->reserve(input_.size());
+  for (Row& row : input_.rows) {
+    Row& projected = batch->AppendRow();
+    projected.reserve(columns_.size());
+    for (int column : columns_) {
+      // Input rows are dead after this pass; stealing their values saves a
+      // copy — unless the same column is projected twice.
+      if (distinct_columns_) {
+        projected.push_back(std::move(row[column]));
+      } else {
+        projected.push_back(row[column]);
+      }
+    }
   }
-  ++rows_produced_;
+  rows_produced_ += batch->size();
   return true;
 }
 
 // -------------------------------------------------------------- HashJoin
+
+void JoinHashTable::Insert(const Row& row) {
+  const model::Value& key = row[key_column];
+  if (key.is_null()) return;  // nulls never join
+  buckets[key.HashValue()].push_back(row);
+  ++build_rows;
+}
+
+std::shared_ptr<const JoinHashTable> JoinHashTable::Build(Operator* build,
+                                                          int key_column) {
+  auto table = std::make_shared<JoinHashTable>();
+  table->key_column = key_column;
+  table->schema = build->schema();
+  build->Open();
+  RowBatch batch;
+  while (build->NextBatch(&batch)) {
+    for (const Row& row : batch.rows) table->Insert(row);
+  }
+  build->Close();
+  return table;
+}
+
+namespace {
+
+// Appends all matches of `input` against `table` to `out`: probe rows keep
+// their order, each extended with every equal-keyed build row. Shared by
+// HashProbeOp and HashJoinOp.
+void ProbeBatch(const JoinHashTable& table, RowBatch& input, int left_key,
+                RowBatch* out) {
+  for (Row& left_row : input.rows) {
+    const model::Value& key = left_row[left_key];
+    if (key.is_null()) continue;
+    auto it = table.buckets.find(key.HashValue());
+    if (it == table.buckets.end()) continue;
+    for (const Row& right_row : it->second) {
+      // Re-check equality to guard against hash collisions.
+      if (right_row[table.key_column].Compare(key) != 0) continue;
+      Row& joined = out->AppendRow();
+      joined.reserve(left_row.size() + right_row.size());
+      joined.insert(joined.end(), left_row.begin(), left_row.end());
+      joined.insert(joined.end(), right_row.begin(), right_row.end());
+    }
+  }
+}
+
+Schema ConcatSchemas(const Schema& left, const Schema& right) {
+  Schema schema;
+  for (const std::string& column : left.columns) schema.AddColumn(column);
+  for (const std::string& column : right.columns) schema.AddColumn(column);
+  return schema;
+}
+
+}  // namespace
+
+HashProbeOp::HashProbeOp(OperatorPtr left,
+                         std::shared_ptr<const JoinHashTable> table,
+                         int left_key)
+    : left_(std::move(left)), table_(std::move(table)), left_key_(left_key) {
+  schema_ = ConcatSchemas(left_->schema(), table_->schema);
+}
+
+bool HashProbeOp::NextBatch(RowBatch* batch) {
+  batch->clear();
+  while (batch->empty()) {
+    if (!left_->NextBatch(&input_)) return false;
+    ProbeBatch(*table_, input_, left_key_, batch);
+  }
+  rows_produced_ += batch->size();
+  return true;
+}
 
 HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, int left_key,
                        int right_key)
@@ -111,59 +237,27 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, int left_key,
       right_(std::move(right)),
       left_key_(left_key),
       right_key_(right_key) {
-  schema_.columns = left_->schema().columns;
-  for (const std::string& column : right_->schema().columns) {
-    schema_.columns.push_back(column);
-  }
+  schema_ = ConcatSchemas(left_->schema(), right_->schema());
 }
 
 void HashJoinOp::Open() {
   left_->Open();
-  right_->Open();
-  hash_table_.clear();
-  build_size_ = 0;
-  Row row;
-  while (right_->Next(&row)) {
-    const model::Value& key = row[right_key_];
-    if (key.is_null()) continue;  // nulls never join
-    hash_table_[key.HashValue()].push_back(row);
-    ++build_size_;
-  }
-  current_matches_ = nullptr;
-  match_cursor_ = 0;
+  table_ = JoinHashTable::Build(right_.get(), right_key_);
 }
 
-bool HashJoinOp::Next(Row* row) {
-  while (true) {
-    if (current_matches_ != nullptr) {
-      // Advance within the current probe's match list, re-checking equality
-      // to guard against hash collisions.
-      while (match_cursor_ < current_matches_->size()) {
-        const Row& right_row = (*current_matches_)[match_cursor_++];
-        if (right_row[right_key_].Compare(current_left_[left_key_]) != 0) {
-          continue;
-        }
-        *row = current_left_;
-        row->insert(row->end(), right_row.begin(), right_row.end());
-        ++rows_produced_;
-        return true;
-      }
-      current_matches_ = nullptr;
-    }
-    if (!left_->Next(&current_left_)) return false;
-    const model::Value& key = current_left_[left_key_];
-    if (key.is_null()) continue;
-    auto it = hash_table_.find(key.HashValue());
-    if (it == hash_table_.end()) continue;
-    current_matches_ = &it->second;
-    match_cursor_ = 0;
+bool HashJoinOp::NextBatch(RowBatch* batch) {
+  batch->clear();
+  while (batch->empty()) {
+    if (!left_->NextBatch(&input_)) return false;
+    ProbeBatch(*table_, input_, left_key_, batch);
   }
+  rows_produced_ += batch->size();
+  return true;
 }
 
 void HashJoinOp::Close() {
   left_->Close();
-  right_->Close();
-  hash_table_.clear();
+  table_.reset();
 }
 
 // --------------------------------------------------------- IndexedNLJoin
@@ -173,39 +267,35 @@ IndexedNLJoinOp::IndexedNLJoinOp(OperatorPtr left, int left_key,
     : left_(std::move(left)),
       left_key_(left_key),
       lookup_(std::move(lookup)) {
-  schema_.columns = left_->schema().columns;
-  for (const std::string& column : right_schema.columns) {
-    schema_.columns.push_back(column);
-  }
+  schema_ = ConcatSchemas(left_->schema(), right_schema);
 }
 
 void IndexedNLJoinOp::Open() {
   left_->Open();
-  current_matches_.clear();
-  match_cursor_ = 0;
   index_probes_ = 0;
 }
 
-bool IndexedNLJoinOp::Next(Row* row) {
-  while (true) {
-    if (match_cursor_ < current_matches_.size()) {
-      const Row& right_row = current_matches_[match_cursor_++];
-      *row = current_left_;
-      row->insert(row->end(), right_row.begin(), right_row.end());
-      ++rows_produced_;
-      return true;
+bool IndexedNLJoinOp::NextBatch(RowBatch* batch) {
+  batch->clear();
+  while (batch->empty()) {
+    if (!left_->NextBatch(&input_)) return false;
+    for (Row& left_row : input_.rows) {
+      const model::Value& key = left_row[left_key_];
+      if (key.is_null()) continue;
+      std::vector<Row> matches = lookup_(key);
+      ++index_probes_;
+      for (Row& right_row : matches) {
+        Row& joined = batch->AppendRow();
+        joined.reserve(left_row.size() + right_row.size());
+        joined.insert(joined.end(), left_row.begin(), left_row.end());
+        joined.insert(joined.end(),
+                      std::make_move_iterator(right_row.begin()),
+                      std::make_move_iterator(right_row.end()));
+      }
     }
-    if (!left_->Next(&current_left_)) return false;
-    const model::Value& key = current_left_[left_key_];
-    if (key.is_null()) {
-      current_matches_.clear();
-      match_cursor_ = 0;
-      continue;
-    }
-    current_matches_ = lookup_(key);
-    ++index_probes_;
-    match_cursor_ = 0;
   }
+  rows_produced_ += batch->size();
+  return true;
 }
 
 // ------------------------------------------------------------- Aggregate
@@ -216,94 +306,32 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
     : child_(std::move(child)),
       group_columns_(std::move(group_columns)),
       aggregates_(std::move(aggregates)) {
-  for (int column : group_columns_) {
-    schema_.columns.push_back(child_->schema().columns[column]);
-  }
-  for (const AggSpec& agg : aggregates_) {
-    schema_.columns.push_back(agg.output_name);
-  }
+  schema_ = GroupByAggregator::OutputSchema(child_->schema(), group_columns_,
+                                            aggregates_);
 }
 
 void HashAggregateOp::Open() {
   child_->Open();
-  groups_.clear();
-  materialized_ = false;
-
-  Row row;
-  while (child_->Next(&row)) {
-    Row key;
-    key.reserve(group_columns_.size());
-    for (int column : group_columns_) key.push_back(row[column]);
-    std::vector<AggState>& states = groups_[key];
-    if (states.empty()) states.resize(aggregates_.size());
-    for (size_t i = 0; i < aggregates_.size(); ++i) {
-      const AggSpec& agg = aggregates_[i];
-      AggState& state = states[i];
-      if (agg.fn == AggFn::kCount) {
-        ++state.count;
-        continue;
-      }
-      const model::Value& value = row[agg.column];
-      if (value.is_null()) continue;  // SQL semantics: nulls skipped
-      ++state.count;
-      state.sum += value.AsDouble();
-      if (state.count == 1) {
-        state.min = value;
-        state.max = value;
-      } else {
-        if (value.Compare(state.min) < 0) state.min = value;
-        if (value.Compare(state.max) > 0) state.max = value;
-      }
-    }
-  }
-  emit_cursor_ = groups_.begin();
-  materialized_ = true;
+  GroupByAggregator aggregator(group_columns_, aggregates_);
+  RowBatch batch;
+  while (child_->NextBatch(&batch)) aggregator.AccumulateBatch(batch);
+  finalized_ = aggregator.Finalize();
+  cursor_ = 0;
 }
 
-bool HashAggregateOp::Next(Row* row) {
-  IMPLIANCE_CHECK(materialized_);
-  if (emit_cursor_ == groups_.end()) return false;
-  const Row& key = emit_cursor_->first;
-  const std::vector<AggState>& states = emit_cursor_->second;
-  *row = key;
-  for (size_t i = 0; i < aggregates_.size(); ++i) {
-    const AggSpec& agg = aggregates_[i];
-    const AggState& state = states[i];
-    switch (agg.fn) {
-      case AggFn::kCount:
-        row->push_back(model::Value::Int(state.count));
-        break;
-      case AggFn::kSum:
-        row->push_back(state.count == 0 ? model::Value::Null()
-                                        : model::Value::Double(state.sum));
-        break;
-      case AggFn::kAvg:
-        row->push_back(state.count == 0
-                           ? model::Value::Null()
-                           : model::Value::Double(state.sum / state.count));
-        break;
-      case AggFn::kMin:
-        row->push_back(state.count == 0 ? model::Value::Null() : state.min);
-        break;
-      case AggFn::kMax:
-        row->push_back(state.count == 0 ? model::Value::Null() : state.max);
-        break;
-    }
+bool HashAggregateOp::NextBatch(RowBatch* batch) {
+  batch->clear();
+  if (cursor_ >= finalized_.size()) return false;
+  const size_t end = std::min(finalized_.size(), cursor_ + kDefaultBatchRows);
+  batch->reserve(end - cursor_);
+  for (; cursor_ < end; ++cursor_) {
+    batch->push_back(std::move(finalized_[cursor_]));
   }
-  ++emit_cursor_;
-  ++rows_produced_;
+  rows_produced_ += batch->size();
   return true;
 }
 
 // ------------------------------------------------------------ Sort/TopK
-
-bool RowLess(const Row& a, const Row& b, const std::vector<SortKey>& keys) {
-  for (const SortKey& key : keys) {
-    const int c = a[key.column].Compare(b[key.column]);
-    if (c != 0) return key.ascending ? c < 0 : c > 0;
-  }
-  return false;
-}
 
 SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
     : child_(std::move(child)), keys_(std::move(keys)) {}
@@ -311,18 +339,24 @@ SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
 void SortOp::Open() {
   child_->Open();
   rows_.clear();
-  Row row;
-  while (child_->Next(&row)) rows_.push_back(std::move(row));
+  rows_.reserve(child_->EstimatedRows());
+  RowBatch batch;
+  while (child_->NextBatch(&batch)) {
+    for (Row& row : batch.rows) rows_.push_back(std::move(row));
+  }
   std::stable_sort(rows_.begin(), rows_.end(), [this](const Row& a, const Row& b) {
     return RowLess(a, b, keys_);
   });
   cursor_ = 0;
 }
 
-bool SortOp::Next(Row* row) {
+bool SortOp::NextBatch(RowBatch* batch) {
+  batch->clear();
   if (cursor_ >= rows_.size()) return false;
-  *row = rows_[cursor_++];
-  ++rows_produced_;
+  const size_t end = std::min(rows_.size(), cursor_ + kDefaultBatchRows);
+  batch->reserve(end - cursor_);
+  for (; cursor_ < end; ++cursor_) batch->push_back(std::move(rows_[cursor_]));
+  rows_produced_ += batch->size();
   return true;
 }
 
@@ -331,43 +365,34 @@ TopKOp::TopKOp(OperatorPtr child, std::vector<SortKey> keys, size_t k)
 
 void TopKOp::Open() {
   child_->Open();
-  heap_.clear();
-  sorted_.clear();
-  auto worst_first = [this](const Row& a, const Row& b) {
-    return RowLess(a, b, keys_);  // max-heap: worst (largest) at front
-  };
-  Row row;
-  while (child_->Next(&row)) {
-    if (heap_.size() < k_) {
-      heap_.push_back(std::move(row));
-      std::push_heap(heap_.begin(), heap_.end(), worst_first);
-    } else if (k_ > 0 && RowLess(row, heap_.front(), keys_)) {
-      std::pop_heap(heap_.begin(), heap_.end(), worst_first);
-      heap_.back() = std::move(row);
-      std::push_heap(heap_.begin(), heap_.end(), worst_first);
-    }
-  }
-  sorted_ = heap_;
-  std::sort(sorted_.begin(), sorted_.end(), [this](const Row& a, const Row& b) {
-    return RowLess(a, b, keys_);
-  });
+  TopKAccumulator accumulator(keys_, k_);
+  RowBatch batch;
+  while (child_->NextBatch(&batch)) accumulator.AddBatch(std::move(batch));
+  sorted_ = accumulator.Finalize();
   cursor_ = 0;
 }
 
-bool TopKOp::Next(Row* row) {
+bool TopKOp::NextBatch(RowBatch* batch) {
+  batch->clear();
   if (cursor_ >= sorted_.size()) return false;
-  *row = sorted_[cursor_++];
-  ++rows_produced_;
+  const size_t end = std::min(sorted_.size(), cursor_ + kDefaultBatchRows);
+  batch->reserve(end - cursor_);
+  for (; cursor_ < end; ++cursor_) batch->push_back(std::move(sorted_[cursor_]));
+  rows_produced_ += batch->size();
   return true;
 }
 
 // ----------------------------------------------------------------- Limit
 
-bool LimitOp::Next(Row* row) {
+bool LimitOp::NextBatch(RowBatch* batch) {
+  batch->clear();
   if (emitted_ >= limit_) return false;
-  if (!child_->Next(row)) return false;
-  ++emitted_;
-  ++rows_produced_;
+  if (!child_->NextBatch(batch)) return false;
+  if (emitted_ + batch->size() > limit_) {
+    batch->rows.resize(limit_ - emitted_);
+  }
+  emitted_ += batch->size();
+  rows_produced_ += batch->size();
   return true;
 }
 

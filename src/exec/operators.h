@@ -3,10 +3,12 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "exec/aggregator.h"
 #include "exec/operator.h"
 #include "exec/predicate.h"
 
@@ -16,18 +18,53 @@ namespace impliance::exec {
 // or rows shipped from another node).
 class RowSourceOp : public Operator {
  public:
-  RowSourceOp(Schema schema, std::vector<Row> rows)
-      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+  RowSourceOp(Schema schema, std::vector<Row> rows,
+              size_t batch_rows = kDefaultBatchRows)
+      : schema_(std::move(schema)),
+        rows_(std::move(rows)),
+        batch_rows_(batch_rows) {}
 
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "RowSource"; }
   void Open() override { cursor_ = 0; }
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override {}
+  uint64_t EstimatedRows() const override { return rows_.size(); }
 
  private:
   Schema schema_;
   std::vector<Row> rows_;
+  size_t batch_rows_;
+  size_t cursor_ = 0;
+};
+
+// Leaf over a shared, immutable row vector: emits rows [begin, end). The
+// morsel-driven executor hands each worker slices of the same base table
+// without copying it per worker.
+class RowSliceSourceOp : public Operator {
+ public:
+  RowSliceSourceOp(const Schema* schema,
+                   std::shared_ptr<const std::vector<Row>> rows, size_t begin,
+                   size_t end, size_t batch_rows = kDefaultBatchRows)
+      : schema_(schema),
+        rows_(std::move(rows)),
+        begin_(begin),
+        end_(end),
+        batch_rows_(batch_rows) {}
+
+  const Schema& schema() const override { return *schema_; }
+  std::string name() const override { return "RowSlice"; }
+  void Open() override { cursor_ = begin_; }
+  bool NextBatch(RowBatch* batch) override;
+  void Close() override {}
+  uint64_t EstimatedRows() const override { return end_ - begin_; }
+
+ private:
+  const Schema* schema_;  // owned by the plan, outlives the operator
+  std::shared_ptr<const std::vector<Row>> rows_;
+  size_t begin_;
+  size_t end_;
+  size_t batch_rows_;
   size_t cursor_ = 0;
 };
 
@@ -43,8 +80,9 @@ class FilterOp : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override { return adaptive_ ? "AdaptiveFilter" : "Filter"; }
   void Open() override;
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override { child_->Close(); }
+  uint64_t EstimatedRows() const override { return child_->EstimatedRows(); }
 
   // Current evaluation order (for tests/benches).
   std::vector<int> EvaluationOrder() const;
@@ -69,6 +107,7 @@ class FilterOp : public Operator {
   bool adaptive_;
   uint64_t input_rows_ = 0;
   uint64_t predicate_evals_ = 0;
+  RowBatch input_;  // persists across calls so rejected rows recycle
 };
 
 // Column projection (by child column index).
@@ -80,17 +119,58 @@ class ProjectOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "Project"; }
   void Open() override { child_->Open(); }
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override { child_->Close(); }
+  uint64_t EstimatedRows() const override { return child_->EstimatedRows(); }
 
  private:
   OperatorPtr child_;
   std::vector<int> columns_;
   Schema schema_;
+  bool distinct_columns_;  // safe to move values out of consumed input rows
+  RowBatch input_;
 };
 
-// Hash equi-join: builds on the right child, probes with the left. Output
-// schema = left columns ++ right columns.
+// Immutable build side of a hash equi-join, keyed by value hash with an
+// equality re-check at probe time. Built once, then shared read-only — the
+// morsel-parallel driver probes one table from every worker.
+struct JoinHashTable {
+  std::unordered_map<uint64_t, std::vector<Row>> buckets;
+  size_t build_rows = 0;
+  int key_column = -1;
+  Schema schema;  // build-side schema
+
+  void Insert(const Row& row);
+  // Drains `build` (Open/NextBatch*/Close) into a table keyed on
+  // `key_column`. Null keys never join and are dropped.
+  static std::shared_ptr<const JoinHashTable> Build(Operator* build,
+                                                    int key_column);
+};
+
+// Probes a shared JoinHashTable with the left child's rows. Output schema =
+// left columns ++ build columns.
+class HashProbeOp : public Operator {
+ public:
+  HashProbeOp(OperatorPtr left, std::shared_ptr<const JoinHashTable> table,
+              int left_key);
+
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "HashProbe"; }
+  void Open() override { left_->Open(); }
+  bool NextBatch(RowBatch* batch) override;
+  void Close() override { left_->Close(); }
+
+ private:
+  OperatorPtr left_;
+  std::shared_ptr<const JoinHashTable> table_;
+  int left_key_;
+  Schema schema_;
+  RowBatch input_;
+};
+
+// Hash equi-join: builds on the right child in Open(), probes with the
+// left. Output schema = left columns ++ right columns. Internally a
+// JoinHashTable build plus a HashProbeOp-style probe loop.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(OperatorPtr left, OperatorPtr right, int left_key, int right_key);
@@ -98,10 +178,12 @@ class HashJoinOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "HashJoin"; }
   void Open() override;
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override;
 
-  size_t build_rows() const { return build_size_; }
+  size_t build_rows() const {
+    return table_ == nullptr ? 0 : table_->build_rows;
+  }
 
  private:
   OperatorPtr left_;
@@ -109,11 +191,8 @@ class HashJoinOp : public Operator {
   int left_key_;
   int right_key_;
   Schema schema_;
-  std::unordered_map<uint64_t, std::vector<Row>> hash_table_;
-  size_t build_size_ = 0;
-  Row current_left_;
-  const std::vector<Row>* current_matches_ = nullptr;
-  size_t match_cursor_ = 0;
+  std::shared_ptr<const JoinHashTable> table_;
+  RowBatch input_;
 };
 
 // Index nested-loop join: for each left row, fetches matching right rows
@@ -130,7 +209,7 @@ class IndexedNLJoinOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "IndexedNLJoin"; }
   void Open() override;
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override { left_->Close(); }
 
   uint64_t index_probes() const { return index_probes_; }
@@ -140,23 +219,14 @@ class IndexedNLJoinOp : public Operator {
   int left_key_;
   LookupFn lookup_;
   Schema schema_;
-  Row current_left_;
-  std::vector<Row> current_matches_;
-  size_t match_cursor_ = 0;
   uint64_t index_probes_ = 0;
-};
-
-enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
-
-struct AggSpec {
-  AggFn fn = AggFn::kCount;
-  int column = -1;  // ignored for kCount
-  std::string output_name;
+  RowBatch input_;
 };
 
 // Hash group-by with the standard aggregate functions. Output schema =
 // group columns ++ aggregate outputs. Groups emitted in key order
-// (deterministic).
+// (deterministic). Accumulation runs through GroupByAggregator — the same
+// code the parallel executor uses for thread-local partials.
 class HashAggregateOp : public Operator {
  public:
   HashAggregateOp(OperatorPtr child, std::vector<int> group_columns,
@@ -165,30 +235,16 @@ class HashAggregateOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string name() const override { return "HashAggregate"; }
   void Open() override;
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override { child_->Close(); }
 
  private:
-  struct AggState {
-    double sum = 0;
-    int64_t count = 0;
-    model::Value min;
-    model::Value max;
-  };
-
   OperatorPtr child_;
   std::vector<int> group_columns_;
   std::vector<AggSpec> aggregates_;
   Schema schema_;
-  std::map<Row, std::vector<AggState>> groups_;  // Value has operator<
-  std::map<Row, std::vector<AggState>>::const_iterator emit_cursor_;
-  bool materialized_ = false;
-};
-
-// Full sort on (column, ascending) keys, applied in order.
-struct SortKey {
-  int column = 0;
-  bool ascending = true;
+  std::vector<Row> finalized_;
+  size_t cursor_ = 0;
 };
 
 class SortOp : public Operator {
@@ -198,8 +254,9 @@ class SortOp : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override { return "Sort"; }
   void Open() override;
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override { child_->Close(); }
+  uint64_t EstimatedRows() const override { return child_->EstimatedRows(); }
 
  private:
   OperatorPtr child_;
@@ -217,14 +274,17 @@ class TopKOp : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   std::string name() const override { return "TopK"; }
   void Open() override;
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override { child_->Close(); }
+  uint64_t EstimatedRows() const override {
+    const uint64_t child_rows = child_->EstimatedRows();
+    return child_rows == 0 ? k_ : std::min<uint64_t>(k_, child_rows);
+  }
 
  private:
   OperatorPtr child_;
   std::vector<SortKey> keys_;
   size_t k_;
-  std::vector<Row> heap_;
   std::vector<Row> sorted_;
   size_t cursor_ = 0;
 };
@@ -240,17 +300,18 @@ class LimitOp : public Operator {
     child_->Open();
     emitted_ = 0;
   }
-  bool Next(Row* row) override;
+  bool NextBatch(RowBatch* batch) override;
   void Close() override { child_->Close(); }
+  uint64_t EstimatedRows() const override {
+    const uint64_t child_rows = child_->EstimatedRows();
+    return child_rows == 0 ? limit_ : std::min<uint64_t>(limit_, child_rows);
+  }
 
  private:
   OperatorPtr child_;
   size_t limit_;
   size_t emitted_ = 0;
 };
-
-// Comparator used by SortOp/TopKOp (exposed for tests).
-bool RowLess(const Row& a, const Row& b, const std::vector<SortKey>& keys);
 
 }  // namespace impliance::exec
 

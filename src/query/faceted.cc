@@ -1,6 +1,9 @@
 #include "query/faceted.h"
 
 #include <algorithm>
+#include <functional>
+
+#include "exec/parallel.h"
 
 namespace impliance::query {
 
@@ -63,75 +66,108 @@ FacetedResult FacetedSearch::Run(const FacetedQuery& query) const {
     }
   }
 
+  // 5/5b/6. Facet counts, range buckets, and aggregates are independent
+  // read-only scans over the (now immutable) candidate set; fan them out
+  // with at most dop_ in flight, each writing its own slot, then fold the
+  // slots into the result maps serially.
+  std::vector<std::vector<index::FacetIndex::FacetCount>> facet_slots(
+      query.facet_paths.size());
+  std::vector<std::vector<FacetedResult::RangeBucket>> range_slots(
+      query.range_facets.size());
+  std::vector<double> aggregate_slots(query.aggregates.size());
+  std::vector<std::function<void()>> tasks;
+
   // 5. Facet counts over the full matching set (not just top-k).
-  for (const std::string& path : query.facet_paths) {
-    result.facets[path] = facets_->CountFacet(path, candidates, 20);
+  for (size_t i = 0; i < query.facet_paths.size(); ++i) {
+    tasks.push_back([this, &query, &candidates, &facet_slots, i] {
+      facet_slots[i] = facets_->CountFacet(query.facet_paths[i], candidates, 20);
+    });
   }
 
   // 5b. Numeric range facets: bucketize each candidate's value at the
   // path via one ordered scan of the value index.
-  for (const FacetedQuery::RangeFacet& range : query.range_facets) {
-    if (range.boundaries.empty()) continue;
-    std::vector<FacetedResult::RangeBucket> buckets(range.boundaries.size() +
-                                                    1);
-    buckets.front().open_below = true;
-    buckets.front().upper = range.boundaries.front();
-    for (size_t i = 1; i < range.boundaries.size(); ++i) {
-      buckets[i].lower = range.boundaries[i - 1];
-      buckets[i].upper = range.boundaries[i];
-    }
-    buckets.back().lower = range.boundaries.back();
-    buckets.back().open_above = true;
-    values_->Scan(range.path,
-                  [&](const model::Value& value, model::DocId doc) {
-                    if (!std::binary_search(candidates.begin(),
-                                            candidates.end(), doc)) {
+  for (size_t i = 0; i < query.range_facets.size(); ++i) {
+    tasks.push_back([this, &query, &candidates, &range_slots, i] {
+      const FacetedQuery::RangeFacet& range = query.range_facets[i];
+      if (range.boundaries.empty()) return;
+      std::vector<FacetedResult::RangeBucket> buckets(range.boundaries.size() +
+                                                      1);
+      buckets.front().open_below = true;
+      buckets.front().upper = range.boundaries.front();
+      for (size_t b = 1; b < range.boundaries.size(); ++b) {
+        buckets[b].lower = range.boundaries[b - 1];
+        buckets[b].upper = range.boundaries[b];
+      }
+      buckets.back().lower = range.boundaries.back();
+      buckets.back().open_above = true;
+      values_->Scan(range.path,
+                    [&](const model::Value& value, model::DocId doc) {
+                      if (!std::binary_search(candidates.begin(),
+                                              candidates.end(), doc)) {
+                        return true;
+                      }
+                      const double v = value.AsDouble();
+                      size_t bucket = 0;
+                      while (bucket < range.boundaries.size() &&
+                             v >= range.boundaries[bucket]) {
+                        ++bucket;
+                      }
+                      ++buckets[bucket].count;
                       return true;
-                    }
-                    const double v = value.AsDouble();
-                    size_t bucket = 0;
-                    while (bucket < range.boundaries.size() &&
-                           v >= range.boundaries[bucket]) {
-                      ++bucket;
-                    }
-                    ++buckets[bucket].count;
-                    return true;
-                  });
-    result.range_facet_buckets[range.path] = std::move(buckets);
+                    });
+      range_slots[i] = std::move(buckets);
+    });
   }
 
   // 6. Aggregates over the matching set via the value index.
-  for (const auto& [path, fn] : query.aggregates) {
-    double sum = 0, min = 0, max = 0;
-    size_t count = 0;
-    values_->Scan(path, [&](const model::Value& value, model::DocId doc) {
-      if (!std::binary_search(candidates.begin(), candidates.end(), doc)) {
+  for (size_t i = 0; i < query.aggregates.size(); ++i) {
+    tasks.push_back([this, &query, &candidates, &aggregate_slots, i] {
+      const auto& [path, fn] = query.aggregates[i];
+      double sum = 0, min = 0, max = 0;
+      size_t count = 0;
+      values_->Scan(path, [&](const model::Value& value, model::DocId doc) {
+        if (!std::binary_search(candidates.begin(), candidates.end(), doc)) {
+          return true;
+        }
+        const double v = value.AsDouble();
+        if (count == 0) {
+          min = v;
+          max = v;
+        } else {
+          min = std::min(min, v);
+          max = std::max(max, v);
+        }
+        sum += v;
+        ++count;
         return true;
-      }
-      const double v = value.AsDouble();
-      if (count == 0) {
-        min = v;
-        max = v;
+      });
+      if (fn == "sum") {
+        aggregate_slots[i] = sum;
+      } else if (fn == "avg") {
+        aggregate_slots[i] = count == 0 ? 0.0 : sum / count;
+      } else if (fn == "min") {
+        aggregate_slots[i] = min;
+      } else if (fn == "max") {
+        aggregate_slots[i] = max;
       } else {
-        min = std::min(min, v);
-        max = std::max(max, v);
+        aggregate_slots[i] = static_cast<double>(count);
       }
-      sum += v;
-      ++count;
-      return true;
     });
-    const std::string label = fn + "(" + path + ")";
-    if (fn == "sum") {
-      result.aggregate_values[label] = sum;
-    } else if (fn == "avg") {
-      result.aggregate_values[label] = count == 0 ? 0.0 : sum / count;
-    } else if (fn == "min") {
-      result.aggregate_values[label] = min;
-    } else if (fn == "max") {
-      result.aggregate_values[label] = max;
-    } else {
-      result.aggregate_values[label] = static_cast<double>(count);
-    }
+  }
+
+  exec::ParallelExecutor::Shared().RunTasks(std::move(tasks), dop_);
+
+  for (size_t i = 0; i < query.facet_paths.size(); ++i) {
+    result.facets[query.facet_paths[i]] = std::move(facet_slots[i]);
+  }
+  for (size_t i = 0; i < query.range_facets.size(); ++i) {
+    if (query.range_facets[i].boundaries.empty()) continue;
+    result.range_facet_buckets[query.range_facets[i].path] =
+        std::move(range_slots[i]);
+  }
+  for (size_t i = 0; i < query.aggregates.size(); ++i) {
+    const auto& [path, fn] = query.aggregates[i];
+    result.aggregate_values[fn + "(" + path + ")"] = aggregate_slots[i];
   }
   return result;
 }

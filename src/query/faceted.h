@@ -67,6 +67,11 @@ class FacetedSearch {
                 const index::ValueIndex* values)
       : inverted_(inverted), paths_(paths), facets_(facets), values_(values) {}
 
+  // Facet counts, range buckets, and aggregates are independent read-only
+  // scans; with dop > 1 they fan out on the shared morsel-executor pool
+  // (at most `dop` in flight). Results are identical at any dop.
+  void set_parallelism(size_t dop) { dop_ = dop; }
+
   FacetedResult Run(const FacetedQuery& query) const;
 
  private:
@@ -74,6 +79,7 @@ class FacetedSearch {
   const index::PathIndex* paths_;
   const index::FacetIndex* facets_;
   const index::ValueIndex* values_;
+  size_t dop_ = 1;
 };
 
 }  // namespace impliance::query

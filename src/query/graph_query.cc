@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "exec/parallel.h"
+
 namespace impliance::query {
 
 std::optional<GraphQuery::Connection> GraphQuery::HowConnected(
@@ -40,7 +42,31 @@ std::string GraphQuery::ExplainConnection(model::DocId from,
 
 std::vector<model::DocId> GraphQuery::RelatedWithin(model::DocId seed,
                                                     size_t depth) const {
-  return join_index_->TransitiveClosure(seed, depth);
+  if (dop_ <= 1) return join_index_->TransitiveClosure(seed, depth);
+  // Level-synchronous BFS: every node in the current frontier expands
+  // concurrently into its own slot, then the slots fold into the visited
+  // set serially. Same closure as TransitiveClosure at any dop.
+  std::set<model::DocId> visited{seed};
+  std::vector<model::DocId> frontier{seed};
+  for (size_t level = 0; level < depth && !frontier.empty(); ++level) {
+    std::vector<std::vector<model::DocId>> slots(frontier.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(frontier.size());
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      tasks.push_back([this, &frontier, &slots, i] {
+        slots[i] = join_index_->Neighbors(frontier[i]);
+      });
+    }
+    exec::ParallelExecutor::Shared().RunTasks(std::move(tasks), dop_);
+    std::vector<model::DocId> next;
+    for (const std::vector<model::DocId>& slot : slots) {
+      for (model::DocId neighbor : slot) {
+        if (visited.insert(neighbor).second) next.push_back(neighbor);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::vector<model::DocId>(visited.begin(), visited.end());
 }
 
 std::vector<model::DocId> GraphQuery::RelatedBy(

@@ -40,9 +40,14 @@ class GraphQuery {
                                 const Connection& connection) const;
 
   // Everything within `depth` hops of `seed` (the e-discovery primitive:
-  // transitive closure of relationships, Section 2.1.3).
+  // transitive closure of relationships, Section 2.1.3). With parallelism
+  // set, expands each BFS level's frontier fan-out on the shared executor;
+  // the visited set (and the returned ascending order) is identical.
   std::vector<model::DocId> RelatedWithin(model::DocId seed,
                                           size_t depth) const;
+
+  // Max concurrent frontier expansions for RelatedWithin (default serial).
+  void set_parallelism(size_t dop) { dop_ = dop; }
 
   // Direct neighbors through a specific relation, either direction.
   std::vector<model::DocId> RelatedBy(model::DocId doc,
@@ -53,6 +58,7 @@ class GraphQuery {
 
   const index::JoinIndex* join_index_;
   LabelFn label_fn_;
+  size_t dop_ = 1;
 };
 
 }  // namespace impliance::query

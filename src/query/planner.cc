@@ -115,19 +115,43 @@ struct PlanContext {
   std::vector<std::string> explain_lines;
 };
 
-// Builds everything above the join: residual filter, aggregate, project,
-// order/limit. Shared by both planners; `adaptive_filter` is the one knob
-// that differs (besides access path / join choice made by the caller).
-Result<exec::OperatorPtr> BuildUpperPlan(PlanContext* ctx,
-                                         exec::OperatorPtr plan,
-                                         std::set<int> consumed_predicates,
-                                         std::vector<int> filter_order,
-                                         bool adaptive_filter) {
+// Everything above the access path / join, fully resolved against schemas
+// but not yet bound to operators. One resolution feeds both the serial
+// operator tree and the morsel-parallel segment, so the two paths cannot
+// drift semantically.
+struct UpperPlanSpec {
+  std::vector<exec::Predicate> predicates;  // residual, in evaluation order
+  bool adaptive_filter = false;
+
+  bool has_aggregate = false;
+  std::vector<int> group_columns;
+  std::vector<exec::AggSpec> aggregates;
+
+  // Projection onto the select list: after the aggregate when present,
+  // directly on the join/filter output otherwise. false => SELECT *.
+  bool project = false;
+  std::vector<int> project_columns;
+  std::vector<std::string> project_names;
+
+  // Resolved against the final (projected) schema.
+  std::vector<exec::SortKey> sort_keys;
+  std::optional<size_t> limit;
+};
+
+// Resolves residual filter, aggregate, projection, and order/limit. Shared
+// by both planners; `adaptive_filter` is the one knob that differs (besides
+// access path / join choice made by the caller).
+Result<UpperPlanSpec> ResolveUpper(PlanContext* ctx,
+                                   const std::set<int>& consumed_predicates,
+                                   const std::vector<int>& filter_order,
+                                   bool adaptive_filter) {
   const SelectStatement& stmt = ctx->stmt;
   NameResolver resolver(ctx->left_table, ctx->right_table);
+  UpperPlanSpec spec;
+  spec.adaptive_filter = adaptive_filter;
+  spec.limit = stmt.limit;
 
   // Residual predicates.
-  std::vector<exec::Predicate> predicates;
   for (int index : filter_order) {
     if (consumed_predicates.count(index)) continue;
     const WhereClause& clause = stmt.where[index];
@@ -136,57 +160,51 @@ Result<exec::OperatorPtr> BuildUpperPlan(PlanContext* ctx,
       return Status::InvalidArgument("unknown column in WHERE: " +
                                      clause.column);
     }
-    predicates.push_back(exec::Predicate{column, clause.op, clause.literal});
+    spec.predicates.push_back(
+        exec::Predicate{column, clause.op, clause.literal});
   }
-  if (!predicates.empty()) {
-    ctx->explain_lines.push_back(
-        std::string(adaptive_filter ? "AdaptiveFilter" : "Filter") + "(" +
-        std::to_string(predicates.size()) + " predicates)");
-    plan = std::make_unique<exec::FilterOp>(std::move(plan),
-                                            std::move(predicates),
-                                            adaptive_filter);
+
+  // The combined (post-join) input schema.
+  exec::Schema input_schema;
+  for (size_t i = 0; i < resolver.size(); ++i) {
+    input_schema.AddColumn(resolver.NameAt(static_cast<int>(i)));
   }
 
   // Aggregation.
-  const bool has_aggregate =
+  spec.has_aggregate =
       !stmt.group_by.empty() ||
       std::any_of(stmt.items.begin(), stmt.items.end(),
                   [](const SelectItem& item) {
                     return item.kind == SelectItem::Kind::kAggregate;
                   });
-  if (has_aggregate) {
-    std::vector<int> group_columns;
+  exec::Schema pre_order_schema;  // schema ORDER BY resolves against
+  if (spec.has_aggregate) {
     for (const std::string& column : stmt.group_by) {
       const int index = resolver.Resolve(column);
       if (index < 0) {
         return Status::InvalidArgument("unknown GROUP BY column: " + column);
       }
-      group_columns.push_back(index);
+      spec.group_columns.push_back(index);
     }
-    std::vector<exec::AggSpec> aggregates;
     for (const SelectItem& item : stmt.items) {
       if (item.kind != SelectItem::Kind::kAggregate) continue;
-      exec::AggSpec spec;
-      spec.fn = item.agg_fn;
-      spec.output_name = item.alias;
+      exec::AggSpec agg;
+      agg.fn = item.agg_fn;
+      agg.output_name = item.alias;
       if (!item.column.empty()) {
-        spec.column = resolver.Resolve(item.column);
-        if (spec.column < 0) {
+        agg.column = resolver.Resolve(item.column);
+        if (agg.column < 0) {
           return Status::InvalidArgument("unknown aggregate column: " +
                                          item.column);
         }
       }
-      aggregates.push_back(std::move(spec));
+      spec.aggregates.push_back(std::move(agg));
     }
-    ctx->explain_lines.push_back(
-        "HashAggregate(groups=" + std::to_string(group_columns.size()) +
-        ", aggs=" + std::to_string(aggregates.size()) + ")");
-    plan = std::make_unique<exec::HashAggregateOp>(
-        std::move(plan), std::move(group_columns), std::move(aggregates));
+    const exec::Schema agg_schema = exec::GroupByAggregator::OutputSchema(
+        input_schema, spec.group_columns, spec.aggregates);
 
     // Project the select list onto the aggregate's output order.
-    std::vector<int> columns;
-    std::vector<std::string> names;
+    spec.project = true;
     for (const SelectItem& item : stmt.items) {
       std::string wanted;
       if (item.kind == SelectItem::Kind::kAggregate) {
@@ -199,73 +217,105 @@ Result<exec::OperatorPtr> BuildUpperPlan(PlanContext* ctx,
       } else {
         return Status::InvalidArgument("SELECT * with aggregation");
       }
-      const int index = plan->schema().IndexOf(wanted);
+      const int index = agg_schema.IndexOf(wanted);
       if (index < 0) {
         return Status::InvalidArgument(
             "SELECT column not in GROUP BY or aggregates: " + wanted);
       }
-      columns.push_back(index);
-      names.push_back(item.alias.empty() ? wanted : item.alias);
+      spec.project_columns.push_back(index);
+      spec.project_names.push_back(item.alias.empty() ? wanted : item.alias);
     }
-    plan = std::make_unique<exec::ProjectOp>(std::move(plan),
-                                             std::move(columns),
-                                             std::move(names));
+    pre_order_schema = exec::Schema(spec.project_names);
   } else {
     // Plain projection (unless SELECT *).
     const bool star = stmt.items.size() == 1 &&
                       stmt.items[0].kind == SelectItem::Kind::kStar;
     if (!star) {
-      std::vector<int> columns;
-      std::vector<std::string> names;
+      spec.project = true;
       for (const SelectItem& item : stmt.items) {
         const int index = resolver.Resolve(item.column);
         if (index < 0) {
           return Status::InvalidArgument("unknown SELECT column: " +
                                          item.column);
         }
-        columns.push_back(index);
-        names.push_back(item.alias.empty() ? resolver.NameAt(index)
-                                           : item.alias);
+        spec.project_columns.push_back(index);
+        spec.project_names.push_back(
+            item.alias.empty() ? resolver.NameAt(index) : item.alias);
       }
-      plan = std::make_unique<exec::ProjectOp>(std::move(plan),
-                                               std::move(columns),
-                                               std::move(names));
+      pre_order_schema = exec::Schema(spec.project_names);
+    } else {
+      pre_order_schema = input_schema;
     }
   }
 
-  // ORDER BY (against the current output schema) + LIMIT.
-  if (!stmt.order_by.empty()) {
-    std::vector<exec::SortKey> keys;
-    for (const OrderItem& item : stmt.order_by) {
-      int index = plan->schema().IndexOf(item.column);
-      if (index < 0) {
-        // Allow bare-name match against qualified select items.
-        std::string bare = item.column;
-        size_t dot = bare.rfind('.');
-        if (dot != std::string::npos) {
-          index = plan->schema().IndexOf(bare.substr(dot + 1));
-        }
+  // ORDER BY against the final output schema.
+  for (const OrderItem& item : stmt.order_by) {
+    int index = pre_order_schema.IndexOf(item.column);
+    if (index < 0) {
+      // Allow bare-name match against qualified select items.
+      std::string bare = item.column;
+      size_t dot = bare.rfind('.');
+      if (dot != std::string::npos) {
+        index = pre_order_schema.IndexOf(bare.substr(dot + 1));
       }
-      if (index < 0) {
-        return Status::InvalidArgument("unknown ORDER BY column: " +
-                                       item.column);
-      }
-      keys.push_back(exec::SortKey{index, item.ascending});
     }
-    if (stmt.limit.has_value()) {
-      ctx->explain_lines.push_back("TopK(k=" + std::to_string(*stmt.limit) +
+    if (index < 0) {
+      return Status::InvalidArgument("unknown ORDER BY column: " +
+                                     item.column);
+    }
+    spec.sort_keys.push_back(exec::SortKey{index, item.ascending});
+  }
+  return spec;
+}
+
+// Stacks the resolved upper plan onto `plan` as serial batched operators.
+exec::OperatorPtr BuildSerialUpper(PlanContext* ctx, const UpperPlanSpec& spec,
+                                   exec::OperatorPtr plan) {
+  if (!spec.predicates.empty()) {
+    ctx->explain_lines.push_back(
+        std::string(spec.adaptive_filter ? "AdaptiveFilter" : "Filter") + "(" +
+        std::to_string(spec.predicates.size()) + " predicates)");
+    plan = std::make_unique<exec::FilterOp>(std::move(plan), spec.predicates,
+                                            spec.adaptive_filter);
+  }
+  if (spec.has_aggregate) {
+    ctx->explain_lines.push_back(
+        "HashAggregate(groups=" + std::to_string(spec.group_columns.size()) +
+        ", aggs=" + std::to_string(spec.aggregates.size()) + ")");
+    plan = std::make_unique<exec::HashAggregateOp>(
+        std::move(plan), spec.group_columns, spec.aggregates);
+  }
+  if (spec.project) {
+    plan = std::make_unique<exec::ProjectOp>(
+        std::move(plan), spec.project_columns, spec.project_names);
+  }
+  if (!spec.sort_keys.empty()) {
+    if (spec.limit.has_value()) {
+      ctx->explain_lines.push_back("TopK(k=" + std::to_string(*spec.limit) +
                                    ")");
-      plan = std::make_unique<exec::TopKOp>(std::move(plan), std::move(keys),
-                                            *stmt.limit);
+      plan = std::make_unique<exec::TopKOp>(std::move(plan), spec.sort_keys,
+                                            *spec.limit);
     } else {
       ctx->explain_lines.push_back("Sort");
-      plan = std::make_unique<exec::SortOp>(std::move(plan), std::move(keys));
+      plan = std::make_unique<exec::SortOp>(std::move(plan), spec.sort_keys);
     }
-  } else if (stmt.limit.has_value()) {
-    ctx->explain_lines.push_back("Limit(" + std::to_string(*stmt.limit) + ")");
-    plan = std::make_unique<exec::LimitOp>(std::move(plan), *stmt.limit);
+  } else if (spec.limit.has_value()) {
+    ctx->explain_lines.push_back("Limit(" + std::to_string(*spec.limit) + ")");
+    plan = std::make_unique<exec::LimitOp>(std::move(plan), *spec.limit);
   }
   return plan;
+}
+
+// Compatibility shim over ResolveUpper + BuildSerialUpper.
+Result<exec::OperatorPtr> BuildUpperPlan(PlanContext* ctx,
+                                         exec::OperatorPtr plan,
+                                         std::set<int> consumed_predicates,
+                                         std::vector<int> filter_order,
+                                         bool adaptive_filter) {
+  IMPLIANCE_ASSIGN_OR_RETURN(
+      UpperPlanSpec spec,
+      ResolveUpper(ctx, consumed_predicates, filter_order, adaptive_filter));
+  return BuildSerialUpper(ctx, spec, std::move(plan));
 }
 
 std::string RenderExplain(const std::vector<std::string>& lines) {
@@ -384,6 +434,154 @@ Result<PlanResult> SimplePlanner::Plan(const SelectStatement& stmt,
   return PlanResult{std::move(plan), RenderExplain(ctx.explain_lines)};
 }
 
+Result<std::optional<ParallelPlan>> SimplePlanner::PlanParallel(
+    const SelectStatement& stmt, const Catalog& catalog) {
+  const Table* left = catalog.Lookup(stmt.table);
+  if (left == nullptr) {
+    return Status::NotFound("unknown table: " + stmt.table);
+  }
+  const Table* right = nullptr;
+  std::optional<ResolvedJoin> join;
+  if (stmt.join.has_value()) {
+    right = catalog.Lookup(stmt.join->table);
+    if (right == nullptr) {
+      return Status::NotFound("unknown table: " + stmt.join->table);
+    }
+    IMPLIANCE_ASSIGN_OR_RETURN(ResolvedJoin resolved,
+                               ResolveJoin(left, right, *stmt.join));
+    // The top-k indexed-NL-join rule stays serial: its benefit is streaming
+    // the first rows, and index lookups are not guaranteed thread-safe.
+    if (stmt.limit.has_value() && right->HasIndexOn(resolved.right_key)) {
+      return std::optional<ParallelPlan>();
+    }
+    join = resolved;
+  }
+
+  PlanContext ctx{stmt, left, right, {}};
+
+  // Same access-path rule as the serial plan.
+  int chosen = -1;
+  for (size_t i = 0; i < stmt.where.size() && chosen < 0; ++i) {
+    const int column = ResolveInTable(left, stmt.where[i].column);
+    if (column >= 0 && stmt.where[i].op == exec::CompareOp::kEq &&
+        left->HasIndexOn(column)) {
+      chosen = static_cast<int>(i);
+    }
+  }
+  for (size_t i = 0; i < stmt.where.size() && chosen < 0; ++i) {
+    const int column = ResolveInTable(left, stmt.where[i].column);
+    if (column >= 0 && IsRangeOp(stmt.where[i].op) && left->HasIndexOn(column)) {
+      chosen = static_cast<int>(i);
+    }
+  }
+  AccessPath access = AccessViaIndex(left, stmt, chosen);
+  ctx.explain_lines.push_back(access.description);
+
+  std::set<int> consumed;
+  if (access.consumed_predicate >= 0) consumed.insert(access.consumed_predicate);
+  std::vector<int> order;
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    order.push_back(static_cast<int>(i));
+  }
+  IMPLIANCE_ASSIGN_OR_RETURN(
+      UpperPlanSpec spec,
+      ResolveUpper(&ctx, consumed, order, /*adaptive_filter=*/true));
+
+  // Shared build side: constructed once here, probed from every worker.
+  std::shared_ptr<const exec::JoinHashTable> table;
+  int probe_key = -1;
+  if (join.has_value()) {
+    exec::RowSourceOp build(right->schema(), right->ScanAll());
+    table = exec::JoinHashTable::Build(&build, join->right_key);
+    probe_key = join->left_key;
+    ctx.explain_lines.push_back("HashProbe(build=" + right->table_name() +
+                                ", shared)");
+  }
+  if (!spec.predicates.empty()) {
+    ctx.explain_lines.push_back(
+        "AdaptiveFilter(" + std::to_string(spec.predicates.size()) +
+        " predicates, per-morsel)");
+  }
+
+  ParallelPlan parallel;
+  parallel.segment.source_schema = left->schema();
+  parallel.segment.source_rows =
+      std::make_shared<std::vector<exec::Row>>(std::move(access.rows));
+
+  // Pipeline stacked on each morsel: probe -> filter -> (project when the
+  // aggregate does not reshape the rows anyway).
+  const bool project_in_pipeline = !spec.has_aggregate && spec.project;
+  parallel.segment.make_pipeline =
+      [table, probe_key, predicates = spec.predicates,
+       project_in_pipeline, columns = spec.project_columns,
+       names = spec.project_names](exec::OperatorPtr source) {
+        exec::OperatorPtr op = std::move(source);
+        if (table != nullptr) {
+          op = std::make_unique<exec::HashProbeOp>(std::move(op), table,
+                                                   probe_key);
+        }
+        if (!predicates.empty()) {
+          op = std::make_unique<exec::FilterOp>(std::move(op), predicates,
+                                                /*adaptive=*/true);
+        }
+        if (project_in_pipeline) {
+          op = std::make_unique<exec::ProjectOp>(std::move(op), columns, names);
+        }
+        return op;
+      };
+
+  // Sink + serial tail over the merged segment output.
+  if (spec.has_aggregate) {
+    parallel.segment.sink = exec::MorselPlan::Sink::kAggregate;
+    parallel.segment.group_columns = spec.group_columns;
+    parallel.segment.aggregates = spec.aggregates;
+    ctx.explain_lines.push_back(
+        "PartialAggregate(groups=" + std::to_string(spec.group_columns.size()) +
+        ", aggs=" + std::to_string(spec.aggregates.size()) + ") => Merge");
+    // Post-aggregate select-list projection, then order/limit, run serially
+    // on the merged groups.
+    parallel.tail = [spec](exec::OperatorPtr source) {
+      exec::OperatorPtr op = std::make_unique<exec::ProjectOp>(
+          std::move(source), spec.project_columns, spec.project_names);
+      if (!spec.sort_keys.empty()) {
+        if (spec.limit.has_value()) {
+          op = std::make_unique<exec::TopKOp>(std::move(op), spec.sort_keys,
+                                              *spec.limit);
+        } else {
+          op = std::make_unique<exec::SortOp>(std::move(op), spec.sort_keys);
+        }
+      } else if (spec.limit.has_value()) {
+        op = std::make_unique<exec::LimitOp>(std::move(op), *spec.limit);
+      }
+      return op;
+    };
+  } else if (!spec.sort_keys.empty() && spec.limit.has_value()) {
+    parallel.segment.sink = exec::MorselPlan::Sink::kTopK;
+    parallel.segment.sort_keys = spec.sort_keys;
+    parallel.segment.top_k = *spec.limit;
+    ctx.explain_lines.push_back(
+        "PartialTopK(k=" + std::to_string(*spec.limit) + ") => Merge");
+  } else {
+    parallel.segment.sink = exec::MorselPlan::Sink::kCollect;
+    ctx.explain_lines.push_back("Collect(morsel order)");
+    if (!spec.sort_keys.empty()) {
+      ctx.explain_lines.push_back("Sort");
+      parallel.tail = [keys = spec.sort_keys](exec::OperatorPtr source) {
+        return std::make_unique<exec::SortOp>(std::move(source), keys);
+      };
+    } else if (spec.limit.has_value()) {
+      ctx.explain_lines.push_back("Limit(" + std::to_string(*spec.limit) + ")");
+      parallel.tail = [limit = *spec.limit](exec::OperatorPtr source) {
+        return std::make_unique<exec::LimitOp>(std::move(source), limit);
+      };
+    }
+  }
+
+  parallel.explain =
+      "ParallelMorsels\n" + RenderExplain(ctx.explain_lines);
+  return std::optional<ParallelPlan>(std::move(parallel));
+}
+
 // -------------------------------------------------------- CostBasedPlanner
 
 double CostBasedPlanner::EstimateSelectivity(const std::string& table,
@@ -500,9 +698,22 @@ Result<PlanResult> CostBasedPlanner::Plan(const SelectStatement& stmt,
 }
 
 Result<std::vector<exec::Row>> RunSql(std::string_view sql,
-                                      const Catalog& catalog,
-                                      Planner* planner) {
+                                      const Catalog& catalog, Planner* planner,
+                                      const exec::ExecOptions& options) {
   IMPLIANCE_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  if (options.dop > 1) {
+    IMPLIANCE_ASSIGN_OR_RETURN(std::optional<ParallelPlan> parallel,
+                               planner->PlanParallel(stmt, catalog));
+    if (parallel.has_value()) {
+      std::vector<exec::Row> merged =
+          exec::ParallelExecutor::Shared().Run(parallel->segment, options);
+      if (!parallel->tail) return merged;
+      auto source = std::make_unique<exec::RowSourceOp>(
+          parallel->segment.OutputSchema(), std::move(merged));
+      exec::OperatorPtr tail = parallel->tail(std::move(source));
+      return exec::Execute(tail.get());
+    }
+  }
   IMPLIANCE_ASSIGN_OR_RETURN(PlanResult plan, planner->Plan(stmt, catalog));
   return exec::Execute(plan.root.get());
 }

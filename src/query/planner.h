@@ -1,12 +1,15 @@
 #ifndef IMPLIANCE_QUERY_PLANNER_H_
 #define IMPLIANCE_QUERY_PLANNER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
 #include "exec/operator.h"
+#include "exec/parallel.h"
 #include "query/ast.h"
 #include "query/table.h"
 
@@ -18,11 +21,30 @@ struct PlanResult {
   std::string explain;
 };
 
+// A query compiled for morsel-driven parallel execution: the scan / probe /
+// filter / partial-aggregate segment runs data-parallel over morsels of the
+// base table; `tail` (may be null) is the serial remainder stacked on the
+// merged segment output (post-aggregate projection, final sort, limit).
+struct ParallelPlan {
+  exec::MorselPlan segment;
+  std::function<exec::OperatorPtr(exec::OperatorPtr)> tail;
+  std::string explain;
+};
+
 class Planner {
  public:
   virtual ~Planner() = default;
   virtual Result<PlanResult> Plan(const SelectStatement& stmt,
                                   const Catalog& catalog) = 0;
+
+  // Morsel-parallel compilation; nullopt when the statement's shape (or the
+  // planner) requires the serial operator tree. Default: always serial.
+  virtual Result<std::optional<ParallelPlan>> PlanParallel(
+      const SelectStatement& stmt, const Catalog& catalog) {
+    (void)stmt;
+    (void)catalog;
+    return std::optional<ParallelPlan>();
+  }
 };
 
 // The paper's planner (Section 3.3): "a simple planner that allows only a
@@ -38,6 +60,12 @@ class SimplePlanner : public Planner {
  public:
   Result<PlanResult> Plan(const SelectStatement& stmt,
                           const Catalog& catalog) override;
+
+  // Parallel variant of the same rules. Returns nullopt for shapes the
+  // morsel driver does not cover (the indexed-NL-join top-k rule, whose
+  // benefit is streaming the first rows, stays serial).
+  Result<std::optional<ParallelPlan>> PlanParallel(
+      const SelectStatement& stmt, const Catalog& catalog) override;
 };
 
 // Conventional cost-based comparator for experiment E2. Decisions use
@@ -65,10 +93,13 @@ class CostBasedPlanner : public Planner {
   std::map<std::string, TableStats> stats_;
 };
 
-// Parses and plans `sql`, executes the plan, and returns the rows.
+// Parses and plans `sql`, executes the plan, and returns the rows. With
+// options.dop > 1 the planner's PlanParallel shape (when available) runs on
+// the shared morsel executor; result rows are identical to the serial plan
+// (collects preserve source order, aggregates emit in key order).
 Result<std::vector<exec::Row>> RunSql(std::string_view sql,
-                                      const Catalog& catalog,
-                                      Planner* planner);
+                                      const Catalog& catalog, Planner* planner,
+                                      const exec::ExecOptions& options = {});
 
 }  // namespace impliance::query
 

@@ -375,5 +375,27 @@ TEST(ClusterTest, ScaleOutSpreadsOwnershipEvenly) {
   }
 }
 
+TEST(SchedulerDopTest, FullParallelismWhenIdle) {
+  Scheduler scheduler;
+  Scheduler::LoadSnapshot idle;
+  EXPECT_EQ(scheduler.ChooseDop(8, idle), 8u);
+  EXPECT_EQ(scheduler.ChooseDop(1, idle), 1u);
+  EXPECT_EQ(scheduler.ChooseDop(0, idle), 1u);
+}
+
+TEST(SchedulerDopTest, GridLoadSqueezesDopToSerial) {
+  Scheduler scheduler;
+  Scheduler::LoadSnapshot load;
+  // Within the busy margin: still full DOP.
+  load.grid_queue_depth = 2.0;
+  EXPECT_EQ(scheduler.ChooseDop(8, load), 8u);
+  // One worker's worth of queued work past the margin costs one DOP.
+  load.grid_queue_depth = 5.0;
+  EXPECT_EQ(scheduler.ChooseDop(8, load), 5u);
+  // Saturated grid: intra-query parallelism yields entirely.
+  load.grid_queue_depth = 100.0;
+  EXPECT_EQ(scheduler.ChooseDop(8, load), 1u);
+}
+
 }  // namespace
 }  // namespace impliance::cluster

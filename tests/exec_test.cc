@@ -331,5 +331,35 @@ TEST(PipelineTest, ComposedOperatorsProduceExpectedResult) {
   EXPECT_EQ(rows[0][1].int_value(), 2);
 }
 
+// ----------------------------------------------------------------- Schema
+
+TEST(SchemaTest, IndexOfResolvesByNameMap) {
+  Schema schema{{"id", "city", "score"}};
+  EXPECT_EQ(schema.IndexOf("id"), 0);
+  EXPECT_EQ(schema.IndexOf("score"), 2);
+  EXPECT_EQ(schema.IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, DuplicateNamesResolveToFirstOccurrence) {
+  // Join output schemas may carry the same column name on both sides.
+  Schema schema{{"k", "v", "k"}};
+  EXPECT_EQ(schema.IndexOf("k"), 0);
+  EXPECT_EQ(schema.IndexOf("v"), 1);
+}
+
+TEST(SchemaTest, AddColumnAndDirectMutationStayConsistent) {
+  Schema schema;
+  schema.AddColumn("a");
+  schema.AddColumn("b");
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  // Direct writes to `columns` leave the map stale; IndexOf must still be
+  // correct (linear fallback) and Reindex() restores the fast path.
+  schema.columns.push_back("c");
+  EXPECT_EQ(schema.IndexOf("c"), 2);
+  schema.Reindex();
+  EXPECT_EQ(schema.IndexOf("c"), 2);
+  EXPECT_EQ(schema.IndexOf("a"), 0);
+}
+
 }  // namespace
 }  // namespace impliance::exec
