@@ -1,0 +1,195 @@
+// Availability vs failure rate under seeded fault injection. Sweeps the
+// per-submit crash probability ("node.submit.crash") at replication 1 and
+// 2, runs a stream of keyword-search + filter-aggregate queries against a
+// SimulatedCluster while an operator repair loop (DetectFailures /
+// RecoverNode / ReReplicate) runs every few rounds, and reports:
+//
+//   available   fraction of queries answered complete (not degraded)
+//   degraded    fraction explicitly degraded (honest partial answers)
+//   silent      complete-flagged answers that were in fact partial — the
+//               bug class this PR fixes; must be 0 at every rate
+//   failovers   partition tasks re-routed to a surviving replica holder
+//
+// Emits the same numbers as JSON (--json PATH) so CI can archive them per
+// commit. Deterministic for a fixed --seed.
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "cluster/node.h"
+#include "common/fault_injector.h"
+#include "model/document.h"
+
+using namespace impliance;
+using bench::Fmt;
+using bench::FmtInt;
+using cluster::ShipStats;
+using cluster::SimulatedCluster;
+using model::Value;
+
+namespace {
+
+constexpr int kDocs = 120;
+constexpr int kRounds = 80;
+constexpr int kRepairEvery = 8;
+
+model::Document Order(int i) {
+  return model::MakeRecordDocument(
+      "order",
+      {{"city", Value::String("c" + std::to_string(i % 4))},
+       {"total", Value::Double(static_cast<double>(i))},
+       {"note", Value::String("order shipment number " + std::to_string(i))}});
+}
+
+struct SweepRow {
+  double crash_p = 0;
+  size_t replication = 0;
+  size_t complete = 0;
+  size_t degraded = 0;
+  size_t silent = 0;  // claimed complete but returned fewer hits
+  uint64_t failovers = 0;
+  uint64_t crashes = 0;
+  double avg_missing = 0;
+};
+
+SweepRow RunSweep(uint64_t seed, double crash_p, size_t replication) {
+  SweepRow row;
+  row.crash_p = crash_p;
+  row.replication = replication;
+
+  SimulatedCluster cluster({.num_data_nodes = 6,
+                            .num_grid_nodes = 2,
+                            .replication = replication});
+  size_t ingested = 0;
+  for (int i = 0; i < kDocs; ++i) {
+    if (cluster.Ingest(Order(i)).ok()) ++ingested;
+  }
+
+  SimulatedCluster::AggQuery agg_query;
+  agg_query.kind = "order";
+  agg_query.group_path = "/doc/city";
+  agg_query.agg_path = "/doc/total";
+
+  ScopedFaultInjection fi(seed);
+  fi->Arm("node.submit.crash", crash_p);
+
+  uint64_t missing_total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    ShipStats stats;
+    auto hits = cluster.KeywordSearch("shipment", kDocs * 2, &stats);
+    const bool partial = hits.size() < ingested;
+    if (stats.degraded) {
+      ++row.degraded;
+      missing_total += stats.missing_partitions;
+    } else if (partial) {
+      ++row.silent;  // the lie: complete-flagged but incomplete
+    } else {
+      ++row.complete;
+    }
+    row.failovers += stats.failovers;
+
+    auto agg = cluster.FilterAggregate(agg_query, /*pushdown=*/true);
+    if (agg.stats.degraded) {
+      ++row.degraded;
+      missing_total += agg.stats.missing_partitions;
+    } else {
+      ++row.complete;
+    }
+    row.failovers += agg.stats.failovers;
+
+    // Operator repair loop: the appliance's self-healing cadence.
+    if (round % kRepairEvery == kRepairEvery - 1) {
+      cluster.DetectFailures();
+      for (const auto& node : cluster.data_nodes()) {
+        if (!node->alive()) cluster.RecoverNode(node->id());
+      }
+      cluster.ReReplicate();
+    }
+  }
+  row.crashes = fi->triggers("node.submit.crash");
+  const size_t total_degraded = row.degraded;
+  row.avg_missing = total_degraded == 0
+                        ? 0.0
+                        : static_cast<double>(missing_total) / total_degraded;
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<SweepRow>& rows,
+               uint64_t seed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"faults\",\n  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"docs\": %d,\n  \"rounds\": %d,\n  \"sweep\": [\n",
+               kDocs, kRounds);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    const double total = static_cast<double>(r.complete + r.degraded + r.silent);
+    std::fprintf(
+        f,
+        "    {\"crash_p\": %.4f, \"replication\": %zu, "
+        "\"availability\": %.4f, \"degraded_frac\": %.4f, "
+        "\"silent_partials\": %zu, \"failovers\": %llu, "
+        "\"crashes\": %llu, \"avg_missing\": %.2f}%s\n",
+        r.crash_p, r.replication,
+        total == 0 ? 1.0 : static_cast<double>(r.complete) / total,
+        total == 0 ? 0.0 : static_cast<double>(r.degraded) / total,
+        r.silent, static_cast<unsigned long long>(r.failovers),
+        static_cast<unsigned long long>(r.crashes), r.avg_missing,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  uint64_t seed = 0xC0FFEEull;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--seed") == 0) seed = std::strtoull(argv[i + 1], nullptr, 0);
+  }
+
+  bench::Banner("FAULTS", "Availability vs failure rate (seeded chaos)");
+  std::printf("  %d docs, %d query rounds, repair every %d rounds, seed %llu\n\n",
+              kDocs, kRounds, kRepairEvery,
+              static_cast<unsigned long long>(seed));
+
+  const double kRates[] = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05};
+  std::vector<SweepRow> rows;
+  bench::TablePrinter table({"crash_p", "repl", "available", "degraded",
+                             "silent", "failovers", "crashes", "avg_missing"});
+  for (size_t replication : {size_t{1}, size_t{2}}) {
+    for (double p : kRates) {
+      SweepRow row = RunSweep(seed, p, replication);
+      rows.push_back(row);
+      const double total =
+          static_cast<double>(row.complete + row.degraded + row.silent);
+      table.AddRow({Fmt("%.3f", row.crash_p), FmtInt(row.replication),
+                    Fmt("%.1f%%", 100.0 * row.complete / total),
+                    Fmt("%.1f%%", 100.0 * row.degraded / total),
+                    FmtInt(row.silent), FmtInt(row.failovers),
+                    FmtInt(row.crashes), Fmt("%.2f", row.avg_missing)});
+    }
+  }
+  table.Print();
+
+  size_t silent_total = 0;
+  for (const SweepRow& r : rows) silent_total += r.silent;
+  std::printf("\n  silent partial results across the sweep: %zu (must be 0)\n",
+              silent_total);
+
+  if (!json_path.empty()) WriteJson(json_path, rows, seed);
+  return silent_total == 0 ? 0 : 1;
+}

@@ -107,7 +107,7 @@ int main() {
     // Saturate the data nodes' mailboxes with slow junk tasks.
     for (const auto& node : sim.data_nodes()) {
       for (int i = 0; i < 8; ++i) {
-        std::future<void> ignored;
+        std::future<impliance::cluster::TaskOutcome> ignored;
         node->Submit(
             [] {
               uint64_t x = 0;

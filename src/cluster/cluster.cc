@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "common/clock.h"
 #include "common/hash.h"
@@ -8,6 +9,13 @@
 #include "model/item.h"
 
 namespace impliance::cluster {
+
+namespace {
+// Submission rounds per scatter: the original fan-out plus up to two
+// failover attempts on re-routed assignments. Work still lost after that
+// is reported as degraded instead of being retried forever.
+constexpr int kMaxScatterRounds = 3;
+}  // namespace
 
 SimulatedCluster::SimulatedCluster(const Options& options) : options_(options) {
   IMPLIANCE_CHECK(options.num_data_nodes > 0);
@@ -18,7 +26,7 @@ SimulatedCluster::SimulatedCluster(const Options& options) : options_(options) {
   NodeId next = 0;
   for (size_t i = 0; i < options.num_data_nodes; ++i) {
     data_nodes_.push_back(std::make_unique<Node>(next++, NodeKind::kData));
-    partitions_.push_back(std::make_unique<Partition>());
+    partitions_.push_back(std::make_shared<Partition>());
   }
   for (size_t i = 0; i < options.num_grid_nodes; ++i) {
     grid_nodes_.push_back(std::make_unique<Node>(next++, NodeKind::kGrid));
@@ -41,6 +49,9 @@ void SimulatedCluster::AccountTraffic(const ShipStats& stats) {
   lifetime_traffic_.bytes_shipped += stats.bytes_shipped;
   lifetime_traffic_.rows_shipped += stats.rows_shipped;
   lifetime_traffic_.tasks += stats.tasks;
+  lifetime_traffic_.failovers += stats.failovers;
+  lifetime_traffic_.missing_partitions += stats.missing_partitions;
+  lifetime_traffic_.degraded |= stats.degraded;
 }
 
 ShipStats SimulatedCluster::lifetime_traffic() const {
@@ -48,23 +59,19 @@ ShipStats SimulatedCluster::lifetime_traffic() const {
   return lifetime_traffic_;
 }
 
-Node* SimulatedCluster::PickGridNode() {
-  // Round-robin over alive grid nodes.
-  const size_t n = grid_nodes_.size();
+bool SimulatedCluster::RunOnPool(const std::vector<std::unique_ptr<Node>>& pool,
+                                 std::atomic<uint64_t>* rr,
+                                 const std::function<void()>& fn) {
+  // Round-robin over the pool. A non-executed outcome means `fn` never ran
+  // (rejected or dropped before execution), so handing it to a sibling
+  // cannot duplicate its effects.
+  const size_t n = pool.size();
   for (size_t attempt = 0; attempt < n; ++attempt) {
-    Node* node = grid_nodes_[rr_grid_.fetch_add(1) % n].get();
-    if (node->alive()) return node;
+    Node* node = pool[rr->fetch_add(1) % n].get();
+    if (!node->alive()) continue;
+    if (node->Run(fn) == TaskOutcome::kExecuted) return true;
   }
-  return nullptr;
-}
-
-Node* SimulatedCluster::PickClusterNode() {
-  const size_t n = cluster_nodes_.size();
-  for (size_t attempt = 0; attempt < n; ++attempt) {
-    Node* node = cluster_nodes_[rr_cluster_.fetch_add(1) % n].get();
-    if (node->alive()) return node;
-  }
-  return nullptr;
+  return false;
 }
 
 std::vector<NodeId> SimulatedCluster::PlaceReplicas(model::DocId id,
@@ -79,49 +86,90 @@ std::vector<NodeId> SimulatedCluster::PlaceReplicas(model::DocId id,
   return nodes;
 }
 
-void SimulatedCluster::StoreOnNode(NodeId node_id, const model::Document& doc) {
-  Partition* partition = partitions_[node_id].get();
-  data_nodes_[node_id]->Run([partition, doc] {
+TaskOutcome SimulatedCluster::StoreOnNode(NodeId node_id,
+                                          const model::Document& doc,
+                                          uint64_t* epoch_at_store) {
+  std::shared_ptr<Partition> partition = partitions_[node_id];
+  Node* node = data_nodes_[node_id].get();
+  return node->Run([partition, node, doc, epoch_at_store] {
+    // Upsert: drop stale index postings first so re-ingest (new versions,
+    // re-replication retries) stays idempotent.
+    if (partition->docs.count(doc.id)) {
+      partition->inverted.RemoveDocument(doc.id);
+    }
     partition->docs[doc.id] = doc;
     partition->inverted.AddDocument(doc.id, doc.Text());
+    // Read the incarnation AFTER the store: if the node dies between here
+    // and the caller recording it as a holder, the epoch mismatch tells
+    // the caller the stored bytes did not survive.
+    if (epoch_at_store != nullptr) *epoch_at_store = node->epoch();
   });
+}
+
+bool SimulatedCluster::HolderStillValid(NodeId node,
+                                        uint64_t epoch_at_store) const {
+  return data_nodes_[node]->alive() &&
+         data_nodes_[node]->epoch() == epoch_at_store;
 }
 
 Result<model::DocId> SimulatedCluster::Ingest(model::Document doc,
                                               size_t copies) {
   if (copies == 0) copies = options_.replication;
-  doc.id = next_id_.fetch_add(1);
-  doc.version = 1;
+  if (doc.id == model::kInvalidDocId) {
+    doc.id = next_id_.fetch_add(1);
+  } else {
+    // Mirrored ingest under a caller-assigned id: keep our own id space
+    // strictly ahead so annotation documents never collide with it.
+    model::DocId expected = next_id_.load();
+    while (expected <= doc.id &&
+           !next_id_.compare_exchange_weak(expected, doc.id + 1)) {
+    }
+  }
+  if (doc.version == 0) doc.version = 1;
   std::vector<NodeId> replicas = PlaceReplicas(doc.id, copies);
-  size_t stored = 0;
   const uint64_t bytes = DocBytes(doc);
   ShipStats stats;
+  // Only nodes that positively acknowledged the store become holders.
+  // Trusting the submit-time ack recorded phantom replicas whenever a node
+  // died (or dropped the task) between accept and apply.
+  std::vector<std::pair<NodeId, uint64_t>> acked;  // node, epoch at store
   for (NodeId node : replicas) {
     if (!data_nodes_[node]->alive()) continue;
-    StoreOnNode(node, doc);
+    ++stats.tasks;
+    uint64_t epoch = 0;
+    if (StoreOnNode(node, doc, &epoch) != TaskOutcome::kExecuted) continue;
     stats.bytes_shipped += bytes;
     stats.rows_shipped += 1;
-    ++stats.tasks;
-    ++stored;
+    acked.emplace_back(node, epoch);
   }
-  if (stored == 0) {
-    return Status::IOError("no alive replica target for document");
-  }
+  bool recorded = false;
   {
     std::lock_guard<std::mutex> lock(directory_mutex_);
-    DirEntry& entry = directory_[doc.id];
-    entry.desired = static_cast<uint8_t>(copies);
-    for (NodeId node : replicas) {
-      if (data_nodes_[node]->alive()) entry.holders.push_back(node);
+    // Re-check each ack under the directory lock: a node that failed (and
+    // possibly rejoined empty) since the store executed no longer has the
+    // bytes, and recording it would plant a silent miss in the directory.
+    std::vector<Holder> holders;
+    for (const auto& [node, epoch] : acked) {
+      if (HolderStillValid(node, epoch)) holders.push_back(Holder{node, epoch});
     }
-    InvalidateOwnershipLocked();
+    if (!holders.empty()) {
+      DirEntry& entry = directory_[doc.id];
+      entry.desired = static_cast<uint8_t>(copies);
+      entry.holders = std::move(holders);
+      InvalidateOwnershipLocked();
+      recorded = true;
+    }
+  }
+  if (!recorded) {
+    AccountTraffic(stats);
+    return Status::IOError("no replica target acknowledged document");
   }
   AccountTraffic(stats);
   return doc.id;
 }
 
 Result<model::Document> SimulatedCluster::Get(model::DocId id) const {
-  std::vector<NodeId> holders;
+  std::vector<Holder> holders;
   {
     std::lock_guard<std::mutex> lock(directory_mutex_);
     auto it = directory_.find(id);
@@ -130,19 +178,20 @@ Result<model::Document> SimulatedCluster::Get(model::DocId id) const {
     }
     holders = it->second.holders;
   }
-  for (NodeId node_id : holders) {
-    if (!data_nodes_[node_id]->alive()) continue;
-    Partition* partition = partitions_[node_id].get();
+  for (const Holder& holder : holders) {
+    if (!HolderStillValid(holder.node, holder.epoch)) continue;
+    std::shared_ptr<Partition> partition = partitions_[holder.node];
     model::Document doc;
     bool found = false;
-    const bool ran = data_nodes_[node_id]->Run([partition, id, &doc, &found] {
-      auto it = partition->docs.find(id);
-      if (it != partition->docs.end()) {
-        doc = it->second;
-        found = true;
-      }
-    });
-    if (ran && found) return doc;
+    const TaskOutcome outcome =
+        data_nodes_[holder.node]->Run([partition, id, &doc, &found] {
+          auto it = partition->docs.find(id);
+          if (it != partition->docs.end()) {
+            doc = it->second;
+            found = true;
+          }
+        });
+    if (outcome == TaskOutcome::kExecuted && found) return doc;
   }
   return Status::NotFound("all replicas unavailable: " + std::to_string(id));
 }
@@ -152,65 +201,200 @@ size_t SimulatedCluster::num_documents() const {
   return directory_.size();
 }
 
-std::shared_ptr<const SimulatedCluster::OwnershipMap>
-SimulatedCluster::OwnershipByNode() const {
+std::shared_ptr<const SimulatedCluster::OwnershipSnapshot>
+SimulatedCluster::OwnershipByNode(size_t* orphaned) const {
   std::lock_guard<std::mutex> lock(directory_mutex_);
-  if (ownership_cache_ != nullptr) return ownership_cache_;
-  auto ownership = std::make_shared<OwnershipMap>();
-  for (const auto& [id, entry] : directory_) {
-    for (NodeId node : entry.holders) {
-      if (data_nodes_[node]->alive()) {
-        (*ownership)[node].insert(id);
-        break;  // first alive holder owns the doc for queries
+  if (ownership_cache_ == nullptr) {
+    auto snapshot = std::make_shared<OwnershipSnapshot>();
+    size_t orphan_count = 0;
+    for (const auto& [id, entry] : directory_) {
+      bool owned = false;
+      for (const Holder& holder : entry.holders) {
+        if (HolderStillValid(holder.node, holder.epoch)) {
+          snapshot->by_node[holder.node].insert(id);
+          snapshot->epochs[holder.node] = holder.epoch;
+          owned = true;
+          break;  // first valid holder owns the doc for queries
+        }
+      }
+      if (!owned) ++orphan_count;
+    }
+    ownership_cache_ = snapshot;
+    orphaned_docs_ = orphan_count;
+  }
+  if (orphaned != nullptr) *orphaned = orphaned_docs_;
+  return ownership_cache_;
+}
+
+std::vector<SimulatedCluster::PartitionAssignment>
+SimulatedCluster::RerouteLost(const std::vector<PartitionAssignment>& lost,
+                              ShipStats* stats) const {
+  std::map<NodeId, std::set<model::DocId>> regrouped;
+  std::map<NodeId, uint64_t> epochs;
+  std::lock_guard<std::mutex> lock(directory_mutex_);
+  for (const PartitionAssignment& assignment : lost) {
+    bool rerouted_any = false;
+    for (model::DocId id : *assignment.docs) {
+      // DetectFailures just pruned dead and stale holders, so the first
+      // valid holder is the failover target. A node that dropped the task
+      // but stayed alive is its own valid retry target.
+      NodeId target = 0;
+      bool found = false;
+      auto it = directory_.find(id);
+      if (it != directory_.end()) {
+        for (const Holder& holder : it->second.holders) {
+          if (HolderStillValid(holder.node, holder.epoch)) {
+            target = holder.node;
+            epochs[holder.node] = holder.epoch;
+            found = true;
+            break;
+          }
+        }
+      }
+      if (found) {
+        regrouped[target].insert(id);
+        rerouted_any = true;
+      } else {
+        // No surviving replica anywhere: this document's contribution is
+        // unrecoverable and must be reported, not silently omitted.
+        ++stats->missing_partitions;
+        stats->degraded = true;
       }
     }
+    if (rerouted_any) ++stats->failovers;
   }
-  ownership_cache_ = ownership;
-  return ownership_cache_;
+  std::vector<PartitionAssignment> next;
+  next.reserve(regrouped.size());
+  for (auto& [node, docs] : regrouped) {
+    next.push_back(PartitionAssignment{
+        node, epochs[node],
+        std::make_shared<const std::set<model::DocId>>(std::move(docs))});
+  }
+  return next;
+}
+
+void SimulatedCluster::ScatterWithFailover(
+    const std::function<std::function<void()>(
+        NodeId node, std::shared_ptr<const std::set<model::DocId>> docs)>&
+        make_task,
+    ShipStats* stats) {
+  size_t orphaned = 0;
+  std::shared_ptr<const OwnershipSnapshot> snapshot = OwnershipByNode(&orphaned);
+  if (orphaned > 0) {
+    // Data already unreachable when the query started: a fully-dead
+    // partition produces no failed task, so it must be counted up front.
+    stats->missing_partitions += orphaned;
+    stats->degraded = true;
+  }
+
+  std::vector<PartitionAssignment> round;
+  round.reserve(snapshot->by_node.size());
+  for (const auto& [node_id, owned] : snapshot->by_node) {
+    // Aliasing: shares ownership of the snapshot, points at one node's set.
+    round.push_back(PartitionAssignment{
+        node_id, snapshot->epochs.at(node_id),
+        std::shared_ptr<const std::set<model::DocId>>(snapshot, &owned)});
+  }
+
+  for (int attempt = 0; !round.empty() && attempt < kMaxScatterRounds;
+       ++attempt) {
+    struct Pending {
+      PartitionAssignment assignment;
+      std::future<TaskOutcome> outcome;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(round.size());
+    // Stable timing/staleness slots; the deques must outlive the futures.
+    std::deque<uint64_t> task_micros;
+    std::deque<uint8_t> stale_flags;
+    for (PartitionAssignment& assignment : round) {
+      std::function<void()> fn = make_task(assignment.node, assignment.docs);
+      task_micros.push_back(0);
+      uint64_t* micros = &task_micros.back();
+      stale_flags.push_back(0);
+      uint8_t* stale = &stale_flags.back();
+      Node* node = data_nodes_[assignment.node].get();
+      const uint64_t expected_epoch = assignment.epoch;
+      std::future<TaskOutcome> outcome;
+      node->Submit(
+          [fn = std::move(fn), micros, stale, node, expected_epoch] {
+            // The assignment was made against a specific incarnation of
+            // this node's partition. If the node died and rejoined since,
+            // running the task would scan the wrong (empty) partition and
+            // manufacture a silently-partial result — flag it instead.
+            if (node->epoch() != expected_epoch) {
+              *stale = 1;
+              return;
+            }
+            const uint64_t start = NowMicros();
+            fn();
+            *micros = NowMicros() - start;
+          },
+          &outcome);
+      ++stats->tasks;
+      pending.push_back(Pending{std::move(assignment), std::move(outcome)});
+    }
+
+    std::vector<PartitionAssignment> lost;
+    size_t i = 0;
+    for (Pending& p : pending) {
+      // Wait on the outcome BEFORE reading the stale flag: the flag is
+      // written by the task and published by the promise.
+      const TaskOutcome outcome = p.outcome.get();
+      const bool stale = stale_flags[i++] != 0;
+      if (outcome != TaskOutcome::kExecuted || stale) {
+        lost.push_back(std::move(p.assignment));
+      }
+    }
+    uint64_t slowest = 0;
+    for (uint64_t micros : task_micros) slowest = std::max(slowest, micros);
+    stats->critical_path_micros += slowest;
+
+    if (lost.empty()) break;
+    // Prune dead holders from the directory so re-routing sees survivors.
+    DetectFailures();
+    if (attempt + 1 == kMaxScatterRounds) {
+      // Out of rounds: report the residual loss instead of dropping it.
+      stats->missing_partitions += lost.size();
+      stats->degraded = true;
+      break;
+    }
+    round = RerouteLost(lost, stats);
+  }
 }
 
 std::vector<index::InvertedIndex::SearchResult> SimulatedCluster::KeywordSearch(
     const std::string& query, size_t k, ShipStats* stats) {
   ShipStats local_stats;
-  std::shared_ptr<const OwnershipMap> ownership = OwnershipByNode();
 
-  // Scatter: each owning data node searches its partition.
-  std::vector<std::vector<index::InvertedIndex::SearchResult>> partials(
-      data_nodes_.size());
-  std::vector<uint64_t> task_micros(data_nodes_.size(), 0);
-  std::vector<std::future<void>> futures;
-  for (const auto& [node_id, owned] : *ownership) {
-    Partition* partition = partitions_[node_id].get();
-    const std::set<model::DocId>* owned_ptr = &owned;
-    std::future<void> done;
-    if (data_nodes_[node_id]->Submit(
-            [partition, owned_ptr, &partials, &task_micros, node_id, &query,
-             k] {
-              const uint64_t start = NowMicros();
-              auto hits = partition->inverted.Search(query, k + owned_ptr->size());
+  // Scatter: each owning data node searches its partition; lost tasks fail
+  // over to replica holders. Output slots live in a deque so every attempt
+  // (including failover re-runs) gets fresh, stable storage.
+  std::deque<std::vector<index::InvertedIndex::SearchResult>> partials;
+  ScatterWithFailover(
+      [&](NodeId node_id,
+          std::shared_ptr<const std::set<model::DocId>> owned) {
+        std::shared_ptr<Partition> partition = partitions_[node_id];
+        partials.emplace_back();
+        auto* out = &partials.back();
+        local_stats.bytes_shipped += query.size();  // query fan-out
+        return std::function<void()>(
+            [partition, owned = std::move(owned), out, &query, k] {
+              auto hits = partition->inverted.Search(query, k + owned->size());
               std::vector<index::InvertedIndex::SearchResult> filtered;
               for (const auto& hit : hits) {
-                if (owned_ptr->count(hit.doc)) filtered.push_back(hit);
+                if (owned->count(hit.doc)) filtered.push_back(hit);
                 if (filtered.size() >= k) break;
               }
-              partials[node_id] = std::move(filtered);
-              task_micros[node_id] = NowMicros() - start;
-            },
-            &done)) {
-      local_stats.bytes_shipped += query.size();  // query fan-out
-      ++local_stats.tasks;
-      futures.push_back(std::move(done));
-    }
-  }
-  for (std::future<void>& f : futures) f.wait();
-  local_stats.critical_path_micros +=
-      *std::max_element(task_micros.begin(), task_micros.end());
+              *out = std::move(filtered);
+            });
+      },
+      &local_stats);
 
   // Gather: merge partial top-k lists on a grid node.
   std::vector<index::InvertedIndex::SearchResult> merged;
-  Node* grid = PickGridNode();
-  IMPLIANCE_CHECK(grid != nullptr) << "no grid node alive";
-  grid->Run([&partials, &merged, &local_stats, k] {
+  ++local_stats.tasks;
+  const bool gathered = RunOnPool(grid_nodes_, &rr_grid_, [&] {
     const uint64_t start = NowMicros();
     for (const auto& partial : partials) {
       merged.insert(merged.end(), partial.begin(), partial.end());
@@ -226,7 +410,12 @@ std::vector<index::InvertedIndex::SearchResult> SimulatedCluster::KeywordSearch(
     if (merged.size() > k) merged.resize(k);
     local_stats.grid_task_micros = NowMicros() - start;
   });
-  ++local_stats.tasks;
+  if (!gathered) {
+    // No grid node executed the merge; an empty answer must say so.
+    merged.clear();
+    local_stats.degraded = true;
+    ++local_stats.missing_partitions;
+  }
   local_stats.critical_path_micros += local_stats.grid_task_micros;
 
   AccountTraffic(local_stats);
@@ -237,7 +426,6 @@ std::vector<index::InvertedIndex::SearchResult> SimulatedCluster::KeywordSearch(
 SimulatedCluster::AggResult SimulatedCluster::FilterAggregate(
     const AggQuery& query, bool pushdown) {
   AggResult result;
-  std::shared_ptr<const OwnershipMap> ownership = OwnershipByNode();
 
   struct Partial {
     // group -> (sum, count)
@@ -245,9 +433,6 @@ SimulatedCluster::AggResult SimulatedCluster::FilterAggregate(
     std::vector<model::Document> raw_docs;  // no-pushdown mode
     uint64_t raw_bytes = 0;
   };
-  std::vector<Partial> partials(data_nodes_.size());
-  std::vector<uint64_t> task_micros(data_nodes_.size(), 0);
-  std::vector<std::future<void>> futures;
 
   auto matches = [&query](const model::Document& doc) {
     if (!query.kind.empty() && doc.kind != query.kind) return false;
@@ -285,17 +470,18 @@ SimulatedCluster::AggResult SimulatedCluster::FilterAggregate(
     count += 1;
   };
 
-  for (const auto& [node_id, owned] : *ownership) {
-    Partition* partition = partitions_[node_id].get();
-    const std::set<model::DocId>* owned_ptr = &owned;
-    Partial* partial = &partials[node_id];
-    std::future<void> done;
-    const bool submitted = data_nodes_[node_id]->Submit(
-        [partition, owned_ptr, partial, pushdown, &matches, &accumulate,
-         &query, &task_micros, node_id] {
-          const uint64_t start = NowMicros();
+  std::deque<Partial> partials;
+  ScatterWithFailover(
+      [&](NodeId node_id,
+          std::shared_ptr<const std::set<model::DocId>> owned) {
+        std::shared_ptr<Partition> partition = partitions_[node_id];
+        partials.emplace_back();
+        Partial* partial = &partials.back();
+        return std::function<void()>([partition, owned = std::move(owned),
+                                      partial, pushdown, &matches, &accumulate,
+                                      &query] {
           for (const auto& [id, doc] : partition->docs) {
-            if (!owned_ptr->count(id)) continue;
+            if (!owned->count(id)) continue;
             if (pushdown) {
               // Predicate and partial aggregation at the storage node.
               if (matches(doc)) accumulate(doc, partial);
@@ -308,22 +494,13 @@ SimulatedCluster::AggResult SimulatedCluster::FilterAggregate(
               }
             }
           }
-          task_micros[node_id] = NowMicros() - start;
-        },
-        &done);
-    if (submitted) {
-      ++result.stats.tasks;
-      futures.push_back(std::move(done));
-    }
-  }
-  for (std::future<void>& f : futures) f.wait();
-  result.stats.critical_path_micros +=
-      *std::max_element(task_micros.begin(), task_micros.end());
+        });
+      },
+      &result.stats);
 
   // Gather on a grid node.
-  Node* grid = PickGridNode();
-  IMPLIANCE_CHECK(grid != nullptr) << "no grid node alive";
-  grid->Run([&] {
+  ++result.stats.tasks;
+  const bool gathered = RunOnPool(grid_nodes_, &rr_grid_, [&] {
     const uint64_t gather_start = NowMicros();
     for (Partial& partial : partials) {
       if (pushdown) {
@@ -357,7 +534,11 @@ SimulatedCluster::AggResult SimulatedCluster::FilterAggregate(
     }
     result.stats.grid_task_micros = NowMicros() - gather_start;
   });
-  ++result.stats.tasks;
+  if (!gathered) {
+    result.groups.clear();
+    result.stats.degraded = true;
+    ++result.stats.missing_partitions;
+  }
   result.stats.critical_path_micros += result.stats.grid_task_micros;
   AccountTraffic(result.stats);
   return result;
@@ -367,20 +548,19 @@ size_t SimulatedCluster::RunAnnotationPass(const discovery::Annotator& annotator
                                            const std::string& kind,
                                            ShipStats* stats) {
   ShipStats local_stats;
-  std::shared_ptr<const OwnershipMap> ownership = OwnershipByNode();
 
   // Phase 1 (data nodes): intra-document analysis over owned documents.
-  std::vector<std::vector<model::Document>> produced(data_nodes_.size());
-  std::vector<std::future<void>> futures;
-  for (const auto& [node_id, owned] : *ownership) {
-    Partition* partition = partitions_[node_id].get();
-    const std::set<model::DocId>* owned_ptr = &owned;
-    std::vector<model::Document>* out = &produced[node_id];
-    std::future<void> done;
-    if (data_nodes_[node_id]->Submit(
-            [partition, owned_ptr, out, &annotator, &kind] {
+  std::deque<std::vector<model::Document>> produced;
+  ScatterWithFailover(
+      [&](NodeId node_id,
+          std::shared_ptr<const std::set<model::DocId>> owned) {
+        std::shared_ptr<Partition> partition = partitions_[node_id];
+        produced.emplace_back();
+        std::vector<model::Document>* out = &produced.back();
+        return std::function<void()>(
+            [partition, owned = std::move(owned), out, &annotator, &kind] {
               for (const auto& [id, doc] : partition->docs) {
-                if (!owned_ptr->count(id)) continue;
+                if (!owned->count(id)) continue;
                 if (!kind.empty() && doc.kind != kind) continue;
                 if (doc.doc_class != model::DocClass::kBase) continue;
                 if (!annotator.InterestedIn(doc)) continue;
@@ -389,19 +569,14 @@ size_t SimulatedCluster::RunAnnotationPass(const discovery::Annotator& annotator
                 out->push_back(discovery::MakeAnnotationDocument(
                     doc, annotator.name(), spans));
               }
-            },
-            &done)) {
-      ++local_stats.tasks;
-      futures.push_back(std::move(done));
-    }
-  }
-  for (std::future<void>& f : futures) f.wait();
+            });
+      },
+      &local_stats);
 
   // Phase 3 (cluster node): assign ids, lock base documents, persist.
-  Node* coordinator = PickClusterNode();
-  IMPLIANCE_CHECK(coordinator != nullptr) << "no cluster node alive";
   std::vector<model::Document> to_store;
-  coordinator->Run([&] {
+  ++local_stats.tasks;
+  const bool coordinated = RunOnPool(cluster_nodes_, &rr_cluster_, [&] {
     for (std::vector<model::Document>& batch : produced) {
       for (model::Document& annotation : batch) {
         local_stats.bytes_shipped += DocBytes(annotation);
@@ -416,30 +591,51 @@ size_t SimulatedCluster::RunAnnotationPass(const discovery::Annotator& annotator
       }
     }
   });
-  ++local_stats.tasks;
+  if (!coordinated) {
+    // No coordinator: nothing was committed this pass.
+    local_stats.degraded = true;
+    ++local_stats.missing_partitions;
+  }
 
-  // Route the committed annotation documents onto data nodes.
+  // Route the committed annotation documents onto data nodes, recording
+  // only holders that acknowledged the store.
   size_t created = 0;
   for (const model::Document& annotation : to_store) {
     std::vector<NodeId> replicas =
         PlaceReplicas(annotation.id, options_.replication);
-    bool stored = false;
+    std::vector<std::pair<NodeId, uint64_t>> acked;
     const uint64_t bytes = DocBytes(annotation);
     for (NodeId node : replicas) {
       if (!data_nodes_[node]->alive()) continue;
-      StoreOnNode(node, annotation);
-      local_stats.bytes_shipped += bytes;
-      stored = true;
-    }
-    if (stored) {
-      std::lock_guard<std::mutex> lock(directory_mutex_);
-      DirEntry& entry = directory_[annotation.id];
-      entry.desired = static_cast<uint8_t>(options_.replication);
-      for (NodeId node : replicas) {
-        if (data_nodes_[node]->alive()) entry.holders.push_back(node);
+      uint64_t epoch = 0;
+      if (StoreOnNode(node, annotation, &epoch) != TaskOutcome::kExecuted) {
+        continue;
       }
-      InvalidateOwnershipLocked();
+      local_stats.bytes_shipped += bytes;
+      acked.emplace_back(node, epoch);
+    }
+    bool recorded = false;
+    {
+      std::lock_guard<std::mutex> lock(directory_mutex_);
+      std::vector<Holder> holders;
+      for (const auto& [node, epoch] : acked) {
+        if (HolderStillValid(node, epoch)) holders.push_back(Holder{node, epoch});
+      }
+      if (!holders.empty()) {
+        DirEntry& entry = directory_[annotation.id];
+        entry.desired = static_cast<uint8_t>(options_.replication);
+        entry.holders = std::move(holders);
+        InvalidateOwnershipLocked();
+        recorded = true;
+      }
+    }
+    if (recorded) {
       ++created;
+    } else {
+      // The annotation was committed by the coordinator but no data node
+      // accepted it: the pass's output is incomplete.
+      local_stats.degraded = true;
+      ++local_stats.missing_partitions;
     }
   }
   AccountTraffic(local_stats);
@@ -476,7 +672,6 @@ SimulatedCluster::AutoAggResult SimulatedCluster::FilterAggregateAuto(
 SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
     const PipelineQuery& query) {
   PipelineResult result;
-  std::shared_ptr<const OwnershipMap> ownership = OwnershipByNode();
 
   // ---- Stage 1 (data nodes): full-text search; ship reduced triples
   // (doc id, score, value at left_ref_path).
@@ -485,21 +680,19 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
     double score;
     std::string ref_value;
   };
-  std::vector<std::vector<Hit>> partial_hits(data_nodes_.size());
-  std::vector<uint64_t> task_micros(data_nodes_.size(), 0);
-  std::vector<std::future<void>> futures;
-  for (const auto& [node_id, owned] : *ownership) {
-    Partition* partition = partitions_[node_id].get();
-    const std::set<model::DocId>* owned_ptr = &owned;
-    std::vector<Hit>* out = &partial_hits[node_id];
-    std::future<void> done;
-    if (data_nodes_[node_id]->Submit(
-            [partition, owned_ptr, out, &query, &task_micros, node_id] {
-              const uint64_t start = NowMicros();
+  std::deque<std::vector<Hit>> partial_hits;
+  ScatterWithFailover(
+      [&](NodeId node_id,
+          std::shared_ptr<const std::set<model::DocId>> owned) {
+        std::shared_ptr<Partition> partition = partitions_[node_id];
+        partial_hits.emplace_back();
+        std::vector<Hit>* out = &partial_hits.back();
+        return std::function<void()>(
+            [partition, owned = std::move(owned), out, &query] {
               auto hits = partition->inverted.Search(
-                  query.keywords, query.k + owned_ptr->size());
+                  query.keywords, query.k + owned->size());
               for (const auto& hit : hits) {
-                if (!owned_ptr->count(hit.doc)) continue;
+                if (!owned->count(hit.doc)) continue;
                 auto doc_it = partition->docs.find(hit.doc);
                 if (doc_it == partition->docs.end()) continue;
                 const model::Value* ref = model::ResolvePath(
@@ -508,32 +701,22 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
                 out->push_back(Hit{hit.doc, hit.score, ref->AsString()});
                 if (out->size() >= query.k) break;
               }
-              task_micros[node_id] = NowMicros() - start;
-            },
-            &done)) {
-      ++result.stats.tasks;
-      futures.push_back(std::move(done));
-    }
-  }
-  for (std::future<void>& f : futures) f.wait();
-  result.stats.critical_path_micros +=
-      *std::max_element(task_micros.begin(), task_micros.end());
+            });
+      },
+      &result.stats);
 
   // Dimension side, also reduced at the data nodes: (key value, doc id).
-  std::vector<std::vector<std::pair<std::string, model::DocId>>> partial_dims(
-      data_nodes_.size());
-  std::fill(task_micros.begin(), task_micros.end(), 0);
-  futures.clear();
-  for (const auto& [node_id, owned] : *ownership) {
-    Partition* partition = partitions_[node_id].get();
-    const std::set<model::DocId>* owned_ptr = &owned;
-    auto* out = &partial_dims[node_id];
-    std::future<void> done;
-    if (data_nodes_[node_id]->Submit(
-            [partition, owned_ptr, out, &query, &task_micros, node_id] {
-              const uint64_t start = NowMicros();
+  std::deque<std::vector<std::pair<std::string, model::DocId>>> partial_dims;
+  ScatterWithFailover(
+      [&](NodeId node_id,
+          std::shared_ptr<const std::set<model::DocId>> owned) {
+        std::shared_ptr<Partition> partition = partitions_[node_id];
+        partial_dims.emplace_back();
+        auto* out = &partial_dims.back();
+        return std::function<void()>(
+            [partition, owned = std::move(owned), out, &query] {
               for (const auto& [id, doc] : partition->docs) {
-                if (!owned_ptr->count(id) || doc.kind != query.dim_kind) {
+                if (!owned->count(id) || doc.kind != query.dim_kind) {
                   continue;
                 }
                 const model::Value* key =
@@ -541,21 +724,13 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
                 if (key == nullptr || key->is_null()) continue;
                 out->emplace_back(key->AsString(), id);
               }
-              task_micros[node_id] = NowMicros() - start;
-            },
-            &done)) {
-      ++result.stats.tasks;
-      futures.push_back(std::move(done));
-    }
-  }
-  for (std::future<void>& f : futures) f.wait();
-  result.stats.critical_path_micros +=
-      *std::max_element(task_micros.begin(), task_micros.end());
+            });
+      },
+      &result.stats);
 
   // ---- Stage 2 (grid node): hash join + sort by score, keep top-k.
-  Node* grid = PickGridNode();
-  IMPLIANCE_CHECK(grid != nullptr) << "no grid node alive";
-  grid->Run([&] {
+  ++result.stats.tasks;
+  const bool joined = RunOnPool(grid_nodes_, &rr_grid_, [&] {
     const uint64_t start = NowMicros();
     std::map<std::string, model::DocId> dim_by_key;
     for (const auto& partial : partial_dims) {
@@ -583,15 +758,18 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
     if (result.matches.size() > query.k) result.matches.resize(query.k);
     result.stats.grid_task_micros = NowMicros() - start;
   });
-  ++result.stats.tasks;
+  if (!joined) {
+    result.matches.clear();
+    result.stats.degraded = true;
+    ++result.stats.missing_partitions;
+  }
   result.stats.critical_path_micros += result.stats.grid_task_micros;
 
   // ---- Stage 3 (cluster node): consistent updates — tag every matched
   // document under per-document locks, then apply on the holders.
-  Node* coordinator = PickClusterNode();
-  IMPLIANCE_CHECK(coordinator != nullptr) << "no cluster node alive";
   std::vector<model::DocId> to_update;
-  coordinator->Run([&] {
+  ++result.stats.tasks;
+  const bool coordinated = RunOnPool(cluster_nodes_, &rr_cluster_, [&] {
     const uint64_t start = NowMicros();
     for (const PipelineMatch& match : result.matches) {
       lock_acquisitions_.fetch_add(1);
@@ -599,9 +777,12 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
     }
     result.stats.critical_path_micros += NowMicros() - start;
   });
-  ++result.stats.tasks;
+  if (!coordinated) {
+    result.stats.degraded = true;
+    ++result.stats.missing_partitions;
+  }
   for (model::DocId id : to_update) {
-    std::vector<NodeId> holders;
+    std::vector<Holder> holders;
     {
       std::lock_guard<std::mutex> lock(directory_mutex_);
       auto it = directory_.find(id);
@@ -609,21 +790,25 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
       holders = it->second.holders;
     }
     bool updated = false;
-    for (NodeId node_id : holders) {
-      if (!data_nodes_[node_id]->alive()) continue;
-      Partition* partition = partitions_[node_id].get();
+    for (const Holder& holder : holders) {
+      if (!HolderStillValid(holder.node, holder.epoch)) continue;
+      const NodeId node_id = holder.node;
+      std::shared_ptr<Partition> partition = partitions_[node_id];
       const std::string& tag = query.tag_name;
-      data_nodes_[node_id]->Run([partition, id, &tag, &updated] {
-        auto it = partition->docs.find(id);
-        if (it == partition->docs.end()) return;
-        model::Document updated_doc = it->second;
-        updated_doc.version += 1;
-        updated_doc.root.AddChild(tag, model::Value::Bool(true));
-        partition->inverted.RemoveDocument(id);
-        partition->inverted.AddDocument(id, updated_doc.Text());
-        it->second = std::move(updated_doc);
-        updated = true;
-      });
+      bool applied = false;
+      const TaskOutcome outcome =
+          data_nodes_[node_id]->Run([partition, id, &tag, &applied] {
+            auto it = partition->docs.find(id);
+            if (it == partition->docs.end()) return;
+            model::Document updated_doc = it->second;
+            updated_doc.version += 1;
+            updated_doc.root.AddChild(tag, model::Value::Bool(true));
+            partition->inverted.RemoveDocument(id);
+            partition->inverted.AddDocument(id, updated_doc.Text());
+            it->second = std::move(updated_doc);
+            applied = true;
+          });
+      if (outcome == TaskOutcome::kExecuted && applied) updated = true;
       result.stats.bytes_shipped += query.tag_name.size() + 16;
     }
     if (updated) ++result.updates_applied;
@@ -640,7 +825,7 @@ void SimulatedCluster::FailNode(NodeId id) {
 void SimulatedCluster::RecoverNode(NodeId id) {
   IMPLIANCE_CHECK(id < data_nodes_.size());
   // Rejoins empty: its previous contents were lost with the failure.
-  partitions_[id] = std::make_unique<Partition>();
+  partitions_[id] = std::make_shared<Partition>();
   data_nodes_[id]->Recover();
   {
     std::lock_guard<std::mutex> lock(directory_mutex_);
@@ -658,18 +843,21 @@ std::vector<NodeId> SimulatedCluster::DetectFailures() {
       known_dead_.insert(node->id());
     }
   }
-  // Drop dead holders from the directory so ownership fails over.
-  if (!newly_dead.empty()) {
-    InvalidateOwnershipLocked();
-    for (auto& [id, entry] : directory_) {
-      entry.holders.erase(
-          std::remove_if(entry.holders.begin(), entry.holders.end(),
-                         [this](NodeId node) {
-                           return known_dead_.count(node) > 0;
-                         }),
-          entry.holders.end());
-    }
+  // Drop dead and stale holders from the directory so ownership fails
+  // over. Stale = the node came back in a newer incarnation (rejoined
+  // empty), so its old copies are gone even though it is alive.
+  bool pruned = false;
+  for (auto& [id, entry] : directory_) {
+    const size_t before = entry.holders.size();
+    entry.holders.erase(
+        std::remove_if(entry.holders.begin(), entry.holders.end(),
+                       [this](const Holder& holder) {
+                         return !HolderStillValid(holder.node, holder.epoch);
+                       }),
+        entry.holders.end());
+    pruned |= entry.holders.size() != before;
   }
+  if (pruned || !newly_dead.empty()) InvalidateOwnershipLocked();
   return newly_dead;
 }
 
@@ -678,18 +866,18 @@ uint64_t SimulatedCluster::ReReplicate() {
   // Snapshot under-replicated docs.
   struct Todo {
     model::DocId id;
-    std::vector<NodeId> holders;
+    std::vector<Holder> holders;
     size_t desired;
   };
   std::vector<Todo> todo;
   {
     std::lock_guard<std::mutex> lock(directory_mutex_);
     for (const auto& [id, entry] : directory_) {
-      size_t alive = 0;
-      for (NodeId node : entry.holders) {
-        if (data_nodes_[node]->alive()) ++alive;
+      size_t valid = 0;
+      for (const Holder& holder : entry.holders) {
+        if (HolderStillValid(holder.node, holder.epoch)) ++valid;
       }
-      if (alive > 0 && alive < entry.desired) {
+      if (valid > 0 && valid < entry.desired) {
         todo.push_back(Todo{id, entry.holders, entry.desired});
       }
     }
@@ -699,10 +887,11 @@ uint64_t SimulatedCluster::ReReplicate() {
     if (!doc.ok()) continue;
     // Choose new targets: alive data nodes not already holding the doc,
     // walking the ring from the primary position.
-    std::set<NodeId> holding(holders.begin(), holders.end());
+    std::set<NodeId> holding;
     size_t alive_copies = 0;
-    for (NodeId node : holders) {
-      if (data_nodes_[node]->alive()) ++alive_copies;
+    for (const Holder& holder : holders) {
+      holding.insert(holder.node);
+      if (HolderStillValid(holder.node, holder.epoch)) ++alive_copies;
     }
     const size_t n = data_nodes_.size();
     const size_t start = Mix64(id) % n;
@@ -711,11 +900,17 @@ uint64_t SimulatedCluster::ReReplicate() {
       if (holding.count(candidate) || !data_nodes_[candidate]->alive()) {
         continue;
       }
-      StoreOnNode(candidate, *doc);
+      // A copy counts only once the target acknowledged it — and only if
+      // the target has not died (losing the copy) since the store ran.
+      uint64_t epoch = 0;
+      if (StoreOnNode(candidate, *doc, &epoch) != TaskOutcome::kExecuted) {
+        continue;
+      }
       bytes_copied += DocBytes(*doc);
       {
         std::lock_guard<std::mutex> lock(directory_mutex_);
-        directory_[id].holders.push_back(candidate);
+        if (!HolderStillValid(candidate, epoch)) continue;
+        directory_[id].holders.push_back(Holder{candidate, epoch});
         InvalidateOwnershipLocked();
       }
       holding.insert(candidate);
@@ -733,8 +928,8 @@ size_t SimulatedCluster::num_available_documents() const {
   std::lock_guard<std::mutex> lock(directory_mutex_);
   size_t available = 0;
   for (const auto& [id, entry] : directory_) {
-    for (NodeId node : entry.holders) {
-      if (data_nodes_[node]->alive()) {
+    for (const Holder& holder : entry.holders) {
+      if (HolderStillValid(holder.node, holder.epoch)) {
         ++available;
         break;
       }
@@ -747,18 +942,18 @@ size_t SimulatedCluster::num_fully_replicated_documents() const {
   std::lock_guard<std::mutex> lock(directory_mutex_);
   size_t full = 0;
   for (const auto& [id, entry] : directory_) {
-    size_t alive = 0;
-    for (NodeId node : entry.holders) {
-      if (data_nodes_[node]->alive()) ++alive;
+    size_t valid = 0;
+    for (const Holder& holder : entry.holders) {
+      if (HolderStillValid(holder.node, holder.epoch)) ++valid;
     }
-    if (alive >= entry.desired) ++full;
+    if (valid >= entry.desired) ++full;
   }
   return full;
 }
 
 std::map<NodeId, size_t> SimulatedCluster::OwnedCounts() const {
   std::map<NodeId, size_t> counts;
-  for (const auto& [node, owned] : *OwnershipByNode()) {
+  for (const auto& [node, owned] : OwnershipByNode()->by_node) {
     counts[node] = owned.size();
   }
   return counts;

@@ -2,6 +2,7 @@
 #define IMPLIANCE_CLUSTER_CLUSTER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,11 +21,22 @@
 namespace impliance::cluster {
 
 // Per-query data-movement accounting, the measurable half of the pushdown
-// and scale-out experiments.
+// and scale-out experiments — plus the result-completeness contract: a
+// query result is either complete or carries degraded=true with a nonzero
+// missing count. Silent partial results are a bug by definition.
 struct ShipStats {
   uint64_t bytes_shipped = 0;
   uint64_t rows_shipped = 0;
   uint64_t tasks = 0;
+  // Partition tasks whose work was re-routed to a surviving replica
+  // holder after the original node lost them.
+  uint64_t failovers = 0;
+  // Units of work (lost partition tasks + documents with no surviving
+  // replica) that could not be recovered; the result omits their
+  // contribution. Nonzero iff degraded.
+  uint64_t missing_partitions = 0;
+  // True when the result is known to be incomplete.
+  bool degraded = false;
   // Modeled parallel latency: per phase, the slowest node's task duration,
   // summed across phases (bulk-synchronous critical path). On hosts with
   // fewer cores than simulated nodes, wall-clock time serializes node work
@@ -57,8 +69,10 @@ class SimulatedCluster {
   // ------------------------------------------------------------- Ingest
 
   // Stores `doc` on `copies` data nodes (0 = the cluster default); assigns
-  // and returns its id. Per-class copy counts are the storage manager's
-  // policy lever (Section 3.4).
+  // and returns its id (a pre-set nonzero doc.id is honored, so a fronting
+  // store can mirror documents under its own ids). Only nodes that
+  // positively acknowledged the store are recorded as holders. Per-class
+  // copy counts are the storage manager's policy lever (Section 3.4).
   Result<model::DocId> Ingest(model::Document doc, size_t copies = 0);
 
   Result<model::Document> Get(model::DocId id) const;
@@ -170,22 +184,84 @@ class SimulatedCluster {
   struct Partition {
     // Only the owning node's thread touches this (all access is routed
     // through Node::Run), except bulk copies during re-replication which
-    // take the directory mutex first.
+    // take the directory mutex first. Held by shared_ptr: node recovery
+    // swaps in a fresh partition, and a task still running against the old
+    // incarnation must keep its (doomed, epoch-checked) object alive.
     std::map<model::DocId, model::Document> docs;
     index::InvertedIndex inverted;
   };
 
-  Node* PickGridNode();
-  Node* PickClusterNode();
-  // First alive holder of each document (ownership map), grouped by node.
+  // A replica location is a (node, incarnation) pair: bytes stored on a
+  // node are gone once its epoch advances (fail + rejoin-empty), so a bare
+  // NodeId cannot say whether the copy still exists.
+  struct Holder {
+    NodeId node;
+    uint64_t epoch;
+  };
+
+  // Runs `fn` on an alive node of `pool`, retrying on another member when
+  // the chosen node drops the task (it never ran, so re-submitting is
+  // safe). Returns false when no member executed it.
+  bool RunOnPool(const std::vector<std::unique_ptr<Node>>& pool,
+                 std::atomic<uint64_t>* rr, const std::function<void()>& fn);
+
+  // One unit of scatter work: run something over `docs` on `node`, which
+  // must still be in incarnation `epoch` when the task runs — otherwise
+  // the partition no longer holds these documents and the task must be
+  // treated as lost, not as an (empty) success.
+  struct PartitionAssignment {
+    NodeId node;
+    uint64_t epoch;
+    std::shared_ptr<const std::set<model::DocId>> docs;
+  };
+  // Failure-aware scatter: submits one task per owning data node (built by
+  // `make_task`, which must allocate its own output slot and may be called
+  // again for failover attempts), waits for every outcome, and re-routes
+  // the work of lost tasks to surviving replica holders of the affected
+  // documents — bounded rounds, after which the loss is recorded in
+  // `stats` (degraded + missing_partitions) instead of being silently
+  // omitted. Documents that already have no alive holder at snapshot time
+  // are counted as missing up front. Updates tasks/failovers/
+  // critical_path_micros in `stats`.
+  void ScatterWithFailover(
+      const std::function<std::function<void()>(
+          NodeId node, std::shared_ptr<const std::set<model::DocId>> docs)>&
+          make_task,
+      ShipStats* stats);
+  // Regroups the documents of `lost` assignments by surviving holder
+  // (consulting the directory, which DetectFailures has just pruned).
+  // Documents with no alive holder increment stats->missing_partitions.
+  std::vector<PartitionAssignment> RerouteLost(
+      const std::vector<PartitionAssignment>& lost, ShipStats* stats) const;
+  // First valid holder of each document (ownership map), grouped by node.
   // Cached (routing tables change only on ingest/membership events) and
   // rebuilt lazily; returned as a shared snapshot so queries can hold it
-  // while node tasks run.
+  // while node tasks run. `epochs` records each owning node's incarnation
+  // at snapshot time — scatter tasks verify it before trusting partition
+  // contents.
   using OwnershipMap = std::map<NodeId, std::set<model::DocId>>;
-  std::shared_ptr<const OwnershipMap> OwnershipByNode() const;
+  struct OwnershipSnapshot {
+    OwnershipMap by_node;
+    std::map<NodeId, uint64_t> epochs;
+  };
+  // When `orphaned` is non-null it receives the number of documents with
+  // no valid holder in the same directory snapshot (consistent with the
+  // returned map).
+  std::shared_ptr<const OwnershipSnapshot> OwnershipByNode(
+      size_t* orphaned = nullptr) const;
   void InvalidateOwnershipLocked() const { ownership_cache_.reset(); }
   std::vector<NodeId> PlaceReplicas(model::DocId id, size_t copies) const;
-  void StoreOnNode(NodeId node, const model::Document& doc);
+  // Stores `doc` on the node's partition and reports the definitive
+  // outcome; only kExecuted means the node actually held the document when
+  // the store ran. `epoch_at_store` (optional) receives the node's
+  // incarnation observed right after the store — callers recording the
+  // node as a holder must re-check it with HolderStillValid, because a
+  // fail/recover cycle in between wipes the partition.
+  TaskOutcome StoreOnNode(NodeId node, const model::Document& doc,
+                          uint64_t* epoch_at_store = nullptr);
+  // True while `node` is alive in the same incarnation: bytes stored at
+  // `epoch_at_store` are still there.
+  bool HolderStillValid(NodeId node, uint64_t epoch_at_store) const;
   static uint64_t DocBytes(const model::Document& doc);
   void AccountTraffic(const ShipStats& stats);
 
@@ -193,17 +269,21 @@ class SimulatedCluster {
   std::vector<std::unique_ptr<Node>> data_nodes_;
   std::vector<std::unique_ptr<Node>> grid_nodes_;
   std::vector<std::unique_ptr<Node>> cluster_nodes_;
-  std::vector<std::unique_ptr<Partition>> partitions_;  // parallel to data
+  std::vector<std::shared_ptr<Partition>> partitions_;  // parallel to data
 
   struct DirEntry {
-    std::vector<NodeId> holders;  // primary first; alive-ness checked on use
+    std::vector<Holder> holders;  // primary first; validity checked on use
     uint8_t desired = 1;          // replication target for this document
   };
 
   mutable std::mutex directory_mutex_;
   std::map<model::DocId, DirEntry> directory_;
   std::set<NodeId> known_dead_;
-  mutable std::shared_ptr<const OwnershipMap> ownership_cache_;
+  mutable std::shared_ptr<const OwnershipSnapshot> ownership_cache_;
+  // Documents with zero alive holders at the time the ownership cache was
+  // built: data the cluster knows it cannot serve. Guarded by
+  // directory_mutex_, refreshed together with ownership_cache_.
+  mutable size_t orphaned_docs_ = 0;
 
   std::atomic<model::DocId> next_id_{1};
   std::atomic<uint64_t> rr_grid_{0};

@@ -1,6 +1,9 @@
 #include "cluster/node.h"
 
+#include <chrono>
+
 #include "common/clock.h"
+#include "common/fault_injector.h"
 
 namespace impliance::cluster {
 
@@ -16,6 +19,18 @@ const char* NodeKindName(NodeKind kind) {
   return "?";
 }
 
+const char* TaskOutcomeName(TaskOutcome outcome) {
+  switch (outcome) {
+    case TaskOutcome::kExecuted:
+      return "executed";
+    case TaskOutcome::kDropped:
+      return "dropped";
+    case TaskOutcome::kNodeDead:
+      return "node-dead";
+  }
+  return "?";
+}
+
 Node::Node(NodeId id, NodeKind kind)
     : id_(id), kind_(kind), worker_([this] { WorkerLoop(); }) {}
 
@@ -23,36 +38,57 @@ Node::~Node() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_.store(true);
-    mailbox_.clear();
+    DropQueuedLocked();
   }
   cv_.notify_all();
   worker_.join();
 }
 
-bool Node::Submit(std::function<void()> task, std::future<void>* done) {
-  // Accounting runs inside the packaged task so counters are updated
-  // before the caller's future resolves.
-  std::packaged_task<void()> packaged([this, task = std::move(task)] {
-    const uint64_t start = NowMicros();
-    task();
-    busy_micros_.fetch_add(NowMicros() - start);
-    tasks_executed_.fetch_add(1);
-  });
-  if (done != nullptr) *done = packaged.get_future();
+void Node::DropQueuedLocked() {
+  for (Task& task : mailbox_) {
+    task.done.set_value(TaskOutcome::kDropped);
+    tasks_dropped_.fetch_add(1);
+  }
+  mailbox_.clear();
+}
+
+bool Node::Submit(std::function<void()> task,
+                  std::future<TaskOutcome>* outcome) {
+  Task entry;
+  entry.fn = std::move(task);
+  if (outcome != nullptr) *outcome = entry.done.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!alive_.load() || shutting_down_.load()) return false;
-    mailbox_.push_back(std::move(packaged));
+    if (!alive_.load() || shutting_down_.load()) {
+      entry.done.set_value(TaskOutcome::kNodeDead);
+      return false;
+    }
+    // Lost-message fault: the caller gets a positive ack (true) but the
+    // task never reaches the mailbox — only the outcome future tells the
+    // truth. This models exactly the bug where ingest trusted the ack.
+    if (FaultPoint("node.submit.drop")) {
+      entry.done.set_value(TaskOutcome::kDropped);
+      tasks_dropped_.fetch_add(1);
+      return true;
+    }
+    mailbox_.push_back(std::move(entry));
+    // Crash window between submit and run: the node dies with the task
+    // (and everything else queued) still in its mailbox.
+    if (FaultPoint("node.submit.crash")) {
+      alive_.store(false);
+      epoch_.fetch_add(1);
+      DropQueuedLocked();
+      return true;
+    }
   }
   cv_.notify_one();
   return true;
 }
 
-bool Node::Run(std::function<void()> task) {
-  std::future<void> done;
-  if (!Submit(std::move(task), &done)) return false;
-  done.wait();
-  return true;
+TaskOutcome Node::Run(std::function<void()> task) {
+  std::future<TaskOutcome> outcome;
+  Submit(std::move(task), &outcome);
+  return outcome.get();
 }
 
 size_t Node::queue_depth() const {
@@ -63,7 +99,8 @@ size_t Node::queue_depth() const {
 void Node::Fail() {
   std::lock_guard<std::mutex> lock(mutex_);
   alive_.store(false);
-  mailbox_.clear();  // in-flight work is lost with the node
+  epoch_.fetch_add(1);  // state stored before this point is lost
+  DropQueuedLocked();   // in-flight work is lost with the node
 }
 
 void Node::Recover() {
@@ -73,7 +110,7 @@ void Node::Recover() {
 
 void Node::WorkerLoop() {
   while (true) {
-    std::packaged_task<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] {
@@ -84,7 +121,17 @@ void Node::WorkerLoop() {
       mailbox_.pop_front();
     }
     heartbeats_.fetch_add(1);
-    task();
+    if (FaultPoint("node.task.delay")) {
+      const uint64_t micros = FaultDelayMicros("node.task.delay");
+      if (micros > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(micros));
+      }
+    }
+    const uint64_t start = NowMicros();
+    task.fn();
+    busy_micros_.fetch_add(NowMicros() - start);
+    tasks_executed_.fetch_add(1);
+    task.done.set_value(TaskOutcome::kExecuted);
   }
 }
 

@@ -1,0 +1,83 @@
+#include "common/fault_injector.h"
+
+#include "common/hash.h"
+
+namespace impliance {
+
+std::atomic<FaultInjector*> FaultInjector::installed_{nullptr};
+
+FaultInjector::Point& FaultInjector::PointFor(std::string_view name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(name), Point{}).first;
+    // Each point gets its own deterministic stream derived from the
+    // injector seed and the point name, so the firing sequence of one
+    // point is independent of how often the others are hit.
+    it->second.rng = Rng(seed_ ^ Hash64(it->first));
+  }
+  return it->second;
+}
+
+void FaultInjector::Arm(const std::string& point, double probability,
+                        int64_t max_triggers, uint64_t delay_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = PointFor(point);
+  p.armed = true;
+  p.probability = probability;
+  p.triggers_left = max_triggers;
+  p.fire_at_hit = 0;
+  p.delay_micros = delay_micros;
+}
+
+void FaultInjector::ArmAtHit(const std::string& point, uint64_t nth_hit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = PointFor(point);
+  p.armed = true;
+  p.probability = 0.0;
+  p.triggers_left = 1;
+  p.fire_at_hit = p.hits + nth_hit;  // relative to hits already recorded
+  p.delay_micros = 0;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointFor(point).armed = false;
+}
+
+bool FaultInjector::ShouldFail(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = PointFor(point);
+  ++p.hits;
+  if (!p.armed || p.triggers_left == 0) return false;
+  bool fire = false;
+  if (p.fire_at_hit != 0) {
+    fire = p.hits == p.fire_at_hit;
+  } else {
+    fire = p.rng.Bernoulli(p.probability);
+  }
+  if (!fire) return false;
+  if (p.triggers_left > 0) --p.triggers_left;
+  ++p.triggers;
+  return true;
+}
+
+uint64_t FaultInjector::DelayMicros(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return 0;
+  return it->second.delay_micros;
+}
+
+uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::triggers(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+}  // namespace impliance

@@ -1,0 +1,128 @@
+#ifndef IMPLIANCE_COMMON_FAULT_INJECTOR_H_
+#define IMPLIANCE_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace impliance {
+
+// Deterministic, seeded fault injection. Instrumented code declares named
+// fault points (e.g. "node.submit.crash", "wal.sync"); tests and benches
+// install an injector and arm points either probabilistically (seeded RNG
+// per point, so two runs with the same seed fire identically) or at an
+// exact hit number. When no injector is installed every point is a single
+// relaxed atomic load — cheap enough to leave compiled into release code.
+//
+// Crash-point catalog (kept in sync with DESIGN.md):
+//   node.submit.drop    task acked to the caller but silently discarded
+//   node.submit.crash   node dies between submit and run (queue lost)
+//   node.task.delay     task execution delayed by `delay_micros`
+//   wal.sync            WAL fsync/fdatasync fails (stream is poisoned)
+//   wal.append.torn     only a prefix of a WAL record reaches the file
+//   segment.sync        segment fsync fails at Finish()
+//   segment.finish.torn only a prefix of the segment file is written
+//   server.worker.drop  serving worker drops an admitted request
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Arms `point` to fire with probability `p` per hit, at most
+  // `max_triggers` times (-1 = unlimited). `delay_micros` is advisory —
+  // consumed by points that model slowness rather than loss.
+  void Arm(const std::string& point, double probability,
+           int64_t max_triggers = -1, uint64_t delay_micros = 0);
+
+  // Arms `point` to fire exactly on its `nth_hit`-th hit (1-based) and
+  // never again — the deterministic single-crash primitive.
+  void ArmAtHit(const std::string& point, uint64_t nth_hit);
+
+  void Disarm(const std::string& point);
+
+  // The instrumented side: records a hit and reports whether the fault
+  // fires. Unarmed points still count hits, so tests can assert code paths
+  // were exercised (e.g. one wal.sync hit per appended record).
+  bool ShouldFail(std::string_view point);
+
+  // Advisory delay for the most recent Arm of `point` (0 if unarmed).
+  uint64_t DelayMicros(std::string_view point) const;
+
+  uint64_t hits(const std::string& point) const;
+  uint64_t triggers(const std::string& point) const;
+
+  uint64_t seed() const { return seed_; }
+
+  // Process-wide installation. Instrumented code calls Get(); nullptr
+  // (the default) disables all points.
+  static FaultInjector* Get() {
+    return installed_.load(std::memory_order_acquire);
+  }
+  static void Install(FaultInjector* injector) {
+    installed_.store(injector, std::memory_order_release);
+  }
+
+ private:
+  struct Point {
+    // Armed state.
+    bool armed = false;
+    double probability = 0.0;
+    int64_t triggers_left = -1;  // -1 = unlimited
+    uint64_t fire_at_hit = 0;    // nonzero: fire exactly on this hit
+    uint64_t delay_micros = 0;
+    // Accounting.
+    uint64_t hits = 0;
+    uint64_t triggers = 0;
+    // Per-point stream so arming one point never perturbs another.
+    Rng rng{0};
+  };
+
+  Point& PointFor(std::string_view name);  // caller holds mutex_
+
+  const uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Point, std::less<>> points_;
+
+  static std::atomic<FaultInjector*> installed_;
+};
+
+// True iff an injector is installed and `point` fires this hit.
+inline bool FaultPoint(std::string_view point) {
+  FaultInjector* injector = FaultInjector::Get();
+  return injector != nullptr && injector->ShouldFail(point);
+}
+
+// Advisory delay of an armed delay-style point; 0 when disabled.
+inline uint64_t FaultDelayMicros(std::string_view point) {
+  FaultInjector* injector = FaultInjector::Get();
+  return injector == nullptr ? 0 : injector->DelayMicros(point);
+}
+
+// RAII install/uninstall for tests: exactly one scope at a time.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(uint64_t seed) : injector_(seed) {
+    FaultInjector::Install(&injector_);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Install(nullptr); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjector* operator->() { return &injector_; }
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+}  // namespace impliance
+
+#endif  // IMPLIANCE_COMMON_FAULT_INJECTOR_H_

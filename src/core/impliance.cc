@@ -173,6 +173,18 @@ Result<std::unique_ptr<Impliance>> Impliance::Open(ImplianceOptions options) {
   store_options.sync_wal = options.sync_wal;
   IMPLIANCE_ASSIGN_OR_RETURN(impliance->store_,
                              storage::DocumentStore::Open(store_options));
+  if (options.scale_out_data_nodes > 0) {
+    cluster::SimulatedCluster::Options cluster_options;
+    cluster_options.num_data_nodes = options.scale_out_data_nodes;
+    cluster_options.num_grid_nodes =
+        std::max<size_t>(1, options.scale_out_data_nodes / 2);
+    cluster_options.num_cluster_nodes = 1;
+    cluster_options.replication =
+        std::min(std::max<size_t>(1, options.scale_out_replication),
+                 options.scale_out_data_nodes);
+    impliance->scale_out_ =
+        std::make_unique<cluster::SimulatedCluster>(cluster_options);
+  }
   impliance->execution_ = std::make_unique<virt::ExecutionManager>(
       std::max<size_t>(1, options.discovery_threads),
       /*priority_scheduling=*/true);
@@ -196,6 +208,16 @@ Result<std::unique_ptr<Impliance>> Impliance::Open(ImplianceOptions options) {
   IMPLIANCE_RETURN_IF_ERROR(
       raw->store_->Scan([raw](const model::Document& doc) {
         IMPLIANCE_CHECK_OK(raw->IndexDocumentLocked(doc));
+        if (raw->scale_out_ != nullptr) {
+          // Rebuild the mirror from the durable store (blade contents are
+          // memory-resident and were lost with the process).
+          Result<model::DocId> mirrored = raw->scale_out_->Ingest(doc);
+          if (!mirrored.ok()) {
+            IMPLIANCE_LOG(Warning) << "scale-out mirror failed for doc "
+                                   << doc.id << ": "
+                                   << mirrored.status().ToString();
+          }
+        }
         if (doc.kind == "annotation") {
           const model::Value* annotator =
               model::ResolvePath(doc.root, "/doc/annotator");
@@ -241,6 +263,13 @@ Result<model::DocId> Impliance::InfuseLocked(model::Document doc) {
   doc.id = id;
   doc.version = 1;
   IMPLIANCE_RETURN_IF_ERROR(IndexDocumentLocked(doc));
+  if (scale_out_ != nullptr) {
+    // Mirror under the store-assigned id. A failed mirror (no replica
+    // acked) is surfaced: the cluster would otherwise silently omit this
+    // document from every scatter-gather answer.
+    Result<model::DocId> mirrored = scale_out_->Ingest(doc);
+    if (!mirrored.ok()) return mirrored.status();
+  }
   return id;
 }
 
@@ -273,6 +302,11 @@ Result<uint32_t> Impliance::Update(model::DocId id, model::Document doc) {
   doc.id = id;
   doc.version = version;
   IMPLIANCE_RETURN_IF_ERROR(IndexDocumentLocked(doc));
+  if (scale_out_ != nullptr) {
+    // Re-mirror so the blades serve the latest version.
+    Result<model::DocId> mirrored = scale_out_->Ingest(doc);
+    if (!mirrored.ok()) return mirrored.status();
+  }
   return version;
 }
 
@@ -287,22 +321,44 @@ Result<model::Document> Impliance::GetVersion(model::DocId id,
 
 // ------------------------------------------------------------------- Query
 
-std::vector<SearchHit> Impliance::Search(const std::string& keywords,
-                                         size_t k) const {
+std::vector<SearchHit> Impliance::Search(const std::string& keywords, size_t k,
+                                         QueryHealth* health) const {
   Result<std::vector<SearchHit>> hits =
-      SearchAs(AccessController::kAdmin, keywords, k);
+      SearchAs(AccessController::kAdmin, keywords, k, health);
   IMPLIANCE_CHECK(hits.ok());  // admin is never denied
   return std::move(hits).value();
 }
 
 Result<std::vector<SearchHit>> Impliance::SearchAs(
-    const std::string& principal, const std::string& keywords,
-    size_t k) const {
+    const std::string& principal, const std::string& keywords, size_t k,
+    QueryHealth* health) const {
   if (!access_.HasPrincipal(principal)) {
     return Status::InvalidArgument("unknown principal: " + principal);
   }
+  if (health != nullptr) *health = QueryHealth{};
   std::vector<SearchHit> hits;
-  {
+  if (scale_out_ != nullptr) {
+    // Route through the blade tier's failure-aware scatter-gather; the
+    // local store stays authoritative for bodies and access checks.
+    cluster::ShipStats ship;
+    const auto results = scale_out_->KeywordSearch(keywords, k * 4 + 16, &ship);
+    if (health != nullptr) {
+      health->degraded = ship.degraded;
+      health->missing_partitions = ship.missing_partitions;
+    }
+    for (const auto& result : results) {
+      Result<model::Document> doc = store_->Get(result.doc);
+      if (!doc.ok()) continue;
+      if (!access_.CanRead(principal, doc->kind)) continue;
+      SearchHit hit;
+      hit.doc = result.doc;
+      hit.score = result.score;
+      hit.kind = doc->kind;
+      hit.snippet = SnippetOf(doc->Text());
+      hits.push_back(std::move(hit));
+      if (hits.size() >= k) break;
+    }
+  } else {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     // Over-fetch so the permission filter can still return k results.
     for (const auto& result : text_index_.Search(keywords, k * 4 + 16)) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/histogram.h"
 #include "common/result.h"
 #include "discovery/annotator.h"
@@ -36,6 +37,12 @@ struct ImplianceOptions {
   size_t discovery_threads = 2;    // background analysis workers
   size_t memtable_max_docs = 4096;
   bool sync_wal = false;
+  // Scale-out tier (Section 3.3): when > 0 the appliance mirrors documents
+  // onto a simulated blade cluster and routes keyword search through its
+  // failure-aware scatter-gather, so node loss surfaces as a degraded
+  // answer instead of a wrong one. 0 = single-node (default).
+  size_t scale_out_data_nodes = 0;
+  size_t scale_out_replication = 1;
 };
 
 struct SearchHit {
@@ -43,6 +50,14 @@ struct SearchHit {
   double score = 0.0;
   std::string kind;
   std::string snippet;
+};
+
+// Completeness of one query's answer. degraded=true means some partitions
+// could not be reached even after failover; missing_partitions says how
+// many units of work were lost. Complete answers are {false, 0}.
+struct QueryHealth {
+  bool degraded = false;
+  uint64_t missing_partitions = 0;
 };
 
 struct DiscoveryReport {
@@ -105,8 +120,11 @@ class Impliance {
 
   // --------------------------------------------------------------- Query
 
-  // Interface 1a: ranked keyword search, works out of the box.
-  std::vector<SearchHit> Search(const std::string& keywords, size_t k) const;
+  // Interface 1a: ranked keyword search, works out of the box. With a
+  // scale-out tier configured, `health` (optional) reports whether the
+  // answer is complete or degraded by node failures.
+  std::vector<SearchHit> Search(const std::string& keywords, size_t k,
+                                QueryHealth* health = nullptr) const;
 
   // Hierarchy-aware search (Section 3.3's native-hierarchy indexing):
   // restrict ranking to the text under one document path, e.g. search
@@ -134,7 +152,8 @@ class Impliance {
   // methods act as the implicit "admin" principal (also audited).
   Result<std::vector<SearchHit>> SearchAs(const std::string& principal,
                                           const std::string& keywords,
-                                          size_t k) const;
+                                          size_t k,
+                                          QueryHealth* health = nullptr) const;
   Result<std::vector<exec::Row>> SqlAs(const std::string& principal,
                                        const std::string& sql) const;
   Result<model::Document> GetAs(const std::string& principal,
@@ -194,6 +213,10 @@ class Impliance {
   // for tests and operators who want to force it.
   Status CompactStorage() { return store_->Compact(); }
 
+  // The scale-out tier, when configured (nullptr otherwise). Exposed so
+  // operators and tests can drive membership (fail/recover/re-replicate).
+  cluster::SimulatedCluster* scale_out() { return scale_out_.get(); }
+
  private:
   class DocumentTable;
   class ClassTable;
@@ -209,6 +232,10 @@ class Impliance {
 
   ImplianceOptions options_;
   std::unique_ptr<storage::DocumentStore> store_;
+  // Mirrors documents under their store-assigned ids; keyword search routes
+  // through it when present. The local store stays authoritative for
+  // document bodies (snippets, access checks).
+  std::unique_ptr<cluster::SimulatedCluster> scale_out_;
   std::unique_ptr<virt::ExecutionManager> execution_;
   std::atomic<bool> quiesced_{false};
 

@@ -127,6 +127,21 @@ Result<std::vector<wire::SearchResult>> ImplianceClient::Search(
   return std::move(response.hits);
 }
 
+Result<ImplianceClient::SearchAnswer> ImplianceClient::SearchChecked(
+    const std::string& keywords, uint64_t limit) {
+  wire::Request request;
+  request.op = wire::Op::kSearch;
+  request.payload = keywords;
+  request.limit = limit;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  SearchAnswer answer;
+  answer.hits = std::move(response.hits);
+  answer.degraded = response.degraded;
+  answer.missing_partitions = response.missing_partitions;
+  return answer;
+}
+
 Result<std::vector<std::string>> ImplianceClient::Sql(
     const std::string& statement) {
   wire::Request request;

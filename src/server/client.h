@@ -49,6 +49,17 @@ class ImplianceClient {
   Result<std::string> Get(uint64_t doc_id);
   Result<std::vector<wire::SearchResult>> Search(const std::string& keywords,
                                                  uint64_t limit = 10);
+  // Search that surfaces the answer's completeness: with a scale-out
+  // appliance, node failures can leave an explicitly degraded answer
+  // (degraded=true, missing_partitions > 0) rather than a silently
+  // partial one. Callers that care about completeness use this form.
+  struct SearchAnswer {
+    std::vector<wire::SearchResult> hits;
+    bool degraded = false;
+    uint64_t missing_partitions = 0;
+  };
+  Result<SearchAnswer> SearchChecked(const std::string& keywords,
+                                     uint64_t limit = 10);
   // Rows as tab-separated strings.
   Result<std::vector<std::string>> Sql(const std::string& statement);
   Result<wire::Response> Facet(const std::string& keywords,

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "model/json_writer.h"
 #include "server/net_util.h"
@@ -235,6 +236,16 @@ void ImplianceServer::Dispatch(std::shared_ptr<Connection> connection,
 
     if (options_.pre_execute_hook) options_.pre_execute_hook(request);
 
+    // Worker fault: the request is lost before execution. The client still
+    // gets an explicit error — a dropped request must never look like an
+    // empty-but-successful answer.
+    if (FaultPoint("server.worker.drop")) {
+      SendResponse(connection.get(),
+                   ErrorResponse(request.id, wire::WireStatus::kError,
+                                 "request dropped by worker (fault injected)"));
+      return;
+    }
+
     wire::Response response = Execute(request);
     response.id = request.id;
     RecordLatency(request.op, (NowMicros() - received_micros) / 1000.0);
@@ -284,11 +295,16 @@ wire::Response ImplianceServer::Execute(const wire::Request& request) {
     }
 
     case wire::Op::kSearch: {
+      core::QueryHealth health;
       for (const core::SearchHit& hit :
-           impliance_->Search(request.payload, request.limit)) {
+           impliance_->Search(request.payload, request.limit, &health)) {
         response.hits.push_back(
             {hit.doc, hit.score, hit.kind, hit.snippet});
       }
+      // Completeness travels with the answer so clients can distinguish
+      // "nothing matched" from "partitions were lost".
+      response.degraded = health.degraded;
+      response.missing_partitions = health.missing_partitions;
       return response;
     }
 

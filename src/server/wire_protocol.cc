@@ -154,6 +154,8 @@ void EncodeResponse(const Response& response, std::string* dst) {
     PutDouble(&body, latency.p95_ms);
     PutDouble(&body, latency.p99_ms);
   }
+  body.push_back(static_cast<char>(response.degraded ? 1 : 0));
+  PutVarint64(&body, response.missing_partitions);
   PutLengthPrefixed(&body, response.body);
   AppendFrame(body, dst);
 }
@@ -232,6 +234,14 @@ Status DecodeResponse(std::string_view body, Response* out) {
     out->op_latencies.push_back(std::move(latency));
   }
 
+  uint8_t degraded = 0;
+  if (!GetByte(&body, &degraded) || degraded > 1) {
+    return Malformed("degraded flag");
+  }
+  out->degraded = degraded != 0;
+  if (!GetVarint64(&body, &out->missing_partitions)) {
+    return Malformed("truncated missing partitions");
+  }
   if (!GetString(&body, &out->body)) return Malformed("truncated body");
   if (!body.empty()) return Malformed("trailing bytes");
   return Status::OK();

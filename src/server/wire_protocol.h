@@ -37,6 +37,7 @@ namespace impliance::server::wire {
 //   varint32 n_counters | n * (lp(name) | varint64 value) |
 //   varint32 n_latencies | n * (lp(op) | varint64 count |
 //                               3 * fixed64 pXX-ms-bits) |
+//   byte degraded | varint64 missing_partitions |
 //   lp(body)
 //
 // (`lp` = length-prefixed string: varint32 size + bytes.) Every field is
@@ -44,7 +45,8 @@ namespace impliance::server::wire {
 // branch-free and makes randomized round-trip testing exhaustive.
 
 // Bumped on any incompatible layout change; peers reject mismatches.
-inline constexpr uint8_t kWireVersion = 1;
+// v2: responses carry degraded/missing_partitions (result completeness).
+inline constexpr uint8_t kWireVersion = 2;
 
 // Upper bound on a frame body; anything larger is rejected before
 // allocation so a garbage length prefix cannot OOM the server.
@@ -120,6 +122,11 @@ struct Response {
   // Stats: named counters (documents, terms, shed_total, ...).
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<OpLatency> op_latencies;  // Stats
+  // Result completeness: a kOk answer with degraded=true is explicitly
+  // partial — `missing_partitions` units of work were lost to node
+  // failures even after failover. Complete answers are {false, 0}.
+  bool degraded = false;
+  uint64_t missing_partitions = 0;
   std::string body;                // Get JSON / Facet rendering
 
   friend bool operator==(const Response&, const Response&) = default;

@@ -41,7 +41,7 @@ void BlockCache::Put(uint64_t file_id, uint64_t offset, std::string data) {
     shard.bytes += it->second->data.size();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{key, std::move(data)});
+    shard.lru.push_front(Entry{key, file_id, std::move(data)});
     shard.map[key] = shard.lru.begin();
     shard.bytes += shard.lru.front().data.size();
   }
@@ -54,14 +54,17 @@ void BlockCache::Put(uint64_t file_id, uint64_t offset, std::string data) {
 }
 
 void BlockCache::EraseFile(uint64_t file_id) {
-  // Keys do not encode the file id recoverably, so walk each shard.
-  // EraseFile is rare (compaction/close), so O(entries) is acceptable.
+  // The mixed key is not invertible, so walk each shard and match on the
+  // file id stored in the entry. EraseFile is rare (compaction/close), so
+  // O(entries) is acceptable — but it must not evict other files' blocks,
+  // which would empty the cache on every compaction.
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      // Re-derive membership by probing: without the original offset we
-      // cannot recompute the key, so EraseFile conservatively clears the
-      // whole shard map. Correctness is unaffected (cache is advisory).
+      if (it->file_id != file_id) {
+        ++it;
+        continue;
+      }
       shard.bytes -= it->data.size();
       shard.map.erase(it->key);
       it = shard.lru.erase(it);

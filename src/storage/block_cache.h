@@ -34,6 +34,8 @@ class BlockCache {
 
   struct Entry {
     uint64_t key;
+    // The mixed key is not invertible, so EraseFile needs the owner here.
+    uint64_t file_id;
     std::string data;
   };
 

@@ -267,6 +267,9 @@ Status DocumentStore::Compact() {
   std::error_code ec;
   for (uint64_t old_id : old_ids) {
     fs::remove(SegmentPath(old_id), ec);
+    // Segment ids are never reused, but stale blocks waste cache capacity;
+    // evict only this segment's blocks so the merged one keeps its hits.
+    cache_->EraseFile(old_id);
   }
   return Status::OK();
 }

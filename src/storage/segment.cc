@@ -1,11 +1,14 @@
 #include "storage/segment.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "common/coding.h"
 #include "common/compression.h"
+#include "common/fault_injector.h"
 #include "common/hash.h"
 #include "common/logging.h"
 
@@ -82,10 +85,22 @@ Status SegmentBuilder::Finish() {
     return Status::IOError("cannot create segment " + path_ + ": " +
                            std::strerror(errno));
   }
+  if (FaultPoint("segment.finish.torn")) {
+    // Crash mid-write: the footer never lands, so SegmentReader::Open
+    // rejects the file and recovery falls back to the WAL.
+    std::fwrite(buffer_.data(), 1, buffer_.size() / 2, file);
+    std::fflush(file);
+    std::fclose(file);
+    return Status::IOError("segment torn write (fault injected): " + path_);
+  }
   const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file);
   const bool flushed = std::fflush(file) == 0;
+  // A segment is immutable once published; fsync before close so a crash
+  // cannot leave a fully-written-looking file with unpersisted blocks.
+  const bool synced =
+      !FaultPoint("segment.sync") && ::fsync(fileno(file)) == 0;
   std::fclose(file);
-  if (written != buffer_.size() || !flushed) {
+  if (written != buffer_.size() || !flushed || !synced) {
     return Status::IOError("segment write failed: " + path_);
   }
   return Status::OK();

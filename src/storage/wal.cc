@@ -1,20 +1,55 @@
 #include "storage/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
 
 #include "common/coding.h"
+#include "common/fault_injector.h"
 #include "common/hash.h"
 
 namespace impliance::storage {
 
+namespace {
+
+// Makes the directory entry for `path` durable. Without this, a crash after
+// creating the WAL can lose the file itself even though its data blocks
+// were synced.
+Status SyncParentDir(const std::string& path) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open WAL directory " + dir.string() + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync of WAL directory failed: " + dir.string());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
                                                    bool sync_each_record) {
+  const bool existed = std::filesystem::exists(path);
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return Status::IOError("cannot open WAL " + path + ": " +
                            std::strerror(errno));
+  }
+  if (!existed) {
+    Status dir_status = SyncParentDir(path);
+    if (!dir_status.ok()) {
+      std::fclose(file);
+      return dir_status;
+    }
   }
   return std::unique_ptr<WalWriter>(new WalWriter(file, sync_each_record));
 }
@@ -24,13 +59,24 @@ WalWriter::~WalWriter() {
 }
 
 Status WalWriter::Append(std::string_view payload) {
+  if (!poisoned_.ok()) return poisoned_;
   std::string header;
   PutFixed32(&header, Crc32c(payload));
   PutVarint64(&header, payload.size());
+  if (FaultPoint("wal.append.torn")) {
+    // Crash mid-write: only a prefix of the record reaches the file. The
+    // reader's size/CRC checks drop the torn tail on recovery.
+    std::fwrite(header.data(), 1, header.size(), file_);
+    std::fwrite(payload.data(), 1, payload.size() / 2, file_);
+    std::fflush(file_);
+    poisoned_ = Status::IOError("WAL torn write (fault injected)");
+    return poisoned_;
+  }
   if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
       std::fwrite(payload.data(), 1, payload.size(), file_) !=
           payload.size()) {
-    return Status::IOError("WAL write failed");
+    poisoned_ = Status::IOError("WAL write failed");
+    return poisoned_;
   }
   bytes_written_ += header.size() + payload.size();
   if (sync_each_record_) return Sync();
@@ -38,7 +84,28 @@ Status WalWriter::Append(std::string_view payload) {
 }
 
 Status WalWriter::Sync() {
-  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  if (!poisoned_.ok()) return poisoned_;
+  // The fault point doubles as the durability probe: its hit count is the
+  // number of real sync attempts, which tests compare against appends.
+  if (FaultPoint("wal.sync")) {
+    poisoned_ = Status::IOError("WAL fsync failed (fault injected)");
+    return poisoned_;
+  }
+  if (std::fflush(file_) != 0) {
+    poisoned_ = Status::IOError("WAL flush failed");
+    return poisoned_;
+  }
+  // fflush only moves data into the kernel; reach the disk.
+#if defined(__linux__)
+  const int rc = ::fdatasync(fileno(file_));
+#else
+  const int rc = ::fsync(fileno(file_));
+#endif
+  if (rc != 0) {
+    poisoned_ = Status::IOError(std::string("WAL fsync failed: ") +
+                                std::strerror(errno));
+    return poisoned_;
+  }
   return Status::OK();
 }
 

@@ -16,6 +16,15 @@ namespace impliance::storage {
 //   fixed32 crc32c(payload) | varint64 payload_size | payload bytes
 // Replay stops cleanly at the first torn/corrupt record, which models a
 // crash mid-write; everything before it is recovered.
+//
+// Durability: Sync() reaches the disk (fdatasync), not just libc's buffer,
+// and creating a new WAL fsyncs the parent directory so the file name
+// itself survives a crash. Once any write or sync fails the stream is
+// poisoned: every later call returns the same IOError, because the record
+// boundary on disk is unknown and appending past it would hide the hole.
+//
+// Fault points (common/fault_injector.h): "wal.sync" fails the durability
+// step, "wal.append.torn" persists only a prefix of a record.
 class WalWriter {
  public:
   static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
@@ -37,6 +46,8 @@ class WalWriter {
   std::FILE* file_;
   bool sync_each_record_;
   uint64_t bytes_written_ = 0;
+  // First error seen; sticky (see class comment).
+  Status poisoned_;
 };
 
 // Reads every intact record from a WAL file. A missing file yields an empty

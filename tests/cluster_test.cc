@@ -23,8 +23,8 @@ using model::Value;
 TEST(NodeTest, RunsSubmittedTasks) {
   Node node(0, NodeKind::kData);
   int counter = 0;
-  EXPECT_TRUE(node.Run([&counter] { ++counter; }));
-  EXPECT_TRUE(node.Run([&counter] { ++counter; }));
+  EXPECT_EQ(node.Run([&counter] { ++counter; }), TaskOutcome::kExecuted);
+  EXPECT_EQ(node.Run([&counter] { ++counter; }), TaskOutcome::kExecuted);
   EXPECT_EQ(counter, 2);
   EXPECT_EQ(node.tasks_executed(), 2u);
   EXPECT_GE(node.heartbeats(), 2u);
@@ -34,23 +34,56 @@ TEST(NodeTest, FailedNodeRejectsWork) {
   Node node(1, NodeKind::kGrid);
   node.Fail();
   EXPECT_FALSE(node.alive());
-  EXPECT_FALSE(node.Run([] {}));
+  EXPECT_EQ(node.Run([] {}), TaskOutcome::kNodeDead);
   node.Recover();
-  EXPECT_TRUE(node.Run([] {}));
+  EXPECT_EQ(node.Run([] {}), TaskOutcome::kExecuted);
 }
 
 TEST(NodeTest, TasksRunInFifoOrder) {
   Node node(2, NodeKind::kData);
   std::vector<int> order;
-  std::future<void> last;
+  std::future<TaskOutcome> last;
   for (int i = 0; i < 10; ++i) {
-    std::future<void> done;
+    std::future<TaskOutcome> done;
     ASSERT_TRUE(node.Submit([&order, i] { order.push_back(i); }, &done));
     if (i == 9) last = std::move(done);
   }
-  last.wait();
+  EXPECT_EQ(last.get(), TaskOutcome::kExecuted);
   ASSERT_EQ(order.size(), 10u);
   EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(NodeTest, FailResolvesQueuedTasksAsDropped) {
+  Node node(3, NodeKind::kData);
+  // Stall the worker so follow-up tasks are still queued when Fail() hits.
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::future<TaskOutcome> first;
+  ASSERT_TRUE(node.Submit(
+      [gate, &started] {
+        started.set_value();
+        gate.wait();
+      },
+      &first));
+  std::vector<std::future<TaskOutcome>> queued;
+  for (int i = 0; i < 4; ++i) {
+    std::future<TaskOutcome> done;
+    ASSERT_TRUE(node.Submit([] {}, &done));
+    queued.push_back(std::move(done));
+  }
+  // Only fail once the first task is definitely in flight — otherwise it
+  // would (correctly) be dropped along with the queued ones.
+  started.get_future().wait();
+  node.Fail();
+  release.set_value();
+  // The in-flight task ran to completion; the queued ones were dropped —
+  // and every caller learns its task's definitive fate.
+  EXPECT_EQ(first.get(), TaskOutcome::kExecuted);
+  for (auto& done : queued) {
+    EXPECT_EQ(done.get(), TaskOutcome::kDropped);
+  }
+  EXPECT_EQ(node.tasks_dropped(), 4u);
 }
 
 // ---------------------------------------------------------------- Cluster

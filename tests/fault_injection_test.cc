@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/rng.h"
 #include "model/document.h"
+#include "storage/block_cache.h"
 #include "storage/document_store.h"
 #include "storage/segment.h"
 #include "storage/wal.h"
@@ -256,6 +258,120 @@ TEST(FaultInjectionTest, CompressedSegmentFuzz) {
                   i);
       }
     }
+  }
+}
+
+// --- Deterministic fault-point tests (common/fault_injector.h) ----------
+
+// sync_each_record must mean a REAL durability attempt per record. The
+// "wal.sync" point counts hits even when unarmed, so the hit count is the
+// number of fsync/fdatasync attempts — one per append, not one per close.
+TEST(WalFaultPointTest, SyncEachRecordSyncsPerAppend) {
+  TempDir dir("wal_sync_count");
+  ScopedFaultInjection fi(/*seed=*/7);
+  auto writer = WalWriter::Open(dir.path() + "/wal.log", true);
+  ASSERT_TRUE(writer.ok());
+  constexpr int kRecords = 12;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE((*writer)->Append("record-" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(fi->hits("wal.sync"), static_cast<uint64_t>(kRecords));
+}
+
+// A failed sync poisons the stream: the failing append reports the error
+// and every later call returns the same IOError instead of writing past an
+// unknown record boundary. Everything synced before the failure replays.
+TEST(WalFaultPointTest, SyncFailurePoisonsStream) {
+  TempDir dir("wal_sync_fail");
+  const std::string path = dir.path() + "/wal.log";
+  ScopedFaultInjection fi(/*seed=*/7);
+  fi->ArmAtHit("wal.sync", 3);
+  auto writer = WalWriter::Open(path, true);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("one").ok());
+  ASSERT_TRUE((*writer)->Append("two").ok());
+  Status failed = (*writer)->Append("three");
+  EXPECT_TRUE(failed.IsIOError()) << failed.ToString();
+  // Sticky: appends and explicit syncs keep returning the original error.
+  EXPECT_TRUE((*writer)->Append("four").IsIOError());
+  EXPECT_TRUE((*writer)->Sync().IsIOError());
+  EXPECT_EQ(fi->triggers("wal.sync"), 1u);
+
+  auto records = ReadWalRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_GE(records->size(), 2u);
+  EXPECT_EQ((*records)[0], "one");
+  EXPECT_EQ((*records)[1], "two");
+}
+
+// A torn append (only a prefix reached the file) is dropped on replay by
+// the CRC/size checks; every fully-written record before it survives.
+TEST(WalFaultPointTest, TornAppendIsDroppedOnReplay) {
+  TempDir dir("wal_torn");
+  const std::string path = dir.path() + "/wal.log";
+  ScopedFaultInjection fi(/*seed=*/7);
+  fi->ArmAtHit("wal.append.torn", 3);
+  auto writer = WalWriter::Open(path, false);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("alpha").ok());
+  ASSERT_TRUE((*writer)->Append("bravo").ok());
+  EXPECT_TRUE((*writer)->Append("charlie-torn").IsIOError());
+  EXPECT_TRUE((*writer)->Append("delta").IsIOError());  // poisoned
+
+  auto records = ReadWalRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0], "alpha");
+  EXPECT_EQ((*records)[1], "bravo");
+}
+
+// Segment fsync failure surfaces as an error from Finish() — never an
+// "ok" for a file whose bytes may not be on disk.
+TEST(SegmentFaultPointTest, SyncFailureFailsFinish) {
+  TempDir dir("segment_sync_fail");
+  ScopedFaultInjection fi(/*seed=*/7);
+  fi->Arm("segment.sync", 1.0);
+  SegmentBuilder builder(dir.path() + "/segment_1.seg", 1, 1);
+  Document doc = Doc(42);
+  doc.id = 1;
+  doc.version = 1;
+  ASSERT_TRUE(builder.Add(doc).ok());
+  EXPECT_FALSE(builder.Finish().ok());
+}
+
+// A torn segment (crash mid-Finish) fails the build AND the partial file
+// is rejected cleanly by the reader — no wrong answers from half a file.
+TEST(SegmentFaultPointTest, TornFinishLeavesNoReadableSegment) {
+  TempDir dir("segment_torn");
+  const std::string path = dir.path() + "/segment_1.seg";
+  ScopedFaultInjection fi(/*seed=*/7);
+  fi->Arm("segment.finish.torn", 1.0);
+  SegmentBuilder builder(path, 1, 2);
+  for (int i = 1; i <= 2; ++i) {
+    Document doc = Doc(i);
+    doc.id = static_cast<model::DocId>(i);
+    doc.version = 1;
+    ASSERT_TRUE(builder.Add(doc).ok());
+  }
+  EXPECT_FALSE(builder.Finish().ok());
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_FALSE(SegmentReader::Open(path, 1, nullptr).ok());
+}
+
+// EraseFile must evict ONLY the named file's entries. The keys are mixed
+// (non-invertible), so this exercises the per-entry owner bookkeeping.
+TEST(BlockCacheTest, EraseFileEvictsOnlyThatFile) {
+  BlockCache cache(1 << 20);
+  for (uint64_t offset = 0; offset < 32; ++offset) {
+    cache.Put(1, offset, "file1-" + std::to_string(offset));
+    cache.Put(2, offset, "file2-" + std::to_string(offset));
+  }
+  cache.EraseFile(1);
+  for (uint64_t offset = 0; offset < 32; ++offset) {
+    EXPECT_FALSE(cache.Get(1, offset).has_value()) << offset;
+    auto kept = cache.Get(2, offset);
+    ASSERT_TRUE(kept.has_value()) << offset;
+    EXPECT_EQ(*kept, "file2-" + std::to_string(offset));
   }
 }
 

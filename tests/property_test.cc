@@ -318,6 +318,8 @@ Response RandomResponse(Rng* rng) {
                                      rng->NextDouble() * 100,
                                      rng->NextDouble() * 100});
   }
+  response.degraded = rng->Uniform(2) == 1;
+  response.missing_partitions = RandomU64(rng);
   response.body = RandomBlob(rng, 4000);
   return response;
 }

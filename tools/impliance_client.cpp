@@ -183,15 +183,21 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "search") {
-    auto hits = client->Search(JoinArgs(argv, 3, argc), 10);
-    if (!hits.ok()) {
-      std::fprintf(stderr, "error: %s\n", hits.status().ToString().c_str());
+    auto answer = client->SearchChecked(JoinArgs(argv, 3, argc), 10);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
       return 1;
     }
-    for (const auto& hit : *hits) {
+    for (const auto& hit : answer->hits) {
       std::printf("[%.2f] %s#%llu  %s\n", hit.score, hit.kind.c_str(),
                   static_cast<unsigned long long>(hit.doc),
                   hit.snippet.c_str());
+    }
+    if (answer->degraded) {
+      std::fprintf(stderr,
+                   "warning: DEGRADED result — %llu partition(s) unavailable\n",
+                   static_cast<unsigned long long>(answer->missing_partitions));
+      return 2;
     }
     return 0;
   }
