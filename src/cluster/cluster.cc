@@ -89,7 +89,7 @@ std::vector<NodeId> SimulatedCluster::PlaceReplicas(model::DocId id,
 TaskOutcome SimulatedCluster::StoreOnNode(NodeId node_id,
                                           const model::Document& doc,
                                           uint64_t* epoch_at_store) {
-  std::shared_ptr<Partition> partition = partitions_[node_id];
+  std::shared_ptr<Partition> partition = PartitionFor(node_id);
   Node* node = data_nodes_[node_id].get();
   return node->Run([partition, node, doc, epoch_at_store] {
     // Upsert: drop stale index postings first so re-ingest (new versions,
@@ -110,6 +110,12 @@ bool SimulatedCluster::HolderStillValid(NodeId node,
                                         uint64_t epoch_at_store) const {
   return data_nodes_[node]->alive() &&
          data_nodes_[node]->epoch() == epoch_at_store;
+}
+
+std::shared_ptr<SimulatedCluster::Partition> SimulatedCluster::PartitionFor(
+    NodeId node) const {
+  std::lock_guard<std::mutex> lock(partitions_mutex_);
+  return partitions_[node];
 }
 
 Result<model::DocId> SimulatedCluster::Ingest(model::Document doc,
@@ -180,7 +186,7 @@ Result<model::Document> SimulatedCluster::Get(model::DocId id) const {
   }
   for (const Holder& holder : holders) {
     if (!HolderStillValid(holder.node, holder.epoch)) continue;
-    std::shared_ptr<Partition> partition = partitions_[holder.node];
+    std::shared_ptr<Partition> partition = PartitionFor(holder.node);
     model::Document doc;
     bool found = false;
     const TaskOutcome outcome =
@@ -355,7 +361,11 @@ void SimulatedCluster::ScatterWithFailover(
     DetectFailures();
     if (attempt + 1 == kMaxScatterRounds) {
       // Out of rounds: report the residual loss instead of dropping it.
-      stats->missing_partitions += lost.size();
+      // Count documents, not assignments, so the number is comparable with
+      // the per-document counts from RerouteLost and orphan detection.
+      for (const PartitionAssignment& assignment : lost) {
+        stats->missing_partitions += assignment.docs->size();
+      }
       stats->degraded = true;
       break;
     }
@@ -374,7 +384,7 @@ std::vector<index::InvertedIndex::SearchResult> SimulatedCluster::KeywordSearch(
   ScatterWithFailover(
       [&](NodeId node_id,
           std::shared_ptr<const std::set<model::DocId>> owned) {
-        std::shared_ptr<Partition> partition = partitions_[node_id];
+        std::shared_ptr<Partition> partition = PartitionFor(node_id);
         partials.emplace_back();
         auto* out = &partials.back();
         local_stats.bytes_shipped += query.size();  // query fan-out
@@ -474,7 +484,7 @@ SimulatedCluster::AggResult SimulatedCluster::FilterAggregate(
   ScatterWithFailover(
       [&](NodeId node_id,
           std::shared_ptr<const std::set<model::DocId>> owned) {
-        std::shared_ptr<Partition> partition = partitions_[node_id];
+        std::shared_ptr<Partition> partition = PartitionFor(node_id);
         partials.emplace_back();
         Partial* partial = &partials.back();
         return std::function<void()>([partition, owned = std::move(owned),
@@ -554,7 +564,7 @@ size_t SimulatedCluster::RunAnnotationPass(const discovery::Annotator& annotator
   ScatterWithFailover(
       [&](NodeId node_id,
           std::shared_ptr<const std::set<model::DocId>> owned) {
-        std::shared_ptr<Partition> partition = partitions_[node_id];
+        std::shared_ptr<Partition> partition = PartitionFor(node_id);
         produced.emplace_back();
         std::vector<model::Document>* out = &produced.back();
         return std::function<void()>(
@@ -684,7 +694,7 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
   ScatterWithFailover(
       [&](NodeId node_id,
           std::shared_ptr<const std::set<model::DocId>> owned) {
-        std::shared_ptr<Partition> partition = partitions_[node_id];
+        std::shared_ptr<Partition> partition = PartitionFor(node_id);
         partial_hits.emplace_back();
         std::vector<Hit>* out = &partial_hits.back();
         return std::function<void()>(
@@ -710,7 +720,7 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
   ScatterWithFailover(
       [&](NodeId node_id,
           std::shared_ptr<const std::set<model::DocId>> owned) {
-        std::shared_ptr<Partition> partition = partitions_[node_id];
+        std::shared_ptr<Partition> partition = PartitionFor(node_id);
         partial_dims.emplace_back();
         auto* out = &partial_dims.back();
         return std::function<void()>(
@@ -793,7 +803,7 @@ SimulatedCluster::PipelineResult SimulatedCluster::SearchJoinUpdate(
     for (const Holder& holder : holders) {
       if (!HolderStillValid(holder.node, holder.epoch)) continue;
       const NodeId node_id = holder.node;
-      std::shared_ptr<Partition> partition = partitions_[node_id];
+      std::shared_ptr<Partition> partition = PartitionFor(node_id);
       const std::string& tag = query.tag_name;
       bool applied = false;
       const TaskOutcome outcome =
@@ -824,8 +834,13 @@ void SimulatedCluster::FailNode(NodeId id) {
 
 void SimulatedCluster::RecoverNode(NodeId id) {
   IMPLIANCE_CHECK(id < data_nodes_.size());
-  // Rejoins empty: its previous contents were lost with the failure.
-  partitions_[id] = std::make_shared<Partition>();
+  {
+    // Rejoins empty: its previous contents were lost with the failure.
+    // Swap under the slot mutex — readers copy this shared_ptr
+    // concurrently, and an unsynchronized swap races with them.
+    std::lock_guard<std::mutex> lock(partitions_mutex_);
+    partitions_[id] = std::make_shared<Partition>();
+  }
   data_nodes_[id]->Recover();
   {
     std::lock_guard<std::mutex> lock(directory_mutex_);

@@ -31,9 +31,11 @@ struct ShipStats {
   // Partition tasks whose work was re-routed to a surviving replica
   // holder after the original node lost them.
   uint64_t failovers = 0;
-  // Units of work (lost partition tasks + documents with no surviving
-  // replica) that could not be recovered; the result omits their
-  // contribution. Nonzero iff degraded.
+  // Documents whose contribution is known missing from the result (no
+  // surviving replica, or failover rounds exhausted), counted per
+  // document across every failure mode. A lost gather/coordinator task —
+  // the whole merged result, not any one document — counts as 1.
+  // Nonzero iff degraded.
   uint64_t missing_partitions = 0;
   // True when the result is known to be incomplete.
   bool degraded = false;
@@ -262,6 +264,10 @@ class SimulatedCluster {
   // True while `node` is alive in the same incarnation: bytes stored at
   // `epoch_at_store` are still there.
   bool HolderStillValid(NodeId node, uint64_t epoch_at_store) const;
+  // Copies the node's partition slot under partitions_mutex_: RecoverNode
+  // swaps the slot concurrently with readers, and unsynchronized read +
+  // write of one shared_ptr object is a data race.
+  std::shared_ptr<Partition> PartitionFor(NodeId node) const;
   static uint64_t DocBytes(const model::Document& doc);
   void AccountTraffic(const ShipStats& stats);
 
@@ -269,7 +275,11 @@ class SimulatedCluster {
   std::vector<std::unique_ptr<Node>> data_nodes_;
   std::vector<std::unique_ptr<Node>> grid_nodes_;
   std::vector<std::unique_ptr<Node>> cluster_nodes_;
-  std::vector<std::shared_ptr<Partition>> partitions_;  // parallel to data
+  // Parallel to data_nodes_. Slots are re-pointed by RecoverNode while
+  // query/ingest threads copy them, so every slot access (read or write
+  // after construction) goes through partitions_mutex_ via PartitionFor.
+  mutable std::mutex partitions_mutex_;
+  std::vector<std::shared_ptr<Partition>> partitions_;
 
   struct DirEntry {
     std::vector<Holder> holders;  // primary first; validity checked on use

@@ -205,17 +205,23 @@ Result<std::unique_ptr<Impliance>> Impliance::Open(ImplianceOptions options) {
   // rebuild them from the latest versions.
   std::unique_lock<std::shared_mutex> lock(impliance->mutex_);
   Impliance* raw = impliance.get();
+  Status mirror_status = Status::OK();
   IMPLIANCE_RETURN_IF_ERROR(
-      raw->store_->Scan([raw](const model::Document& doc) {
+      raw->store_->Scan([raw, &mirror_status](const model::Document& doc) {
         IMPLIANCE_CHECK_OK(raw->IndexDocumentLocked(doc));
         if (raw->scale_out_ != nullptr) {
           // Rebuild the mirror from the durable store (blade contents are
-          // memory-resident and were lost with the process).
+          // memory-resident and were lost with the process). A failed
+          // mirror here would leave the document with no directory entry,
+          // so every distributed query would silently omit it while
+          // reporting degraded=false — fail Open instead, like
+          // InfuseLocked/Update fail the write.
           Result<model::DocId> mirrored = raw->scale_out_->Ingest(doc);
           if (!mirrored.ok()) {
-            IMPLIANCE_LOG(Warning) << "scale-out mirror failed for doc "
-                                   << doc.id << ": "
-                                   << mirrored.status().ToString();
+            mirror_status = Status::IOError(
+                "recovery mirror failed for doc " + std::to_string(doc.id) +
+                ": " + mirrored.status().ToString());
+            return false;
           }
         }
         if (doc.kind == "annotation") {
@@ -231,6 +237,8 @@ Result<std::unique_ptr<Impliance>> Impliance::Open(ImplianceOptions options) {
         }
         return true;
       }));
+  // Scan stops early (returning OK) on a mirror failure; surface it.
+  IMPLIANCE_RETURN_IF_ERROR(mirror_status);
   lock.unlock();
   return impliance;
 }

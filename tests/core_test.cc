@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "core/impliance.h"
 #include "workload/corpus.h"
 
@@ -129,6 +130,38 @@ TEST(ImplianceTest, RecoveryRebuildsIndexes) {
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->size(), 1u);
   EXPECT_EQ((*rows)[0][0].int_value(), 70);
+}
+
+TEST(ImplianceTest, RecoveryFailsOpenWhenScaleOutMirrorCannotStore) {
+  TempDir dir("recovery_mirror");
+  {
+    auto impliance = OpenAt(dir.path());
+    ASSERT_TRUE(
+        impliance->Infuse(MakeTextDocument("note", "", "mirrored magpie"))
+            .ok());
+  }
+  // Reopen with a blade tier while every store task is dropped: the mirror
+  // cannot record any holder, so the document would be invisible to every
+  // distributed query with degraded=false — Open must fail, not warn.
+  {
+    FaultInjector injector(/*seed=*/7);
+    injector.Arm("node.submit.drop", /*probability=*/1.0);
+    FaultInjector::Install(&injector);
+    auto broken = Impliance::Open(
+        {.data_dir = dir.path(), .scale_out_data_nodes = 4});
+    FaultInjector::Install(nullptr);
+    ASSERT_FALSE(broken.ok());
+  }
+  // Without the fault the same reopen succeeds and serves the document
+  // through the scatter-gather path, complete.
+  auto recovered = Impliance::Open(
+      {.data_dir = dir.path(), .scale_out_data_nodes = 4});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  QueryHealth health;
+  auto hits = (*recovered)->Search("magpie", 10, &health);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_FALSE(health.degraded);
+  EXPECT_EQ(health.missing_partitions, 0u);
 }
 
 // -------------------------------------------------------------- Discovery
