@@ -15,6 +15,7 @@
 #include "discovery/pattern_annotator.h"
 #include "index/inverted_index.h"
 #include "model/document.h"
+#include "obs/metrics.h"
 #include "virt/execution_manager.h"
 
 using namespace impliance;
@@ -46,7 +47,7 @@ std::vector<model::Document> MakeCorpus(Rng* rng) {
 }
 
 struct RunResult {
-  Histogram interactive_ms;
+  obs::HistogramSnapshot interactive_ms;
   double background_wall_s = 0;
 };
 

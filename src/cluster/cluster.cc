@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "model/item.h"
+#include "obs/trace.h"
 
 namespace impliance::cluster {
 
@@ -284,6 +285,7 @@ void SimulatedCluster::ScatterWithFailover(
         NodeId node, std::shared_ptr<const std::set<model::DocId>> docs)>&
         make_task,
     ShipStats* stats) {
+  obs::ScopedSpan scatter_span("cluster.scatter");
   size_t orphaned = 0;
   std::shared_ptr<const OwnershipSnapshot> snapshot = OwnershipByNode(&orphaned);
   if (orphaned > 0) {
@@ -310,6 +312,7 @@ void SimulatedCluster::ScatterWithFailover(
     };
     std::vector<Pending> pending;
     pending.reserve(round.size());
+    const uint64_t round_start = NowMicros();
     // Stable timing/staleness slots; the deques must outlive the futures.
     std::deque<uint64_t> task_micros;
     std::deque<uint8_t> stale_flags;
@@ -323,7 +326,10 @@ void SimulatedCluster::ScatterWithFailover(
       const uint64_t expected_epoch = assignment.epoch;
       std::future<TaskOutcome> outcome;
       node->Submit(
-          [fn = std::move(fn), micros, stale, node, expected_epoch] {
+          // The trace rides into the node thread by value: per-node execute
+          // spans record against the request that issued the scatter.
+          [fn = std::move(fn), micros, stale, node, expected_epoch,
+           trace = obs::CurrentTrace()] {
             // The assignment was made against a specific incarnation of
             // this node's partition. If the node died and rejoined since,
             // running the task would scan the wrong (empty) partition and
@@ -335,6 +341,11 @@ void SimulatedCluster::ScatterWithFailover(
             const uint64_t start = NowMicros();
             fn();
             *micros = NowMicros() - start;
+            if (trace != nullptr) {
+              trace->RecordSpan(
+                  "node." + std::to_string(node->id()) + ".execute", start,
+                  *micros);
+            }
           },
           &outcome);
       ++stats->tasks;
@@ -355,6 +366,14 @@ void SimulatedCluster::ScatterWithFailover(
     uint64_t slowest = 0;
     for (uint64_t micros : task_micros) slowest = std::max(slowest, micros);
     stats->critical_path_micros += slowest;
+    if (attempt > 0) {
+      // Failover rounds are where degraded latency comes from; make each
+      // one visible as its own span.
+      if (obs::TracePtr trace = obs::CurrentTrace()) {
+        trace->RecordSpan("cluster.failover.round", round_start,
+                          NowMicros() - round_start);
+      }
+    }
 
     if (lost.empty()) break;
     // Prune dead holders from the directory so re-routing sees survivors.
@@ -402,6 +421,7 @@ std::vector<index::InvertedIndex::SearchResult> SimulatedCluster::KeywordSearch(
       &local_stats);
 
   // Gather: merge partial top-k lists on a grid node.
+  obs::ScopedSpan gather_span("cluster.gather");
   std::vector<index::InvertedIndex::SearchResult> merged;
   ++local_stats.tasks;
   const bool gathered = RunOnPool(grid_nodes_, &rr_grid_, [&] {
@@ -427,6 +447,58 @@ std::vector<index::InvertedIndex::SearchResult> SimulatedCluster::KeywordSearch(
     ++local_stats.missing_partitions;
   }
   local_stats.critical_path_micros += local_stats.grid_task_micros;
+
+  AccountTraffic(local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return merged;
+}
+
+std::shared_ptr<const std::set<model::DocId>> SimulatedCluster::AvailableDocs(
+    ShipStats* stats) {
+  ShipStats local_stats;
+
+  // Scatter: each owning data node verifies, against its live partition,
+  // which of its assigned documents it can actually serve. Nodes lost
+  // mid-scan fail over like any other scatter; anything still unreachable
+  // is counted in the stats rather than silently narrowing the set.
+  std::deque<std::set<model::DocId>> partials;
+  std::deque<uint64_t> misses;
+  ScatterWithFailover(
+      [&](NodeId node_id,
+          std::shared_ptr<const std::set<model::DocId>> owned) {
+        std::shared_ptr<Partition> partition = PartitionFor(node_id);
+        partials.emplace_back();
+        std::set<model::DocId>* out = &partials.back();
+        misses.push_back(0);
+        uint64_t* missed = &misses.back();
+        local_stats.bytes_shipped += 8;  // scan-request fan-out
+        return std::function<void()>(
+            [partition, owned = std::move(owned), out, missed] {
+              for (model::DocId id : *owned) {
+                if (partition->docs.count(id)) {
+                  out->insert(id);
+                } else {
+                  // Directory said this node serves the doc but the
+                  // partition disagrees — report it, never swallow it.
+                  ++*missed;
+                }
+              }
+            });
+      },
+      &local_stats);
+
+  auto merged = std::make_shared<std::set<model::DocId>>();
+  for (const std::set<model::DocId>& partial : partials) {
+    merged->insert(partial.begin(), partial.end());
+  }
+  for (uint64_t missed : misses) {
+    if (missed > 0) {
+      local_stats.missing_partitions += missed;
+      local_stats.degraded = true;
+    }
+  }
+  local_stats.rows_shipped += merged->size();
+  local_stats.bytes_shipped += merged->size() * 8;  // doc-id list gather
 
   AccountTraffic(local_stats);
   if (stats != nullptr) *stats = local_stats;
@@ -509,6 +581,7 @@ SimulatedCluster::AggResult SimulatedCluster::FilterAggregate(
       &result.stats);
 
   // Gather on a grid node.
+  obs::ScopedSpan gather_span("cluster.gather");
   ++result.stats.tasks;
   const bool gathered = RunOnPool(grid_nodes_, &rr_grid_, [&] {
     const uint64_t gather_start = NowMicros();

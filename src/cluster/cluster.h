@@ -88,6 +88,16 @@ class SimulatedCluster {
   std::vector<index::InvertedIndex::SearchResult> KeywordSearch(
       const std::string& query, size_t k, ShipStats* stats = nullptr);
 
+  // Failure-aware availability scan: every owning data node reports which
+  // of its documents it can currently serve, with lost partition tasks
+  // failing over to replica holders like any other scatter. The union is
+  // what a distributed facet/SQL query may legitimately read; documents on
+  // unreachable partitions are reported through `stats` (degraded +
+  // missing_partitions) instead of being silently dropped — the mechanism
+  // that extends the complete-or-degraded contract beyond keyword search.
+  std::shared_ptr<const std::set<model::DocId>> AvailableDocs(
+      ShipStats* stats = nullptr);
+
   // Distributed filter + group-by aggregate over documents of `kind`.
   struct AggQuery {
     std::string kind;

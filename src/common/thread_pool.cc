@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <exception>
+
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace impliance {
 
@@ -67,7 +70,22 @@ void ThreadPool::WorkerLoop() {
       }
       ++in_flight_;
     }
-    task();
+    // A throwing task must not escape the worker thread — that calls
+    // std::terminate and takes the whole appliance down with it. Count it,
+    // log it, keep serving.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      obs::Registry::Global()
+          .GetCounter("threadpool.task_exceptions")
+          ->Increment();
+      IMPLIANCE_LOG(Error) << "task threw: " << e.what();
+    } catch (...) {
+      obs::Registry::Global()
+          .GetCounter("threadpool.task_exceptions")
+          ->Increment();
+      IMPLIANCE_LOG(Error) << "task threw a non-std::exception";
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

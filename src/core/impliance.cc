@@ -9,6 +9,7 @@
 #include "discovery/sentiment_annotator.h"
 #include "common/string_util.h"
 #include "ingest/ingest.h"
+#include "obs/trace.h"
 #include "query/sql_parser.h"
 #include "model/item.h"
 
@@ -32,8 +33,12 @@ std::string SnippetOf(const std::string& text) {
 // its structures" (Section 3.2).
 class Impliance::DocumentTable : public query::Table {
  public:
-  DocumentTable(const Impliance* owner, std::string kind, model::ViewDef view)
-      : owner_(owner), kind_(std::move(kind)), view_(std::move(view)) {
+  DocumentTable(const Impliance* owner, std::string kind, model::ViewDef view,
+                std::shared_ptr<const std::set<model::DocId>> available)
+      : owner_(owner),
+        kind_(std::move(kind)),
+        view_(std::move(view)),
+        available_(std::move(available)) {
     for (const model::ViewColumn& column : view_.columns) {
       schema_.AddColumn(column.name);
     }
@@ -45,6 +50,7 @@ class Impliance::DocumentTable : public query::Table {
   std::vector<exec::Row> ScanAll() const override {
     std::vector<exec::Row> rows;
     for (model::DocId id : owner_->paths_.DocsOfKind(kind_)) {
+      if (!Servable(id)) continue;
       Result<model::Document> doc = owner_->store_->Get(id);
       if (doc.ok()) rows.push_back(model::DocumentToRow(view_, *doc));
     }
@@ -75,15 +81,24 @@ class Impliance::DocumentTable : public query::Table {
     std::vector<exec::Row> rows;
     for (model::DocId id : ids) {
       if (!std::binary_search(of_kind.begin(), of_kind.end(), id)) continue;
+      if (!Servable(id)) continue;
       Result<model::Document> doc = owner_->store_->Get(id);
       if (doc.ok()) rows.push_back(model::DocumentToRow(view_, *doc));
     }
     return rows;
   }
 
+  // Documents outside the availability set are on unreachable partitions;
+  // the caller reports them as missing rather than serving them from the
+  // local mirror as if the cluster were healthy.
+  bool Servable(model::DocId id) const {
+    return available_ == nullptr || available_->count(id) != 0;
+  }
+
   const Impliance* owner_;
   std::string kind_;
   model::ViewDef view_;
+  std::shared_ptr<const std::set<model::DocId>> available_;
   exec::Schema schema_;
 };
 
@@ -91,8 +106,11 @@ class Impliance::DocumentTable : public query::Table {
 // CSV, XML, and e-mail queryable as ONE relation (Section 3.2).
 class Impliance::ClassTable : public query::Table {
  public:
-  ClassTable(const Impliance* owner, discovery::SchemaClass schema_class)
-      : owner_(owner), class_(std::move(schema_class)) {
+  ClassTable(const Impliance* owner, discovery::SchemaClass schema_class,
+             std::shared_ptr<const std::set<model::DocId>> available)
+      : owner_(owner),
+        class_(std::move(schema_class)),
+        available_(std::move(available)) {
     schema_ = exec::Schema(class_.attributes);
   }
 
@@ -107,6 +125,7 @@ class Impliance::ClassTable : public query::Table {
       std::map<std::string, std::string> attr_to_path;
       for (const auto& [path, attr] : mapping) attr_to_path[attr] = path;
       for (model::DocId id : owner_->paths_.DocsOfKind(kind)) {
+        if (available_ != nullptr && available_->count(id) == 0) continue;
         Result<model::Document> doc = owner_->store_->Get(id);
         if (!doc.ok()) continue;
         exec::Row row;
@@ -144,6 +163,7 @@ class Impliance::ClassTable : public query::Table {
  private:
   const Impliance* owner_;
   discovery::SchemaClass class_;
+  std::shared_ptr<const std::set<model::DocId>> available_;
   exec::Schema schema_;
 };
 
@@ -402,8 +422,22 @@ Result<model::Document> Impliance::GetAs(const std::string& principal,
   return doc;
 }
 
-query::FacetedResult Impliance::Faceted(
-    const query::FacetedQuery& faceted_query) const {
+query::FacetedResult Impliance::Faceted(const query::FacetedQuery& faceted_query,
+                                        QueryHealth* health) const {
+  if (health != nullptr) *health = QueryHealth{};
+  query::FacetedQuery restricted = faceted_query;
+  if (scale_out_ != nullptr) {
+    // The local indexes cover every document ever mirrored — including
+    // documents whose partitions are down right now. Restrict counts and
+    // aggregates to what the blades can actually serve and report the
+    // unreachable remainder, instead of answering from ghosts.
+    cluster::ShipStats ship;
+    restricted.restrict_to = scale_out_->AvailableDocs(&ship);
+    if (health != nullptr) {
+      health->degraded = ship.degraded;
+      health->missing_partitions = ship.missing_partitions;
+    }
+  }
   std::shared_lock<std::shared_mutex> lock(mutex_);
   query::FacetedSearch search(&text_index_.global(), &paths_, &facets_,
                               &values_);
@@ -414,7 +448,7 @@ query::FacetedResult Impliance::Faceted(
   load.grid_queue_depth = static_cast<double>(execution_->pending_tasks());
   search.set_parallelism(
       scheduler.ChooseDop(exec::ParallelExecutor::Shared().num_threads(), load));
-  return search.Run(faceted_query);
+  return search.Run(restricted);
 }
 
 std::vector<SearchHit> Impliance::SearchField(const std::string& path,
@@ -461,63 +495,81 @@ model::ViewDef Impliance::ViewForLocked(const std::string& kind) const {
   return view;
 }
 
-query::Catalog Impliance::BuildCatalogLocked() const {
+query::Catalog Impliance::BuildCatalogLocked(
+    std::shared_ptr<const std::set<model::DocId>> available) const {
   query::Catalog catalog;
   for (const std::string& kind : paths_.Kinds()) {
-    catalog.Register(
-        std::make_shared<DocumentTable>(this, kind, ViewForLocked(kind)));
+    catalog.Register(std::make_shared<DocumentTable>(
+        this, kind, ViewForLocked(kind), available));
   }
   for (const discovery::SchemaClass& schema_class : schema_classes_) {
-    catalog.Register(std::make_shared<ClassTable>(this, schema_class));
+    catalog.Register(
+        std::make_shared<ClassTable>(this, schema_class, available));
   }
   return catalog;
 }
 
-Result<std::vector<exec::Row>> Impliance::Sql(const std::string& sql) const {
-  return SqlAs(AccessController::kAdmin, sql);
+Result<std::vector<exec::Row>> Impliance::Sql(const std::string& sql,
+                                              QueryHealth* health) const {
+  return SqlAs(AccessController::kAdmin, sql, health);
 }
 
 Result<std::vector<exec::Row>> Impliance::SqlAs(const std::string& principal,
-                                                const std::string& sql) const {
+                                                const std::string& sql,
+                                                QueryHealth* health) const {
+  if (health != nullptr) *health = QueryHealth{};
   if (!access_.HasPrincipal(principal)) {
     return Status::InvalidArgument("unknown principal: " + principal);
-  }
-  IMPLIANCE_ASSIGN_OR_RETURN(query::SelectStatement stmt,
-                             query::ParseSql(sql));
-  // Kind-level policy: the statement's table(s) map to kinds (or schema
-  // classes, readable when every member kind is).
-  auto kind_readable = [this, &principal](const std::string& table) {
-    if (access_.CanRead(principal, table)) return true;
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    for (const discovery::SchemaClass& schema_class : schema_classes_) {
-      if (schema_class.name != table) continue;
-      for (const std::string& kind : schema_class.kinds) {
-        if (!access_.CanRead(principal, kind)) return false;
-      }
-      return true;
-    }
-    return false;
-  };
-  if (!kind_readable(stmt.table) ||
-      (stmt.join.has_value() && !kind_readable(stmt.join->table))) {
-    audit_.Record(principal, "sql(denied)", sql, {});
-    return Status::Aborted("principal " + principal +
-                           " may not read the queried kinds");
   }
   // Intra-query parallelism: cap the morsel DOP by the cluster scheduler's
   // view of free workers. Queued background discovery counts as grid load,
   // so a busy appliance degrades gracefully to serial execution.
   exec::ExecOptions exec_options;
   {
+    obs::ScopedSpan plan_span("core.plan");
+    IMPLIANCE_ASSIGN_OR_RETURN(query::SelectStatement stmt,
+                               query::ParseSql(sql));
+    // Kind-level policy: the statement's table(s) map to kinds (or schema
+    // classes, readable when every member kind is).
+    auto kind_readable = [this, &principal](const std::string& table) {
+      if (access_.CanRead(principal, table)) return true;
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      for (const discovery::SchemaClass& schema_class : schema_classes_) {
+        if (schema_class.name != table) continue;
+        for (const std::string& kind : schema_class.kinds) {
+          if (!access_.CanRead(principal, kind)) return false;
+        }
+        return true;
+      }
+      return false;
+    };
+    if (!kind_readable(stmt.table) ||
+        (stmt.join.has_value() && !kind_readable(stmt.join->table))) {
+      audit_.Record(principal, "sql(denied)", sql, {});
+      return Status::Aborted("principal " + principal +
+                             " may not read the queried kinds");
+    }
     cluster::Scheduler scheduler;
     cluster::Scheduler::LoadSnapshot load;
     load.grid_queue_depth = static_cast<double>(execution_->pending_tasks());
     exec_options.dop = scheduler.ChooseDop(
         exec::ParallelExecutor::Shared().num_threads(), load);
   }
+  // Availability before the scan: with a scale-out tier, table scans may
+  // only read documents the blades can serve; the rest is reported through
+  // `health` — the same complete-or-degraded contract keyword search has.
+  std::shared_ptr<const std::set<model::DocId>> available;
+  if (scale_out_ != nullptr) {
+    cluster::ShipStats ship;
+    available = scale_out_->AvailableDocs(&ship);
+    if (health != nullptr) {
+      health->degraded = ship.degraded;
+      health->missing_partitions = ship.missing_partitions;
+    }
+  }
   Result<std::vector<exec::Row>> rows = [&]() {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    query::Catalog catalog = BuildCatalogLocked();
+    query::Catalog catalog = BuildCatalogLocked(available);
     query::SimplePlanner planner;
     return query::RunSql(sql, catalog, &planner, exec_options);
   }();

@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "cluster/cluster.h"
-#include "common/histogram.h"
 #include "common/result.h"
 #include "discovery/annotator.h"
 #include "discovery/dictionary_annotator.h"
@@ -23,6 +22,7 @@
 #include "index/value_index.h"
 #include "model/document.h"
 #include "model/view.h"
+#include "obs/metrics.h"
 #include "query/faceted.h"
 #include "query/graph_query.h"
 #include "core/security.h"
@@ -76,8 +76,9 @@ struct ImplianceStats {
   storage::StoreStats store;
   // Interactive-path latency (queue wait + execution) recorded by the
   // execution manager; exposed so the serving layer's Stats op can report
-  // core p50/p95/p99 alongside end-to-end numbers.
-  Histogram interactive_latency_ms;
+  // core p50/p95/p99 alongside end-to-end numbers. A bounded-histogram
+  // snapshot: the source lives on the hot path and must not grow per query.
+  obs::HistogramSnapshot interactive_latency_ms;
   size_t indexed_documents = 0;
   size_t indexed_terms = 0;
   size_t indexed_paths = 0;
@@ -134,11 +135,18 @@ class Impliance {
                                      size_t k) const;
 
   // Interface 1b: faceted/guided search with drill-down and aggregates.
-  query::FacetedResult Faceted(const query::FacetedQuery& faceted_query) const;
+  // With a scale-out tier, counts and aggregates are restricted to
+  // documents the blades can currently serve; `health` (optional) reports
+  // the unreachable remainder instead of silently counting a locally-
+  // indexed ghost of a lost partition.
+  query::FacetedResult Faceted(const query::FacetedQuery& faceted_query,
+                               QueryHealth* health = nullptr) const;
 
   // SQL over system-supplied views: one view per kind (inferred), plus one
-  // consolidated view per discovered schema class (Figure 2).
-  Result<std::vector<exec::Row>> Sql(const std::string& sql) const;
+  // consolidated view per discovered schema class (Figure 2). `health` as
+  // in Faceted: complete-or-degraded, never silently partial.
+  Result<std::vector<exec::Row>> Sql(const std::string& sql,
+                                     QueryHealth* health = nullptr) const;
 
   // Interface 2: graph queries over ingested refs + discovered joins.
   // "How are these two pieces of data connected?"
@@ -155,7 +163,8 @@ class Impliance {
                                           size_t k,
                                           QueryHealth* health = nullptr) const;
   Result<std::vector<exec::Row>> SqlAs(const std::string& principal,
-                                       const std::string& sql) const;
+                                       const std::string& sql,
+                                       QueryHealth* health = nullptr) const;
   Result<model::Document> GetAs(const std::string& principal,
                                 model::DocId id) const;
 
@@ -227,7 +236,10 @@ class Impliance {
   Status DeindexDocumentLocked(const model::Document& doc);
   Result<model::DocId> InfuseLocked(model::Document doc);
   model::ViewDef ViewForLocked(const std::string& kind) const;
-  query::Catalog BuildCatalogLocked() const;
+  // `available` (optional) restricts every table to that document set —
+  // the scale-out tier's availability scan under partial failure.
+  query::Catalog BuildCatalogLocked(
+      std::shared_ptr<const std::set<model::DocId>> available = nullptr) const;
   std::string LabelFor(model::DocId id) const;
 
   ImplianceOptions options_;

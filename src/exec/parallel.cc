@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace impliance::exec {
 
@@ -230,9 +231,14 @@ std::vector<Row> ParallelExecutor::Run(const MorselPlan& plan,
     }
   }
 
+  // Workers run on pool threads, which have no trace of their own — attach
+  // the submitting request's trace so morsel work lands in the right spans.
+  obs::ScopedSpan morsel_span("exec.morsels");
   CompletionLatch latch(dop);
   for (size_t w = 0; w < dop; ++w) {
-    pool_.Submit([this, &plan, &options, &queue, &states, &latch, w] {
+    pool_.Submit([this, &plan, &options, &queue, &states, &latch, w,
+                  trace = obs::CurrentTrace()] {
+      obs::ScopedTraceAttach attach(trace);
       RunWorker(plan, options, &queue, w, &states[w]);
       latch.CountDown();
     });
@@ -279,10 +285,12 @@ void ParallelExecutor::RunTasks(std::vector<std::function<void()>> tasks,
     return;
   }
   // Deal tasks into `dop` lanes; each lane is one pool submission running
-  // its share sequentially, so at most `dop` run concurrently.
+  // its share sequentially, so at most `dop` run concurrently. Lanes carry
+  // the caller's trace so fanned-out index work records into it.
   CompletionLatch latch(dop);
   for (size_t lane = 0; lane < dop; ++lane) {
-    pool_.Submit([&tasks, &latch, lane, dop] {
+    pool_.Submit([&tasks, &latch, lane, dop, trace = obs::CurrentTrace()] {
+      obs::ScopedTraceAttach attach(trace);
       for (size_t i = lane; i < tasks.size(); i += dop) tasks[i]();
       latch.CountDown();
     });

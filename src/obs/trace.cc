@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+
+namespace impliance::obs {
+
+namespace {
+
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Thread-local current trace. A plain TracePtr thread_local would run
+// nontrivial destructors at thread exit in an order that races static
+// teardown; a leaked pointer slot sidesteps that (the pointed-to contexts
+// are owned by live scopes, the slot itself holds one extra ref).
+thread_local TracePtr* t_current_trace = nullptr;
+
+TracePtr& CurrentSlot() {
+  if (t_current_trace == nullptr) t_current_trace = new TracePtr();
+  return *t_current_trace;
+}
+
+constexpr size_t kRecentRingCapacity = 64;
+// 100 ms: generous for an in-memory appliance, tight enough that a scan
+// stuck behind failover rounds shows up.
+constexpr uint64_t kDefaultSlowThresholdMicros = 100'000;
+
+struct TraceSink {
+  std::mutex mutex;
+  std::deque<FinishedTrace> ring;  // newest at back
+  std::atomic<uint64_t> slow_threshold_micros{kDefaultSlowThresholdMicros};
+  std::atomic<uint64_t> slow_count{0};
+};
+
+TraceSink& Sink() {
+  static TraceSink* sink = new TraceSink();  // leaked: outlives all threads
+  return *sink;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(uint64_t trace_id, std::string op,
+                           uint64_t deadline_micros)
+    : trace_id_(trace_id),
+      op_(std::move(op)),
+      start_micros_(MonotonicMicros()),
+      deadline_micros_(deadline_micros) {}
+
+void TraceContext::RecordSpan(std::string name, uint64_t start_micros,
+                              uint64_t duration_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= kMaxSpans) {
+    ++spans_dropped_;
+    return;
+  }
+  Span span;
+  span.name = std::move(name);
+  span.start_micros =
+      start_micros >= start_micros_ ? start_micros - start_micros_ : 0;
+  span.duration_micros = duration_micros;
+  spans_.push_back(std::move(span));
+}
+
+TracePtr StartTrace(std::string op, uint64_t deadline_micros) {
+  static std::atomic<uint64_t> next_id{1};
+  return std::make_shared<TraceContext>(
+      next_id.fetch_add(1, std::memory_order_relaxed), std::move(op),
+      deadline_micros);
+}
+
+TracePtr CurrentTrace() { return CurrentSlot(); }
+
+ScopedTraceAttach::ScopedTraceAttach(TracePtr trace) {
+  TracePtr& slot = CurrentSlot();
+  previous_ = std::move(slot);
+  slot = std::move(trace);
+}
+
+ScopedTraceAttach::~ScopedTraceAttach() {
+  CurrentSlot() = std::move(previous_);
+}
+
+ScopedSpan::ScopedSpan(const char* name)
+    : trace_(CurrentTrace()), name_(name) {
+  if (trace_ != nullptr) start_micros_ = MonotonicMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ == nullptr) return;
+  trace_->RecordSpan(name_, start_micros_, MonotonicMicros() - start_micros_);
+}
+
+void FinishTrace(const TracePtr& trace) {
+  if (trace == nullptr) return;
+  FinishedTrace finished;
+  finished.trace_id = trace->trace_id();
+  finished.op = trace->op();
+  finished.total_micros = MonotonicMicros() - trace->start_micros();
+  {
+    std::lock_guard<std::mutex> lock(trace->mutex_);
+    finished.spans = trace->spans_;
+    finished.spans_dropped = trace->spans_dropped_;
+  }
+  TraceSink& sink = Sink();
+  finished.slow = finished.total_micros >=
+                  sink.slow_threshold_micros.load(std::memory_order_relaxed);
+  if (finished.slow) {
+    sink.slow_count.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "[impliance] SLOW trace %llu op=%s total=%.3fms spans=%zu\n",
+                 static_cast<unsigned long long>(finished.trace_id),
+                 finished.op.c_str(), finished.total_micros / 1000.0,
+                 finished.spans.size());
+  }
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  sink.ring.push_back(std::move(finished));
+  if (sink.ring.size() > kRecentRingCapacity) sink.ring.pop_front();
+}
+
+std::vector<FinishedTrace> RecentTraces(size_t max_traces) {
+  TraceSink& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  std::vector<FinishedTrace> out;
+  const size_t n = std::min(max_traces, sink.ring.size());
+  out.reserve(n);
+  for (auto it = sink.ring.rbegin(); it != sink.ring.rend() && out.size() < n;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void SetSlowTraceThresholdMicros(uint64_t micros) {
+  Sink().slow_threshold_micros.store(micros, std::memory_order_relaxed);
+}
+
+uint64_t SlowTraceThresholdMicros() {
+  return Sink().slow_threshold_micros.load(std::memory_order_relaxed);
+}
+
+uint64_t SlowTraceCount() {
+  return Sink().slow_count.load(std::memory_order_relaxed);
+}
+
+void ClearTracesForTesting() {
+  TraceSink& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  sink.ring.clear();
+}
+
+}  // namespace impliance::obs

@@ -1,0 +1,132 @@
+#ifndef IMPLIANCE_OBS_TRACE_H_
+#define IMPLIANCE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace impliance::obs {
+
+// Per-request tracing in the Dapper mold: the server mints one
+// TraceContext per request (trace id, op, optional deadline), the context
+// rides through the core into cluster scatter/gather and parallel morsel
+// execution via a thread-local current-trace pointer (explicitly re-attached
+// on worker threads), and every interesting stage records a named span.
+// Finished traces land in a bounded in-memory ring; traces slower than the
+// slow-query threshold are additionally counted and logged, and both are
+// surfaced through the wire protocol's kStats op.
+
+// One timed stage of a request. `start_micros` is relative to the trace
+// start, so summaries are self-contained.
+struct Span {
+  std::string name;
+  uint64_t start_micros = 0;
+  uint64_t duration_micros = 0;
+};
+
+class TraceContext {
+ public:
+  // Spans beyond this are dropped (counted in spans_dropped) so a scatter
+  // over many partitions cannot grow a trace without bound.
+  static constexpr size_t kMaxSpans = 32;
+
+  TraceContext(uint64_t trace_id, std::string op, uint64_t deadline_micros);
+
+  uint64_t trace_id() const { return trace_id_; }
+  const std::string& op() const { return op_; }
+  uint64_t start_micros() const { return start_micros_; }
+  // Absolute (monotonic-clock) deadline; 0 = none.
+  uint64_t deadline_micros() const { return deadline_micros_; }
+
+  // Thread-safe; `start_micros` is absolute and converted to a trace-
+  // relative offset here.
+  void RecordSpan(std::string name, uint64_t start_micros,
+                  uint64_t duration_micros);
+
+ private:
+  friend struct FinishedTrace;
+  friend void FinishTrace(const std::shared_ptr<TraceContext>& trace);
+
+  const uint64_t trace_id_;
+  const std::string op_;
+  const uint64_t start_micros_;
+  const uint64_t deadline_micros_;
+
+  std::mutex mutex_;
+  std::vector<Span> spans_;
+  uint64_t spans_dropped_ = 0;
+};
+
+using TracePtr = std::shared_ptr<TraceContext>;
+
+// Mints a context with a fresh process-unique trace id. Does NOT attach it
+// to the current thread; pair with ScopedTraceAttach.
+TracePtr StartTrace(std::string op, uint64_t deadline_micros = 0);
+
+// The trace the current thread is working for (nullptr when untraced).
+// Copying the returned shared_ptr into a task closure is how a trace
+// crosses threads (cluster node tasks, morsel workers).
+TracePtr CurrentTrace();
+
+// Installs `trace` as the current thread's trace for the scope, restoring
+// the previous one on destruction. Safe to nest.
+class ScopedTraceAttach {
+ public:
+  explicit ScopedTraceAttach(TracePtr trace);
+  ~ScopedTraceAttach();
+
+  ScopedTraceAttach(const ScopedTraceAttach&) = delete;
+  ScopedTraceAttach& operator=(const ScopedTraceAttach&) = delete;
+
+ private:
+  TracePtr previous_;
+};
+
+// Records one span into the thread's current trace (no-op when untraced —
+// a relaxed thread-local read, cheap enough for hot paths).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TracePtr trace_;  // captured at construction; survives detach
+  const char* name_;
+  uint64_t start_micros_ = 0;
+};
+
+// An immutable completed trace as stored in the ring.
+struct FinishedTrace {
+  uint64_t trace_id = 0;
+  std::string op;
+  uint64_t total_micros = 0;
+  bool slow = false;
+  uint64_t spans_dropped = 0;
+  std::vector<Span> spans;
+};
+
+// Completes `trace`: computes the total duration, appends the summary to
+// the bounded recent-traces ring, and — above the slow threshold — bumps
+// the slow counter and writes one log line.
+void FinishTrace(const TracePtr& trace);
+
+// Most recent finished traces, newest first, at most `max_traces`.
+std::vector<FinishedTrace> RecentTraces(size_t max_traces);
+
+// Traces with total duration >= this threshold are flagged slow.
+void SetSlowTraceThresholdMicros(uint64_t micros);
+uint64_t SlowTraceThresholdMicros();
+uint64_t SlowTraceCount();
+
+// Testing: drops every buffered finished trace.
+void ClearTracesForTesting();
+
+}  // namespace impliance::obs
+
+#endif  // IMPLIANCE_OBS_TRACE_H_

@@ -43,6 +43,17 @@ FacetedResult FacetedSearch::Run(const FacetedQuery& query) const {
     candidates = std::move(merged);
   }
 
+  // 2b. Availability restriction: drop candidates the caller knows it
+  // cannot legitimately serve, before any counting happens.
+  if (query.restrict_to != nullptr) {
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&query](model::DocId doc) {
+                         return query.restrict_to->count(doc) == 0;
+                       }),
+        candidates.end());
+  }
+
   // 3. Drill-downs.
   for (const auto& [path, value] : query.drilldowns) {
     candidates = facets_->Restrict(path, value, candidates);

@@ -2,6 +2,8 @@
 #define IMPLIANCE_QUERY_FACETED_H_
 
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,12 @@ struct FacetedQuery {
   // ("sum", "avg", "min", "max", "count").
   std::vector<std::pair<std::string, std::string>> aggregates;
   size_t top_k = 10;
+  // When set, only these documents may contribute to the result — the
+  // caller's availability set under partial cluster failure. Documents
+  // outside it are excluded from candidates, facet counts, and aggregates
+  // (the caller reports them as missing rather than silently including a
+  // locally-cached ghost of an unreachable partition).
+  std::shared_ptr<const std::set<model::DocId>> restrict_to;
 };
 
 struct FacetedResult {

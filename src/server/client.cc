@@ -152,6 +152,20 @@ Result<std::vector<std::string>> ImplianceClient::Sql(
   return std::move(response.rows);
 }
 
+Result<ImplianceClient::SqlAnswer> ImplianceClient::SqlChecked(
+    const std::string& statement) {
+  wire::Request request;
+  request.op = wire::Op::kSql;
+  request.payload = statement;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  SqlAnswer answer;
+  answer.rows = std::move(response.rows);
+  answer.degraded = response.degraded;
+  answer.missing_partitions = response.missing_partitions;
+  return answer;
+}
+
 Result<wire::Response> ImplianceClient::Facet(
     const std::string& keywords, const std::string& kind,
     const std::vector<std::string>& facet_paths, uint64_t limit) {

@@ -62,6 +62,14 @@ class ImplianceClient {
                                      uint64_t limit = 10);
   // Rows as tab-separated strings.
   Result<std::vector<std::string>> Sql(const std::string& statement);
+  // SQL with the same completeness contract as SearchChecked: the rows
+  // plus whether unreachable partitions were excluded from the scan.
+  struct SqlAnswer {
+    std::vector<std::string> rows;
+    bool degraded = false;
+    uint64_t missing_partitions = 0;
+  };
+  Result<SqlAnswer> SqlChecked(const std::string& statement);
   Result<wire::Response> Facet(const std::string& keywords,
                                const std::string& kind,
                                const std::vector<std::string>& facet_paths,

@@ -3,12 +3,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
+#include <string_view>
 #include <utility>
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
 #include "common/logging.h"
 #include "model/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/net_util.h"
 
 namespace impliance::server {
@@ -29,6 +33,25 @@ wire::WireStatus WireStatusFor(const Status& status) {
   if (status.IsNotFound()) return wire::WireStatus::kNotFound;
   return wire::WireStatus::kError;
 }
+
+// Registry histograms "server.op.<name>", one per op, resolved once — the
+// recording itself is then lock-free on the serving hot path.
+obs::BoundedHistogram* OpLatencyHistogram(wire::Op op) {
+  static const auto table = [] {
+    constexpr size_t kNumOps = static_cast<size_t>(wire::Op::kShutdown) + 1;
+    std::array<obs::BoundedHistogram*, kNumOps> histograms{};
+    for (size_t i = 0; i < kNumOps; ++i) {
+      histograms[i] = obs::Registry::Global().GetHistogram(
+          std::string("server.op.") +
+          wire::OpName(static_cast<wire::Op>(i)));
+    }
+    return histograms;
+  }();
+  return table[static_cast<size_t>(op)];
+}
+
+// How many recent traces one Stats response ships.
+constexpr size_t kStatsMaxTraces = 8;
 
 }  // namespace
 
@@ -89,8 +112,10 @@ void ImplianceServer::AcceptLoop() {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     ReapFinishedConnections();
     connections_.push_back(connection);
+    // The reader owns a shared_ptr from birth; per-request dispatch hands
+    // copies to workers without ever touching connections_ again.
     connections_.back()->reader = std::thread(
-        [this, connection] { ReaderLoop(connection.get()); });
+        [this, connection] { ReaderLoop(connection); });
   }
 }
 
@@ -115,7 +140,7 @@ void ImplianceServer::ReapFinishedConnections() {
   }
 }
 
-void ImplianceServer::ReaderLoop(Connection* connection) {
+void ImplianceServer::ReaderLoop(std::shared_ptr<Connection> connection) {
   std::string body;
   while (true) {
     Status status = RecvFrame(connection->fd, &body,
@@ -128,7 +153,7 @@ void ImplianceServer::ReaderLoop(Connection* connection) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.invalid_frames;
       }
-      SendResponse(connection,
+      SendResponse(connection.get(),
                    ErrorResponse(0, wire::WireStatus::kInvalidRequest,
                                  status.message()));
       break;
@@ -144,26 +169,13 @@ void ImplianceServer::ReaderLoop(Connection* connection) {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.invalid_frames;
       }
-      SendResponse(connection,
+      SendResponse(connection.get(),
                    ErrorResponse(0, wire::WireStatus::kInvalidRequest,
                                  status.message()));
       continue;
     }
 
-    // Find the shared_ptr for this connection so workers can outlive the
-    // reader safely.
-    std::shared_ptr<Connection> self;
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      for (const auto& candidate : connections_) {
-        if (candidate.get() == connection) {
-          self = candidate;
-          break;
-        }
-      }
-    }
-    if (self == nullptr) break;  // being torn down
-    Dispatch(std::move(self), std::move(request));
+    Dispatch(connection, std::move(request));
   }
   // Signal EOF to the peer right away — the fd itself is closed at reap or
   // drain time, strictly after this thread is joined.
@@ -213,10 +225,18 @@ void ImplianceServer::Dispatch(std::shared_ptr<Connection> connection,
   const uint64_t deadline_ms = request.deadline_ms != 0
                                    ? request.deadline_ms
                                    : options_.default_deadline_ms;
+  // Mint the request's trace at admission: everything downstream — core
+  // planning, cluster scatter/gather, morsel workers — records spans into
+  // it through the thread-local current-trace pointer.
+  obs::TracePtr trace = obs::StartTrace(
+      wire::OpName(request.op),
+      deadline_ms != 0 ? received_micros + deadline_ms * 1000 : 0);
   workers_->Submit([this, connection = std::move(connection),
                     request = std::move(request), received_micros,
-                    deadline_ms]() mutable {
+                    deadline_ms, trace = std::move(trace)]() mutable {
     queued_.fetch_sub(1, std::memory_order_acq_rel);
+    trace->RecordSpan("admission.wait", received_micros,
+                      NowMicros() - received_micros);
 
     // Per-request deadline: a request that waited out its whole budget in
     // the queue is dead on arrival — tell the client instead of burning a
@@ -246,7 +266,14 @@ void ImplianceServer::Dispatch(std::shared_ptr<Connection> connection,
       return;
     }
 
-    wire::Response response = Execute(request);
+    wire::Response response;
+    {
+      // Attach for the execute scope only: everything the core and cluster
+      // record below lands in this request's trace.
+      obs::ScopedTraceAttach attach(trace);
+      obs::ScopedSpan execute_span("server.execute");
+      response = Execute(request);
+    }
     response.id = request.id;
     RecordLatency(request.op, (NowMicros() - received_micros) / 1000.0);
     {
@@ -254,6 +281,7 @@ void ImplianceServer::Dispatch(std::shared_ptr<Connection> connection,
       ++stats_.requests_completed;
     }
     SendResponse(connection.get(), response);
+    obs::FinishTrace(trace);
 
     if (request.op == wire::Op::kShutdown &&
         response.status == wire::WireStatus::kOk) {
@@ -314,7 +342,12 @@ wire::Response ImplianceServer::Execute(const wire::Request& request) {
       faceted.kind = request.kind;
       faceted.facet_paths = request.facet_paths;
       faceted.top_k = request.limit;
-      query::FacetedResult result = impliance_->Faceted(faceted);
+      core::QueryHealth health;
+      query::FacetedResult result = impliance_->Faceted(faceted, &health);
+      // Same contract as search: facet counts computed without unreachable
+      // partitions must say so, not pose as complete.
+      response.degraded = health.degraded;
+      response.missing_partitions = health.missing_partitions;
       response.doc_ids.assign(result.docs.begin(), result.docs.end());
       response.counters.emplace_back("total_matches", result.total_matches);
       std::string rendered;
@@ -329,11 +362,14 @@ wire::Response ImplianceServer::Execute(const wire::Request& request) {
     }
 
     case wire::Op::kSql: {
-      auto rows = impliance_->Sql(request.payload);
+      core::QueryHealth health;
+      auto rows = impliance_->Sql(request.payload, &health);
       if (!rows.ok()) {
         return ErrorResponse(request.id, WireStatusFor(rows.status()),
                              rows.status().ToString());
       }
+      response.degraded = health.degraded;
+      response.missing_partitions = health.missing_partitions;
       response.rows.reserve(rows->size());
       for (const exec::Row& row : *rows) {
         std::string line;
@@ -380,19 +416,53 @@ wire::Response ImplianceServer::BuildStatsResponse() const {
          {"requests_shed", stats_.requests_shed},
          {"deadline_expired", stats_.deadline_expired},
          {"invalid_frames", stats_.invalid_frames}});
-    for (const auto& [op, histogram] : stats_.op_latency_ms) {
-      response.op_latencies.push_back({op, histogram.count(),
-                                       histogram.P50(), histogram.P95(),
-                                       histogram.P99()});
-    }
+  }
+  // Process-wide metrics registry: counters and gauges ship under their
+  // registry names; "server.op.<name>" histograms become the per-op
+  // latency summaries (prefix stripped — they ARE the serving latencies).
+  const obs::RegistrySnapshot registry = obs::Registry::Global().Snapshot();
+  for (const auto& [name, value] : registry.counters) {
+    response.counters.emplace_back(name, value);
+  }
+  for (const auto& [name, value] : registry.gauges) {
+    response.counters.emplace_back(
+        name, value > 0 ? static_cast<uint64_t>(value) : 0);
+  }
+  response.counters.emplace_back("slow_traces", obs::SlowTraceCount());
+  constexpr std::string_view kOpPrefix = "server.op.";
+  for (const auto& [name, snapshot] : registry.histograms) {
+    if (snapshot.count() == 0) continue;
+    std::string op_name = name.rfind(kOpPrefix, 0) == 0
+                              ? name.substr(kOpPrefix.size())
+                              : name;
+    response.op_latencies.push_back({std::move(op_name), snapshot.count(),
+                                     snapshot.P50(), snapshot.P95(),
+                                     snapshot.P99()});
   }
   // The appliance's own interactive-path latency (queue wait + execution
   // inside the core), distinct from end-to-end serving latency.
-  const Histogram& interactive = core_stats.interactive_latency_ms;
+  const obs::HistogramSnapshot& interactive = core_stats.interactive_latency_ms;
   if (interactive.count() > 0) {
     response.op_latencies.push_back({"core.interactive", interactive.count(),
                                      interactive.P50(), interactive.P95(),
                                      interactive.P99()});
+  }
+  // Recent request traces: where each stage of the last few requests spent
+  // its time (the kStats caller's own request finishes after this builds,
+  // so the newest visible trace is the previous request).
+  for (const obs::FinishedTrace& finished : obs::RecentTraces(kStatsMaxTraces)) {
+    wire::TraceSummary summary;
+    summary.trace_id = finished.trace_id;
+    summary.op = finished.op;
+    summary.total_micros = finished.total_micros;
+    summary.slow = finished.slow;
+    summary.spans_dropped = finished.spans_dropped;
+    summary.spans.reserve(finished.spans.size());
+    for (const obs::Span& span : finished.spans) {
+      summary.spans.push_back(
+          {span.name, span.start_micros, span.duration_micros});
+    }
+    response.traces.push_back(std::move(summary));
   }
   response.body = "documents=" +
                   std::to_string(core_stats.indexed_documents) +
@@ -415,8 +485,7 @@ void ImplianceServer::SendResponse(Connection* connection,
 }
 
 void ImplianceServer::RecordLatency(wire::Op op, double millis) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.op_latency_ms[wire::OpName(op)].Add(millis);
+  OpLatencyHistogram(op)->Add(millis);
 }
 
 ServingStats ImplianceServer::GetServingStats() const {
@@ -448,8 +517,8 @@ void ImplianceServer::Shutdown() {
   workers_->WaitIdle();
 
   // 3. Close connections: wake blocked readers, join them, then close.
-  //    Joining happens outside connections_mutex_ — readers take it to
-  //    look up their own shared_ptr, so holding it here would deadlock.
+  //    Joining happens outside connections_mutex_ so a reader that is
+  //    still finishing its last loop iteration can never be blocked on it.
   std::vector<std::shared_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);

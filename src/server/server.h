@@ -12,7 +12,6 @@
 #include <thread>
 #include <vector>
 
-#include "common/histogram.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/impliance.h"
@@ -50,9 +49,11 @@ struct ServingStats {
   uint64_t deadline_expired = 0;   // kDeadlineExceeded responses
   uint64_t invalid_frames = 0;     // malformed/oversized frames
   uint64_t requests_rejected_draining = 0;
-  // Per-op serving latency (receipt to response write), milliseconds.
-  std::map<std::string, Histogram> op_latency_ms;
 };
+// Per-op serving latency (receipt to response write) lives in the process
+// metrics registry as bounded histograms named "server.op.<name>" — an
+// unbounded per-sample histogram on the serving hot path would grow one
+// allocation per request forever.
 
 // TCP front end for one `core::Impliance`: speaks the wire protocol of
 // wire_protocol.h, runs requests on a worker pool, and applies admission
@@ -97,7 +98,10 @@ class ImplianceServer {
   ImplianceServer(core::Impliance* impliance, ServerOptions options);
 
   void AcceptLoop();
-  void ReaderLoop(Connection* connection);
+  // Owns one connection's read side. Takes the shared_ptr directly (handed
+  // over at spawn) so dispatching never has to rediscover it by scanning
+  // connections_ under connections_mutex_ per request.
+  void ReaderLoop(std::shared_ptr<Connection> connection);
   // Admission control + dispatch for one decoded request.
   void Dispatch(std::shared_ptr<Connection> connection, wire::Request request);
   wire::Response Execute(const wire::Request& request);

@@ -154,6 +154,20 @@ void EncodeResponse(const Response& response, std::string* dst) {
     PutDouble(&body, latency.p95_ms);
     PutDouble(&body, latency.p99_ms);
   }
+  PutVarint32(&body, static_cast<uint32_t>(response.traces.size()));
+  for (const TraceSummary& trace : response.traces) {
+    PutVarint64(&body, trace.trace_id);
+    PutLengthPrefixed(&body, trace.op);
+    PutVarint64(&body, trace.total_micros);
+    body.push_back(static_cast<char>(trace.slow ? 1 : 0));
+    PutVarint64(&body, trace.spans_dropped);
+    PutVarint32(&body, static_cast<uint32_t>(trace.spans.size()));
+    for (const TraceSpan& span : trace.spans) {
+      PutLengthPrefixed(&body, span.name);
+      PutVarint64(&body, span.start_micros);
+      PutVarint64(&body, span.duration_micros);
+    }
+  }
   body.push_back(static_cast<char>(response.degraded ? 1 : 0));
   PutVarint64(&body, response.missing_partitions);
   PutLengthPrefixed(&body, response.body);
@@ -232,6 +246,33 @@ Status DecodeResponse(std::string_view body, Response* out) {
       return Malformed("truncated latency");
     }
     out->op_latencies.push_back(std::move(latency));
+  }
+
+  if (!GetVarint32(&body, &n) || n > body.size()) return Malformed("traces");
+  out->traces.clear();
+  out->traces.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TraceSummary trace;
+    uint8_t slow = 0;
+    uint32_t n_spans = 0;
+    if (!GetVarint64(&body, &trace.trace_id) || !GetString(&body, &trace.op) ||
+        !GetVarint64(&body, &trace.total_micros) || !GetByte(&body, &slow) ||
+        slow > 1 || !GetVarint64(&body, &trace.spans_dropped) ||
+        !GetVarint32(&body, &n_spans) || n_spans > body.size()) {
+      return Malformed("truncated trace");
+    }
+    trace.slow = slow != 0;
+    trace.spans.reserve(n_spans);
+    for (uint32_t s = 0; s < n_spans; ++s) {
+      TraceSpan span;
+      if (!GetString(&body, &span.name) ||
+          !GetVarint64(&body, &span.start_micros) ||
+          !GetVarint64(&body, &span.duration_micros)) {
+        return Malformed("truncated span");
+      }
+      trace.spans.push_back(std::move(span));
+    }
+    out->traces.push_back(std::move(trace));
   }
 
   uint8_t degraded = 0;

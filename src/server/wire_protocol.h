@@ -37,6 +37,11 @@ namespace impliance::server::wire {
 //   varint32 n_counters | n * (lp(name) | varint64 value) |
 //   varint32 n_latencies | n * (lp(op) | varint64 count |
 //                               3 * fixed64 pXX-ms-bits) |
+//   varint32 n_traces | n * (varint64 trace_id | lp(op) |
+//                            varint64 total_micros | byte slow |
+//                            varint64 spans_dropped | varint32 n_spans |
+//                            n * (lp(name) | varint64 start_micros |
+//                                 varint64 duration_micros)) |
 //   byte degraded | varint64 missing_partitions |
 //   lp(body)
 //
@@ -46,7 +51,8 @@ namespace impliance::server::wire {
 
 // Bumped on any incompatible layout change; peers reject mismatches.
 // v2: responses carry degraded/missing_partitions (result completeness).
-inline constexpr uint8_t kWireVersion = 2;
+// v3: Stats responses carry recent request traces with per-stage spans.
+inline constexpr uint8_t kWireVersion = 3;
 
 // Upper bound on a frame body; anything larger is rejected before
 // allocation so a garbage length prefix cannot OOM the server.
@@ -112,6 +118,29 @@ struct OpLatency {
   friend bool operator==(const OpLatency&, const OpLatency&) = default;
 };
 
+// One timed stage of a traced request (start is trace-relative).
+struct TraceSpan {
+  std::string name;
+  uint64_t start_micros = 0;
+  uint64_t duration_micros = 0;
+
+  friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
+};
+
+// A finished request trace as surfaced by the Stats op: where each stage
+// of a recent request spent its time, and whether it crossed the
+// slow-query threshold.
+struct TraceSummary {
+  uint64_t trace_id = 0;
+  std::string op;
+  uint64_t total_micros = 0;
+  bool slow = false;
+  uint64_t spans_dropped = 0;
+  std::vector<TraceSpan> spans;
+
+  friend bool operator==(const TraceSummary&, const TraceSummary&) = default;
+};
+
 struct Response {
   uint64_t id = 0;
   WireStatus status = WireStatus::kOk;
@@ -122,6 +151,7 @@ struct Response {
   // Stats: named counters (documents, terms, shed_total, ...).
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<OpLatency> op_latencies;  // Stats
+  std::vector<TraceSummary> traces;     // Stats: recent request traces
   // Result completeness: a kOk answer with degraded=true is explicitly
   // partial — `missing_partitions` units of work were lost to node
   // failures even after failover. Complete answers are {false, 0}.

@@ -1,19 +1,54 @@
 #include "virt/broker.h"
 
+#include "obs/metrics.h"
+
 namespace impliance::virt {
+
+namespace {
+// Process-wide broker telemetry: the resource-broker hierarchy is a
+// self-management component (Section 3.4/5), so its activity feeds the
+// observability registry alongside per-instance Stats.
+struct BrokerMetrics {
+  obs::Counter* requests;
+  obs::Counter* satisfied;
+  obs::Counter* groups_inspected;
+  obs::Gauge* unsatisfied;
+};
+BrokerMetrics& Metrics() {
+  static BrokerMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Global();
+    return BrokerMetrics{registry.GetCounter("virt.broker.requests"),
+                         registry.GetCounter("virt.broker.satisfied"),
+                         registry.GetCounter("virt.broker.groups_inspected"),
+                         registry.GetGauge("virt.broker.unsatisfied")};
+  }();
+  return metrics;
+}
+}  // namespace
 
 std::optional<uint32_t> Broker::Acquire(ResourceGroup* requester,
                                         cluster::NodeKind kind) {
   ++stats_.requests;
+  Metrics().requests->Increment();
   // Local spare first: no broker involvement needed.
   if (std::optional<uint32_t> local = requester->AllocateLocal(kind)) {
     ++stats_.satisfied;
+    Metrics().satisfied->Increment();
     return local;
   }
+  const uint64_t inspected_before = stats_.groups_inspected;
   std::optional<uint32_t> id = mode_ == Mode::kFlat
                                    ? AcquireFlat(requester, kind)
                                    : AcquireHierarchical(requester, kind);
-  if (id.has_value()) ++stats_.satisfied;
+  Metrics().groups_inspected->Increment(stats_.groups_inspected -
+                                        inspected_before);
+  if (id.has_value()) {
+    ++stats_.satisfied;
+    Metrics().satisfied->Increment();
+  } else {
+    // Depth of unmet demand: how starved the hierarchy currently is.
+    Metrics().unsatisfied->Add(1);
+  }
   return id;
 }
 

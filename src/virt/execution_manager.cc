@@ -3,11 +3,24 @@
 #include <condition_variable>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace impliance::virt {
 
+namespace {
+// Appliance-wide view of the background/interactive queue: the execution
+// manager is the paper's Section 3.4 "execution management" component, so
+// its queue depth is the canonical load signal for the stats surface.
+obs::Gauge* PendingGauge() {
+  static obs::Gauge* gauge =
+      obs::Registry::Global().GetGauge("virt.execution.pending_tasks");
+  return gauge;
+}
+}  // namespace
+
 void ExecutionManager::SubmitBackground(std::function<void()> task) {
   pool_.Submit(std::move(task), ThreadPool::Priority::kLow);
+  PendingGauge()->Set(static_cast<int64_t>(pool_.pending_tasks()));
 }
 
 void ExecutionManager::RunInteractive(std::function<void()> task) {
@@ -35,8 +48,8 @@ void ExecutionManager::RunInteractive(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(done_mutex);
     done_cv.wait(lock, [&done] { return done; });
   }
-  std::lock_guard<std::mutex> lock(mutex_);
   latencies_.Add(watch.ElapsedMillis());
+  PendingGauge()->Set(static_cast<int64_t>(pool_.pending_tasks()));
 }
 
 }  // namespace impliance::virt

@@ -3,10 +3,9 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 
-#include "common/histogram.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace impliance::virt {
 
@@ -30,10 +29,11 @@ class ExecutionManager {
 
   void WaitIdle() { pool_.WaitIdle(); }
 
-  // Latency of interactive tasks, milliseconds.
-  Histogram interactive_latency_ms() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return latencies_;
+  // Latency of interactive tasks, milliseconds. A bounded log-scale
+  // histogram snapshot: the manager sits on the interactive hot path, so
+  // it must not accumulate one sample per query forever.
+  obs::HistogramSnapshot interactive_latency_ms() const {
+    return latencies_.Snapshot();
   }
 
   size_t pending_tasks() const { return pool_.pending_tasks(); }
@@ -41,8 +41,7 @@ class ExecutionManager {
  private:
   bool priority_scheduling_;
   ThreadPool pool_;
-  mutable std::mutex mutex_;
-  Histogram latencies_;
+  obs::BoundedHistogram latencies_;
 };
 
 }  // namespace impliance::virt

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
@@ -19,6 +20,7 @@
 #include "cluster/node.h"
 #include "common/fault_injector.h"
 #include "common/rng.h"
+#include "core/impliance.h"
 #include "model/document.h"
 
 namespace impliance::cluster {
@@ -250,6 +252,125 @@ TEST_P(ChaosTest, ConcurrentIngestAndQueriesSurviveKillRecoverCycles) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(0xC0FFEEull, 42ull, 7ull, 1337ull));
+
+// ------------------------------------------------- Appliance facet/SQL paths
+
+// The same complete-or-degraded contract, one layer up: the appliance's
+// faceted and SQL interfaces run against local indexes that can outlive a
+// dead blade, so without the availability restriction they would happily
+// count a locally-indexed ghost of a lost partition. These tests kill a
+// node mid-query and require the loss to be declared through QueryHealth.
+
+class ApplianceTempDir {
+ public:
+  explicit ApplianceTempDir(const std::string& name)
+      : path_(std::filesystem::temp_directory_path() /
+              ("impliance_chaos_" + name + "_" +
+               std::to_string(reinterpret_cast<uintptr_t>(this)))) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ApplianceTempDir() { std::filesystem::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+std::unique_ptr<core::Impliance> OpenScaleOut(const std::string& dir) {
+  auto impliance = core::Impliance::Open({.data_dir = dir,
+                                          .scale_out_data_nodes = 4,
+                                          .scale_out_replication = 1});
+  EXPECT_TRUE(impliance.ok()) << impliance.status().ToString();
+  return std::move(impliance).value();
+}
+
+class ApplianceChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApplianceChaosTest, NodeKilledMidFacetDegradesExplicitly) {
+  ApplianceTempDir dir("facet");
+  auto impliance = OpenScaleOut(dir.path());
+  std::string csv = "order_no,city,total\n";
+  for (int i = 0; i < 40; ++i) {
+    csv += std::to_string(i) + (i % 2 == 0 ? ",london," : ",paris,") +
+           std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(impliance->InfuseContent("order", csv).ok());
+
+  query::FacetedQuery facet;
+  facet.kind = "order";
+  facet.facet_paths = {"/doc/city"};
+  facet.aggregates = {{"/doc/total", "sum"}};
+
+  // Failure-free baseline: complete, every document counted.
+  core::QueryHealth baseline_health;
+  query::FacetedResult baseline = impliance->Faceted(facet, &baseline_health);
+  ASSERT_EQ(baseline.total_matches, 40u);
+  ASSERT_FALSE(baseline_health.degraded);
+  const double baseline_sum = baseline.aggregate_values.at("sum(/doc/total)");
+
+  // Kill a node in the submit window of the facet's availability scatter
+  // (replication=1, so the lost partition has no surviving holder).
+  ScopedFaultInjection fi(GetParam());
+  fi->ArmAtHit("node.submit.crash", fi->hits("node.submit.crash") + 1);
+  core::QueryHealth health;
+  query::FacetedResult degraded = impliance->Faceted(facet, &health);
+  EXPECT_EQ(fi->triggers("node.submit.crash"), 1u);
+  EXPECT_TRUE(health.degraded);
+  EXPECT_GT(health.missing_partitions, 0u);
+  // The unreachable documents are excluded, not silently hallucinated
+  // from the local index.
+  EXPECT_LT(degraded.total_matches, 40u);
+  EXPECT_LT(degraded.aggregate_values.at("sum(/doc/total)"), baseline_sum);
+
+  // Recover the node. At replication=1 it rejoins *empty* (its contents
+  // died with it), so the honest answer is still degraded — the appliance
+  // must keep declaring the loss rather than quietly serving the local
+  // index's ghost of the lost partition.
+  fi->Disarm("node.submit.crash");
+  SimulatedCluster* cluster = impliance->scale_out();
+  ASSERT_NE(cluster, nullptr);
+  for (const auto& node : cluster->data_nodes()) {
+    if (!node->alive()) cluster->RecoverNode(node->id());
+  }
+  cluster->DetectFailures();
+  cluster->ReReplicate();
+  core::QueryHealth recovered_health;
+  query::FacetedResult recovered = impliance->Faceted(facet, &recovered_health);
+  EXPECT_TRUE(recovered_health.degraded);
+  EXPECT_GT(recovered_health.missing_partitions, 0u);
+  EXPECT_LT(recovered.total_matches, 40u);
+}
+
+TEST_P(ApplianceChaosTest, NodeKilledMidSqlDegradesExplicitly) {
+  ApplianceTempDir dir("sql");
+  auto impliance = OpenScaleOut(dir.path());
+  std::string csv = "order_no,city,total\n";
+  for (int i = 0; i < 40; ++i) {
+    csv += std::to_string(i) + ",london," + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(impliance->InfuseContent("order", csv).ok());
+
+  core::QueryHealth baseline_health;
+  auto baseline =
+      impliance->Sql("SELECT order_no FROM order", &baseline_health);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->size(), 40u);
+  ASSERT_FALSE(baseline_health.degraded);
+
+  ScopedFaultInjection fi(GetParam());
+  fi->ArmAtHit("node.submit.crash", fi->hits("node.submit.crash") + 1);
+  core::QueryHealth health;
+  auto rows = impliance->Sql("SELECT order_no FROM order", &health);
+  EXPECT_EQ(fi->triggers("node.submit.crash"), 1u);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_TRUE(health.degraded);
+  EXPECT_GT(health.missing_partitions, 0u);
+  EXPECT_LT(rows->size(), 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApplianceChaosTest,
                          ::testing::Values(0xC0FFEEull, 42ull, 7ull, 1337ull));
 
 }  // namespace

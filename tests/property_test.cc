@@ -318,6 +318,19 @@ Response RandomResponse(Rng* rng) {
                                      rng->NextDouble() * 100,
                                      rng->NextDouble() * 100});
   }
+  for (size_t i = rng->Uniform(3); i > 0; --i) {
+    server::wire::TraceSummary trace;
+    trace.trace_id = RandomU64(rng);
+    trace.op = RandomBlob(rng, 16);
+    trace.total_micros = RandomU64(rng);
+    trace.slow = rng->Uniform(2) == 1;
+    trace.spans_dropped = RandomU64(rng);
+    for (size_t s = rng->Uniform(5); s > 0; --s) {
+      trace.spans.push_back(
+          {RandomBlob(rng, 24), RandomU64(rng), RandomU64(rng)});
+    }
+    response.traces.push_back(std::move(trace));
+  }
   response.degraded = rng->Uniform(2) == 1;
   response.missing_partitions = RandomU64(rng);
   response.body = RandomBlob(rng, 4000);

@@ -165,6 +165,35 @@ TEST_F(ServerTest, IngestGetSearchStatsRoundTrip) {
   EXPECT_TRUE(saw_ingest_latency);
 }
 
+TEST_F(ServerTest, StatsCarriesRecentTracesWithSpans) {
+  StartServer();
+  auto client = Client();
+  ASSERT_NE(client, nullptr);
+  // A few traced requests first: their traces finish right after the
+  // response is written, so by the time several later responses have
+  // arrived the earlier traces are guaranteed to be in the ring.
+  ASSERT_TRUE(client->Ingest("note", "observable ostrich").ok());
+  ASSERT_TRUE(client->Search("ostrich", 10).ok());
+  ASSERT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->Ping().ok());
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_FALSE(stats->traces.empty());
+  // At least one trace must carry per-stage spans: every executed request
+  // records admission.wait and server.execute.
+  bool saw_execute_span = false;
+  for (const auto& trace : stats->traces) {
+    EXPECT_GT(trace.trace_id, 0u);
+    EXPECT_FALSE(trace.op.empty());
+    for (const auto& span : trace.spans) {
+      if (span.name == "server.execute") saw_execute_span = true;
+      EXPECT_LE(span.start_micros, trace.total_micros);
+    }
+  }
+  EXPECT_TRUE(saw_execute_span);
+}
+
 TEST_F(ServerTest, FacetRoundTrip) {
   StartServer();
   auto client = Client();

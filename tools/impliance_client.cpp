@@ -42,7 +42,7 @@ int Usage() {
       "  search <keywords...>\n"
       "  sql <statement>\n"
       "  facet <kind> <path> [keywords...]\n"
-      "  stats\n"
+      "  stats [--traces]\n"
       "  load <requests> <connections>   scripted search/ingest load\n"
       "  shutdown\n");
   return 1;
@@ -202,13 +202,19 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "sql") {
-    auto rows = client->Sql(JoinArgs(argv, 3, argc));
-    if (!rows.ok()) {
-      std::fprintf(stderr, "error: %s\n", rows.status().ToString().c_str());
+    auto answer = client->SqlChecked(JoinArgs(argv, 3, argc));
+    if (!answer.ok()) {
+      std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
       return 1;
     }
-    for (const auto& row : *rows) std::printf("%s\n", row.c_str());
-    std::printf("(%zu rows)\n", rows->size());
+    for (const auto& row : answer->rows) std::printf("%s\n", row.c_str());
+    std::printf("(%zu rows)\n", answer->rows.size());
+    if (answer->degraded) {
+      std::fprintf(stderr,
+                   "warning: DEGRADED result — %llu partition(s) unavailable\n",
+                   static_cast<unsigned long long>(answer->missing_partitions));
+      return 2;
+    }
     return 0;
   }
   if (command == "facet") {
@@ -225,9 +231,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(value));
     }
     std::printf("%s", response->body.c_str());
+    if (response->degraded) {
+      std::fprintf(stderr,
+                   "warning: DEGRADED result — %llu partition(s) unavailable\n",
+                   static_cast<unsigned long long>(
+                       response->missing_partitions));
+      return 2;
+    }
     return 0;
   }
   if (command == "stats") {
+    const bool show_traces = argc > 3 && std::string(argv[3]) == "--traces";
     auto response = client->Stats();
     if (!response.ok()) {
       std::fprintf(stderr, "error: %s\n",
@@ -243,6 +257,22 @@ int main(int argc, char** argv) {
                   latency.op.c_str(),
                   static_cast<unsigned long long>(latency.count),
                   latency.p50_ms, latency.p95_ms, latency.p99_ms);
+    }
+    if (show_traces) {
+      for (const auto& trace : response->traces) {
+        std::printf("trace %llu %s total=%lluus%s%s\n",
+                    static_cast<unsigned long long>(trace.trace_id),
+                    trace.op.c_str(),
+                    static_cast<unsigned long long>(trace.total_micros),
+                    trace.slow ? " SLOW" : "",
+                    trace.spans_dropped > 0 ? " (spans dropped)" : "");
+        for (const auto& span : trace.spans) {
+          std::printf("  +%-8llu %-24s %lluus\n",
+                      static_cast<unsigned long long>(span.start_micros),
+                      span.name.c_str(),
+                      static_cast<unsigned long long>(span.duration_micros));
+        }
+      }
     }
     return 0;
   }
