@@ -1,0 +1,198 @@
+// Keyword-search throughput: exhaustive BM25 scoring vs block-max
+// early-termination top-k over the same InvertedIndex, swept across query
+// length and k on a Zipf-vocabulary corpus. Also reports per-query postings
+// scored and blocks skipped, and cross-checks that both paths return the
+// identical top-k on every measured query (exits non-zero on divergence —
+// this doubles as a large-corpus equivalence check in CI).
+//
+//   bench_search [--docs N] [--smoke] [--json PATH]
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "index/inverted_index.h"
+
+namespace impliance {
+namespace {
+
+using index::InvertedIndex;
+
+constexpr size_t kVocabSize = 20000;
+
+std::vector<std::string> MakeVocab(Rng* rng) {
+  std::vector<std::string> vocab;
+  std::set<std::string> seen;
+  vocab.reserve(kVocabSize);
+  while (vocab.size() < kVocabSize) {
+    std::string w = rng->Word(3 + rng->Uniform(7));
+    if (seen.insert(w).second) vocab.push_back(std::move(w));
+  }
+  return vocab;
+}
+
+struct JsonRow {
+  size_t query_len = 0;
+  size_t k = 0;
+  double exhaustive_qps = 0;
+  double blockmax_qps = 0;
+  double speedup = 0;
+  double postings_scored = 0;   // per query, block-max path
+  double blocks_skipped = 0;    // per query, block-max path
+};
+
+void WriteJson(const std::string& path, size_t num_docs, size_t num_blocks,
+               const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"search_topk\",\n");
+  std::fprintf(f, "  \"docs\": %zu,\n  \"posting_blocks\": %zu,\n", num_docs,
+               num_blocks);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"query_len\": %zu, \"k\": %zu, "
+                 "\"exhaustive_qps\": %.1f, \"blockmax_qps\": %.1f, "
+                 "\"speedup\": %.2f, \"postings_scored\": %.0f, "
+                 "\"blocks_skipped\": %.0f}%s\n",
+                 rows[i].query_len, rows[i].k, rows[i].exhaustive_qps,
+                 rows[i].blockmax_qps, rows[i].speedup,
+                 rows[i].postings_scored, rows[i].blocks_skipped,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace impliance
+
+int main(int argc, char** argv) {
+  using namespace impliance;
+
+  size_t num_docs = 100000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) num_docs = 5000;
+    if (std::strcmp(argv[i], "--docs") == 0 && i + 1 < argc) {
+      num_docs = static_cast<size_t>(std::atoll(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+
+  bench::Banner("E19", "Block-max top-k search vs exhaustive BM25");
+
+  Rng rng(7);
+  std::vector<std::string> vocab = MakeVocab(&rng);
+  InvertedIndex idx;
+  {
+    Stopwatch sw;
+    std::string text;
+    for (size_t d = 0; d < num_docs; ++d) {
+      text.clear();
+      const size_t len = 40 + rng.Uniform(41);
+      for (size_t t = 0; t < len; ++t) {
+        if (t > 0) text += ' ';
+        text += vocab[rng.Zipf(vocab.size(), 0.9)];
+      }
+      idx.AddDocument(1 + d, text);
+    }
+    std::printf("indexed %zu docs, %llu postings, %zu blocks in %.1fs\n",
+                idx.num_documents(),
+                static_cast<unsigned long long>(idx.num_postings()),
+                idx.num_blocks(), sw.ElapsedMicros() / 1e6);
+  }
+
+  // Query mix: head-heavy Zipf terms so posting lists are long enough for
+  // early termination to have something to skip.
+  auto make_queries = [&](size_t query_len, size_t count) {
+    std::vector<std::string> queries;
+    queries.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      std::string q;
+      for (size_t t = 0; t < query_len; ++t) {
+        if (t > 0) q += ' ';
+        q += vocab[rng.Zipf(vocab.size(), 0.9)];
+      }
+      queries.push_back(std::move(q));
+    }
+    return queries;
+  };
+
+  const size_t queries_per_cell = num_docs >= 50000 ? 30 : 100;
+  bench::TablePrinter table({"qlen", "k", "exh qps", "bmax qps", "speedup",
+                             "scored/q", "skipped/q"});
+  std::vector<JsonRow> json_rows;
+  bool equivalent = true;
+
+  for (size_t query_len : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    std::vector<std::string> queries =
+        make_queries(query_len, queries_per_cell);
+    for (size_t k : {size_t{1}, size_t{10}, size_t{100}}) {
+      Stopwatch sw;
+      for (const std::string& q : queries) idx.SearchExhaustive(q, k);
+      const double exh_us = static_cast<double>(sw.ElapsedMicros());
+
+      InvertedIndex::SearchStats stats;
+      sw.Reset();
+      for (const std::string& q : queries) idx.Search(q, k, &stats);
+      const double bmax_us = static_cast<double>(sw.ElapsedMicros());
+
+      // Equivalence audit on every query in the cell (untimed).
+      for (const std::string& q : queries) {
+        auto expected = idx.SearchExhaustive(q, k);
+        auto actual = idx.Search(q, k);
+        if (expected.size() != actual.size()) equivalent = false;
+        for (size_t i = 0; i < expected.size() && equivalent; ++i) {
+          if (expected[i].doc != actual[i].doc ||
+              std::abs(expected[i].score - actual[i].score) > 1e-9) {
+            equivalent = false;
+          }
+        }
+        if (!equivalent) {
+          std::printf("MISMATCH: query=\"%s\" k=%zu\n", q.c_str(), k);
+          break;
+        }
+      }
+
+      JsonRow row;
+      row.query_len = query_len;
+      row.k = k;
+      row.exhaustive_qps = queries.size() / (exh_us / 1e6);
+      row.blockmax_qps = queries.size() / (bmax_us / 1e6);
+      row.speedup = exh_us / bmax_us;
+      row.postings_scored =
+          static_cast<double>(stats.postings_scored) / queries.size();
+      row.blocks_skipped =
+          static_cast<double>(stats.blocks_skipped) / queries.size();
+      json_rows.push_back(row);
+      table.AddRow({bench::FmtInt(query_len), bench::FmtInt(k),
+                    bench::Fmt("%.0f", row.exhaustive_qps),
+                    bench::Fmt("%.0f", row.blockmax_qps),
+                    bench::Fmt("%.2fx", row.speedup),
+                    bench::Fmt("%.0f", row.postings_scored),
+                    bench::Fmt("%.0f", row.blocks_skipped)});
+    }
+  }
+  table.Print();
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, idx.num_documents(), idx.num_blocks(), json_rows);
+  }
+  if (!equivalent) {
+    std::printf("FAIL: block-max top-k diverged from exhaustive\n");
+    return 1;
+  }
+  std::printf("equivalence: block-max top-k == exhaustive on all queries\n");
+  return 0;
+}

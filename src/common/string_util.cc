@@ -72,9 +72,8 @@ bool EndsWith(std::string_view text, std::string_view suffix) {
 
 std::vector<std::string> Tokenize(std::string_view text) {
   std::vector<std::string> tokens;
-  for (Token& t : TokenizeWithOffsets(text)) {
-    tokens.push_back(std::move(t.text));
-  }
+  ForEachToken(text,
+               [&](std::string_view token) { tokens.emplace_back(token); });
   return tokens;
 }
 

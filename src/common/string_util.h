@@ -1,6 +1,7 @@
 #ifndef IMPLIANCE_COMMON_STRING_UTIL_H_
 #define IMPLIANCE_COMMON_STRING_UTIL_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +27,33 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 // This is the tokenizer shared by the full-text indexer and keyword queries
 // so that indexing and search agree on term boundaries.
 std::vector<std::string> Tokenize(std::string_view text);
+
+// Streaming variant of Tokenize: invokes `fn(std::string_view token)` for
+// each lowercased alphanumeric token without materializing a
+// vector<std::string>. The token's bytes live in a single lowered buffer
+// that is reused across tokens, so the string_view is only valid for the
+// duration of the callback — copy it if it must outlive the call. This is
+// the indexer/search hot-path tokenizer (zero allocations after the buffer
+// warms up).
+template <typename Fn>
+void ForEachToken(std::string_view text, Fn&& fn) {
+  std::string token;  // lowered bytes, reused across tokens
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           !std::isalnum(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    token.clear();
+    while (i < text.size() &&
+           std::isalnum(static_cast<unsigned char>(text[i]))) {
+      token.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text[i]))));
+      ++i;
+    }
+    if (!token.empty()) fn(std::string_view(token));
+  }
+}
 
 // Like Tokenize but also reports the byte offset of each token, for
 // annotators that need spans.

@@ -7,24 +7,51 @@
 #include <unordered_map>
 #include <vector>
 
+#include "index/posting_block.h"
 #include "model/document.h"
 
 namespace impliance::index {
+
+// Interned term identifier: index into the term table. Ids are stable for
+// the life of the index (a term whose postings all vanish keeps its id).
+using TermId = uint32_t;
 
 // Positional full-text inverted index with BM25 ranking. Built from scratch
 // (the paper would embed Lucene/Indri but notes the need to extend them);
 // supports the two properties Section 3.3 calls out: incremental
 // maintenance as annotation documents stream in, and top-k retrieval for
-// the keyword interface. A small forward index (doc -> distinct terms)
-// makes document removal — needed when a new version supersedes an old one —
-// a targeted physical delete rather than a tombstone.
+// the keyword interface.
+//
+// Storage: a term dictionary interns terms to TermIds; each term owns a
+// block-compressed posting list — fixed-size blocks (~128 postings) of
+// delta+varint doc ids, varint term frequencies, and delta+varint token
+// positions, with per-block skip metadata (last_doc, block-max BM25
+// ingredients). The forward index (doc -> distinct TermIds) makes document
+// removal — needed when a new version supersedes an old one — a targeted
+// physical delete rather than a tombstone.
+//
+// Serving: Search runs document-at-a-time top-k with MaxScore/block-max
+// early termination — once the k-heap's threshold exceeds a term's score
+// ceiling the term is only probed, and whole blocks are skipped from
+// metadata alone. SearchExhaustive keeps the straight-line scorer as the
+// reference path (equivalence tests and benchmark baseline).
 //
 // Not internally synchronized; callers serialize writes against reads.
+// Concurrent reads are safe (Search/SearchAll/SearchPhrase never mutate).
 class InvertedIndex {
  public:
   struct SearchResult {
     model::DocId doc = model::kInvalidDocId;
     double score = 0.0;
+  };
+
+  // Per-query work counters, filled by the stats overloads so tests and
+  // benches can see early-termination effectiveness without the process-
+  // wide metrics registry.
+  struct SearchStats {
+    uint64_t postings_scored = 0;  // postings whose BM25 term was evaluated
+    uint64_t blocks_decoded = 0;
+    uint64_t blocks_skipped = 0;   // blocks passed over without decoding
   };
 
   // Tokenizes `text` and appends postings for document `id`. A document may
@@ -38,13 +65,23 @@ class InvertedIndex {
     return doc_terms_.count(id) > 0;
   }
 
-  // Disjunctive BM25 top-k. Ties broken by doc id (ascending) so results
-  // are deterministic.
+  // Disjunctive BM25 top-k with block-max early termination. Ties broken
+  // by doc id (ascending) so results are deterministic.
   std::vector<SearchResult> Search(std::string_view query, size_t k) const;
+  std::vector<SearchResult> Search(std::string_view query, size_t k,
+                                   SearchStats* stats) const;
+
+  // Reference scorer: exhaustively evaluates every posting of every query
+  // term. Same contract as Search; exists as the equivalence oracle and
+  // benchmark baseline for the early-termination path.
+  std::vector<SearchResult> SearchExhaustive(std::string_view query,
+                                             size_t k) const;
 
   // Conjunctive match: ids of documents containing every query term,
-  // ascending. Unranked.
+  // ascending. Unranked. Galloping skip-based intersection.
   std::vector<model::DocId> SearchAll(std::string_view query) const;
+  std::vector<model::DocId> SearchAll(std::string_view query,
+                                      SearchStats* stats) const;
 
   // Exact phrase match using token positions.
   std::vector<model::DocId> SearchPhrase(std::string_view phrase) const;
@@ -53,24 +90,77 @@ class InvertedIndex {
   std::vector<model::DocId> DocsWithTerm(std::string_view term) const;
 
   size_t num_documents() const { return doc_lengths_.size(); }
-  size_t num_terms() const { return postings_.size(); }
+  // Terms with at least one live posting.
+  size_t num_terms() const { return live_terms_; }
   uint64_t num_postings() const { return num_postings_; }
+  // Posting blocks across all terms (storage shape, for tests/bench).
+  size_t num_blocks() const;
+  // Blocks whose block-max metadata is pending a lazy re-tighten.
+  size_t num_dirty_blocks() const;
 
  private:
-  struct Posting {
-    model::DocId doc;
-    std::vector<uint32_t> positions;  // token offsets, ascending
+  struct TermPostings {
+    std::vector<PostingBlock> blocks;
+    uint64_t doc_count = 0;  // live postings (== docs) in this list
+    bool queued_dirty = false;
   };
 
-  using PostingList = std::vector<Posting>;  // sorted by doc id
+  // Heterogeneous hashing so query-time lookups take string_views straight
+  // from the tokenizer's reused buffer without materializing std::strings.
+  struct TermHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+    size_t operator()(const std::string& s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
   double Idf(size_t doc_freq) const;
+  double AvgDocLen() const;
 
-  std::unordered_map<std::string, PostingList> postings_;
+  TermId InternTerm(std::string_view term);
+  // kNoTerm when the term was never seen.
+  TermId FindTerm(std::string_view term) const;
+
+  // Unique query terms that have live postings (unknown terms dropped —
+  // disjunctive semantics).
+  std::vector<TermId> LiveQueryTerms(std::string_view query) const;
+  // Unique query terms; false when any token has no live postings
+  // (conjunctive semantics: the result is necessarily empty).
+  bool RequiredQueryTerms(std::string_view query,
+                          std::vector<TermId>* out) const;
+  // Terms in token order, duplicates preserved (phrase semantics); false
+  // when any token has no live postings.
+  bool OrderedQueryTerms(std::string_view phrase,
+                         std::vector<TermId>* out) const;
+
+  // Inserts a posting (append fast path; out-of-order ids rewrite the one
+  // affected block, splitting it if it outgrows kMaxPostings).
+  void InsertPosting(TermId tid, model::DocId doc,
+                     const std::vector<uint32_t>& positions,
+                     uint32_t doc_len);
+  // Physically deletes `doc` from `tid`'s list, rewriting its block. The
+  // rewritten block keeps loose-but-valid block-max bounds and is queued
+  // for a lazy exact refresh.
+  void RemovePosting(TermId tid, model::DocId doc);
+  // Re-tightens block-max metadata for a bounded number of queued-dirty
+  // terms; called from the write paths so Search stays const and
+  // race-free under concurrent readers.
+  void RefreshDirtyTerms();
+
+  static constexpr TermId kNoTerm = ~TermId{0};
+
+  std::unordered_map<std::string, TermId, TermHash, std::equal_to<>>
+      term_ids_;
+  std::vector<TermPostings> terms_;  // indexed by TermId
+  std::vector<TermId> dirty_terms_;  // FIFO of lists with dirty blocks
   std::unordered_map<model::DocId, uint32_t> doc_lengths_;  // tokens per doc
-  std::unordered_map<model::DocId, std::vector<std::string>> doc_terms_;
+  std::unordered_map<model::DocId, std::vector<TermId>> doc_terms_;
   uint64_t total_tokens_ = 0;
   uint64_t num_postings_ = 0;
+  size_t live_terms_ = 0;
 };
 
 }  // namespace impliance::index

@@ -17,14 +17,27 @@ uint64_t MonotonicMicros() {
           .count());
 }
 
-// Thread-local current trace. A plain TracePtr thread_local would run
-// nontrivial destructors at thread exit in an order that races static
-// teardown; a leaked pointer slot sidesteps that (the pointed-to contexts
-// are owned by live scopes, the slot itself holds one extra ref).
+// Thread-local current trace. The slot is heap-allocated on first attach
+// (so threads that never trace pay nothing) and reclaimed by a TLS reaper
+// at thread exit; the reaper nulls the pointer, so a late recreation from
+// another TLS destructor degrades to a leak rather than a dangling read.
+// The TracePtr destructor only touches its own heap context, never other
+// statics, so running it during thread/process teardown is safe.
 thread_local TracePtr* t_current_trace = nullptr;
 
+struct SlotReaper {
+  ~SlotReaper() {
+    delete t_current_trace;
+    t_current_trace = nullptr;
+  }
+};
+thread_local SlotReaper t_slot_reaper;
+
 TracePtr& CurrentSlot() {
-  if (t_current_trace == nullptr) t_current_trace = new TracePtr();
+  if (t_current_trace == nullptr) {
+    (void)&t_slot_reaper;  // force TLS construction so the reaper runs
+    t_current_trace = new TracePtr();
+  }
   return *t_current_trace;
 }
 
@@ -76,7 +89,11 @@ TracePtr StartTrace(std::string op, uint64_t deadline_micros) {
       deadline_micros);
 }
 
-TracePtr CurrentTrace() { return CurrentSlot(); }
+TracePtr CurrentTrace() {
+  // Read-only: an untraced thread must not allocate (and leak) a slot just
+  // by asking — only ScopedTraceAttach materializes one.
+  return t_current_trace == nullptr ? nullptr : *t_current_trace;
+}
 
 ScopedTraceAttach::ScopedTraceAttach(TracePtr trace) {
   TracePtr& slot = CurrentSlot();

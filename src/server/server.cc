@@ -435,9 +435,16 @@ wire::Response ImplianceServer::BuildStatsResponse() const {
     std::string op_name = name.rfind(kOpPrefix, 0) == 0
                               ? name.substr(kOpPrefix.size())
                               : name;
+    // The wire struct is in milliseconds; histograms recorded in
+    // microseconds (named *_us, e.g. index.search.latency_us) convert here.
+    const double scale = name.size() > 3 &&
+                                 name.compare(name.size() - 3, 3, "_us") == 0
+                             ? 1e-3
+                             : 1.0;
     response.op_latencies.push_back({std::move(op_name), snapshot.count(),
-                                     snapshot.P50(), snapshot.P95(),
-                                     snapshot.P99()});
+                                     snapshot.P50() * scale,
+                                     snapshot.P95() * scale,
+                                     snapshot.P99() * scale});
   }
   // The appliance's own interactive-path latency (queue wait + execution
   // inside the core), distinct from end-to-end serving latency.

@@ -16,14 +16,14 @@ BlockCache::Shard& BlockCache::ShardFor(uint64_t key) {
   return shards_[key % kNumShards];
 }
 
-std::optional<std::string> BlockCache::Get(uint64_t file_id, uint64_t offset) {
+BlockCache::PayloadHandle BlockCache::Get(uint64_t file_id, uint64_t offset) {
   const uint64_t key = MakeKey(file_id, offset);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
-    return std::nullopt;
+    return nullptr;
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -31,23 +31,29 @@ std::optional<std::string> BlockCache::Get(uint64_t file_id, uint64_t offset) {
 }
 
 void BlockCache::Put(uint64_t file_id, uint64_t offset, std::string data) {
+  Put(file_id, offset,
+      std::make_shared<const std::string>(std::move(data)));
+}
+
+void BlockCache::Put(uint64_t file_id, uint64_t offset, PayloadHandle data) {
+  if (data == nullptr) return;
   const uint64_t key = MakeKey(file_id, offset);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
-    shard.bytes -= it->second->data.size();
+    shard.bytes -= it->second->data->size();
     it->second->data = std::move(data);
-    shard.bytes += it->second->data.size();
+    shard.bytes += it->second->data->size();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
+    shard.bytes += data->size();
     shard.lru.push_front(Entry{key, file_id, std::move(data)});
     shard.map[key] = shard.lru.begin();
-    shard.bytes += shard.lru.front().data.size();
   }
   while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
     Entry& victim = shard.lru.back();
-    shard.bytes -= victim.data.size();
+    shard.bytes -= victim.data->size();
     shard.map.erase(victim.key);
     shard.lru.pop_back();
   }
@@ -65,7 +71,7 @@ void BlockCache::EraseFile(uint64_t file_id) {
         ++it;
         continue;
       }
-      shard.bytes -= it->data.size();
+      shard.bytes -= it->data->size();
       shard.map.erase(it->key);
       it = shard.lru.erase(it);
     }

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -12,15 +12,26 @@ namespace impliance::storage {
 
 // Sharded LRU cache mapping (file_id, offset) -> raw record bytes. Charged
 // by payload size. Thread-safe; one mutex per shard.
+//
+// Payloads are refcounted: Get hands back a shared handle to the cached
+// bytes instead of copying them, so a hit costs a refcount bump and the
+// bytes stay valid even if the entry is evicted (or the file erased) while
+// the caller is still reading.
 class BlockCache {
  public:
+  using PayloadHandle = std::shared_ptr<const std::string>;
+
   explicit BlockCache(size_t capacity_bytes);
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
 
-  std::optional<std::string> Get(uint64_t file_id, uint64_t offset);
+  // nullptr on miss.
+  PayloadHandle Get(uint64_t file_id, uint64_t offset);
   void Put(uint64_t file_id, uint64_t offset, std::string data);
+  // Insert an already-shared payload (e.g. the one about to be returned to
+  // the caller) without another allocation.
+  void Put(uint64_t file_id, uint64_t offset, PayloadHandle data);
 
   // Drops every entry belonging to `file_id` (segment deleted/compacted).
   void EraseFile(uint64_t file_id);
@@ -36,7 +47,7 @@ class BlockCache {
     uint64_t key;
     // The mixed key is not invertible, so EraseFile needs the owner here.
     uint64_t file_id;
-    std::string data;
+    PayloadHandle data;
   };
 
   struct Shard {

@@ -187,9 +187,10 @@ Result<model::Document> SegmentReader::Get(const VersionKey& key) {
   }
   const Extent& extent = extents_[it - keys_.begin()];
 
-  IMPLIANCE_ASSIGN_OR_RETURN(std::string record, ReadRecordBytes(extent));
+  IMPLIANCE_ASSIGN_OR_RETURN(BlockCache::PayloadHandle record,
+                             ReadRecordBytes(extent));
 
-  std::string_view input(record);
+  std::string_view input(*record);
   if (input.empty()) return Status::Corruption("empty segment record");
   const uint8_t flag = static_cast<uint8_t>(input[0]);
   input.remove_prefix(1);
@@ -219,10 +220,12 @@ Result<model::Document> SegmentReader::Get(const VersionKey& key) {
   return doc;
 }
 
-Result<std::string> SegmentReader::ReadRecordBytes(const Extent& extent) {
+Result<BlockCache::PayloadHandle> SegmentReader::ReadRecordBytes(
+    const Extent& extent) {
   if (cache_ != nullptr) {
-    if (auto cached = cache_->Get(segment_id_, extent.offset)) {
-      return std::move(*cached);
+    if (BlockCache::PayloadHandle cached =
+            cache_->Get(segment_id_, extent.offset)) {
+      return cached;
     }
   }
   std::string record(extent.size, '\0');
@@ -233,10 +236,12 @@ Result<std::string> SegmentReader::ReadRecordBytes(const Extent& extent) {
       return Status::IOError("segment record read failed");
     }
   }
+  // One allocation serves both the caller and the cache.
+  auto handle = std::make_shared<const std::string>(std::move(record));
   if (cache_ != nullptr) {
-    cache_->Put(segment_id_, extent.offset, record);
+    cache_->Put(segment_id_, extent.offset, handle);
   }
-  return record;
+  return handle;
 }
 
 }  // namespace impliance::storage

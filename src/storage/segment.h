@@ -102,7 +102,9 @@ class SegmentReader {
   SegmentReader(std::FILE* file, uint64_t segment_id, BlockCache* cache)
       : file_(file), segment_id_(segment_id), cache_(cache), bloom_(1) {}
 
-  Result<std::string> ReadRecordBytes(const Extent& extent);
+  // Returns a refcounted handle to the raw record bytes: a cache hit shares
+  // the cached allocation instead of copying it.
+  Result<BlockCache::PayloadHandle> ReadRecordBytes(const Extent& extent);
 
   std::FILE* file_;
   uint64_t segment_id_;

@@ -173,6 +173,36 @@ TEST(StringTest, TokenizeLowercasesAndSplitsOnPunctuation) {
   EXPECT_EQ(tokens[3], "64");
 }
 
+TEST(StringTest, ForEachTokenAgreesWithTokenize) {
+  const std::string_view inputs[] = {"", "   ", "Hello, World! x86-64",
+                                     "a.b.c", "ONE two THREE"};
+  for (std::string_view input : inputs) {
+    std::vector<std::string> streamed;
+    ForEachToken(input, [&](std::string_view token) {
+      streamed.emplace_back(token);
+    });
+    EXPECT_EQ(streamed, Tokenize(input)) << "input=\"" << input << "\"";
+  }
+}
+
+TEST(StringTest, ForEachTokenViewOnlyValidDuringCallback) {
+  // The yielded view points into a buffer reused across tokens; a caller
+  // that needs the token later must copy it. Verify the documented
+  // contract: the bytes are correct at callback time.
+  std::vector<std::string> copies;
+  std::vector<std::string_view> views;
+  ForEachToken("alpha BETA gamma", [&](std::string_view token) {
+    copies.emplace_back(token);
+    views.push_back(token);  // deliberately escapes the callback
+  });
+  ASSERT_EQ(copies.size(), 3u);
+  EXPECT_EQ(copies[0], "alpha");
+  EXPECT_EQ(copies[1], "beta");
+  EXPECT_EQ(copies[2], "gamma");
+  // All escaped views alias the same reused buffer.
+  EXPECT_EQ(views[0].data(), views[2].data());
+}
+
 TEST(StringTest, TokenizeWithOffsetsReportsBytePositions) {
   std::vector<Token> tokens = TokenizeWithOffsets("ab  CD");
   ASSERT_EQ(tokens.size(), 2u);

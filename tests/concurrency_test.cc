@@ -59,7 +59,7 @@ TEST(ConcurrencyTest, BlockCacheParallelMixedOps) {
         } else {
           ++gets;
           auto hit = cache.Get(file, offset);
-          if (hit.has_value()) {
+          if (hit != nullptr) {
             // Whatever thread wrote it, the value is intact.
             ASSERT_EQ(hit->size(), 32u);
           }

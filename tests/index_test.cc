@@ -15,6 +15,7 @@
 #include "index/path_index.h"
 #include "index/value_index.h"
 #include "model/document.h"
+#include "obs/metrics.h"
 
 namespace impliance::index {
 namespace {
@@ -115,6 +116,85 @@ TEST(InvertedIndexTest, TokenizationConsistentWithQueries) {
   EXPECT_EQ(idx.DocsWithTerm("urgent").size(), 1u);
   EXPECT_EQ(idx.DocsWithTerm("1234").size(), 1u);
   EXPECT_EQ(idx.Search("URGENT delivery", 10).size(), 1u);
+}
+
+TEST(InvertedIndexTest, FrequentTermSpansMultipleBlocks) {
+  InvertedIndex idx;
+  // 500 docs sharing one term: the posting list must split into ~128-entry
+  // blocks, and DocsWithTerm must still return every doc in order.
+  for (model::DocId id = 1; id <= 500; ++id) {
+    idx.AddDocument(id, "common filler" + std::to_string(id));
+  }
+  EXPECT_GE(idx.num_blocks(), 4u);
+  std::vector<model::DocId> docs = idx.DocsWithTerm("common");
+  ASSERT_EQ(docs.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(docs.begin(), docs.end()));
+  EXPECT_EQ(docs.front(), 1u);
+  EXPECT_EQ(docs.back(), 500u);
+}
+
+TEST(InvertedIndexTest, OutOfOrderAddRewritesBlock) {
+  InvertedIndex idx;
+  for (model::DocId id = 1; id <= 300; ++id) {
+    idx.AddDocument(id, "shared term");
+  }
+  // Remove a middle doc and re-add it: the id now lands inside an already
+  // sealed block and must be stitched back in order.
+  idx.RemoveDocument(150);
+  idx.AddDocument(150, "shared term");
+  std::vector<model::DocId> docs = idx.DocsWithTerm("shared");
+  ASSERT_EQ(docs.size(), 300u);
+  EXPECT_TRUE(std::is_sorted(docs.begin(), docs.end()));
+  ASSERT_EQ(idx.Search("shared", 5).size(), 5u);
+}
+
+TEST(InvertedIndexTest, TopKSkipsBlocksOnMultiTermQueries) {
+  InvertedIndex idx;
+  Rng rng(11);
+  // One very common term plus one rare term: once the heap fills with
+  // rare+common docs, whole blocks of the common term alone are skippable.
+  for (model::DocId id = 1; id <= 2000; ++id) {
+    std::string text = "common";
+    if (id % 197 == 0) text += " rare";
+    text += " pad" + std::to_string(rng.Uniform(50));
+    idx.AddDocument(id, text);
+  }
+  InvertedIndex::SearchStats stats;
+  auto results = idx.Search("common rare", 5, &stats);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_GT(stats.blocks_skipped, 0u);
+  // Early termination must have scored well under the full posting count.
+  EXPECT_LT(stats.postings_scored, idx.num_postings());
+}
+
+TEST(InvertedIndexTest, SearchRecordsObservabilityMetrics) {
+  auto* latency =
+      obs::Registry::Global().GetHistogram("index.search.latency_us");
+  auto* scored =
+      obs::Registry::Global().GetCounter("index.search.postings_scored");
+  const size_t count_before = latency->Snapshot().count();
+  const uint64_t scored_before = scored->Value();
+  InvertedIndex idx;
+  for (model::DocId id = 1; id <= 50; ++id) {
+    idx.AddDocument(id, "metric probe document " + std::to_string(id));
+  }
+  ASSERT_FALSE(idx.Search("metric probe", 5).empty());
+  EXPECT_EQ(latency->Snapshot().count(), count_before + 1);
+  EXPECT_GT(scored->Value(), scored_before);
+}
+
+TEST(InvertedIndexTest, DirtyBlocksRetightenAfterWrites) {
+  InvertedIndex idx;
+  for (model::DocId id = 1; id <= 400; ++id) {
+    idx.AddDocument(id, "term body" + std::to_string(id));
+  }
+  for (model::DocId id = 2; id <= 100; id += 2) idx.RemoveDocument(id);
+  // Removal leaves loose bounds behind; subsequent writes drain the dirty
+  // queue a few terms at a time.
+  for (model::DocId id = 10000; id < 10100; ++id) {
+    idx.AddDocument(id, "other words entirely");
+  }
+  EXPECT_EQ(idx.num_dirty_blocks(), 0u);
 }
 
 // Property sweep: BM25 results must exactly match a naive scan oracle in

@@ -89,14 +89,14 @@ TEST(BlockCacheTest, HitAfterPut) {
   BlockCache cache(1 << 20);
   cache.Put(1, 0, "hello");
   auto got = cache.Get(1, 0);
-  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got != nullptr);
   EXPECT_EQ(*got, "hello");
   EXPECT_EQ(cache.hits(), 1u);
 }
 
 TEST(BlockCacheTest, MissOnAbsent) {
   BlockCache cache(1 << 20);
-  EXPECT_FALSE(cache.Get(1, 999).has_value());
+  EXPECT_TRUE(cache.Get(1, 999) == nullptr);
   EXPECT_EQ(cache.misses(), 1u);
 }
 
@@ -118,7 +118,7 @@ TEST(BlockCacheTest, LruKeepsRecentlyUsed) {
     cache.Get(2, 7);  // keep hot
   }
   // The hot entry may hash to any shard; it must still be present.
-  EXPECT_TRUE(cache.Get(2, 7).has_value());
+  EXPECT_TRUE(cache.Get(2, 7) != nullptr);
 }
 
 TEST(BlockCacheTest, PutOverwritesValue) {
@@ -126,6 +126,18 @@ TEST(BlockCacheTest, PutOverwritesValue) {
   cache.Put(3, 5, "old");
   cache.Put(3, 5, "new");
   EXPECT_EQ(*cache.Get(3, 5), "new");
+}
+
+TEST(BlockCacheTest, HandleOutlivesEviction) {
+  // A Get handle shares ownership of the payload: the bytes must stay
+  // valid even after the entry is dropped from the cache.
+  BlockCache cache(1 << 20);
+  cache.Put(4, 0, "payload");
+  auto handle = cache.Get(4, 0);
+  ASSERT_TRUE(handle != nullptr);
+  cache.EraseFile(4);
+  EXPECT_TRUE(cache.Get(4, 0) == nullptr);
+  EXPECT_EQ(*handle, "payload");
 }
 
 // ---------------------------------------------------------------- WAL
