@@ -1,7 +1,5 @@
 #include "baseline/relational_baseline.h"
 
-#include <set>
-
 #include "model/value.h"
 
 namespace impliance::baseline {
@@ -33,21 +31,10 @@ Status RelationalBaseline::CreateIndex(const std::string& table,
 Status RelationalBaseline::Analyze(const std::string& table) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  // The whole point of the manual-mode cache: statistics move only when
+  // the administrator says so, and that costs an admin step.
   ++admin_steps_;
-  query::CostBasedPlanner::TableStats stats;
-  stats.row_count = it->second->RowCount();
-  // Exact NDVs, the way ANALYZE would sample them.
-  const exec::Schema& schema = it->second->schema();
-  std::vector<std::set<std::string>> distinct(schema.size());
-  for (const exec::Row& row : it->second->ScanAll()) {
-    for (size_t i = 0; i < row.size(); ++i) {
-      distinct[i].insert(row[i].AsString());
-    }
-  }
-  for (size_t i = 0; i < schema.size(); ++i) {
-    stats.distinct_values[schema.columns[i]] = distinct[i].size();
-  }
-  planner_.SetStats(table, stats);
+  stats_.Refresh(*it->second);
   return Status::OK();
 }
 

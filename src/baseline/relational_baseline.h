@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "query/opt/optimizer.h"
+#include "query/opt/stats_cache.h"
 #include "query/planner.h"
 #include "query/table.h"
 
@@ -47,7 +49,11 @@ class RelationalBaseline {
  private:
   query::Catalog catalog_;
   std::map<std::string, std::shared_ptr<query::MemTable>> tables_;
-  query::CostBasedPlanner planner_;
+  // Manual-mode statistics: stale until the administrator runs Analyze —
+  // the architectural contrast with the appliance's auto-refreshed cache.
+  query::opt::TableStatsCache stats_{
+      query::opt::TableStatsCache::Mode::kManual};
+  query::opt::CostAwarePlanner planner_{&stats_};
   size_t admin_steps_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "ingest/ingest.h"
 #include "obs/trace.h"
+#include "query/planner_registry.h"
 #include "query/sql_parser.h"
 #include "model/item.h"
 
@@ -72,6 +73,14 @@ class Impliance::DocumentTable : public query::Table {
 
   size_t RowCount() const override {
     return owner_->paths_.DocsOfKind(kind_).size();
+  }
+
+  // The store epoch is appliance-wide, so any ingest "moves" every view;
+  // the stats cache's row-drift check keeps that from forcing recollection
+  // on untouched kinds. +1 keeps a fresh store out of the 0 = "untracked"
+  // convention.
+  uint64_t DataVersion() const override {
+    return owner_->store_->change_epoch() + 1;
   }
 
  private:
@@ -158,6 +167,9 @@ class Impliance::ClassTable : public query::Table {
       count += owner_->paths_.DocsOfKind(kind).size();
     }
     return count;
+  }
+  uint64_t DataVersion() const override {
+    return owner_->store_->change_epoch() + 1;
   }
 
  private:
@@ -510,13 +522,28 @@ query::Catalog Impliance::BuildCatalogLocked(
 }
 
 Result<std::vector<exec::Row>> Impliance::Sql(const std::string& sql,
-                                              QueryHealth* health) const {
-  return SqlAs(AccessController::kAdmin, sql, health);
+                                              QueryHealth* health,
+                                              const std::string& planner) const {
+  return SqlAs(AccessController::kAdmin, sql, health, planner);
+}
+
+Result<Impliance::ExplainResult> Impliance::ExplainSql(
+    const std::string& sql, const std::string& planner_name) const {
+  IMPLIANCE_ASSIGN_OR_RETURN(query::SelectStatement stmt, query::ParseSql(sql));
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  query::Catalog catalog = BuildCatalogLocked();
+  IMPLIANCE_ASSIGN_OR_RETURN(
+      std::unique_ptr<query::Planner> planner,
+      query::CreatePlanner(planner_name, &stats_cache_));
+  IMPLIANCE_ASSIGN_OR_RETURN(query::PlanResult plan,
+                             planner->Plan(stmt, catalog));
+  return ExplainResult{std::move(plan.explain), std::move(plan.nodes)};
 }
 
 Result<std::vector<exec::Row>> Impliance::SqlAs(const std::string& principal,
                                                 const std::string& sql,
-                                                QueryHealth* health) const {
+                                                QueryHealth* health,
+                                                const std::string& planner_name) const {
   if (health != nullptr) *health = QueryHealth{};
   if (!access_.HasPrincipal(principal)) {
     return Status::InvalidArgument("unknown principal: " + principal);
@@ -543,8 +570,11 @@ Result<std::vector<exec::Row>> Impliance::SqlAs(const std::string& principal,
       }
       return false;
     };
-    if (!kind_readable(stmt.table) ||
-        (stmt.join.has_value() && !kind_readable(stmt.join->table))) {
+    bool readable = kind_readable(stmt.table);
+    for (const query::JoinClause& join : stmt.joins) {
+      readable = readable && kind_readable(join.table);
+    }
+    if (!readable) {
       audit_.Record(principal, "sql(denied)", sql, {});
       return Status::Aborted("principal " + principal +
                              " may not read the queried kinds");
@@ -567,11 +597,14 @@ Result<std::vector<exec::Row>> Impliance::SqlAs(const std::string& principal,
       health->missing_partitions = ship.missing_partitions;
     }
   }
-  Result<std::vector<exec::Row>> rows = [&]() {
+  Result<std::vector<exec::Row>> rows =
+      [&]() -> Result<std::vector<exec::Row>> {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     query::Catalog catalog = BuildCatalogLocked(available);
-    query::SimplePlanner planner;
-    return query::RunSql(sql, catalog, &planner, exec_options);
+    IMPLIANCE_ASSIGN_OR_RETURN(
+        std::unique_ptr<query::Planner> planner,
+        query::CreatePlanner(planner_name, &stats_cache_));
+    return query::RunSql(sql, catalog, planner.get(), exec_options);
   }();
   if (rows.ok()) {
     // Row-level ids are not surfaced by SQL; audit the kinds touched.

@@ -26,6 +26,7 @@
 #include "query/faceted.h"
 #include "query/graph_query.h"
 #include "core/security.h"
+#include "query/opt/stats_cache.h"
 #include "query/planner.h"
 #include "storage/document_store.h"
 #include "virt/execution_manager.h"
@@ -144,9 +145,23 @@ class Impliance {
 
   // SQL over system-supplied views: one view per kind (inferred), plus one
   // consolidated view per discovered schema class (Figure 2). `health` as
-  // in Faceted: complete-or-degraded, never silently partial.
+  // in Faceted: complete-or-degraded, never silently partial. `planner`
+  // picks the engine: "" / "cost" = the cost-aware optimizer over
+  // auto-maintained statistics (default), "simple" = the paper-faithful
+  // baseline.
   Result<std::vector<exec::Row>> Sql(const std::string& sql,
-                                     QueryHealth* health = nullptr) const;
+                                     QueryHealth* health = nullptr,
+                                     const std::string& planner = "") const;
+
+  // EXPLAIN: plans `sql` without executing it and returns the costed plan
+  // tree — text rendering plus structured nodes (empty for "simple", which
+  // reports text only).
+  struct ExplainResult {
+    std::string text;
+    std::vector<query::ExplainNode> nodes;
+  };
+  Result<ExplainResult> ExplainSql(const std::string& sql,
+                                   const std::string& planner = "") const;
 
   // Interface 2: graph queries over ingested refs + discovered joins.
   // "How are these two pieces of data connected?"
@@ -164,7 +179,8 @@ class Impliance {
                                           QueryHealth* health = nullptr) const;
   Result<std::vector<exec::Row>> SqlAs(const std::string& principal,
                                        const std::string& sql,
-                                       QueryHealth* health = nullptr) const;
+                                       QueryHealth* health = nullptr,
+                                       const std::string& planner = "") const;
   Result<model::Document> GetAs(const std::string& principal,
                                 model::DocId id) const;
 
@@ -271,6 +287,11 @@ class Impliance {
 
   mutable AccessController access_;
   mutable AuditLog audit_;
+
+  // Auto-maintained optimizer statistics (the appliance never asks anyone
+  // to run ANALYZE — Section 2.1's zero-knobs claim). Keyed by view name;
+  // freshness tracked against the store's change epoch.
+  mutable query::opt::TableStatsCache stats_cache_;
 };
 
 }  // namespace impliance::core

@@ -298,6 +298,89 @@ bool IndexedNLJoinOp::NextBatch(RowBatch* batch) {
   return true;
 }
 
+// ----------------------------------------------------------- SortMerge
+
+SortMergeJoinOp::SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
+                                 int left_key, int right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(left_key),
+      right_key_(right_key) {
+  schema_ = ConcatSchemas(left_->schema(), right_->schema());
+}
+
+void SortMergeJoinOp::Open() {
+  left_rows_ = Execute(left_.get());
+  right_rows_ = Execute(right_.get());
+  auto by_key = [](int key) {
+    return [key](const Row& a, const Row& b) {
+      return a[key].Compare(b[key]) < 0;
+    };
+  };
+  std::stable_sort(left_rows_.begin(), left_rows_.end(), by_key(left_key_));
+  std::stable_sort(right_rows_.begin(), right_rows_.end(), by_key(right_key_));
+  left_cursor_ = 0;
+  right_cursor_ = 0;
+}
+
+bool SortMergeJoinOp::NextBatch(RowBatch* batch) {
+  batch->clear();
+  while (batch->size() < kDefaultBatchRows &&
+         left_cursor_ < left_rows_.size() &&
+         right_cursor_ < right_rows_.size()) {
+    const model::Value& left_key = left_rows_[left_cursor_][left_key_];
+    const model::Value& right_key = right_rows_[right_cursor_][right_key_];
+    if (left_key.is_null()) {
+      ++left_cursor_;
+      continue;
+    }
+    if (right_key.is_null()) {
+      ++right_cursor_;
+      continue;
+    }
+    const int cmp = left_key.Compare(right_key);
+    if (cmp < 0) {
+      ++left_cursor_;
+      continue;
+    }
+    if (cmp > 0) {
+      ++right_cursor_;
+      continue;
+    }
+    // Equal-key groups: cross every left row in the group with every right
+    // row, then advance both cursors past the group.
+    size_t left_end = left_cursor_;
+    while (left_end < left_rows_.size() &&
+           left_rows_[left_end][left_key_].Compare(left_key) == 0) {
+      ++left_end;
+    }
+    size_t right_end = right_cursor_;
+    while (right_end < right_rows_.size() &&
+           right_rows_[right_end][right_key_].Compare(right_key) == 0) {
+      ++right_end;
+    }
+    for (size_t l = left_cursor_; l < left_end; ++l) {
+      for (size_t r = right_cursor_; r < right_end; ++r) {
+        Row& joined = batch->AppendRow();
+        const Row& left_row = left_rows_[l];
+        const Row& right_row = right_rows_[r];
+        joined.reserve(left_row.size() + right_row.size());
+        joined.insert(joined.end(), left_row.begin(), left_row.end());
+        joined.insert(joined.end(), right_row.begin(), right_row.end());
+      }
+    }
+    left_cursor_ = left_end;
+    right_cursor_ = right_end;
+  }
+  rows_produced_ += batch->size();
+  return !batch->empty();
+}
+
+void SortMergeJoinOp::Close() {
+  left_rows_.clear();
+  right_rows_.clear();
+}
+
 // ------------------------------------------------------------- Aggregate
 
 HashAggregateOp::HashAggregateOp(OperatorPtr child,

@@ -223,6 +223,33 @@ class IndexedNLJoinOp : public Operator {
   RowBatch input_;
 };
 
+// Sort-merge equi-join: materializes and sorts both inputs by the join key
+// in Open(), then merges. Output schema = left columns ++ right columns;
+// output rows are ordered by the join key (the cost-aware planner exploits
+// this "interesting order" to elide a final sort). Null keys never join.
+class SortMergeJoinOp : public Operator {
+ public:
+  SortMergeJoinOp(OperatorPtr left, OperatorPtr right, int left_key,
+                  int right_key);
+
+  const Schema& schema() const override { return schema_; }
+  std::string name() const override { return "SortMergeJoin"; }
+  void Open() override;
+  bool NextBatch(RowBatch* batch) override;
+  void Close() override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  int left_key_;
+  int right_key_;
+  Schema schema_;
+  std::vector<Row> left_rows_;   // sorted by left_key_
+  std::vector<Row> right_rows_;  // sorted by right_key_
+  size_t left_cursor_ = 0;
+  size_t right_cursor_ = 0;
+};
+
 // Hash group-by with the standard aggregate functions. Output schema =
 // group columns ++ aggregate outputs. Groups emitted in key order
 // (deterministic). Accumulation runs through GroupByAggregator — the same

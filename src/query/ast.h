@@ -15,7 +15,7 @@ namespace impliance::query {
 //
 //   SELECT <item> [, <item>]*
 //   FROM <table>
-//   [JOIN <table> ON <col> = <col>]
+//   [JOIN <table> ON <col> = <col>]*
 //   [WHERE <col> <op> <literal> [AND ...]*]
 //   [GROUP BY <col> [, <col>]*]
 //   [ORDER BY <col|alias> [ASC|DESC] [, ...]*]
@@ -33,7 +33,7 @@ struct SelectItem {
 
 struct JoinClause {
   std::string table;
-  std::string left_column;   // from the FROM table (or qualified)
+  std::string left_column;   // from an earlier table (or qualified)
   std::string right_column;  // from the JOIN table
 };
 
@@ -51,7 +51,7 @@ struct OrderItem {
 struct SelectStatement {
   std::vector<SelectItem> items;
   std::string table;
-  std::optional<JoinClause> join;
+  std::vector<JoinClause> joins;  // left-deep, in textual order
   std::vector<WhereClause> where;  // conjunctive
   std::vector<std::string> group_by;
   std::vector<OrderItem> order_by;

@@ -1,0 +1,75 @@
+#include "query/opt/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impliance::query::opt {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+}  // namespace
+
+double EstimateSelectivity(const ColumnStats* column, exec::CompareOp op,
+                           const model::Value& literal,
+                           const CostParams& params) {
+  // Comparison predicates never match a null literal; the optimizer folds
+  // these to contradictions before costing, but stay safe here too.
+  if (literal.is_null() && op != exec::CompareOp::kContains) return 0.0;
+
+  const double ndv =
+      column != nullptr && column->ndv > 0
+          ? static_cast<double>(column->ndv)
+          : params.default_ndv;
+  switch (op) {
+    case exec::CompareOp::kEq:
+      return 1.0 / ndv;
+    case exec::CompareOp::kNe:
+      return 1.0 - 1.0 / ndv;
+    case exec::CompareOp::kContains:
+      return params.contains_selectivity;
+    default:
+      break;
+  }
+  // Range: interpolate within the observed value bounds when everything is
+  // numeric (ints, doubles, timestamps share an axis through AsDouble).
+  if (column == nullptr || column->min.is_null() || column->max.is_null() ||
+      !column->min.is_numeric() || !column->max.is_numeric() ||
+      !literal.is_numeric()) {
+    return params.range_selectivity;
+  }
+  const double lo = column->min.AsDouble();
+  const double hi = column->max.AsDouble();
+  const double v = literal.AsDouble();
+  if (hi <= lo) {
+    // Single observed value: the predicate either keeps or drops it all.
+    const exec::Predicate probe{0, op, literal};
+    const model::Row row{column->min};
+    return probe.Eval(row) ? 1.0 : 0.0;
+  }
+  const double below = Clamp01((v - lo) / (hi - lo));
+  switch (op) {
+    case exec::CompareOp::kLt:
+    case exec::CompareOp::kLe:
+      return below;
+    case exec::CompareOp::kGt:
+    case exec::CompareOp::kGe:
+      return 1.0 - below;
+    default:
+      return params.range_selectivity;
+  }
+}
+
+double EstimateJoinRows(double left_rows, double right_rows, double left_ndv,
+                        double right_ndv) {
+  const double ndv = std::max(1.0, std::max(left_ndv, right_ndv));
+  return left_rows * right_rows / ndv;
+}
+
+double SortCost(double rows, const CostParams& params) {
+  if (rows <= 1.0) return 0.0;
+  return rows * std::log2(rows) * params.sort_row;
+}
+
+}  // namespace impliance::query::opt

@@ -1,0 +1,40 @@
+#ifndef IMPLIANCE_QUERY_OPT_COST_MODEL_H_
+#define IMPLIANCE_QUERY_OPT_COST_MODEL_H_
+
+#include "exec/predicate.h"
+#include "model/value.h"
+#include "query/opt/stats.h"
+
+namespace impliance::query::opt {
+
+// Abstract per-row cost weights. Units are arbitrary; only ratios matter.
+struct CostParams {
+  double scan_row = 1.0;        // sequential read of one row
+  double index_probe = 4.0;     // one index lookup (per probing row)
+  double index_row = 2.0;       // one row fetched through an index
+  double hash_build_row = 1.5;  // insert into a join hash table
+  double hash_probe_row = 1.0;  // probe of a join hash table
+  double sort_row = 0.3;        // per row * log2(rows) of a sort
+  double default_ndv = 10.0;    // when no column stats exist
+  double contains_selectivity = 0.1;
+  double range_selectivity = 1.0 / 3.0;  // fallback range guess
+};
+
+// Estimated fraction of rows satisfying `column <op> literal`. Equality and
+// inequality use the NDV estimate; ranges interpolate within the observed
+// [min, max] when both bound and literal are numeric, else fall back to the
+// textbook 1/3. `column` may be null (no statistics).
+double EstimateSelectivity(const ColumnStats* column, exec::CompareOp op,
+                           const model::Value& literal,
+                           const CostParams& params = {});
+
+// Standard equi-join cardinality: |L| * |R| / max(ndv of either key).
+double EstimateJoinRows(double left_rows, double right_rows, double left_ndv,
+                        double right_ndv);
+
+// n * log2(n) * sort_row, the cost charged for SortOp / sort-merge inputs.
+double SortCost(double rows, const CostParams& params = {});
+
+}  // namespace impliance::query::opt
+
+#endif  // IMPLIANCE_QUERY_OPT_COST_MODEL_H_

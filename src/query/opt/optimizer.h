@@ -1,0 +1,60 @@
+#ifndef IMPLIANCE_QUERY_OPT_OPTIMIZER_H_
+#define IMPLIANCE_QUERY_OPT_OPTIMIZER_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "query/opt/cost_model.h"
+#include "query/opt/stats_cache.h"
+#include "query/planner.h"
+
+namespace impliance::query::opt {
+
+// Two-phase cost-aware planner — the optimizer the appliance now runs by
+// default; SimplePlanner remains the paper-faithful baseline, selectable
+// per request.
+//
+// Logical phase (statistics-free rewrites):
+//   - every WHERE conjunct references one table (the grammar compares a
+//     column to a literal), so predicates push below the joins onto their
+//     owning table's access path;
+//   - per-column predicate folding: duplicate equalities collapse, ranges
+//     tighten to the narrowest interval, implied conjuncts drop, and
+//     contradictions (x = 1 AND x = 2, empty intervals, comparisons
+//     against NULL) reduce the whole join tree to an empty row source;
+//   - projection pushdown: scans fetch only referenced columns.
+//
+// Physical phase (costed against TableStatsCache snapshots):
+//   - index-vs-scan per table by estimated fetch cost;
+//   - greedy join reordering: start from the smallest filtered table, then
+//     repeatedly attach the join partner minimizing the estimated
+//     intermediate cardinality (|L|*|R| / max key NDV);
+//   - join method per edge: indexed nested-loop vs hash build/probe vs
+//     sort-merge, the latter credited with eliding the final ORDER BY sort
+//     when it already emits the requested order.
+//
+// Results are identical to SimplePlanner's for every statement (modulo row
+// order where SQL leaves it unspecified); only the work to produce them
+// changes. Plan() fills PlanResult::nodes with the costed tree that
+// EXPLAIN ships over the wire.
+class CostAwarePlanner : public Planner {
+ public:
+  // `stats` is borrowed and must outlive the planner.
+  explicit CostAwarePlanner(TableStatsCache* stats) : stats_(stats) {}
+
+  Result<PlanResult> Plan(const SelectStatement& stmt,
+                          const Catalog& catalog) override;
+
+  // Morsel-parallel variant; covers plans whose joins all came out as hash
+  // joins (indexed-NL and sort-merge shapes stay serial).
+  Result<std::optional<ParallelPlan>> PlanParallel(
+      const SelectStatement& stmt, const Catalog& catalog) override;
+
+ private:
+  TableStatsCache* stats_;
+  CostParams params_;
+};
+
+}  // namespace impliance::query::opt
+
+#endif  // IMPLIANCE_QUERY_OPT_OPTIMIZER_H_

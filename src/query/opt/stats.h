@@ -1,0 +1,55 @@
+#ifndef IMPLIANCE_QUERY_OPT_STATS_H_
+#define IMPLIANCE_QUERY_OPT_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/value.h"
+#include "query/table.h"
+
+namespace impliance::query::opt {
+
+// Per-column statistics snapshot: distinct-value estimate from a
+// k-minimum-values sketch, value bounds, and null count, all over the
+// sampled rows.
+struct ColumnStats {
+  uint64_t ndv = 0;         // estimated distinct non-null values (table-wide)
+  uint64_t null_count = 0;  // nulls among the sampled rows
+  model::Value min;         // Null until a non-null value is seen
+  model::Value max;
+};
+
+// One table's statistics snapshot, stamped with the data version it was
+// collected at so the cache can tell exactly when it went stale.
+struct TableStats {
+  std::string table_name;
+  uint64_t row_count = 0;     // exact (Table::RowCount at collection time)
+  uint64_t data_version = 0;  // Table::DataVersion at collection time
+  uint64_t sampled_rows = 0;  // rows fed to the column sketches
+  std::vector<ColumnStats> columns;  // parallel to the table schema
+
+  const ColumnStats* Column(int index) const {
+    return index >= 0 && static_cast<size_t>(index) < columns.size()
+               ? &columns[index]
+               : nullptr;
+  }
+};
+
+struct StatsOptions {
+  size_t sample_rows = 4096;  // cap on rows fed to the column sketches
+  size_t kmv_k = 256;         // k-minimum-values sketch size
+};
+
+// Collects a statistics snapshot in one pass over (a prefix sample of) the
+// table: exact row count, and per-column KMV distinct-count sketch, min/max,
+// and null count over at most `options.sample_rows` rows. When the sample
+// was partial, NDVs are scaled up only for near-unique columns (a distinct
+// count that keeps growing with the sample tracks the table size; a
+// saturated one does not).
+TableStats CollectTableStats(const Table& table,
+                             const StatsOptions& options = {});
+
+}  // namespace impliance::query::opt
+
+#endif  // IMPLIANCE_QUERY_OPT_STATS_H_

@@ -4,359 +4,77 @@
 #include <optional>
 #include <set>
 
-#include "common/string_util.h"
 #include "exec/operators.h"
+#include "query/plan_common.h"
 #include "query/sql_parser.h"
 
 namespace impliance::query {
 
 namespace {
 
-// Column resolution over the (possibly joined) plan schema. Qualified names
-// ("orders.total") match the owning table's columns; bare names match the
-// first occurrence.
-class NameResolver {
- public:
-  NameResolver(const Table* left, const Table* right) {
-    for (const std::string& column : left->schema().columns) {
-      names_.push_back(column);
-      qualified_.push_back(left->table_name() + "." + column);
-    }
-    if (right != nullptr) {
-      for (const std::string& column : right->schema().columns) {
-        names_.push_back(column);
-        qualified_.push_back(right->table_name() + "." + column);
-      }
+using planning::BindColumns;
+using planning::BindJoins;
+using planning::BindTables;
+using planning::BoundJoin;
+using planning::BoundTable;
+using planning::FetchViaIndex;
+using planning::IndexFetch;
+using planning::IsRangeOp;
+using planning::MakeIndexLookup;
+using planning::NameResolver;
+using planning::PruneRows;
+using planning::RenderExplain;
+using planning::ResolveInTable;
+using planning::ResolveUpper;
+using planning::UpperPlanSpec;
+
+// The simple planner's access-path rule on the FROM table: the FIRST
+// equality predicate with an index wins; else the first indexed range
+// predicate; else scan. A rule, not a cost decision.
+int ChooseAccessPredicate(const SelectStatement& stmt, const Table* table) {
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    const int column = ResolveInTable(table, stmt.where[i].column);
+    if (column >= 0 && stmt.where[i].op == exec::CompareOp::kEq &&
+        table->HasIndexOn(column)) {
+      return static_cast<int>(i);
     }
   }
-
-  // Index in the combined schema, or -1.
-  int Resolve(const std::string& name) const {
-    for (size_t i = 0; i < qualified_.size(); ++i) {
-      if (qualified_[i] == name) return static_cast<int>(i);
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    const int column = ResolveInTable(table, stmt.where[i].column);
+    if (column >= 0 && IsRangeOp(stmt.where[i].op) &&
+        table->HasIndexOn(column)) {
+      return static_cast<int>(i);
     }
-    for (size_t i = 0; i < names_.size(); ++i) {
-      if (names_[i] == name) return static_cast<int>(i);
-    }
-    return -1;
   }
-
-  // Unqualified output name for the combined schema position.
-  const std::string& NameAt(int index) const { return names_[index]; }
-  size_t size() const { return names_.size(); }
-
- private:
-  std::vector<std::string> names_;
-  std::vector<std::string> qualified_;
-};
-
-// Resolution of a column against ONE table (for access-path decisions).
-int ResolveInTable(const Table* table, const std::string& name) {
-  std::string bare = name;
-  const std::string prefix = table->table_name() + ".";
-  if (bare.rfind(prefix, 0) == 0) bare = bare.substr(prefix.size());
-  if (bare.find('.') != std::string::npos) return -1;  // other qualifier
-  return table->schema().IndexOf(bare);
+  return -1;
 }
 
-bool IsRangeOp(exec::CompareOp op) {
-  return op == exec::CompareOp::kLt || op == exec::CompareOp::kLe ||
-         op == exec::CompareOp::kGt || op == exec::CompareOp::kGe;
+// Base rows for the FROM table under the simple rule, already pruned to the
+// kept columns. Sets *consumed when an index fully absorbed the predicate.
+std::vector<exec::Row> FetchAccess(const SelectStatement& stmt,
+                                   const BoundTable& bound, int chosen,
+                                   std::string* description, int* consumed) {
+  *consumed = -1;
+  if (chosen < 0) {
+    *description = "Scan(" + bound.table->table_name() + ")";
+    return bound.ScanKept();
+  }
+  const WhereClause& clause = stmt.where[chosen];
+  IndexFetch fetch = FetchViaIndex(
+      bound.table, clause.column,
+      ResolveInTable(bound.table, clause.column), clause.op, clause.literal);
+  *description = fetch.description;
+  if (fetch.consumed) *consumed = chosen;
+  PruneRows(bound, &fetch.rows);
+  return std::move(fetch.rows);
 }
 
-struct AccessPath {
-  std::vector<exec::Row> rows;
-  std::string description;
-  // Index into stmt.where of the predicate consumed by the index (or -1).
-  int consumed_predicate = -1;
-};
-
-// Fetches base rows via the chosen index predicate, or a full scan.
-AccessPath AccessViaIndex(const Table* table, const SelectStatement& stmt,
-                          int predicate_index) {
-  AccessPath path;
-  if (predicate_index < 0) {
-    path.rows = table->ScanAll();
-    path.description = "Scan(" + table->table_name() + ")";
-    return path;
-  }
-  const WhereClause& clause = stmt.where[predicate_index];
-  const int column = ResolveInTable(table, clause.column);
-  path.consumed_predicate = predicate_index;
-  if (clause.op == exec::CompareOp::kEq) {
-    path.rows = table->IndexLookup(column, clause.literal);
-    path.description = "IndexLookup(" + table->table_name() + "." +
-                       clause.column + ")";
-  } else {
-    const model::Value* lo = nullptr;
-    const model::Value* hi = nullptr;
-    if (clause.op == exec::CompareOp::kGt || clause.op == exec::CompareOp::kGe) {
-      lo = &clause.literal;
-    } else {
-      hi = &clause.literal;
-    }
-    path.rows = table->IndexRange(column, lo, hi);
-    path.description = "IndexRange(" + table->table_name() + "." +
-                       clause.column + ")";
-    // Range via index is inclusive; strict bounds keep the predicate as a
-    // residual filter (cheap, correct).
-    path.consumed_predicate =
-        (clause.op == exec::CompareOp::kGe || clause.op == exec::CompareOp::kLe)
-            ? predicate_index
-            : -1;
-  }
-  return path;
-}
-
-struct PlanContext {
-  const SelectStatement& stmt;
-  const Table* left_table = nullptr;
-  const Table* right_table = nullptr;  // join, or nullptr
-  std::vector<std::string> explain_lines;
-};
-
-// Everything above the access path / join, fully resolved against schemas
-// but not yet bound to operators. One resolution feeds both the serial
-// operator tree and the morsel-parallel segment, so the two paths cannot
-// drift semantically.
-struct UpperPlanSpec {
-  std::vector<exec::Predicate> predicates;  // residual, in evaluation order
-  bool adaptive_filter = false;
-
-  bool has_aggregate = false;
-  std::vector<int> group_columns;
-  std::vector<exec::AggSpec> aggregates;
-
-  // Projection onto the select list: after the aggregate when present,
-  // directly on the join/filter output otherwise. false => SELECT *.
-  bool project = false;
-  std::vector<int> project_columns;
-  std::vector<std::string> project_names;
-
-  // Resolved against the final (projected) schema.
-  std::vector<exec::SortKey> sort_keys;
-  std::optional<size_t> limit;
-};
-
-// Resolves residual filter, aggregate, projection, and order/limit. Shared
-// by both planners; `adaptive_filter` is the one knob that differs (besides
-// access path / join choice made by the caller).
-Result<UpperPlanSpec> ResolveUpper(PlanContext* ctx,
-                                   const std::set<int>& consumed_predicates,
-                                   const std::vector<int>& filter_order,
-                                   bool adaptive_filter) {
-  const SelectStatement& stmt = ctx->stmt;
-  NameResolver resolver(ctx->left_table, ctx->right_table);
-  UpperPlanSpec spec;
-  spec.adaptive_filter = adaptive_filter;
-  spec.limit = stmt.limit;
-
-  // Residual predicates.
-  for (int index : filter_order) {
-    if (consumed_predicates.count(index)) continue;
-    const WhereClause& clause = stmt.where[index];
-    const int column = resolver.Resolve(clause.column);
-    if (column < 0) {
-      return Status::InvalidArgument("unknown column in WHERE: " +
-                                     clause.column);
-    }
-    spec.predicates.push_back(
-        exec::Predicate{column, clause.op, clause.literal});
-  }
-
-  // The combined (post-join) input schema.
-  exec::Schema input_schema;
-  for (size_t i = 0; i < resolver.size(); ++i) {
-    input_schema.AddColumn(resolver.NameAt(static_cast<int>(i)));
-  }
-
-  // Aggregation.
-  spec.has_aggregate =
-      !stmt.group_by.empty() ||
-      std::any_of(stmt.items.begin(), stmt.items.end(),
-                  [](const SelectItem& item) {
-                    return item.kind == SelectItem::Kind::kAggregate;
-                  });
-  exec::Schema pre_order_schema;  // schema ORDER BY resolves against
-  if (spec.has_aggregate) {
-    for (const std::string& column : stmt.group_by) {
-      const int index = resolver.Resolve(column);
-      if (index < 0) {
-        return Status::InvalidArgument("unknown GROUP BY column: " + column);
-      }
-      spec.group_columns.push_back(index);
-    }
-    for (const SelectItem& item : stmt.items) {
-      if (item.kind != SelectItem::Kind::kAggregate) continue;
-      exec::AggSpec agg;
-      agg.fn = item.agg_fn;
-      agg.output_name = item.alias;
-      if (!item.column.empty()) {
-        agg.column = resolver.Resolve(item.column);
-        if (agg.column < 0) {
-          return Status::InvalidArgument("unknown aggregate column: " +
-                                         item.column);
-        }
-      }
-      spec.aggregates.push_back(std::move(agg));
-    }
-    const exec::Schema agg_schema = exec::GroupByAggregator::OutputSchema(
-        input_schema, spec.group_columns, spec.aggregates);
-
-    // Project the select list onto the aggregate's output order.
-    spec.project = true;
-    for (const SelectItem& item : stmt.items) {
-      std::string wanted;
-      if (item.kind == SelectItem::Kind::kAggregate) {
-        wanted = item.alias;
-      } else if (item.kind == SelectItem::Kind::kColumn) {
-        // Must be a group-by column; match by bare name.
-        wanted = item.column;
-        size_t dot = wanted.rfind('.');
-        if (dot != std::string::npos) wanted = wanted.substr(dot + 1);
-      } else {
-        return Status::InvalidArgument("SELECT * with aggregation");
-      }
-      const int index = agg_schema.IndexOf(wanted);
-      if (index < 0) {
-        return Status::InvalidArgument(
-            "SELECT column not in GROUP BY or aggregates: " + wanted);
-      }
-      spec.project_columns.push_back(index);
-      spec.project_names.push_back(item.alias.empty() ? wanted : item.alias);
-    }
-    pre_order_schema = exec::Schema(spec.project_names);
-  } else {
-    // Plain projection (unless SELECT *).
-    const bool star = stmt.items.size() == 1 &&
-                      stmt.items[0].kind == SelectItem::Kind::kStar;
-    if (!star) {
-      spec.project = true;
-      for (const SelectItem& item : stmt.items) {
-        const int index = resolver.Resolve(item.column);
-        if (index < 0) {
-          return Status::InvalidArgument("unknown SELECT column: " +
-                                         item.column);
-        }
-        spec.project_columns.push_back(index);
-        spec.project_names.push_back(
-            item.alias.empty() ? resolver.NameAt(index) : item.alias);
-      }
-      pre_order_schema = exec::Schema(spec.project_names);
-    } else {
-      pre_order_schema = input_schema;
-    }
-  }
-
-  // ORDER BY against the final output schema.
-  for (const OrderItem& item : stmt.order_by) {
-    int index = pre_order_schema.IndexOf(item.column);
-    if (index < 0) {
-      // Allow bare-name match against qualified select items.
-      std::string bare = item.column;
-      size_t dot = bare.rfind('.');
-      if (dot != std::string::npos) {
-        index = pre_order_schema.IndexOf(bare.substr(dot + 1));
-      }
-    }
-    if (index < 0) {
-      return Status::InvalidArgument("unknown ORDER BY column: " +
-                                     item.column);
-    }
-    spec.sort_keys.push_back(exec::SortKey{index, item.ascending});
-  }
-  return spec;
-}
-
-// Stacks the resolved upper plan onto `plan` as serial batched operators.
-exec::OperatorPtr BuildSerialUpper(PlanContext* ctx, const UpperPlanSpec& spec,
-                                   exec::OperatorPtr plan) {
-  if (!spec.predicates.empty()) {
-    ctx->explain_lines.push_back(
-        std::string(spec.adaptive_filter ? "AdaptiveFilter" : "Filter") + "(" +
-        std::to_string(spec.predicates.size()) + " predicates)");
-    plan = std::make_unique<exec::FilterOp>(std::move(plan), spec.predicates,
-                                            spec.adaptive_filter);
-  }
-  if (spec.has_aggregate) {
-    ctx->explain_lines.push_back(
-        "HashAggregate(groups=" + std::to_string(spec.group_columns.size()) +
-        ", aggs=" + std::to_string(spec.aggregates.size()) + ")");
-    plan = std::make_unique<exec::HashAggregateOp>(
-        std::move(plan), spec.group_columns, spec.aggregates);
-  }
-  if (spec.project) {
-    plan = std::make_unique<exec::ProjectOp>(
-        std::move(plan), spec.project_columns, spec.project_names);
-  }
-  if (!spec.sort_keys.empty()) {
-    if (spec.limit.has_value()) {
-      ctx->explain_lines.push_back("TopK(k=" + std::to_string(*spec.limit) +
-                                   ")");
-      plan = std::make_unique<exec::TopKOp>(std::move(plan), spec.sort_keys,
-                                            *spec.limit);
-    } else {
-      ctx->explain_lines.push_back("Sort");
-      plan = std::make_unique<exec::SortOp>(std::move(plan), spec.sort_keys);
-    }
-  } else if (spec.limit.has_value()) {
-    ctx->explain_lines.push_back("Limit(" + std::to_string(*spec.limit) + ")");
-    plan = std::make_unique<exec::LimitOp>(std::move(plan), *spec.limit);
-  }
-  return plan;
-}
-
-// Compatibility shim over ResolveUpper + BuildSerialUpper.
-Result<exec::OperatorPtr> BuildUpperPlan(PlanContext* ctx,
-                                         exec::OperatorPtr plan,
-                                         std::set<int> consumed_predicates,
-                                         std::vector<int> filter_order,
-                                         bool adaptive_filter) {
-  IMPLIANCE_ASSIGN_OR_RETURN(
-      UpperPlanSpec spec,
-      ResolveUpper(ctx, consumed_predicates, filter_order, adaptive_filter));
-  return BuildSerialUpper(ctx, spec, std::move(plan));
-}
-
-std::string RenderExplain(const std::vector<std::string>& lines) {
-  // Lines were appended bottom-up; render root-first.
-  std::string out;
-  for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
-    if (!out.empty()) out += "\n";
-    out += *it;
-  }
-  return out;
-}
-
-// Shared lookup-callback builder for IndexedNLJoin.
-exec::IndexedNLJoinOp::LookupFn MakeIndexLookup(const Table* table,
-                                                int column) {
-  return [table, column](const model::Value& key) {
-    return table->IndexLookup(column, key);
-  };
-}
-
-struct ResolvedJoin {
-  int left_key = -1;    // in left table schema
-  int right_key = -1;   // in right table schema
-};
-
-Result<ResolvedJoin> ResolveJoin(const Table* left, const Table* right,
-                                 const JoinClause& join) {
-  ResolvedJoin resolved;
-  resolved.left_key = ResolveInTable(left, join.left_column);
-  resolved.right_key = ResolveInTable(right, join.right_column);
-  // The parser's side assignment is heuristic; swap if needed.
-  if (resolved.left_key < 0 || resolved.right_key < 0) {
-    resolved.left_key = ResolveInTable(left, join.right_column);
-    resolved.right_key = ResolveInTable(right, join.left_column);
-  }
-  if (resolved.left_key < 0 || resolved.right_key < 0) {
-    return Status::InvalidArgument("cannot resolve join columns " +
-                                   join.left_column + " = " +
-                                   join.right_column);
-  }
-  return resolved;
+// The simple rule for join methods: indexed nested-loop when the query is
+// top-k (LIMIT) and the join table has an index on its join column.
+bool UseIndexedNLJoin(const SelectStatement& stmt, const BoundJoin& join,
+                      const std::vector<const Table*>& tables) {
+  return stmt.limit.has_value() &&
+         tables[join.right_table]->HasIndexOn(join.right_column);
 }
 
 }  // namespace
@@ -365,61 +83,57 @@ Result<ResolvedJoin> ResolveJoin(const Table* left, const Table* right,
 
 Result<PlanResult> SimplePlanner::Plan(const SelectStatement& stmt,
                                        const Catalog& catalog) {
-  const Table* left = catalog.Lookup(stmt.table);
-  if (left == nullptr) {
-    return Status::NotFound("unknown table: " + stmt.table);
-  }
-  const Table* right = nullptr;
-  if (stmt.join.has_value()) {
-    right = catalog.Lookup(stmt.join->table);
-    if (right == nullptr) {
-      return Status::NotFound("unknown table: " + stmt.join->table);
-    }
-  }
+  IMPLIANCE_ASSIGN_OR_RETURN(std::vector<const Table*> tables,
+                             BindTables(stmt, catalog));
+  IMPLIANCE_ASSIGN_OR_RETURN(std::vector<BoundJoin> joins,
+                             BindJoins(stmt, tables));
 
-  PlanContext ctx{stmt, left, right, {}};
+  // Index lookups return full rows, so IndexedNLJoin targets stay unpruned.
+  std::vector<bool> keep_all(tables.size(), false);
+  for (const BoundJoin& join : joins) {
+    if (UseIndexedNLJoin(stmt, join, tables)) {
+      keep_all[join.right_table] = true;
+    }
+  }
+  const std::vector<BoundTable> bound =
+      BindColumns(stmt, tables, joins, keep_all);
+  const NameResolver resolver(&bound);
 
-  // Access path: the FIRST equality predicate with an index wins; else the
-  // first indexed range predicate; else scan. A rule, not a cost decision.
-  int chosen = -1;
-  for (size_t i = 0; i < stmt.where.size() && chosen < 0; ++i) {
-    const int column = ResolveInTable(left, stmt.where[i].column);
-    if (column >= 0 && stmt.where[i].op == exec::CompareOp::kEq &&
-        left->HasIndexOn(column)) {
-      chosen = static_cast<int>(i);
-    }
-  }
-  for (size_t i = 0; i < stmt.where.size() && chosen < 0; ++i) {
-    const int column = ResolveInTable(left, stmt.where[i].column);
-    if (column >= 0 && IsRangeOp(stmt.where[i].op) && left->HasIndexOn(column)) {
-      chosen = static_cast<int>(i);
-    }
-  }
-  AccessPath access = AccessViaIndex(left, stmt, chosen);
-  ctx.explain_lines.push_back(access.description);
+  std::vector<std::string> explain_lines;
+
+  const int chosen = ChooseAccessPredicate(stmt, tables[0]);
+  std::string description;
+  int consumed_index = -1;
+  std::vector<exec::Row> base_rows =
+      FetchAccess(stmt, bound[0], chosen, &description, &consumed_index);
+  explain_lines.push_back(description);
   exec::OperatorPtr plan = std::make_unique<exec::RowSourceOp>(
-      left->schema(), std::move(access.rows));
+      bound[0].schema, std::move(base_rows));
 
   std::set<int> consumed;
-  if (access.consumed_predicate >= 0) consumed.insert(access.consumed_predicate);
+  if (consumed_index >= 0) consumed.insert(consumed_index);
 
-  if (right != nullptr) {
-    IMPLIANCE_ASSIGN_OR_RETURN(ResolvedJoin join,
-                               ResolveJoin(left, right, *stmt.join));
-    // Rule: top-k query + index on the join column -> IndexedNLJoin.
-    if (stmt.limit.has_value() && right->HasIndexOn(join.right_key)) {
-      ctx.explain_lines.push_back("IndexedNLJoin(" + right->table_name() + ")");
+  // Left-deep joins in textual order: the combined schema after join i is
+  // the concatenation of the pruned schemas of tables 0..i+1.
+  for (const BoundJoin& join : joins) {
+    const BoundTable& right = bound[join.right_table];
+    const int left_key = resolver.Offset(join.left_table) +
+                         bound[join.left_table].KeptIndexOf(join.left_column);
+    if (UseIndexedNLJoin(stmt, join, tables)) {
+      explain_lines.push_back("IndexedNLJoin(" + right.table->table_name() +
+                              ")");
       plan = std::make_unique<exec::IndexedNLJoinOp>(
-          std::move(plan), join.left_key,
-          MakeIndexLookup(right, join.right_key), right->schema());
+          std::move(plan), left_key,
+          MakeIndexLookup(right.table, join.right_column),
+          right.table->schema());
     } else {
-      ctx.explain_lines.push_back("HashJoin(build=" + right->table_name() +
-                                  ")");
-      auto build = std::make_unique<exec::RowSourceOp>(right->schema(),
-                                                       right->ScanAll());
-      plan = std::make_unique<exec::HashJoinOp>(std::move(plan),
-                                                std::move(build),
-                                                join.left_key, join.right_key);
+      explain_lines.push_back("HashJoin(build=" + right.table->table_name() +
+                              ")");
+      auto build = std::make_unique<exec::RowSourceOp>(right.schema,
+                                                       right.ScanKept());
+      plan = std::make_unique<exec::HashJoinOp>(
+          std::move(plan), std::move(build), left_key,
+          right.KeptIndexOf(join.right_column));
     }
   }
 
@@ -429,96 +143,89 @@ Result<PlanResult> SimplePlanner::Plan(const SelectStatement& stmt,
     order.push_back(static_cast<int>(i));
   }
   IMPLIANCE_ASSIGN_OR_RETURN(
-      plan, BuildUpperPlan(&ctx, std::move(plan), std::move(consumed),
-                           std::move(order), /*adaptive_filter=*/true));
-  return PlanResult{std::move(plan), RenderExplain(ctx.explain_lines)};
+      UpperPlanSpec spec,
+      ResolveUpper(stmt, resolver, consumed, order, /*adaptive_filter=*/true));
+  plan = planning::BuildSerialUpper(spec, std::move(plan), &explain_lines);
+  return PlanResult{std::move(plan), RenderExplain(explain_lines), {}};
 }
 
 Result<std::optional<ParallelPlan>> SimplePlanner::PlanParallel(
     const SelectStatement& stmt, const Catalog& catalog) {
-  const Table* left = catalog.Lookup(stmt.table);
-  if (left == nullptr) {
-    return Status::NotFound("unknown table: " + stmt.table);
-  }
-  const Table* right = nullptr;
-  std::optional<ResolvedJoin> join;
-  if (stmt.join.has_value()) {
-    right = catalog.Lookup(stmt.join->table);
-    if (right == nullptr) {
-      return Status::NotFound("unknown table: " + stmt.join->table);
-    }
-    IMPLIANCE_ASSIGN_OR_RETURN(ResolvedJoin resolved,
-                               ResolveJoin(left, right, *stmt.join));
-    // The top-k indexed-NL-join rule stays serial: its benefit is streaming
-    // the first rows, and index lookups are not guaranteed thread-safe.
-    if (stmt.limit.has_value() && right->HasIndexOn(resolved.right_key)) {
+  IMPLIANCE_ASSIGN_OR_RETURN(std::vector<const Table*> tables,
+                             BindTables(stmt, catalog));
+  IMPLIANCE_ASSIGN_OR_RETURN(std::vector<BoundJoin> joins,
+                             BindJoins(stmt, tables));
+
+  // The top-k indexed-NL-join rule stays serial: its benefit is streaming
+  // the first rows, and index lookups are not guaranteed thread-safe.
+  for (const BoundJoin& join : joins) {
+    if (UseIndexedNLJoin(stmt, join, tables)) {
       return std::optional<ParallelPlan>();
     }
-    join = resolved;
   }
 
-  PlanContext ctx{stmt, left, right, {}};
+  const std::vector<BoundTable> bound = BindColumns(
+      stmt, tables, joins, std::vector<bool>(tables.size(), false));
+  const NameResolver resolver(&bound);
+
+  std::vector<std::string> explain_lines;
 
   // Same access-path rule as the serial plan.
-  int chosen = -1;
-  for (size_t i = 0; i < stmt.where.size() && chosen < 0; ++i) {
-    const int column = ResolveInTable(left, stmt.where[i].column);
-    if (column >= 0 && stmt.where[i].op == exec::CompareOp::kEq &&
-        left->HasIndexOn(column)) {
-      chosen = static_cast<int>(i);
-    }
-  }
-  for (size_t i = 0; i < stmt.where.size() && chosen < 0; ++i) {
-    const int column = ResolveInTable(left, stmt.where[i].column);
-    if (column >= 0 && IsRangeOp(stmt.where[i].op) && left->HasIndexOn(column)) {
-      chosen = static_cast<int>(i);
-    }
-  }
-  AccessPath access = AccessViaIndex(left, stmt, chosen);
-  ctx.explain_lines.push_back(access.description);
+  const int chosen = ChooseAccessPredicate(stmt, tables[0]);
+  std::string description;
+  int consumed_index = -1;
+  std::vector<exec::Row> base_rows =
+      FetchAccess(stmt, bound[0], chosen, &description, &consumed_index);
+  explain_lines.push_back(description);
 
   std::set<int> consumed;
-  if (access.consumed_predicate >= 0) consumed.insert(access.consumed_predicate);
+  if (consumed_index >= 0) consumed.insert(consumed_index);
   std::vector<int> order;
   for (size_t i = 0; i < stmt.where.size(); ++i) {
     order.push_back(static_cast<int>(i));
   }
   IMPLIANCE_ASSIGN_OR_RETURN(
       UpperPlanSpec spec,
-      ResolveUpper(&ctx, consumed, order, /*adaptive_filter=*/true));
+      ResolveUpper(stmt, resolver, consumed, order, /*adaptive_filter=*/true));
 
-  // Shared build side: constructed once here, probed from every worker.
-  std::shared_ptr<const exec::JoinHashTable> table;
-  int probe_key = -1;
-  if (join.has_value()) {
-    exec::RowSourceOp build(right->schema(), right->ScanAll());
-    table = exec::JoinHashTable::Build(&build, join->right_key);
-    probe_key = join->left_key;
-    ctx.explain_lines.push_back("HashProbe(build=" + right->table_name() +
-                                ", shared)");
+  // Shared build sides: constructed once here, probed from every worker.
+  struct Probe {
+    std::shared_ptr<const exec::JoinHashTable> table;
+    int left_key = -1;
+  };
+  std::vector<Probe> probes;
+  for (const BoundJoin& join : joins) {
+    const BoundTable& right = bound[join.right_table];
+    exec::RowSourceOp build(right.schema, right.ScanKept());
+    probes.push_back(Probe{
+        exec::JoinHashTable::Build(&build, right.KeptIndexOf(join.right_column)),
+        resolver.Offset(join.left_table) +
+            bound[join.left_table].KeptIndexOf(join.left_column)});
+    explain_lines.push_back("HashProbe(build=" +
+                            right.table->table_name() + ", shared)");
   }
   if (!spec.predicates.empty()) {
-    ctx.explain_lines.push_back(
+    explain_lines.push_back(
         "AdaptiveFilter(" + std::to_string(spec.predicates.size()) +
         " predicates, per-morsel)");
   }
 
   ParallelPlan parallel;
-  parallel.segment.source_schema = left->schema();
+  parallel.segment.source_schema = bound[0].schema;
   parallel.segment.source_rows =
-      std::make_shared<std::vector<exec::Row>>(std::move(access.rows));
+      std::make_shared<std::vector<exec::Row>>(std::move(base_rows));
 
-  // Pipeline stacked on each morsel: probe -> filter -> (project when the
+  // Pipeline stacked on each morsel: probes -> filter -> (project when the
   // aggregate does not reshape the rows anyway).
   const bool project_in_pipeline = !spec.has_aggregate && spec.project;
   parallel.segment.make_pipeline =
-      [table, probe_key, predicates = spec.predicates,
-       project_in_pipeline, columns = spec.project_columns,
+      [probes, predicates = spec.predicates, project_in_pipeline,
+       columns = spec.project_columns,
        names = spec.project_names](exec::OperatorPtr source) {
         exec::OperatorPtr op = std::move(source);
-        if (table != nullptr) {
-          op = std::make_unique<exec::HashProbeOp>(std::move(op), table,
-                                                   probe_key);
+        for (const Probe& probe : probes) {
+          op = std::make_unique<exec::HashProbeOp>(std::move(op), probe.table,
+                                                   probe.left_key);
         }
         if (!predicates.empty()) {
           op = std::make_unique<exec::FilterOp>(std::move(op), predicates,
@@ -530,171 +237,9 @@ Result<std::optional<ParallelPlan>> SimplePlanner::PlanParallel(
         return op;
       };
 
-  // Sink + serial tail over the merged segment output.
-  if (spec.has_aggregate) {
-    parallel.segment.sink = exec::MorselPlan::Sink::kAggregate;
-    parallel.segment.group_columns = spec.group_columns;
-    parallel.segment.aggregates = spec.aggregates;
-    ctx.explain_lines.push_back(
-        "PartialAggregate(groups=" + std::to_string(spec.group_columns.size()) +
-        ", aggs=" + std::to_string(spec.aggregates.size()) + ") => Merge");
-    // Post-aggregate select-list projection, then order/limit, run serially
-    // on the merged groups.
-    parallel.tail = [spec](exec::OperatorPtr source) {
-      exec::OperatorPtr op = std::make_unique<exec::ProjectOp>(
-          std::move(source), spec.project_columns, spec.project_names);
-      if (!spec.sort_keys.empty()) {
-        if (spec.limit.has_value()) {
-          op = std::make_unique<exec::TopKOp>(std::move(op), spec.sort_keys,
-                                              *spec.limit);
-        } else {
-          op = std::make_unique<exec::SortOp>(std::move(op), spec.sort_keys);
-        }
-      } else if (spec.limit.has_value()) {
-        op = std::make_unique<exec::LimitOp>(std::move(op), *spec.limit);
-      }
-      return op;
-    };
-  } else if (!spec.sort_keys.empty() && spec.limit.has_value()) {
-    parallel.segment.sink = exec::MorselPlan::Sink::kTopK;
-    parallel.segment.sort_keys = spec.sort_keys;
-    parallel.segment.top_k = *spec.limit;
-    ctx.explain_lines.push_back(
-        "PartialTopK(k=" + std::to_string(*spec.limit) + ") => Merge");
-  } else {
-    parallel.segment.sink = exec::MorselPlan::Sink::kCollect;
-    ctx.explain_lines.push_back("Collect(morsel order)");
-    if (!spec.sort_keys.empty()) {
-      ctx.explain_lines.push_back("Sort");
-      parallel.tail = [keys = spec.sort_keys](exec::OperatorPtr source) {
-        return std::make_unique<exec::SortOp>(std::move(source), keys);
-      };
-    } else if (spec.limit.has_value()) {
-      ctx.explain_lines.push_back("Limit(" + std::to_string(*spec.limit) + ")");
-      parallel.tail = [limit = *spec.limit](exec::OperatorPtr source) {
-        return std::make_unique<exec::LimitOp>(std::move(source), limit);
-      };
-    }
-  }
-
-  parallel.explain =
-      "ParallelMorsels\n" + RenderExplain(ctx.explain_lines);
+  planning::AttachParallelUpper(spec, &parallel, &explain_lines);
+  parallel.explain = "ParallelMorsels\n" + RenderExplain(explain_lines);
   return std::optional<ParallelPlan>(std::move(parallel));
-}
-
-// -------------------------------------------------------- CostBasedPlanner
-
-double CostBasedPlanner::EstimateSelectivity(const std::string& table,
-                                             const WhereClause& clause) const {
-  auto it = stats_.find(table);
-  if (it == stats_.end()) return 1.0;
-  const TableStats& stats = it->second;
-  std::string bare = clause.column;
-  size_t dot = bare.rfind('.');
-  if (dot != std::string::npos) bare = bare.substr(dot + 1);
-  auto ndv_it = stats.distinct_values.find(bare);
-  const double ndv = ndv_it == stats.distinct_values.end()
-                         ? 10.0
-                         : static_cast<double>(std::max<size_t>(1, ndv_it->second));
-  switch (clause.op) {
-    case exec::CompareOp::kEq:
-      return 1.0 / ndv;
-    case exec::CompareOp::kNe:
-      return 1.0 - 1.0 / ndv;
-    case exec::CompareOp::kContains:
-      return 0.1;
-    default:
-      return 1.0 / 3.0;  // textbook range guess
-  }
-}
-
-Result<PlanResult> CostBasedPlanner::Plan(const SelectStatement& stmt,
-                                          const Catalog& catalog) {
-  const Table* left = catalog.Lookup(stmt.table);
-  if (left == nullptr) {
-    return Status::NotFound("unknown table: " + stmt.table);
-  }
-  const Table* right = nullptr;
-  if (stmt.join.has_value()) {
-    right = catalog.Lookup(stmt.join->table);
-    if (right == nullptr) {
-      return Status::NotFound("unknown table: " + stmt.join->table);
-    }
-  }
-
-  PlanContext ctx{stmt, left, right, {}};
-
-  auto stats_it = stats_.find(stmt.table);
-  const double left_rows = stats_it == stats_.end()
-                               ? 1000.0
-                               : static_cast<double>(stats_it->second.row_count);
-
-  // Access path: pick the indexed predicate with the LOWEST estimated
-  // selectivity, but only if it beats a scan by the classic 10% rule.
-  int best = -1;
-  double best_selectivity = 0.1;  // index must look at least this selective
-  for (size_t i = 0; i < stmt.where.size(); ++i) {
-    const int column = ResolveInTable(left, stmt.where[i].column);
-    if (column < 0 || !left->HasIndexOn(column)) continue;
-    if (stmt.where[i].op != exec::CompareOp::kEq &&
-        !IsRangeOp(stmt.where[i].op)) {
-      continue;
-    }
-    const double selectivity = EstimateSelectivity(stmt.table, stmt.where[i]);
-    if (selectivity < best_selectivity) {
-      best_selectivity = selectivity;
-      best = static_cast<int>(i);
-    }
-  }
-  AccessPath access = AccessViaIndex(left, stmt, best);
-  ctx.explain_lines.push_back(access.description);
-  exec::OperatorPtr plan = std::make_unique<exec::RowSourceOp>(
-      left->schema(), std::move(access.rows));
-
-  std::set<int> consumed;
-  if (access.consumed_predicate >= 0) consumed.insert(access.consumed_predicate);
-
-  if (right != nullptr) {
-    IMPLIANCE_ASSIGN_OR_RETURN(ResolvedJoin join,
-                               ResolveJoin(left, right, *stmt.join));
-    auto right_stats = stats_.find(stmt.join->table);
-    const double right_rows =
-        right_stats == stats_.end()
-            ? 1000.0
-            : static_cast<double>(right_stats->second.row_count);
-    // Estimated probe-side cardinality after the access path.
-    double probe_estimate = best >= 0 ? left_rows * best_selectivity : left_rows;
-    // INLJ costs ~probe * lookup; hash join costs ~build + probe. Use INLJ
-    // when probes are (estimated) much cheaper than building.
-    if (right->HasIndexOn(join.right_key) && probe_estimate * 4 < right_rows) {
-      ctx.explain_lines.push_back("IndexedNLJoin(" + right->table_name() + ")");
-      plan = std::make_unique<exec::IndexedNLJoinOp>(
-          std::move(plan), join.left_key,
-          MakeIndexLookup(right, join.right_key), right->schema());
-    } else {
-      ctx.explain_lines.push_back("HashJoin(build=" + right->table_name() +
-                                  ")");
-      auto build = std::make_unique<exec::RowSourceOp>(right->schema(),
-                                                       right->ScanAll());
-      plan = std::make_unique<exec::HashJoinOp>(std::move(plan),
-                                                std::move(build),
-                                                join.left_key, join.right_key);
-    }
-  }
-
-  // Static predicate order by estimated selectivity (most selective first).
-  std::vector<int> order;
-  for (size_t i = 0; i < stmt.where.size(); ++i) {
-    order.push_back(static_cast<int>(i));
-  }
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return EstimateSelectivity(stmt.table, stmt.where[a]) <
-           EstimateSelectivity(stmt.table, stmt.where[b]);
-  });
-  IMPLIANCE_ASSIGN_OR_RETURN(
-      plan, BuildUpperPlan(&ctx, std::move(plan), std::move(consumed),
-                           std::move(order), /*adaptive_filter=*/false));
-  return PlanResult{std::move(plan), RenderExplain(ctx.explain_lines)};
 }
 
 Result<std::vector<exec::Row>> RunSql(std::string_view sql,

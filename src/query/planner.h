@@ -1,11 +1,12 @@
 #ifndef IMPLIANCE_QUERY_PLANNER_H_
 #define IMPLIANCE_QUERY_PLANNER_H_
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "exec/operator.h"
@@ -15,10 +16,26 @@
 
 namespace impliance::query {
 
-// A compiled query: executable operator tree plus a human-readable plan.
+// One operator in a rendered plan tree, in root-first (pre-order) listing
+// order. `depth` gives the tree shape; estimates are the optimizer's — the
+// statistics-free SimplePlanner leaves them at 0.
+struct ExplainNode {
+  uint32_t depth = 0;
+  std::string name;    // operator, e.g. "HashJoin"
+  std::string detail;  // e.g. "build=customers"
+  double est_rows = 0;
+  double est_cost = 0;
+
+  bool operator==(const ExplainNode&) const = default;
+};
+
+// A compiled query: executable operator tree plus a human-readable plan and
+// (when the planner costs its decisions) a structured node listing that
+// EXPLAIN ships over the wire.
 struct PlanResult {
   exec::OperatorPtr root;
   std::string explain;
+  std::vector<ExplainNode> nodes;  // may be empty (SimplePlanner)
 };
 
 // A query compiled for morsel-driven parallel execution: the scan / probe /
@@ -52,8 +69,11 @@ class Planner {
 // predictable over optimal performance and requiring NO statistics:
 //   - access path: an index is used whenever an equality (else range)
 //     predicate has one — never a cost decision;
-//   - join: indexed nested-loop when the query is top-k (LIMIT) and the
-//     right side has an index on the join column, hash join otherwise;
+//   - joins: left-deep in textual order; indexed nested-loop when the query
+//     is top-k (LIMIT) and the join table has an index on the join column,
+//     hash join otherwise;
+//   - projection pushdown: scans fetch only the columns the query
+//     references (a rule, requiring no statistics);
 //   - residual predicates run through the adaptive filter, which reorders
 //     itself at runtime instead of consulting statistics.
 class SimplePlanner : public Planner {
@@ -66,31 +86,6 @@ class SimplePlanner : public Planner {
   // benefit is streaming the first rows, stays serial).
   Result<std::optional<ParallelPlan>> PlanParallel(
       const SelectStatement& stmt, const Catalog& catalog) override;
-};
-
-// Conventional cost-based comparator for experiment E2. Decisions use
-// registered statistics, which the caller may let go stale — exactly the
-// maintenance burden the paper argues against.
-class CostBasedPlanner : public Planner {
- public:
-  struct TableStats {
-    size_t row_count = 0;
-    // column name -> number of distinct values.
-    std::map<std::string, size_t> distinct_values;
-  };
-
-  void SetStats(const std::string& table, TableStats stats) {
-    stats_[table] = std::move(stats);
-  }
-
-  Result<PlanResult> Plan(const SelectStatement& stmt,
-                          const Catalog& catalog) override;
-
- private:
-  double EstimateSelectivity(const std::string& table,
-                             const WhereClause& clause) const;
-
-  std::map<std::string, TableStats> stats_;
 };
 
 // Parses and plans `sql`, executes the plan, and returns the rows. With

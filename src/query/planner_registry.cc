@@ -1,0 +1,19 @@
+#include "query/planner_registry.h"
+
+#include "query/opt/optimizer.h"
+
+namespace impliance::query {
+
+Result<std::unique_ptr<Planner>> CreatePlanner(const std::string& name,
+                                               opt::TableStatsCache* stats) {
+  if (name.empty() || name == "default" || name == "cost") {
+    return std::unique_ptr<Planner>(new opt::CostAwarePlanner(stats));
+  }
+  if (name == "simple") {
+    return std::unique_ptr<Planner>(new SimplePlanner());
+  }
+  return Status::InvalidArgument("unknown planner: " + name +
+                                 " (expected \"cost\" or \"simple\")");
+}
+
+}  // namespace impliance::query

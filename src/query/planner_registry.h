@@ -1,0 +1,23 @@
+#ifndef IMPLIANCE_QUERY_PLANNER_REGISTRY_H_
+#define IMPLIANCE_QUERY_PLANNER_REGISTRY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "query/opt/stats_cache.h"
+#include "query/planner.h"
+
+namespace impliance::query {
+
+// Per-request planner selection. Names:
+//   ""  / "default" / "cost" -> CostAwarePlanner over `stats`
+//   "simple"                 -> SimplePlanner (paper-faithful baseline)
+// Anything else is InvalidArgument. `stats` is borrowed and must outlive
+// the returned planner.
+Result<std::unique_ptr<Planner>> CreatePlanner(const std::string& name,
+                                               opt::TableStatsCache* stats);
+
+}  // namespace impliance::query
+
+#endif  // IMPLIANCE_QUERY_PLANNER_REGISTRY_H_

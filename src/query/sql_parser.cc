@@ -153,7 +153,7 @@ class Parser {
     IMPLIANCE_RETURN_IF_ERROR(ParseSelectList(&stmt));
     if (!ConsumeKeyword("from")) return Error("expected FROM");
     IMPLIANCE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
-    if (ConsumeKeyword("join")) {
+    while (ConsumeKeyword("join")) {
       IMPLIANCE_RETURN_IF_ERROR(ParseJoin(&stmt));
     }
     if (ConsumeKeyword("where")) {
@@ -273,7 +273,7 @@ class Parser {
       join.left_column = lhs;
       join.right_column = rhs;
     }
-    stmt->join = std::move(join);
+    stmt->joins.push_back(std::move(join));
     return Status::OK();
   }
 

@@ -4,6 +4,20 @@
 
 namespace impliance::query {
 
+std::vector<exec::Row> Table::ScanColumns(
+    const std::vector<int>& columns) const {
+  std::vector<exec::Row> rows = ScanAll();
+  std::vector<exec::Row> pruned;
+  pruned.reserve(rows.size());
+  for (exec::Row& row : rows) {
+    exec::Row out;
+    out.reserve(columns.size());
+    for (int column : columns) out.push_back(std::move(row[column]));
+    pruned.push_back(std::move(out));
+  }
+  return pruned;
+}
+
 MemTable::MemTable(std::string name, exec::Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {}
 
@@ -15,6 +29,20 @@ void MemTable::AddRow(exec::Row row) {
     const model::Value& key = rows_.back()[column];
     if (!key.is_null()) map.emplace(key, index);
   }
+  ++version_;
+}
+
+std::vector<exec::Row> MemTable::ScanColumns(
+    const std::vector<int>& columns) const {
+  std::vector<exec::Row> pruned;
+  pruned.reserve(rows_.size());
+  for (const exec::Row& row : rows_) {
+    exec::Row out;
+    out.reserve(columns.size());
+    for (int column : columns) out.push_back(row[column]);
+    pruned.push_back(std::move(out));
+  }
+  return pruned;
 }
 
 void MemTable::BuildIndex(int column) {

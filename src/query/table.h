@@ -1,6 +1,7 @@
 #ifndef IMPLIANCE_QUERY_TABLE_H_
 #define IMPLIANCE_QUERY_TABLE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,6 +26,13 @@ class Table {
   // Full scan, materialized.
   virtual std::vector<exec::Row> ScanAll() const = 0;
 
+  // Projection-pushdown scan: rows carrying only `columns` (schema
+  // indices), in that order. The default materializes full rows and prunes;
+  // backends override it when fetching fewer columns is genuinely cheaper
+  // (a document view resolves one path per requested column).
+  virtual std::vector<exec::Row> ScanColumns(
+      const std::vector<int>& columns) const;
+
   virtual bool HasIndexOn(int column) const = 0;
 
   // Rows whose `column` equals `value`. Only valid if HasIndexOn(column).
@@ -35,9 +43,16 @@ class Table {
   virtual std::vector<exec::Row> IndexRange(int column, const model::Value* lo,
                                             const model::Value* hi) const = 0;
 
-  // True cardinality (the simple planner never asks; the cost-based planner
-  // uses Stats which may be stale).
+  // True cardinality (the simple planner never asks; the cost-aware planner
+  // reads it through the TableStatsCache).
   virtual size_t RowCount() const = 0;
+
+  // Monotone change counter: any mutation of the backing data bumps it.
+  // The statistics cache recomputes a table's stats iff the version moved
+  // since the last collection, so cached stats can never silently go
+  // stale. 0 (the default) means "no change tracking" — stats callers
+  // must then treat every read as potentially stale.
+  virtual uint64_t DataVersion() const { return 0; }
 };
 
 // Vector-backed table with optional per-column hash + ordered indexes.
@@ -52,6 +67,8 @@ class MemTable : public Table {
   const std::string& table_name() const override { return name_; }
   const exec::Schema& schema() const override { return schema_; }
   std::vector<exec::Row> ScanAll() const override { return rows_; }
+  std::vector<exec::Row> ScanColumns(
+      const std::vector<int>& columns) const override;
   bool HasIndexOn(int column) const override {
     return indexes_.count(column) > 0;
   }
@@ -60,6 +77,7 @@ class MemTable : public Table {
   std::vector<exec::Row> IndexRange(int column, const model::Value* lo,
                                     const model::Value* hi) const override;
   size_t RowCount() const override { return rows_.size(); }
+  uint64_t DataVersion() const override { return version_; }
 
  private:
   std::string name_;
@@ -67,6 +85,7 @@ class MemTable : public Table {
   std::vector<exec::Row> rows_;
   // column -> ordered multimap value -> row indices.
   std::map<int, std::multimap<model::Value, size_t>> indexes_;
+  uint64_t version_ = 1;
 };
 
 // Name -> table registry handed to the planner.

@@ -143,20 +143,36 @@ Result<ImplianceClient::SearchAnswer> ImplianceClient::SearchChecked(
 }
 
 Result<std::vector<std::string>> ImplianceClient::Sql(
-    const std::string& statement) {
+    const std::string& statement, const std::string& planner) {
   wire::Request request;
   request.op = wire::Op::kSql;
   request.payload = statement;
+  request.kind = planner;
   IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
   IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
   return std::move(response.rows);
 }
 
+Result<ImplianceClient::ExplainAnswer> ImplianceClient::Explain(
+    const std::string& statement, const std::string& planner) {
+  wire::Request request;
+  request.op = wire::Op::kExplain;
+  request.payload = statement;
+  request.kind = planner;
+  IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
+  IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
+  ExplainAnswer answer;
+  answer.plan = std::move(response.plan);
+  answer.text = std::move(response.body);
+  return answer;
+}
+
 Result<ImplianceClient::SqlAnswer> ImplianceClient::SqlChecked(
-    const std::string& statement) {
+    const std::string& statement, const std::string& planner) {
   wire::Request request;
   request.op = wire::Op::kSql;
   request.payload = statement;
+  request.kind = planner;
   IMPLIANCE_ASSIGN_OR_RETURN(wire::Response response, Call(std::move(request)));
   IMPLIANCE_RETURN_IF_ERROR(ToStatus(response));
   SqlAnswer answer;

@@ -60,8 +60,10 @@ class ImplianceClient {
   };
   Result<SearchAnswer> SearchChecked(const std::string& keywords,
                                      uint64_t limit = 10);
-  // Rows as tab-separated strings.
-  Result<std::vector<std::string>> Sql(const std::string& statement);
+  // Rows as tab-separated strings. `planner` selects the engine:
+  // "" / "cost" = cost-aware optimizer (default), "simple" = baseline.
+  Result<std::vector<std::string>> Sql(const std::string& statement,
+                                       const std::string& planner = "");
   // SQL with the same completeness contract as SearchChecked: the rows
   // plus whether unreachable partitions were excluded from the scan.
   struct SqlAnswer {
@@ -69,7 +71,16 @@ class ImplianceClient {
     bool degraded = false;
     uint64_t missing_partitions = 0;
   };
-  Result<SqlAnswer> SqlChecked(const std::string& statement);
+  Result<SqlAnswer> SqlChecked(const std::string& statement,
+                               const std::string& planner = "");
+  // EXPLAIN without executing: the costed plan tree (structured nodes)
+  // plus the server's text rendering in `text`.
+  struct ExplainAnswer {
+    std::vector<wire::PlanNode> plan;
+    std::string text;
+  };
+  Result<ExplainAnswer> Explain(const std::string& statement,
+                                const std::string& planner = "");
   Result<wire::Response> Facet(const std::string& keywords,
                                const std::string& kind,
                                const std::vector<std::string>& facet_paths,

@@ -38,7 +38,7 @@ wire::WireStatus WireStatusFor(const Status& status) {
 // recording itself is then lock-free on the serving hot path.
 obs::BoundedHistogram* OpLatencyHistogram(wire::Op op) {
   static const auto table = [] {
-    constexpr size_t kNumOps = static_cast<size_t>(wire::Op::kShutdown) + 1;
+    constexpr size_t kNumOps = static_cast<size_t>(wire::kLastOp) + 1;
     std::array<obs::BoundedHistogram*, kNumOps> histograms{};
     for (size_t i = 0; i < kNumOps; ++i) {
       histograms[i] = obs::Registry::Global().GetHistogram(
@@ -363,7 +363,8 @@ wire::Response ImplianceServer::Execute(const wire::Request& request) {
 
     case wire::Op::kSql: {
       core::QueryHealth health;
-      auto rows = impliance_->Sql(request.payload, &health);
+      // `kind` carries the planner name ("" = cost-aware default).
+      auto rows = impliance_->Sql(request.payload, &health, request.kind);
       if (!rows.ok()) {
         return ErrorResponse(request.id, WireStatusFor(rows.status()),
                              rows.status().ToString());
@@ -379,6 +380,22 @@ wire::Response ImplianceServer::Execute(const wire::Request& request) {
         }
         response.rows.push_back(std::move(line));
       }
+      return response;
+    }
+
+    case wire::Op::kExplain: {
+      auto plan = impliance_->ExplainSql(request.payload, request.kind);
+      if (!plan.ok()) {
+        return ErrorResponse(request.id, WireStatusFor(plan.status()),
+                             plan.status().ToString());
+      }
+      response.plan.reserve(plan->nodes.size());
+      for (const query::ExplainNode& node : plan->nodes) {
+        response.plan.push_back(wire::PlanNode{node.depth, node.name,
+                                               node.detail, node.est_rows,
+                                               node.est_cost});
+      }
+      response.body = std::move(plan->text);
       return response;
     }
 

@@ -8,7 +8,6 @@ namespace impliance::server::wire {
 
 namespace {
 
-constexpr uint8_t kMaxOp = static_cast<uint8_t>(Op::kShutdown);
 constexpr uint8_t kMaxStatus = static_cast<uint8_t>(WireStatus::kShuttingDown);
 
 void PutDouble(std::string* dst, double value) {
@@ -58,6 +57,7 @@ const char* OpName(Op op) {
     case Op::kSql: return "sql";
     case Op::kStats: return "stats";
     case Op::kShutdown: return "shutdown";
+    case Op::kExplain: return "explain";
   }
   return "unknown";
 }
@@ -100,7 +100,7 @@ Status DecodeRequest(std::string_view body, Request* out) {
                                    std::to_string(version));
   }
   if (!GetByte(&body, &op)) return Malformed("missing op");
-  if (op > kMaxOp) {
+  if (op > static_cast<uint8_t>(kLastOp)) {
     return Status::InvalidArgument("unknown op " + std::to_string(op));
   }
   out->op = static_cast<Op>(op);
@@ -167,6 +167,14 @@ void EncodeResponse(const Response& response, std::string* dst) {
       PutVarint64(&body, span.start_micros);
       PutVarint64(&body, span.duration_micros);
     }
+  }
+  PutVarint32(&body, static_cast<uint32_t>(response.plan.size()));
+  for (const PlanNode& node : response.plan) {
+    PutVarint32(&body, node.depth);
+    PutLengthPrefixed(&body, node.name);
+    PutLengthPrefixed(&body, node.detail);
+    PutDouble(&body, node.est_rows);
+    PutDouble(&body, node.est_cost);
   }
   body.push_back(static_cast<char>(response.degraded ? 1 : 0));
   PutVarint64(&body, response.missing_partitions);
@@ -273,6 +281,19 @@ Status DecodeResponse(std::string_view body, Response* out) {
       trace.spans.push_back(std::move(span));
     }
     out->traces.push_back(std::move(trace));
+  }
+
+  if (!GetVarint32(&body, &n) || n > body.size()) return Malformed("plan");
+  out->plan.clear();
+  out->plan.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PlanNode node;
+    if (!GetVarint32(&body, &node.depth) || !GetString(&body, &node.name) ||
+        !GetString(&body, &node.detail) || !GetDouble(&body, &node.est_rows) ||
+        !GetDouble(&body, &node.est_cost)) {
+      return Malformed("truncated plan node");
+    }
+    out->plan.push_back(std::move(node));
   }
 
   uint8_t degraded = 0;

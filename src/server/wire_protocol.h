@@ -42,6 +42,8 @@ namespace impliance::server::wire {
 //                            varint64 spans_dropped | varint32 n_spans |
 //                            n * (lp(name) | varint64 start_micros |
 //                                 varint64 duration_micros)) |
+//   varint32 n_plan | n * (varint32 depth | lp(name) | lp(detail) |
+//                          fixed64 est-rows-bits | fixed64 est-cost-bits) |
 //   byte degraded | varint64 missing_partitions |
 //   lp(body)
 //
@@ -52,7 +54,10 @@ namespace impliance::server::wire {
 // Bumped on any incompatible layout change; peers reject mismatches.
 // v2: responses carry degraded/missing_partitions (result completeness).
 // v3: Stats responses carry recent request traces with per-stage spans.
-inline constexpr uint8_t kWireVersion = 3;
+// v4: Explain op; responses carry the costed plan tree (pre-order,
+//     depth-encoded). Request `kind` doubles as the planner name for
+//     Sql/Explain ("" = cost-aware default, "simple" = baseline).
+inline constexpr uint8_t kWireVersion = 4;
 
 // Upper bound on a frame body; anything larger is rejected before
 // allocation so a garbage length prefix cannot OOM the server.
@@ -64,10 +69,15 @@ enum class Op : uint8_t {
   kGet = 2,       // doc_id -> JSON body
   kSearch = 3,    // payload = keywords, limit = top-k
   kFacet = 4,     // payload = keywords, kind, facet_paths
-  kSql = 5,       // payload = statement -> rows
+  kSql = 5,       // payload = statement -> rows (kind = planner name)
   kStats = 6,     // appliance + serving statistics
   kShutdown = 7,  // graceful drain
+  kExplain = 8,   // payload = statement -> plan tree, not executed
 };
+
+// Highest valid Op value. Every per-op table must be sized kLastOp + 1, and
+// decoding rejects anything above it.
+inline constexpr Op kLastOp = Op::kExplain;
 
 enum class WireStatus : uint8_t {
   kOk = 0,
@@ -89,7 +99,7 @@ struct Request {
   // Requests still queued when the budget lapses are answered with
   // kDeadlineExceeded instead of being executed.
   uint64_t deadline_ms = 0;
-  std::string kind;     // Ingest, Facet kind restriction
+  std::string kind;     // Ingest, Facet kind restriction, Sql/Explain planner
   std::string payload;  // Ingest raw / Search+Facet keywords / Sql text
   uint64_t doc_id = 0;  // Get
   uint64_t limit = 10;  // Search/Facet top-k
@@ -127,6 +137,18 @@ struct TraceSpan {
   friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
 };
 
+// One node of the costed plan tree an Explain response carries: pre-order
+// with explicit depth, so the client can re-indent without a tree codec.
+struct PlanNode {
+  uint32_t depth = 0;
+  std::string name;    // operator ("HashJoin", "IndexLookup", ...)
+  std::string detail;  // operator argument rendering
+  double est_rows = 0.0;
+  double est_cost = 0.0;
+
+  friend bool operator==(const PlanNode&, const PlanNode&) = default;
+};
+
 // A finished request trace as surfaced by the Stats op: where each stage
 // of a recent request spent its time, and whether it crossed the
 // slow-query threshold.
@@ -152,6 +174,7 @@ struct Response {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<OpLatency> op_latencies;  // Stats
   std::vector<TraceSummary> traces;     // Stats: recent request traces
+  std::vector<PlanNode> plan;           // Explain: costed plan tree
   // Result completeness: a kOk answer with degraded=true is explicitly
   // partial — `missing_partitions` units of work were lost to node
   // failures even after failover. Complete answers are {false, 0}.

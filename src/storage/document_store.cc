@@ -118,6 +118,7 @@ Result<model::DocId> DocumentStore::Insert(model::Document doc) {
   const model::DocId id = doc.id;
   latest_version_[id] = 1;
   memtable_[VersionKey{id, 1}] = std::move(doc);
+  change_epoch_.fetch_add(1, std::memory_order_release);
   if (memtable_.size() >= options_.memtable_max_docs) {
     IMPLIANCE_RETURN_IF_ERROR(FlushLocked());
   }
@@ -137,6 +138,7 @@ Result<uint32_t> DocumentStore::AddVersion(model::DocId id,
   it->second = doc.version;
   const uint32_t version = doc.version;
   memtable_[VersionKey{id, version}] = std::move(doc);
+  change_epoch_.fetch_add(1, std::memory_order_release);
   if (memtable_.size() >= options_.memtable_max_docs) {
     IMPLIANCE_RETURN_IF_ERROR(FlushLocked());
   }
@@ -233,6 +235,7 @@ Status DocumentStore::FlushLocked() {
   fs::remove(WalPath(), ec);
   IMPLIANCE_ASSIGN_OR_RETURN(wal_,
                              WalWriter::Open(WalPath(), options_.sync_wal));
+  change_epoch_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -271,6 +274,7 @@ Status DocumentStore::Compact() {
     // evict only this segment's blocks so the merged one keeps its hits.
     cache_->EraseFile(old_id);
   }
+  change_epoch_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef IMPLIANCE_STORAGE_DOCUMENT_STORE_H_
 #define IMPLIANCE_STORAGE_DOCUMENT_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -84,6 +85,15 @@ class DocumentStore {
 
   StoreStats GetStats() const;
 
+  // Monotone change counter bumped by every mutation (insert, new version,
+  // memtable flush, compaction). The query layer's statistics cache keys
+  // its per-table snapshots on this epoch, so optimizer statistics are
+  // recollected exactly when the stored data actually changed — they can
+  // never silently go stale the way manually ANALYZEd stats do.
+  uint64_t change_epoch() const {
+    return change_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   explicit DocumentStore(StoreOptions options);
 
@@ -105,6 +115,7 @@ class DocumentStore {
   model::DocId next_id_ = 1;
   uint64_t next_segment_id_ = 1;
   uint64_t wal_bytes_total_ = 0;
+  std::atomic<uint64_t> change_epoch_{0};
 };
 
 }  // namespace impliance::storage

@@ -1,0 +1,463 @@
+// The cost-aware optimizer's contract: statistics track the data on their
+// own, logical rewrites never change answers, and every physical plan the
+// optimizer picks is result-identical to the paper-faithful SimplePlanner
+// (modulo row order where SQL leaves it unspecified) at any degree of
+// parallelism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/parallel.h"
+#include "query/opt/cost_model.h"
+#include "query/opt/optimizer.h"
+#include "query/opt/stats.h"
+#include "query/opt/stats_cache.h"
+#include "query/planner.h"
+#include "query/planner_registry.h"
+#include "query/sql_parser.h"
+#include "query/table.h"
+
+namespace impliance::query::opt {
+namespace {
+
+using exec::CompareOp;
+using model::Value;
+
+// --------------------------------------------------------------- fixtures
+
+std::shared_ptr<MemTable> MakeOrders() {
+  auto table = std::make_shared<MemTable>(
+      "orders", exec::Schema{{"id", "customer_id", "city", "total"}});
+  const std::vector<std::tuple<int, int, const char*, double>> data = {
+      {1, 100, "london", 25.0}, {2, 101, "paris", 75.0},
+      {3, 100, "london", 125.0}, {4, 102, "rome", 10.0},
+      {5, 101, "paris", 200.0}, {6, 103, "london", 55.0},
+  };
+  for (const auto& [id, cid, city, total] : data) {
+    table->AddRow({Value::Int(id), Value::Int(cid), Value::String(city),
+                   Value::Double(total)});
+  }
+  table->BuildIndex(0);
+  table->BuildIndex(2);
+  return table;
+}
+
+std::shared_ptr<MemTable> MakeCustomers() {
+  auto table = std::make_shared<MemTable>(
+      "customers", exec::Schema{{"id", "name"}});
+  for (int i = 0; i < 5; ++i) {
+    table->AddRow({Value::Int(100 + i),
+                   Value::String("cust" + std::to_string(i))});
+  }
+  table->BuildIndex(0);
+  return table;
+}
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  catalog.Register(MakeOrders());
+  catalog.Register(MakeCustomers());
+  return catalog;
+}
+
+std::vector<std::string> Canonical(const std::vector<exec::Row>& rows) {
+  std::vector<std::string> flat;
+  flat.reserve(rows.size());
+  for (const exec::Row& row : rows) {
+    std::string line;
+    for (const Value& value : row) line += value.AsString() + "\x1f";
+    flat.push_back(std::move(line));
+  }
+  std::sort(flat.begin(), flat.end());
+  return flat;
+}
+
+// ------------------------------------------------------------- statistics
+
+TEST(TableStatsTest, ExactOnSmallTables) {
+  auto orders = MakeOrders();
+  TableStats stats = CollectTableStats(*orders);
+  EXPECT_EQ(stats.table_name, "orders");
+  EXPECT_EQ(stats.row_count, 6u);
+  ASSERT_EQ(stats.columns.size(), 4u);
+  EXPECT_EQ(stats.columns[0].ndv, 6u);  // id unique
+  EXPECT_EQ(stats.columns[1].ndv, 4u);  // customer_id
+  EXPECT_EQ(stats.columns[2].ndv, 3u);  // city
+  EXPECT_EQ(stats.columns[0].min.int_value(), 1);
+  EXPECT_EQ(stats.columns[0].max.int_value(), 6);
+  EXPECT_EQ(stats.columns[2].null_count, 0u);
+  EXPECT_EQ(stats.Column(99), nullptr);  // bounds-checked accessor
+}
+
+TEST(TableStatsTest, CountsNulls) {
+  auto table = std::make_shared<MemTable>("t", exec::Schema{{"x"}});
+  table->AddRow({Value::Int(1)});
+  table->AddRow({Value::Null()});
+  table->AddRow({Value::Null()});
+  TableStats stats = CollectTableStats(*table);
+  EXPECT_EQ(stats.columns[0].null_count, 2u);
+  EXPECT_EQ(stats.columns[0].ndv, 1u);  // nulls don't count as a value
+}
+
+TEST(TableStatsTest, KmvApproximatesLargeNdv) {
+  auto table = std::make_shared<MemTable>("big", exec::Schema{{"k"}});
+  for (int i = 0; i < 3000; ++i) table->AddRow({Value::Int(i)});
+  StatsOptions options;
+  options.sample_rows = 3000;  // sketch the whole table, k-bounded memory
+  TableStats stats = CollectTableStats(*table, options);
+  const double estimate = static_cast<double>(stats.columns[0].ndv);
+  EXPECT_GT(estimate, 3000 * 0.7);
+  EXPECT_LT(estimate, 3000 * 1.3);
+}
+
+TEST(TableStatsTest, ScalesNearUniqueColumnsToTableSize) {
+  // 10k distinct ids but only the 4k-row prefix is sampled: a near-unique
+  // sample must extrapolate to the full table, not report 4k.
+  auto table = std::make_shared<MemTable>("u", exec::Schema{{"id", "flag"}});
+  for (int i = 0; i < 10000; ++i) {
+    table->AddRow({Value::Int(i), Value::Int(i % 2)});
+  }
+  TableStats stats = CollectTableStats(*table);
+  EXPECT_LT(stats.sampled_rows, 10000u);
+  EXPECT_GT(stats.columns[0].ndv, 8000u);
+  EXPECT_LE(stats.columns[0].ndv, 10000u);
+  // Low-cardinality columns must NOT be scaled up.
+  EXPECT_LE(stats.columns[1].ndv, 3u);
+}
+
+TEST(StatsCacheTest, AutoModeTracksDataVersion) {
+  auto table = std::make_shared<MemTable>("t", exec::Schema{{"x"}});
+  for (int i = 0; i < 100; ++i) table->AddRow({Value::Int(i)});
+  TableStatsCache cache;
+  auto first = cache.Get(*table);
+  EXPECT_EQ(first->row_count, 100u);
+  EXPECT_EQ(cache.collections(), 1u);
+  // Unchanged table: same snapshot, no recollection.
+  EXPECT_EQ(cache.Get(*table), first);
+  EXPECT_EQ(cache.collections(), 1u);
+
+  // Small drift (< 10%): exact row count refreshes, sketches are reused.
+  for (int i = 0; i < 5; ++i) table->AddRow({Value::Int(1000 + i)});
+  auto drifted = cache.Get(*table);
+  EXPECT_EQ(drifted->row_count, 105u);
+  EXPECT_EQ(cache.collections(), 1u);
+
+  // Large drift (>= 10%): full recollection.
+  for (int i = 0; i < 50; ++i) table->AddRow({Value::Int(2000 + i)});
+  auto recollected = cache.Get(*table);
+  EXPECT_EQ(recollected->row_count, 155u);
+  EXPECT_EQ(cache.collections(), 2u);
+  EXPECT_GT(recollected->columns[0].ndv, drifted->columns[0].ndv);
+}
+
+TEST(StatsCacheTest, ManualModeStaysStaleUntilRefresh) {
+  auto table = std::make_shared<MemTable>("t", exec::Schema{{"x"}});
+  table->AddRow({Value::Int(1)});
+  TableStatsCache cache(TableStatsCache::Mode::kManual);
+  EXPECT_EQ(cache.Get(*table)->row_count, 1u);
+  for (int i = 0; i < 100; ++i) table->AddRow({Value::Int(i)});
+  // Manual mode: still the old answer — that's the E2 failure mode.
+  EXPECT_EQ(cache.Get(*table)->row_count, 1u);
+  // ANALYZE.
+  EXPECT_EQ(cache.Refresh(*table)->row_count, 101u);
+  EXPECT_EQ(cache.Get(*table)->row_count, 101u);
+}
+
+// ------------------------------------------------------------- cost model
+
+TEST(CostModelTest, SelectivityFromStats) {
+  ColumnStats column;
+  column.ndv = 4;
+  column.min = Value::Int(0);
+  column.max = Value::Int(100);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(&column, CompareOp::kEq, Value::Int(1)), 0.25);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(&column, CompareOp::kNe, Value::Int(1)), 0.75);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(&column, CompareOp::kLt, Value::Int(25)), 0.25);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(&column, CompareOp::kGe, Value::Int(25)), 0.75);
+  // Out-of-range literals clamp.
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(&column, CompareOp::kGt, Value::Int(1000)), 0.0);
+  // Null comparison matches nothing.
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(&column, CompareOp::kEq, Value::Null()), 0.0);
+}
+
+TEST(CostModelTest, JoinCardinalityUsesMaxNdv) {
+  EXPECT_DOUBLE_EQ(EstimateJoinRows(100, 50, 10, 50), 100.0);
+  EXPECT_DOUBLE_EQ(EstimateJoinRows(100, 50, 0, 0), 5000.0);  // ndv floor 1
+}
+
+// ------------------------------------------------------- logical rewrites
+
+struct Planners {
+  SimplePlanner simple;
+  TableStatsCache stats;
+  CostAwarePlanner optimizer{&stats};
+};
+
+void ExpectSameResults(const std::string& sql, const Catalog& catalog,
+                       Planners* planners, bool ordered = false) {
+  auto a = RunSql(sql, catalog, &planners->simple);
+  auto b = RunSql(sql, catalog, &planners->optimizer);
+  ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+  if (ordered) {
+    EXPECT_EQ(*a, *b) << sql;
+  } else {
+    EXPECT_EQ(Canonical(*a), Canonical(*b)) << sql;
+  }
+}
+
+TEST(LogicalRewriteTest, ContradictionsProduceEmptyPlans) {
+  Catalog catalog = MakeCatalog();
+  Planners planners;
+  const std::vector<std::string> contradictions = {
+      "SELECT id FROM orders WHERE total > 100 AND total < 50",
+      "SELECT id FROM orders WHERE city = 'london' AND city = 'paris'",
+      "SELECT id FROM orders WHERE id = 3 AND id != 3",
+      "SELECT id FROM orders WHERE id > 3 AND id <= 3",
+  };
+  for (const std::string& sql : contradictions) {
+    auto stmt = ParseSql(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto plan = planners.optimizer.Plan(*stmt, catalog);
+    ASSERT_TRUE(plan.ok()) << sql;
+    EXPECT_NE(plan->explain.find("EmptyResult"), std::string::npos) << sql;
+    ExpectSameResults(sql, catalog, &planners);
+  }
+  // A contradictory global aggregate keeps the engine's empty-input
+  // aggregate semantics (no group -> no row), same as SimplePlanner.
+  const std::string agg =
+      "SELECT COUNT(*) FROM orders WHERE total > 100 AND total < 50";
+  ExpectSameResults(agg, catalog, &planners, /*ordered=*/true);
+}
+
+TEST(LogicalRewriteTest, RangesTightenAndEqualityAbsorbs) {
+  Catalog catalog = MakeCatalog();
+  Planners planners;
+  // id > 1 AND id > 2 AND id <= 5 folds to the single interval (2, 5].
+  auto stmt = ParseSql(
+      "SELECT id FROM orders WHERE id > 1 AND id > 2 AND id <= 5");
+  auto plan = planners.optimizer.Plan(*stmt, catalog);
+  ASSERT_TRUE(plan.ok());
+  const auto rows = exec::Execute(plan->root.get());
+  EXPECT_EQ(rows.size(), 3u);  // ids 3, 4, 5
+  ExpectSameResults("SELECT id FROM orders WHERE id > 1 AND id > 2 AND id <= 5",
+                    catalog, &planners);
+  // Equality absorbs compatible ranges (one predicate remains: id = 4).
+  ExpectSameResults(
+      "SELECT id FROM orders WHERE id = 4 AND id >= 2 AND id != 5",
+      catalog, &planners);
+  // NULL comparisons match nothing.
+  auto stmt2 = ParseSql("SELECT id FROM orders WHERE total > null");
+  auto plan2 = planners.optimizer.Plan(*stmt2, catalog);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(exec::Execute(plan2->root.get()).size(), 0u);
+}
+
+TEST(LogicalRewriteTest, UnknownColumnsStillError) {
+  Catalog catalog = MakeCatalog();
+  Planners planners;
+  EXPECT_TRUE(RunSql("SELECT id FROM orders WHERE ghost = 1", catalog,
+                     &planners.optimizer).status().IsInvalidArgument());
+  // Even when predicates are contradictory, name errors elsewhere surface.
+  EXPECT_TRUE(RunSql(
+      "SELECT ghost FROM orders WHERE id = 1 AND id = 2", catalog,
+      &planners.optimizer).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------ plan shapes
+
+TEST(CostAwarePlannerTest, ReordersJoinToDriveFromFilteredTable) {
+  Catalog catalog = MakeCatalog();
+  Planners planners;
+  // The filtered orders table (city eq) is smaller than customers, and
+  // customers has an index on the join key: expect an indexed NL join
+  // probing customers, not a hash build of it.
+  auto stmt = ParseSql(
+      "SELECT name FROM orders JOIN customers ON customer_id = customers.id "
+      "WHERE city = 'london'");
+  auto plan = planners.optimizer.Plan(*stmt, catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->explain.find("IndexedNLJoin(customers.id)"),
+            std::string::npos)
+      << plan->explain;
+  EXPECT_NE(plan->explain.find("IndexLookup(orders.city)"), std::string::npos)
+      << plan->explain;
+  ASSERT_FALSE(plan->nodes.empty());
+  EXPECT_EQ(plan->nodes[0].name, "Project");
+  ExpectSameResults(
+      "SELECT name FROM orders JOIN customers ON customer_id = customers.id "
+      "WHERE city = 'london'",
+      catalog, &planners);
+}
+
+TEST(CostAwarePlannerTest, GoldenExplainSnapshot) {
+  Catalog catalog = MakeCatalog();
+  Planners planners;
+  auto stmt = ParseSql(
+      "SELECT name FROM orders JOIN customers ON customer_id = customers.id "
+      "WHERE city = 'london'");
+  auto plan = planners.optimizer.Plan(*stmt, catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->explain,
+            "Project(name) [rows~2 cost~0]\n"
+            "  IndexedNLJoin(customers.id) [rows~2 cost~12]\n"
+            "    IndexLookup(orders.city) [rows~2 cost~4]\n"
+            "    IndexProbe(customers.id) [rows~2 cost~0]");
+  // Structured nodes mirror the text: pre-order, depth-encoded.
+  ASSERT_EQ(plan->nodes.size(), 4u);
+  EXPECT_EQ(plan->nodes[0].depth, 0u);
+  EXPECT_EQ(plan->nodes[1].name, "IndexedNLJoin");
+  EXPECT_EQ(plan->nodes[1].depth, 1u);
+  EXPECT_EQ(plan->nodes[2].name, "IndexLookup");
+  EXPECT_EQ(plan->nodes[3].depth, 2u);
+  EXPECT_EQ(plan->nodes[3].name, "IndexProbe");
+}
+
+TEST(CostAwarePlannerTest, SortMergeElidesFinalOrderBy) {
+  // Large enough join inputs that sorting them beats hash + final sort.
+  auto left = std::make_shared<MemTable>("l", exec::Schema{{"k", "lv"}});
+  auto right = std::make_shared<MemTable>("r", exec::Schema{{"k2", "rv"}});
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    left->AddRow({Value::Int(rng.UniformInt(0, 500)), Value::Int(i)});
+    right->AddRow({Value::Int(rng.UniformInt(0, 500)), Value::Int(-i)});
+  }
+  Catalog catalog;
+  catalog.Register(left);
+  catalog.Register(right);
+  Planners planners;
+  const std::string sql =
+      "SELECT k, lv, rv FROM l JOIN r ON k = k2 ORDER BY k";
+  auto stmt = ParseSql(sql);
+  auto plan = planners.optimizer.Plan(*stmt, catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->explain.find("SortMergeJoin"), std::string::npos)
+      << plan->explain;
+  EXPECT_EQ(plan->explain.find("\nSort"), std::string::npos) << plan->explain;
+  // ORDER BY k only fixes the key order; compare canonically but verify
+  // the keys really are ascending.
+  auto rows = RunSql(sql, catalog, &planners.optimizer);
+  ASSERT_TRUE(rows.ok());
+  for (size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_LE((*rows)[i - 1][0].int_value(), (*rows)[i][0].int_value());
+  }
+  ExpectSameResults(sql, catalog, &planners);
+}
+
+TEST(PlannerRegistryTest, SelectsByName) {
+  TableStatsCache stats;
+  EXPECT_TRUE(CreatePlanner("", &stats).ok());
+  EXPECT_TRUE(CreatePlanner("cost", &stats).ok());
+  EXPECT_TRUE(CreatePlanner("default", &stats).ok());
+  EXPECT_TRUE(CreatePlanner("simple", &stats).ok());
+  EXPECT_TRUE(CreatePlanner("nope", &stats).status().IsInvalidArgument());
+}
+
+// -------------------------------------------------- equivalence property
+
+// Seeded sweep: random three-table data, queries spanning join orders,
+// pushdown combinations, folding opportunities, aggregates, and sorts —
+// the optimizer must match SimplePlanner at DOP 1, 2, and 8.
+class OptimizerEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerEquivalenceTest, MatchesSimplePlannerAtAllDops) {
+  Rng rng(GetParam());
+  auto orders = std::make_shared<MemTable>(
+      "orders", exec::Schema{{"id", "customer_id", "region_id", "total"}});
+  for (int i = 0; i < 400; ++i) {
+    orders->AddRow({Value::Int(i), Value::Int(rng.UniformInt(0, 49)),
+                    Value::Int(rng.UniformInt(0, 5)),
+                    Value::Int(rng.UniformInt(0, 500))});
+  }
+  orders->BuildIndex(0);
+  orders->BuildIndex(1);
+  auto customers = std::make_shared<MemTable>(
+      "customers", exec::Schema{{"cid", "name", "cregion"}});
+  for (int i = 0; i < 50; ++i) {
+    customers->AddRow({Value::Int(i),
+                       Value::String("c" + std::to_string(i)),
+                       Value::Int(rng.UniformInt(0, 5))});
+  }
+  customers->BuildIndex(0);
+  auto regions = std::make_shared<MemTable>(
+      "regions", exec::Schema{{"rid", "rname"}});
+  for (int i = 0; i < 6; ++i) {
+    regions->AddRow({Value::Int(i), Value::String("r" + std::to_string(i))});
+  }
+  regions->BuildIndex(0);
+  Catalog catalog;
+  catalog.Register(orders);
+  catalog.Register(customers);
+  catalog.Register(regions);
+
+  const int64_t pivot = rng.UniformInt(0, 500);
+  const std::vector<std::string> queries = {
+      // Join orders: same query from either textual direction.
+      "SELECT id, name FROM orders JOIN customers ON customer_id = cid",
+      "SELECT id, name FROM customers JOIN orders ON customer_id = cid",
+      // Three tables, predicate on the smallest.
+      "SELECT id, name, rname FROM orders "
+      "JOIN customers ON customer_id = cid "
+      "JOIN regions ON region_id = rid WHERE rname = 'r2'",
+      // Same chain declared in a different textual order.
+      "SELECT id, name, rname FROM regions "
+      "JOIN orders ON region_id = rid "
+      "JOIN customers ON customer_id = cid WHERE rname = 'r2'",
+      // Pushdown combinations: predicates on driver, build side, both.
+      "SELECT id FROM orders JOIN customers ON customer_id = cid "
+      "WHERE total > " + std::to_string(pivot),
+      "SELECT id FROM orders JOIN customers ON customer_id = cid "
+      "WHERE name = 'c7'",
+      "SELECT id FROM orders JOIN customers ON customer_id = cid "
+      "WHERE total > " + std::to_string(pivot) + " AND name != 'c3' "
+      "AND cregion = 2",
+      // Folding opportunities.
+      "SELECT id FROM orders WHERE total > 10 AND total > 20 AND total < 400",
+      "SELECT id FROM orders WHERE id = 7 AND id >= 2",
+      "SELECT id FROM orders WHERE total > 300 AND total < 100",
+      // Aggregates over a join.
+      "SELECT rname, COUNT(*), SUM(total) FROM orders "
+      "JOIN regions ON region_id = rid GROUP BY rname",
+      // Sorts and limits (unique key -> deterministic full order).
+      "SELECT id, total FROM orders WHERE total > " + std::to_string(pivot) +
+      " ORDER BY id",
+      "SELECT id FROM orders ORDER BY id LIMIT 7",
+  };
+
+  SimplePlanner simple;
+  TableStatsCache stats;
+  CostAwarePlanner optimizer(&stats);
+  for (const std::string& sql : queries) {
+    const bool ordered = sql.find("ORDER BY id") != std::string::npos;
+    for (size_t dop : {size_t{1}, size_t{2}, size_t{8}}) {
+      exec::ExecOptions options;
+      options.dop = dop;
+      auto a = RunSql(sql, catalog, &simple, options);
+      auto b = RunSql(sql, catalog, &optimizer, options);
+      ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+      if (ordered) {
+        EXPECT_EQ(*a, *b) << sql << " dop=" << dop;
+      } else {
+        EXPECT_EQ(Canonical(*a), Canonical(*b)) << sql << " dop=" << dop;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace impliance::query::opt

@@ -279,7 +279,7 @@ uint64_t RandomU64(Rng* rng) {
 
 Request RandomRequest(Rng* rng) {
   Request request;
-  request.op = static_cast<Op>(rng->Uniform(8));
+  request.op = static_cast<Op>(rng->Uniform(9));  // includes v4 kExplain
   request.id = RandomU64(rng);
   request.deadline_ms = RandomU64(rng);
   request.kind = RandomBlob(rng, 40);
@@ -330,6 +330,15 @@ Response RandomResponse(Rng* rng) {
           {RandomBlob(rng, 24), RandomU64(rng), RandomU64(rng)});
     }
     response.traces.push_back(std::move(trace));
+  }
+  for (size_t i = rng->Uniform(5); i > 0; --i) {
+    server::wire::PlanNode node;
+    node.depth = static_cast<uint32_t>(rng->Uniform(8));
+    node.name = RandomBlob(rng, 20);
+    node.detail = RandomBlob(rng, 40);
+    node.est_rows = rng->NextDouble() * 1e9;
+    node.est_cost = rng->NextDouble() * 1e9;
+    response.plan.push_back(std::move(node));
   }
   response.degraded = rng->Uniform(2) == 1;
   response.missing_partitions = RandomU64(rng);

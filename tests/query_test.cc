@@ -12,6 +12,8 @@
 #include "index/value_index.h"
 #include "query/faceted.h"
 #include "query/graph_query.h"
+#include "query/opt/optimizer.h"
+#include "query/opt/stats_cache.h"
 #include "query/planner.h"
 #include "query/sql_parser.h"
 #include "query/table.h"
@@ -62,16 +64,28 @@ TEST(SqlParserTest, JoinGroupOrder) {
       "JOIN customers ON customer_id = customers.id "
       "WHERE total >= 10 GROUP BY city ORDER BY revenue DESC, city LIMIT 5");
   ASSERT_TRUE(stmt.ok());
-  ASSERT_TRUE(stmt->join.has_value());
-  EXPECT_EQ(stmt->join->table, "customers");
-  EXPECT_EQ(stmt->join->left_column, "customer_id");
-  EXPECT_EQ(stmt->join->right_column, "customers.id");
+  ASSERT_EQ(stmt->joins.size(), 1u);
+  EXPECT_EQ(stmt->joins[0].table, "customers");
+  EXPECT_EQ(stmt->joins[0].left_column, "customer_id");
+  EXPECT_EQ(stmt->joins[0].right_column, "customers.id");
   EXPECT_EQ(stmt->group_by, (std::vector<std::string>{"city"}));
   ASSERT_EQ(stmt->order_by.size(), 2u);
   EXPECT_FALSE(stmt->order_by[0].ascending);
   EXPECT_TRUE(stmt->order_by[1].ascending);
   EXPECT_EQ(stmt->items[2].alias, "revenue");
   EXPECT_EQ(stmt->items[1].agg_fn, exec::AggFn::kCount);
+}
+
+TEST(SqlParserTest, MultipleJoins) {
+  auto stmt = ParseSql(
+      "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->joins.size(), 2u);
+  EXPECT_EQ(stmt->joins[0].table, "b");
+  EXPECT_EQ(stmt->joins[0].left_column, "a.x");
+  EXPECT_EQ(stmt->joins[1].table, "c");
+  EXPECT_EQ(stmt->joins[1].left_column, "b.y");
+  EXPECT_EQ(stmt->joins[1].right_column, "c.y");
 }
 
 TEST(SqlParserTest, QuotedStringEscapes) {
@@ -216,15 +230,11 @@ TEST(SimplePlannerTest, ErrorsOnUnknownNames) {
                      &planner).status().IsInvalidArgument());
 }
 
-TEST(CostBasedPlannerTest, AgreesWithSimplePlannerOnResults) {
+TEST(CostAwarePlannerTest, AgreesWithSimplePlannerOnResults) {
   Catalog catalog = MakeCatalog();
   SimplePlanner simple;
-  CostBasedPlanner cost_based;
-  CostBasedPlanner::TableStats stats;
-  stats.row_count = 6;
-  stats.distinct_values = {{"id", 6}, {"customer_id", 4}, {"city", 3},
-                           {"total", 6}};
-  cost_based.SetStats("orders", stats);
+  opt::TableStatsCache stats;
+  opt::CostAwarePlanner cost_aware(&stats);
 
   const std::vector<std::string> queries = {
       "SELECT id FROM orders WHERE city = 'london'",
@@ -236,32 +246,41 @@ TEST(CostBasedPlannerTest, AgreesWithSimplePlannerOnResults) {
   };
   for (const std::string& sql : queries) {
     auto a = RunSql(sql, catalog, &simple);
-    auto b = RunSql(sql, catalog, &cost_based);
+    auto b = RunSql(sql, catalog, &cost_aware);
     ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
     ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
     EXPECT_EQ(*a, *b) << sql;
   }
 }
 
-TEST(CostBasedPlannerTest, StatsSteerAccessPath) {
-  Catalog catalog = MakeCatalog();
-  CostBasedPlanner planner;
-  // Stats claiming city is nearly unique -> index looks great.
-  CostBasedPlanner::TableStats stats;
-  stats.row_count = 6;
-  stats.distinct_values = {{"city", 100}};
-  planner.SetStats("orders", stats);
-  auto stmt = ParseSql("SELECT id FROM orders WHERE city = 'london'");
+TEST(CostAwarePlannerTest, StatsSteerAccessPath) {
+  // Two indexed columns with opposite statistics: `uniq` is unique (an
+  // equality matches ~1 row — the index wins), `constant` has one distinct
+  // value (an equality matches everything — a scan is cheaper than
+  // fetching every row through the index).
+  auto table = std::make_shared<MemTable>(
+      "skew", exec::Schema{{"uniq", "constant"}});
+  for (int i = 0; i < 50; ++i) {
+    table->AddRow({Value::Int(i), Value::Int(7)});
+  }
+  table->BuildIndex(0);
+  table->BuildIndex(1);
+  Catalog catalog;
+  catalog.Register(table);
+  opt::TableStatsCache stats;
+  opt::CostAwarePlanner planner(&stats);
+
+  auto stmt = ParseSql("SELECT uniq FROM skew WHERE uniq = 3");
   auto plan = planner.Plan(*stmt, catalog);
   ASSERT_TRUE(plan.ok());
-  EXPECT_NE(plan->explain.find("IndexLookup"), std::string::npos);
+  EXPECT_NE(plan->explain.find("IndexLookup(skew.uniq)"), std::string::npos)
+      << plan->explain;
 
-  // Stats claiming city has 2 distinct values -> scan preferred.
-  stats.distinct_values = {{"city", 2}};
-  planner.SetStats("orders", stats);
-  auto plan2 = planner.Plan(*stmt, catalog);
+  auto stmt2 = ParseSql("SELECT uniq FROM skew WHERE constant = 7");
+  auto plan2 = planner.Plan(*stmt2, catalog);
   ASSERT_TRUE(plan2.ok());
-  EXPECT_NE(plan2->explain.find("Scan(orders)"), std::string::npos);
+  EXPECT_NE(plan2->explain.find("Scan(skew)"), std::string::npos)
+      << plan2->explain;
 }
 
 // Property sweep: both planners equal a brute-force oracle on random
@@ -284,11 +303,8 @@ TEST_P(PlannerPropertyTest, PlannersMatchBruteForce) {
   catalog.Register(table);
 
   SimplePlanner simple;
-  CostBasedPlanner cost_based;
-  CostBasedPlanner::TableStats stats;
-  stats.row_count = 500;
-  stats.distinct_values = {{"a", 21}, {"b", 6}, {"c", 900}};
-  cost_based.SetStats("t", stats);
+  opt::TableStatsCache stats;
+  opt::CostAwarePlanner cost_aware(&stats);
 
   for (int q = 0; q < 20; ++q) {
     const int64_t av = rng.UniformInt(0, 20);
@@ -296,7 +312,7 @@ TEST_P(PlannerPropertyTest, PlannersMatchBruteForce) {
     std::string sql = "SELECT c FROM t WHERE a = " + std::to_string(av) +
                       " AND b = " + std::to_string(bv) + " ORDER BY c";
     auto rows_simple = RunSql(sql, catalog, &simple);
-    auto rows_cost = RunSql(sql, catalog, &cost_based);
+    auto rows_cost = RunSql(sql, catalog, &cost_aware);
     ASSERT_TRUE(rows_simple.ok());
     ASSERT_TRUE(rows_cost.ok());
 

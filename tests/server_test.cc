@@ -165,6 +165,64 @@ TEST_F(ServerTest, IngestGetSearchStatsRoundTrip) {
   EXPECT_TRUE(saw_ingest_latency);
 }
 
+TEST_F(ServerTest, ExplainShipsStructuredPlanOverTheWire) {
+  StartServer();
+  auto client = Client();
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client
+                  ->Ingest("order",
+                           "cust,city,total\n1,Berlin,99.5\n2,Tokyo,12.0\n"
+                           "1,Berlin,5.0\n2,Osaka,7.5\n")
+                  .ok());
+  ASSERT_TRUE(client->Ingest("customer", "cid,cname\n1,Ann\n2,Bo\n").ok());
+
+  const std::string sql =
+      "SELECT cname, total FROM order JOIN customer ON cust = cid "
+      "WHERE cname = 'Ann'";
+  auto answer = client->Explain(sql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_FALSE(answer->plan.empty()) << answer->text;
+  EXPECT_EQ(answer->plan[0].depth, 0u);
+  bool saw_join = false;
+  for (const auto& node : answer->plan) {
+    saw_join = saw_join || node.name.find("Join") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_join) << answer->text;
+  // The optimizer reorders: the driver (first leaf in the pre-order
+  // listing) is the filtered customer table, not the textual-first order.
+  size_t first_leaf = answer->plan.size() - 1;
+  for (size_t i = 0; i + 1 < answer->plan.size(); ++i) {
+    if (answer->plan[i + 1].depth <= answer->plan[i].depth) {
+      first_leaf = i;
+      break;
+    }
+  }
+  EXPECT_NE(answer->plan[first_leaf].detail.find("customer"),
+            std::string::npos)
+      << answer->text;
+
+  // The paper-faithful planner stays selectable per request; it renders a
+  // textual plan but makes no cost estimates, so no structured nodes.
+  auto simple = client->Explain(sql, "simple");
+  ASSERT_TRUE(simple.ok()) << simple.status().ToString();
+  EXPECT_TRUE(simple->plan.empty());
+  EXPECT_NE(simple->text.find("HashJoin"), std::string::npos) << simple->text;
+
+  EXPECT_FALSE(client->Explain(sql, "nope").ok());
+
+  // Both planners answer the query itself identically over the wire.
+  auto cost_rows = client->Sql(sql);
+  auto simple_rows = client->Sql(sql, "simple");
+  ASSERT_TRUE(cost_rows.ok()) << cost_rows.status().ToString();
+  ASSERT_TRUE(simple_rows.ok()) << simple_rows.status().ToString();
+  std::vector<std::string> a = *cost_rows, b = *simple_rows;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
 TEST_F(ServerTest, StatsCarriesRecentTracesWithSpans) {
   StartServer();
   auto client = Client();

@@ -40,7 +40,8 @@ int Usage() {
       "  ingest <kind> <file>      ('-' reads stdin)\n"
       "  get <doc_id>\n"
       "  search <keywords...>\n"
-      "  sql <statement>\n"
+      "  sql [--planner=cost|simple] <statement>\n"
+      "  explain [--planner=cost|simple] <statement>\n"
       "  facet <kind> <path> [keywords...]\n"
       "  stats [--traces]\n"
       "  load <requests> <connections>   scripted search/ingest load\n"
@@ -201,8 +202,40 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  // Optional --planner=<name> immediately after the sql/explain command.
+  std::string planner;
+  int statement_from = 3;
+  if ((command == "sql" || command == "explain") && argc > 3) {
+    const std::string flag = argv[3];
+    if (flag.rfind("--planner=", 0) == 0) {
+      planner = flag.substr(10);
+      statement_from = 4;
+    }
+  }
+  if (command == "explain") {
+    auto answer = client->Explain(JoinArgs(argv, statement_from, argc),
+                                  planner);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
+      return 1;
+    }
+    if (answer->plan.empty()) {
+      // Baseline planners ship text only.
+      std::printf("%s\n", answer->text.c_str());
+      return 0;
+    }
+    for (const auto& node : answer->plan) {
+      std::printf("%*s%s%s%s%s [rows~%.0f cost~%.0f]\n",
+                  static_cast<int>(node.depth) * 2, "", node.name.c_str(),
+                  node.detail.empty() ? "" : "(",
+                  node.detail.c_str(), node.detail.empty() ? "" : ")",
+                  node.est_rows, node.est_cost);
+    }
+    return 0;
+  }
   if (command == "sql") {
-    auto answer = client->SqlChecked(JoinArgs(argv, 3, argc));
+    auto answer = client->SqlChecked(JoinArgs(argv, statement_from, argc),
+                                     planner);
     if (!answer.ok()) {
       std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
       return 1;
