@@ -1,0 +1,134 @@
+#ifndef IMPLIANCE_EXEC_BATCH_SOURCE_H_
+#define IMPLIANCE_EXEC_BATCH_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/predicate.h"
+#include "exec/row_batch.h"
+
+namespace impliance::exec {
+
+// Counters a scan accumulates while it runs. A source that decodes from
+// block-compressed storage reports real skip numbers; a materialized
+// adapter only ever decodes.
+struct ScanStats {
+  uint64_t segments_visited = 0;
+  uint64_t segments_skipped = 0;  // refuted entirely from segment metadata
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;  // refuted from per-block zone maps
+  uint64_t rows_decoded = 0;    // rows materialized into batches
+};
+
+// Pull-based stream of RowBatch chunks out of a table scan — the
+// batch-native boundary between storage and the executor. Unlike Operator
+// it has no Open/Close lifecycle: a source is single-use, positioned at the
+// start when constructed, and carries exactly the projected columns the
+// caller asked for.
+//
+// Sources created with predicate hints may SKIP rows that cannot satisfy
+// them (whole blocks refuted by zone maps), but are never required to
+// filter row-wise: callers must re-apply their predicates to the returned
+// rows. Hints can only shrink the stream, never grow or reorder it — rows
+// always come back in table order.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  // Schema over exactly the projected columns, in the requested order.
+  virtual const Schema& schema() const = 0;
+
+  // Clears `batch` and fills it with the next chunk of rows. Returns false
+  // — with `batch` empty — only at end of stream.
+  virtual bool NextBatch(RowBatch* batch) = 0;
+
+  // Upper-bound row-count hint (0 = unknown).
+  virtual uint64_t EstimatedRows() const { return 0; }
+
+  // Counters so far (meaningful once the stream is drained).
+  virtual ScanStats stats() const { return {}; }
+};
+
+using BatchSourcePtr = std::unique_ptr<BatchSource>;
+
+// Adapter over an already-materialized row vector: prunes each row to
+// `columns` (full-schema indices, in output order) while batching. The
+// default Table::ScanBatches wraps row/document backends with it.
+class VectorBatchSource : public BatchSource {
+ public:
+  // `columns` empty means "all columns, in schema order, no pruning".
+  VectorBatchSource(Schema schema, std::vector<Row> rows,
+                    std::vector<int> columns,
+                    size_t batch_rows = kDefaultBatchRows);
+
+  const Schema& schema() const override { return schema_; }
+  bool NextBatch(RowBatch* batch) override;
+  uint64_t EstimatedRows() const override { return rows_.size(); }
+  ScanStats stats() const override { return stats_; }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<int> columns_;  // empty = identity
+  size_t batch_rows_;
+  size_t cursor_ = 0;
+  ScanStats stats_;
+};
+
+// Zero-copy variant over a row vector owned by someone who outlives the
+// scan (MemTable's backing store): values are copied into batches, but the
+// base vector itself is never duplicated.
+class BorrowedBatchSource : public BatchSource {
+ public:
+  BorrowedBatchSource(Schema schema, const std::vector<Row>* rows,
+                      std::vector<int> columns,
+                      size_t batch_rows = kDefaultBatchRows);
+
+  const Schema& schema() const override { return schema_; }
+  bool NextBatch(RowBatch* batch) override;
+  uint64_t EstimatedRows() const override { return rows_->size(); }
+  ScanStats stats() const override { return stats_; }
+
+ private:
+  Schema schema_;
+  const std::vector<Row>* rows_;
+  std::vector<int> columns_;  // empty = identity
+  size_t batch_rows_;
+  size_t cursor_ = 0;
+  ScanStats stats_;
+};
+
+// Leaf operator over a BatchSource, so a plan can consume a scan stream
+// without materializing it first. Single-use, like the source it wraps.
+class BatchSourceOp : public Operator {
+ public:
+  explicit BatchSourceOp(BatchSourcePtr source) : source_(std::move(source)) {}
+
+  const Schema& schema() const override { return source_->schema(); }
+  std::string name() const override { return "BatchScan"; }
+  void Open() override {}
+  bool NextBatch(RowBatch* batch) override {
+    const bool more = source_->NextBatch(batch);
+    rows_produced_ += batch->size();
+    return more;
+  }
+  void Close() override {}
+  uint64_t EstimatedRows() const override { return source_->EstimatedRows(); }
+
+  ScanStats scan_stats() const { return source_->stats(); }
+
+ private:
+  BatchSourcePtr source_;
+};
+
+// Drains a source into a vector. `predicates` (over the SOURCE's projected
+// schema; may be empty) are applied row-wise during the drain, so callers
+// that must re-check hints fold the filter into the same pass.
+std::vector<Row> DrainBatchSource(BatchSource* source,
+                                  const std::vector<Predicate>& predicates = {});
+
+}  // namespace impliance::exec
+
+#endif  // IMPLIANCE_EXEC_BATCH_SOURCE_H_

@@ -18,6 +18,11 @@ struct CostParams {
   double default_ndv = 10.0;    // when no column stats exist
   double contains_selectivity = 0.1;
   double range_selectivity = 1.0 / 3.0;  // fallback range guess
+  // Zone-map skipping floor: a scan over a zone-mapped table is charged
+  // base_rows * max(best predicate selectivity, this fraction) * scan_row —
+  // even perfectly clustered data still reads block metadata, and scattered
+  // data skips nothing, so the discount never models below this floor.
+  double zone_map_min_fraction = 0.05;
 };
 
 // Estimated fraction of rows satisfying `column <op> literal`. Equality and

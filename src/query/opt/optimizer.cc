@@ -328,6 +328,17 @@ Result<Optimized> Optimize(const SelectStatement& stmt, const Catalog& catalog,
     phys.est_rows = est;
     phys.fetch_rows = phys.base_rows;
     phys.access_cost = phys.base_rows * params.scan_row;
+    // Zone-mapped backends skip blocks their scan hints refute, so a
+    // selective eq/range predicate makes the full scan proportionally
+    // cheaper (floored: skipping is best-case-clustered, not guaranteed).
+    if (opt.tables[t]->SupportsZoneMapSkipping()) {
+      double best = 1.0;
+      for (const LocalPredicate& pred : local.predicates) {
+        if (pred.op != exec::CompareOp::kEq && !IsRangeOp(pred.op)) continue;
+        best = std::min(best, pred.selectivity);
+      }
+      phys.access_cost *= std::max(best, params.zone_map_min_fraction);
+    }
     for (size_t i = 0; i < local.predicates.size(); ++i) {
       const LocalPredicate& pred = local.predicates[i];
       if (pred.op != exec::CompareOp::kEq && !IsRangeOp(pred.op)) continue;
@@ -478,9 +489,18 @@ std::vector<exec::Row> MaterializeTable(const Optimized& opt, int t,
                  phys.access_cost,
                  {}};
   } else {
-    rows = bound.ScanKept();
-    *node = Node{"Scan", table->table_name(), phys.fetch_rows,
-                 phys.access_cost,
+    // Every local predicate rides along as a scan hint: zone-mapped
+    // backends skip refuted blocks, everyone else ignores them. The
+    // residual Filter below re-applies all of them either way.
+    std::vector<exec::Predicate> hints;
+    for (const LocalPredicate& pred : local.predicates) {
+      hints.push_back(exec::Predicate{pred.column, pred.op, pred.literal});
+    }
+    rows = bound.ScanKept(hints);
+    *node = Node{table->SupportsZoneMapSkipping() && !hints.empty()
+                     ? "ColumnarScan"
+                     : "Scan",
+                 table->table_name(), phys.fetch_rows, phys.access_cost,
                  {}};
   }
 

@@ -48,31 +48,48 @@ TableStats CollectTableStats(const Table& table, const StatsOptions& options) {
   stats.columns.resize(width);
   std::vector<KmvSketch> sketches(width, KmvSketch(options.kmv_k));
 
-  // One pass over a prefix sample. The Table interface has no random
-  // sampling, and every backend materializes scans anyway; the cap bounds
+  // One pass over a prefix sample, streamed batch-wise so the scan stops
+  // after the cap instead of materializing the table (the old ScanAll path
+  // copied every row just to read the first few thousand). The cap bounds
   // the per-column sketch work, which dominates.
-  std::vector<exec::Row> rows = table.ScanAll();
-  const size_t sample =
-      std::min(rows.size(), std::max<size_t>(1, options.sample_rows));
-  for (size_t r = 0; r < sample; ++r) {
-    const exec::Row& row = rows[r];
-    for (size_t c = 0; c < width && c < row.size(); ++c) {
-      const model::Value& value = row[c];
-      ColumnStats& column = stats.columns[c];
-      if (value.is_null()) {
-        ++column.null_count;
-        continue;
-      }
-      sketches[c].Add(value.HashValue());
-      if (column.min.is_null() || value.Compare(column.min) < 0) {
-        column.min = value;
-      }
-      if (column.max.is_null() || value.Compare(column.max) > 0) {
-        column.max = value;
+  const size_t cap = std::max<size_t>(1, options.sample_rows);
+  exec::BatchSourcePtr source = table.ScanBatches({});
+  exec::RowBatch batch;
+  size_t sample = 0;
+  while (sample < cap && source->NextBatch(&batch)) {
+    for (const exec::Row& row : batch.rows) {
+      if (sample >= cap) break;
+      ++sample;
+      for (size_t c = 0; c < width && c < row.size(); ++c) {
+        const model::Value& value = row[c];
+        ColumnStats& column = stats.columns[c];
+        if (value.is_null()) {
+          ++column.null_count;
+          continue;
+        }
+        sketches[c].Add(value.HashValue());
+        if (column.min.is_null() || value.Compare(column.min) < 0) {
+          column.min = value;
+        }
+        if (column.max.is_null() || value.Compare(column.max) > 0) {
+          column.max = value;
+        }
       }
     }
   }
   stats.sampled_rows = sample;
+
+  // Backends with storage metadata (columnar zone maps) answer min/max and
+  // null counts exactly — prefer that over the sampled figures. NDV still
+  // comes from the sample sketch.
+  for (size_t c = 0; c < width; ++c) {
+    const auto summary = table.SummarizeColumn(static_cast<int>(c));
+    if (!summary.has_value()) continue;
+    ColumnStats& column = stats.columns[c];
+    column.min = summary->min;
+    column.max = summary->max;
+    column.null_count = summary->null_count;
+  }
 
   for (size_t c = 0; c < width; ++c) {
     uint64_t ndv = sketches[c].Estimate();

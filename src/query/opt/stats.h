@@ -15,7 +15,8 @@ namespace impliance::query::opt {
 // sampled rows.
 struct ColumnStats {
   uint64_t ndv = 0;         // estimated distinct non-null values (table-wide)
-  uint64_t null_count = 0;  // nulls among the sampled rows
+  uint64_t null_count = 0;  // nulls among the sampled rows (exact table-wide
+                            // when the backend answers SummarizeColumn)
   model::Value min;         // Null until a non-null value is seen
   model::Value max;
 };

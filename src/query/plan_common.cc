@@ -24,8 +24,10 @@ int BoundTable::KeptIndexOf(int column) const {
   return -1;
 }
 
-std::vector<exec::Row> BoundTable::ScanKept() const {
-  return pruned() ? table->ScanColumns(kept) : table->ScanAll();
+std::vector<exec::Row> BoundTable::ScanKept(
+    const std::vector<exec::Predicate>& hints) const {
+  exec::BatchSourcePtr source = table->ScanBatches(kept, hints);
+  return exec::DrainBatchSource(source.get());
 }
 
 BoundTable MakeBoundTable(const Table* table, std::vector<int> kept) {

@@ -39,8 +39,12 @@ struct BoundTable {
   bool pruned() const { return kept.size() < table->schema().size(); }
   // Position of full-schema column `column` within `kept`, or -1.
   int KeptIndexOf(int column) const;
-  // Rows carrying only the kept columns (ScanColumns when pruned).
-  std::vector<exec::Row> ScanKept() const;
+  // Rows carrying only the kept columns, streamed through the table's
+  // batch scan. `hints` (predicates over FULL-schema indices) let
+  // zone-mapped backends skip blocks; they only shrink the stream, so the
+  // caller still applies its filters to the result.
+  std::vector<exec::Row> ScanKept(
+      const std::vector<exec::Predicate>& hints = {}) const;
 };
 
 BoundTable MakeBoundTable(const Table* table, std::vector<int> kept);

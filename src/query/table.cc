@@ -1,21 +1,106 @@
 #include "query/table.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace impliance::query {
 
+namespace {
+
+// Wraps every table scan stream: accumulates ScanStats into the global
+// scan.* counters (surfaced through the wire protocol's kStats op) and
+// records one `table.scan` span over the stream's lifetime. Flushes once —
+// at end-of-stream or on destruction, whichever comes first — so an
+// abandoned scan (LIMIT satisfied early) is still accounted.
+class MeteredBatchSource : public exec::BatchSource {
+ public:
+  explicit MeteredBatchSource(exec::BatchSourcePtr inner)
+      : inner_(std::move(inner)), span_("table.scan") {}
+  ~MeteredBatchSource() override { Flush(); }
+
+  const exec::Schema& schema() const override { return inner_->schema(); }
+  bool NextBatch(exec::RowBatch* batch) override {
+    const bool more = inner_->NextBatch(batch);
+    if (!more) Flush();
+    return more;
+  }
+  uint64_t EstimatedRows() const override { return inner_->EstimatedRows(); }
+  exec::ScanStats stats() const override { return inner_->stats(); }
+
+ private:
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    static obs::Counter* segments_visited =
+        obs::Registry::Global().GetCounter("scan.segments_visited");
+    static obs::Counter* segments_skipped =
+        obs::Registry::Global().GetCounter("scan.segments_skipped");
+    static obs::Counter* blocks_decoded =
+        obs::Registry::Global().GetCounter("scan.blocks_decoded");
+    static obs::Counter* blocks_skipped =
+        obs::Registry::Global().GetCounter("scan.blocks_skipped");
+    static obs::Counter* rows_decoded =
+        obs::Registry::Global().GetCounter("scan.rows_decoded");
+    const exec::ScanStats s = inner_->stats();
+    segments_visited->Increment(s.segments_visited);
+    segments_skipped->Increment(s.segments_skipped);
+    blocks_decoded->Increment(s.blocks_decoded);
+    blocks_skipped->Increment(s.blocks_skipped);
+    rows_decoded->Increment(s.rows_decoded);
+  }
+
+  exec::BatchSourcePtr inner_;
+  obs::ScopedSpan span_;
+  bool flushed_ = false;
+};
+
+exec::Schema ProjectSchema(const exec::Schema& full,
+                           const std::vector<int>& columns) {
+  exec::Schema projected;
+  for (int column : columns) projected.AddColumn(full.columns[column]);
+  return projected;
+}
+
+}  // namespace
+
+exec::BatchSourcePtr Table::ScanBatches(
+    std::vector<int> columns, std::vector<exec::Predicate> hints) const {
+  const exec::Schema& full = schema();
+  if (columns.empty()) {
+    columns.resize(full.size());
+    for (size_t i = 0; i < columns.size(); ++i) columns[i] = static_cast<int>(i);
+  }
+  for (int column : columns) {
+    IMPLIANCE_CHECK(column >= 0 && static_cast<size_t>(column) < full.size());
+  }
+  // Project BEFORE the call: argument initialization order is unspecified,
+  // so ProjectSchema(full, columns) in the argument list could read an
+  // already-moved-from vector.
+  exec::Schema projected = ProjectSchema(full, columns);
+  return std::make_unique<MeteredBatchSource>(ScanBatchesImpl(
+      std::move(projected), std::move(columns), std::move(hints)));
+}
+
+exec::BatchSourcePtr Table::ScanBatchesImpl(
+    exec::Schema schema, std::vector<int> columns,
+    std::vector<exec::Predicate> hints) const {
+  // Materialized adapter: zone maps don't exist here, so hints are unused
+  // (callers re-apply predicates regardless).
+  (void)hints;
+  bool identity = columns.size() == this->schema().size();
+  for (size_t i = 0; identity && i < columns.size(); ++i) {
+    identity = columns[i] == static_cast<int>(i);
+  }
+  return std::make_unique<exec::VectorBatchSource>(
+      std::move(schema), ScanAll(),
+      identity ? std::vector<int>{} : std::move(columns));
+}
+
 std::vector<exec::Row> Table::ScanColumns(
     const std::vector<int>& columns) const {
-  std::vector<exec::Row> rows = ScanAll();
-  std::vector<exec::Row> pruned;
-  pruned.reserve(rows.size());
-  for (exec::Row& row : rows) {
-    exec::Row out;
-    out.reserve(columns.size());
-    for (int column : columns) out.push_back(std::move(row[column]));
-    pruned.push_back(std::move(out));
-  }
-  return pruned;
+  exec::BatchSourcePtr source = ScanBatches(columns);
+  return exec::DrainBatchSource(source.get());
 }
 
 MemTable::MemTable(std::string name, exec::Schema schema)
@@ -32,17 +117,17 @@ void MemTable::AddRow(exec::Row row) {
   ++version_;
 }
 
-std::vector<exec::Row> MemTable::ScanColumns(
-    const std::vector<int>& columns) const {
-  std::vector<exec::Row> pruned;
-  pruned.reserve(rows_.size());
-  for (const exec::Row& row : rows_) {
-    exec::Row out;
-    out.reserve(columns.size());
-    for (int column : columns) out.push_back(row[column]);
-    pruned.push_back(std::move(out));
+exec::BatchSourcePtr MemTable::ScanBatchesImpl(
+    exec::Schema schema, std::vector<int> columns,
+    std::vector<exec::Predicate> hints) const {
+  (void)hints;
+  bool identity = columns.size() == schema_.size();
+  for (size_t i = 0; identity && i < columns.size(); ++i) {
+    identity = columns[i] == static_cast<int>(i);
   }
-  return pruned;
+  return std::make_unique<exec::BorrowedBatchSource>(
+      std::move(schema), &rows_,
+      identity ? std::vector<int>{} : std::move(columns));
 }
 
 void MemTable::BuildIndex(int column) {

@@ -4,13 +4,26 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "exec/batch_source.h"
 #include "exec/operator.h"
+#include "exec/predicate.h"
 #include "model/value.h"
 
 namespace impliance::query {
+
+// Exact per-column facts a backend can answer from storage metadata alone
+// (columnar backends merge segment zone maps). Exact — never sampled — so
+// the statistics collector prefers it over its row sample when present.
+struct ColumnSummary {
+  uint64_t row_count = 0;
+  uint64_t null_count = 0;
+  model::Value min;  // Null when every value is null
+  model::Value max;
+};
 
 // Logical relation the planners access: either a system view over documents
 // (bound by the core facade) or an in-memory table (tests, benches,
@@ -33,6 +46,27 @@ class Table {
   virtual std::vector<exec::Row> ScanColumns(
       const std::vector<int>& columns) const;
 
+  // Batch-native scan: a pull stream of RowBatch chunks carrying exactly
+  // `columns` (schema indices, in that order; empty = all columns in schema
+  // order). `hints` are predicates over FULL-schema indices a backend may
+  // use to skip storage blocks whose zone maps refute them — hints only
+  // shrink the stream, so callers must still re-apply their predicates.
+  // Every source is wrapped for observability (scan.* counters plus a
+  // `table.scan` trace span); backends implement ScanBatchesImpl.
+  exec::BatchSourcePtr ScanBatches(
+      std::vector<int> columns,
+      std::vector<exec::Predicate> hints = {}) const;
+
+  // True when ScanBatches can skip blocks from zone maps, so the planner
+  // should discount scan cost by predicate selectivity.
+  virtual bool SupportsZoneMapSkipping() const { return false; }
+
+  // Exact column facts from storage metadata, or nullopt when the backend
+  // keeps none (the stats collector then falls back to sampling).
+  virtual std::optional<ColumnSummary> SummarizeColumn(int column) const {
+    return std::nullopt;
+  }
+
   virtual bool HasIndexOn(int column) const = 0;
 
   // Rows whose `column` equals `value`. Only valid if HasIndexOn(column).
@@ -53,6 +87,15 @@ class Table {
   // stale. 0 (the default) means "no change tracking" — stats callers
   // must then treat every read as potentially stale.
   virtual uint64_t DataVersion() const { return 0; }
+
+ protected:
+  // Backend hook behind ScanBatches. `columns` is already normalized
+  // (never empty; explicit schema indices) and `schema` is the projected
+  // schema over them. The default materializes ScanAll and prunes while
+  // batching; backends override when they can stream or skip.
+  virtual exec::BatchSourcePtr ScanBatchesImpl(
+      exec::Schema schema, std::vector<int> columns,
+      std::vector<exec::Predicate> hints) const;
 };
 
 // Vector-backed table with optional per-column hash + ordered indexes.
@@ -67,8 +110,6 @@ class MemTable : public Table {
   const std::string& table_name() const override { return name_; }
   const exec::Schema& schema() const override { return schema_; }
   std::vector<exec::Row> ScanAll() const override { return rows_; }
-  std::vector<exec::Row> ScanColumns(
-      const std::vector<int>& columns) const override;
   bool HasIndexOn(int column) const override {
     return indexes_.count(column) > 0;
   }
@@ -78,6 +119,12 @@ class MemTable : public Table {
                                     const model::Value* hi) const override;
   size_t RowCount() const override { return rows_.size(); }
   uint64_t DataVersion() const override { return version_; }
+
+ protected:
+  // Streams straight off rows_ (no vector copy, unlike ScanAll).
+  exec::BatchSourcePtr ScanBatchesImpl(
+      exec::Schema schema, std::vector<int> columns,
+      std::vector<exec::Predicate> hints) const override;
 
  private:
   std::string name_;

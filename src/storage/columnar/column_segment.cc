@@ -1,0 +1,201 @@
+#include "storage/columnar/column_segment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace impliance::storage::columnar {
+
+// ------------------------------------------------------------------ format
+
+bool ColumnChunk::DecodeBlockInto(size_t b,
+                                  std::vector<model::Value>* out) const {
+  std::string_view input = blocks[b].payload;
+  return DecodeBlock(encoding, &input, dict, out) && input.empty();
+}
+
+size_t ColumnSegment::EncodedBytes() const {
+  size_t bytes = 0;
+  for (const ColumnChunk& chunk : columns) {
+    for (const ColumnBlock& block : chunk.blocks) bytes += block.payload.size();
+    for (const model::Value& value : chunk.dict) {
+      bytes += value.is_string() ? value.string_value().size() : 8;
+    }
+  }
+  return bytes;
+}
+
+// ----------------------------------------------------------------- builder
+
+SegmentBuilder::SegmentBuilder(size_t num_columns, size_t segment_rows,
+                               size_t block_rows)
+    : num_columns_(num_columns),
+      segment_rows_(std::max<size_t>(1, segment_rows)),
+      block_rows_(std::max<size_t>(1, block_rows)),
+      staging_(num_columns) {}
+
+std::unique_ptr<ColumnSegment> SegmentBuilder::Append(
+    const std::vector<model::Value>& row) {
+  IMPLIANCE_CHECK(row.size() == num_columns_);
+  for (size_t c = 0; c < num_columns_; ++c) staging_[c].push_back(row[c]);
+  ++staged_rows_;
+  return staged_rows_ >= segment_rows_ ? EncodeStaged() : nullptr;
+}
+
+std::unique_ptr<ColumnSegment> SegmentBuilder::Flush() {
+  return staged_rows_ == 0 ? nullptr : EncodeStaged();
+}
+
+std::unique_ptr<ColumnSegment> SegmentBuilder::EncodeStaged() {
+  auto segment = std::make_unique<ColumnSegment>();
+  segment->row_count = static_cast<uint32_t>(staged_rows_);
+  segment->columns.resize(num_columns_);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    ColumnChunk& chunk = segment->columns[c];
+    const std::vector<model::Value>& values = staging_[c];
+    EncodingChoice choice = ChooseEncoding(values, 0, values.size());
+    chunk.encoding = choice.encoding;
+    chunk.dict = std::move(choice.dict);
+    for (size_t begin = 0; begin < staged_rows_; begin += block_rows_) {
+      const size_t end = std::min(staged_rows_, begin + block_rows_);
+      ColumnBlock block;
+      for (size_t i = begin; i < end; ++i) block.zone.Note(values[i]);
+      EncodeBlock(chunk.encoding, values, begin, end, chunk.dict,
+                  &block.payload);
+      chunk.zone.Merge(block.zone);
+      chunk.blocks.push_back(std::move(block));
+    }
+  }
+  for (std::vector<model::Value>& column : staging_) column.clear();
+  staged_rows_ = 0;
+  return segment;
+}
+
+// ----------------------------------------------------------------- scanner
+
+ColumnarBatchSource::ColumnarBatchSource(
+    exec::Schema schema,
+    const std::vector<std::unique_ptr<ColumnSegment>>* segments,
+    const std::vector<std::vector<model::Value>>* tail, size_t tail_rows,
+    std::vector<int> columns, std::vector<exec::Predicate> hints)
+    : schema_(std::move(schema)),
+      segments_(segments),
+      tail_(tail),
+      tail_rows_(tail_rows),
+      columns_(std::move(columns)),
+      hints_(std::move(hints)),
+      decoded_(columns_.size()) {}
+
+uint64_t ColumnarBatchSource::EstimatedRows() const {
+  uint64_t rows = tail_rows_;
+  for (const auto& segment : *segments_) rows += segment->row_count;
+  return rows;
+}
+
+bool ColumnarBatchSource::SegmentRefuted(const ColumnSegment& segment) const {
+  for (const exec::Predicate& hint : hints_) {
+    if (hint.column < 0 ||
+        static_cast<size_t>(hint.column) >= segment.columns.size()) {
+      continue;
+    }
+    if (ZoneMapRefutes(segment.columns[hint.column].zone, hint.op,
+                       hint.literal)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ColumnarBatchSource::BlockRefuted(const ColumnSegment& segment,
+                                       size_t block) const {
+  for (const exec::Predicate& hint : hints_) {
+    if (hint.column < 0 ||
+        static_cast<size_t>(hint.column) >= segment.columns.size()) {
+      continue;
+    }
+    if (ZoneMapRefutes(segment.columns[hint.column].blocks[block].zone,
+                       hint.op, hint.literal)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ColumnarBatchSource::DecodeNextBlock() {
+  while (segment_ < segments_->size()) {
+    const ColumnSegment& segment = *(*segments_)[segment_];
+    if (block_ == 0) {
+      ++stats_.segments_visited;
+      if (SegmentRefuted(segment)) {
+        ++stats_.segments_skipped;
+        stats_.blocks_skipped += segment.num_blocks();
+        ++segment_;
+        continue;
+      }
+    }
+    while (block_ < segment.num_blocks()) {
+      const size_t b = block_++;
+      if (BlockRefuted(segment, b)) {
+        ++stats_.blocks_skipped;
+        continue;
+      }
+      for (auto& column : decoded_) column.clear();
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        const ColumnChunk& chunk = segment.columns[columns_[i]];
+        IMPLIANCE_CHECK(chunk.DecodeBlockInto(b, &decoded_[i]))
+            << "malformed column block";
+      }
+      ++stats_.blocks_decoded;
+      decoded_rows_ = segment.BlockRows(b);
+      decoded_cursor_ = 0;
+      return true;
+    }
+    ++segment_;
+    block_ = 0;
+  }
+  return false;
+}
+
+bool ColumnarBatchSource::NextBatch(exec::RowBatch* batch) {
+  batch->clear();
+  // Decoded segment rows first.
+  while (!in_tail_) {
+    const size_t available =
+        decoded_cursor_ >= decoded_rows_ ? 0 : decoded_rows_ - decoded_cursor_;
+    if (available == 0) {
+      if (!DecodeNextBlock()) {
+        in_tail_ = true;
+        break;
+      }
+      continue;
+    }
+    const size_t take = std::min(available, exec::kDefaultBatchRows);
+    batch->reserve(take);
+    for (size_t r = 0; r < take; ++r, ++decoded_cursor_) {
+      model::Row& out = batch->AppendRow();
+      out.reserve(columns_.size());
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        out.push_back(std::move(decoded_[c][decoded_cursor_]));
+      }
+    }
+    stats_.rows_decoded += batch->size();
+    return true;
+  }
+  // Then the builder's staged tail (row-major emit from column-major
+  // staging; no zone maps, so hints cannot skip here).
+  if (tail_ == nullptr || tail_cursor_ >= tail_rows_) return false;
+  const size_t end =
+      std::min(tail_rows_, tail_cursor_ + exec::kDefaultBatchRows);
+  batch->reserve(end - tail_cursor_);
+  for (; tail_cursor_ < end; ++tail_cursor_) {
+    model::Row& out = batch->AppendRow();
+    out.reserve(columns_.size());
+    for (int column : columns_) {
+      out.push_back((*tail_)[column][tail_cursor_]);
+    }
+  }
+  stats_.rows_decoded += batch->size();
+  return true;
+}
+
+}  // namespace impliance::storage::columnar

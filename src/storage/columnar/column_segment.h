@@ -1,0 +1,154 @@
+#ifndef IMPLIANCE_STORAGE_COLUMNAR_COLUMN_SEGMENT_H_
+#define IMPLIANCE_STORAGE_COLUMNAR_COLUMN_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch_source.h"
+#include "exec/predicate.h"
+#include "storage/columnar/encoding.h"
+#include "storage/columnar/zone_map.h"
+
+namespace impliance::storage::columnar {
+
+// ------------------------------------------------------------------ format
+//
+// A ColumnSegment stripes ~64k table rows column-wise. Each column becomes
+// one ColumnChunk: a single encoding (chosen from the column's data in this
+// segment), an optional dictionary, and a run of blocks of kBlockRows rows.
+// Block boundaries are ALIGNED across the segment's columns — block b of
+// every chunk covers the same row range — so a zone-map refutation on any
+// predicate column skips that row range in every requested column.
+//
+// Each block carries its encoded payload bytes plus a ZoneMap
+// (min/max/null-count over the block); the chunk carries the merged
+// segment-level ZoneMap so a whole segment can be refuted without touching
+// blocks. Everything lives in memory; payloads are plain byte strings, so
+// persisting a segment later is a serialization exercise, not a redesign.
+
+inline constexpr size_t kSegmentRows = 64 * 1024;
+inline constexpr size_t kBlockRows = 2 * 1024;
+
+struct ColumnBlock {
+  std::string payload;  // see encoding.h for the layout
+  ZoneMap zone;
+};
+
+struct ColumnChunk {
+  Encoding encoding = Encoding::kPlain;
+  std::vector<model::Value> dict;  // sorted; only for Encoding::kDict
+  std::vector<ColumnBlock> blocks;
+  ZoneMap zone;  // merged over the blocks
+
+  // Decodes block `b` (nulls included, row order) appending to *out.
+  // Returns false on malformed bytes (cannot happen for blocks this
+  // process built; callers CHECK).
+  bool DecodeBlockInto(size_t b, std::vector<model::Value>* out) const;
+};
+
+struct ColumnSegment {
+  uint32_t row_count = 0;
+  std::vector<ColumnChunk> columns;  // parallel to the table schema
+
+  size_t num_blocks() const {
+    return columns.empty() ? 0 : columns[0].blocks.size();
+  }
+  // Rows in block `b` (the last block may be short).
+  uint32_t BlockRows(size_t b) const {
+    return columns.empty() ? 0 : columns[0].blocks[b].zone.row_count;
+  }
+  // Encoded payload bytes across all chunks (for compression accounting).
+  size_t EncodedBytes() const;
+};
+
+// ----------------------------------------------------------------- builder
+
+// Accumulates rows and cuts ColumnSegments of `segment_rows` rows. The
+// tail shorter than one segment stays buffered; the owner scans it
+// row-wise until enough rows arrive (Flush forces a short segment out).
+class SegmentBuilder {
+ public:
+  SegmentBuilder(size_t num_columns, size_t segment_rows = kSegmentRows,
+                 size_t block_rows = kBlockRows);
+
+  // Appends one row (copying its values into the column staging buffers).
+  // Returns a finished segment when the append filled one, else nullptr.
+  std::unique_ptr<ColumnSegment> Append(const std::vector<model::Value>& row);
+
+  // Encodes whatever is staged into a (possibly short) segment; nullptr
+  // when nothing is staged.
+  std::unique_ptr<ColumnSegment> Flush();
+
+  size_t staged_rows() const { return staged_rows_; }
+  // Read access to the staged tail, column-major (for tail scans).
+  const std::vector<std::vector<model::Value>>& staged() const {
+    return staging_;
+  }
+
+ private:
+  std::unique_ptr<ColumnSegment> EncodeStaged();
+
+  const size_t num_columns_;
+  const size_t segment_rows_;
+  const size_t block_rows_;
+  std::vector<std::vector<model::Value>> staging_;  // [column][row]
+  size_t staged_rows_ = 0;
+};
+
+// ----------------------------------------------------------------- scanner
+
+// exec::BatchSource over a list of segments plus an optional row-major
+// tail. Hints whose zone maps refute a block (or a whole segment) skip it;
+// surviving blocks decode only the requested columns. Rows stream in table
+// order; callers re-apply their predicates (hints only shrink the stream).
+class ColumnarBatchSource : public exec::BatchSource {
+ public:
+  // `columns` are full-schema indices in output order; `hints` reference
+  // full-schema indices too. `tail` (may be null) is the builder's staged
+  // column-major data appended after the segments. The segments vector,
+  // tail, and schema must outlive the source.
+  ColumnarBatchSource(
+      exec::Schema schema,
+      const std::vector<std::unique_ptr<ColumnSegment>>* segments,
+      const std::vector<std::vector<model::Value>>* tail, size_t tail_rows,
+      std::vector<int> columns, std::vector<exec::Predicate> hints);
+
+  const exec::Schema& schema() const override { return schema_; }
+  bool NextBatch(exec::RowBatch* batch) override;
+  uint64_t EstimatedRows() const override;
+  exec::ScanStats stats() const override { return stats_; }
+
+ private:
+  // Advances to the next undecoded, unrefuted block and decodes the
+  // requested columns into decoded_; false when the stream is exhausted.
+  bool DecodeNextBlock();
+  bool SegmentRefuted(const ColumnSegment& segment) const;
+  bool BlockRefuted(const ColumnSegment& segment, size_t block) const;
+
+  exec::Schema schema_;
+  const std::vector<std::unique_ptr<ColumnSegment>>* segments_;
+  const std::vector<std::vector<model::Value>>* tail_;
+  size_t tail_rows_;
+  std::vector<int> columns_;
+  std::vector<exec::Predicate> hints_;
+
+  size_t segment_ = 0;  // == segments_->size() means "in the tail"
+  size_t block_ = 0;
+  bool in_tail_ = false;
+  size_t tail_cursor_ = 0;
+
+  // Current decoded block, column-major, parallel to columns_. A scan of
+  // zero columns (SELECT COUNT(*)) still yields the right row count, so
+  // the block's row count is tracked separately from the decoded vectors.
+  std::vector<std::vector<model::Value>> decoded_;
+  size_t decoded_rows_ = 0;
+  size_t decoded_cursor_ = 0;
+
+  exec::ScanStats stats_;
+};
+
+}  // namespace impliance::storage::columnar
+
+#endif  // IMPLIANCE_STORAGE_COLUMNAR_COLUMN_SEGMENT_H_

@@ -1,0 +1,92 @@
+#ifndef IMPLIANCE_STORAGE_COLUMNAR_ZONE_MAP_H_
+#define IMPLIANCE_STORAGE_COLUMNAR_ZONE_MAP_H_
+
+#include <cstdint>
+
+#include "exec/predicate.h"
+#include "model/value.h"
+
+namespace impliance::storage::columnar {
+
+// Min/max/null summary of one column over one block (or one whole segment
+// chunk). min/max are over NON-NULL values under Value::Compare's total
+// order — the same order Predicate::Eval compares with at runtime, so a
+// refutation here can never disagree with row-wise evaluation, even on
+// mixed-type columns (the order ranks by type first).
+struct ZoneMap {
+  uint32_t row_count = 0;
+  uint32_t null_count = 0;
+  model::Value min;  // Null when the zone holds no non-null value
+  model::Value max;
+
+  bool all_null() const { return null_count == row_count; }
+
+  void Note(const model::Value& value) {
+    ++row_count;
+    if (value.is_null()) {
+      ++null_count;
+      return;
+    }
+    if (min.is_null() || value.Compare(min) < 0) min = value;
+    if (max.is_null() || value.Compare(max) > 0) max = value;
+  }
+
+  // Folds another zone's summary in (segment-level maps accumulate their
+  // blocks').
+  void Merge(const ZoneMap& other) {
+    row_count += other.row_count;
+    null_count += other.null_count;
+    if (!other.min.is_null() &&
+        (min.is_null() || other.min.Compare(min) < 0)) {
+      min = other.min;
+    }
+    if (!other.max.is_null() &&
+        (max.is_null() || other.max.Compare(max) > 0)) {
+      max = other.max;
+    }
+  }
+};
+
+// True when NO row in the zone can satisfy `<column> <op> <literal>` — the
+// caller may skip the zone without decoding it. Must stay exactly as
+// conservative as Predicate::Eval: a row that Eval would accept is never
+// refuted; returning false merely decodes a block that filtering then
+// empties.
+inline bool ZoneMapRefutes(const ZoneMap& zone, exec::CompareOp op,
+                           const model::Value& literal) {
+  if (zone.row_count == 0) return true;  // empty zone has nothing to match
+  if (op == exec::CompareOp::kContains) {
+    // CONTAINS never matches a null row; beyond that, substring matches
+    // cannot be refuted from value bounds.
+    return zone.all_null();
+  }
+  // Eval returns false for every row when the literal is null, and for
+  // every null row regardless of op.
+  if (literal.is_null()) return true;
+  if (zone.all_null()) return true;
+  const int min_cmp = zone.min.Compare(literal);
+  const int max_cmp = zone.max.Compare(literal);
+  switch (op) {
+    case exec::CompareOp::kEq:
+      return min_cmp > 0 || max_cmp < 0;
+    case exec::CompareOp::kNe:
+      // Refutable only when every non-null value IS the literal (nulls
+      // fail != too, so they cannot rescue the zone).
+      return min_cmp == 0 && max_cmp == 0;
+    case exec::CompareOp::kLt:
+      return min_cmp >= 0;
+    case exec::CompareOp::kLe:
+      return min_cmp > 0;
+    case exec::CompareOp::kGt:
+      return max_cmp <= 0;
+    case exec::CompareOp::kGe:
+      return max_cmp < 0;
+    case exec::CompareOp::kContains:
+      return false;  // handled above
+  }
+  return false;
+}
+
+}  // namespace impliance::storage::columnar
+
+#endif  // IMPLIANCE_STORAGE_COLUMNAR_ZONE_MAP_H_
