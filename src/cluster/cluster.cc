@@ -1,12 +1,16 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <deque>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "model/item.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace impliance::cluster {
@@ -16,6 +20,29 @@ namespace {
 // failover attempts on re-routed assignments. Work still lost after that
 // is reported as degraded instead of being retried forever.
 constexpr int kMaxScatterRounds = 3;
+
+// Partition-management metrics, registered once and cached (registration
+// takes the registry mutex; Increment is lock-free).
+struct PartitionMetrics {
+  obs::Counter* splits;
+  obs::Counter* merges;
+  obs::Counter* moves;
+  obs::Counter* docs_moved;
+  obs::Counter* balancer_passes;
+};
+PartitionMetrics& Metrics() {
+  static PartitionMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Global();
+    return PartitionMetrics{
+        registry.GetCounter("cluster.partition.splits"),
+        registry.GetCounter("cluster.partition.merges"),
+        registry.GetCounter("cluster.partition.moves"),
+        registry.GetCounter("cluster.partition.docs_moved"),
+        registry.GetCounter("cluster.balancer.passes"),
+    };
+  }();
+  return metrics;
+}
 }  // namespace
 
 SimulatedCluster::SimulatedCluster(const Options& options) : options_(options) {
@@ -35,9 +62,27 @@ SimulatedCluster::SimulatedCluster(const Options& options) : options_(options) {
   for (size_t i = 0; i < options.num_cluster_nodes; ++i) {
     cluster_nodes_.push_back(std::make_unique<Node>(next++, NodeKind::kCluster));
   }
+  // Carve the initial partition table: equal-width routing-key ranges,
+  // replica targets assigned round-robin so the static layout matches the
+  // old hash ring's even spread. The first range must start at 0 — the
+  // table is a gapless cover of the key space.
+  const size_t tablets =
+      std::max<size_t>(1, options.initial_partitions_per_node) *
+      options.num_data_nodes;
+  const uint64_t width = UINT64_MAX / tablets;
+  for (size_t i = 0; i < tablets; ++i) {
+    PartitionState state;
+    state.pid = next_pid_++;
+    const size_t primary = i % options.num_data_nodes;
+    for (size_t r = 0; r < options.replication; ++r) {
+      state.replicas.push_back(
+          static_cast<NodeId>((primary + r) % options.num_data_nodes));
+    }
+    ptable_.emplace(width * i, std::move(state));
+  }
 }
 
-SimulatedCluster::~SimulatedCluster() = default;
+SimulatedCluster::~SimulatedCluster() { StopBalancer(); }
 
 uint64_t SimulatedCluster::DocBytes(const model::Document& doc) {
   std::string encoded;
@@ -75,16 +120,55 @@ bool SimulatedCluster::RunOnPool(const std::vector<std::unique_ptr<Node>>& pool,
   return false;
 }
 
+uint64_t SimulatedCluster::RouteKey(model::DocId id) const {
+  return options_.key_range_partitioning ? id : Mix64(id);
+}
+
 std::vector<NodeId> SimulatedCluster::PlaceReplicas(model::DocId id,
                                                     size_t copies) const {
-  std::vector<NodeId> nodes;
   const size_t n = data_nodes_.size();
-  const size_t primary = Mix64(id) % n;
   copies = std::min(copies, n);
-  for (size_t i = 0; i < copies; ++i) {
-    nodes.push_back(static_cast<NodeId>((primary + i) % n));
+  std::vector<NodeId> nodes;
+  {
+    std::lock_guard<std::mutex> lock(ptable_mutex_);
+    auto it = ptable_.upper_bound(RouteKey(id));
+    --it;  // the table always has an entry at key 0
+    for (NodeId node : it->second.replicas) {
+      if (nodes.size() >= copies) break;
+      if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+        nodes.push_back(node);
+      }
+    }
+  }
+  // A caller wanting more copies than the tablet is configured with
+  // (per-class storage policy) extends ring-wise past the table's targets.
+  NodeId walk = nodes.empty() ? static_cast<NodeId>(Mix64(id) % n)
+                              : static_cast<NodeId>((nodes.back() + 1) % n);
+  while (nodes.size() < copies) {
+    if (std::find(nodes.begin(), nodes.end(), walk) == nodes.end()) {
+      nodes.push_back(walk);
+    }
+    walk = static_cast<NodeId>((walk + 1) % n);
   }
   return nodes;
+}
+
+void SimulatedCluster::BumpPartitionTraffic(model::DocId id) const {
+  std::lock_guard<std::mutex> lock(ptable_mutex_);
+  auto it = ptable_.upper_bound(RouteKey(id));
+  --it;
+  ++it->second.traffic;
+}
+
+void SimulatedCluster::AdjustPartitionDocCount(model::DocId id, int64_t delta) {
+  std::lock_guard<std::mutex> lock(ptable_mutex_);
+  auto it = ptable_.upper_bound(RouteKey(id));
+  --it;
+  if (delta < 0 && it->second.doc_count < static_cast<uint64_t>(-delta)) {
+    it->second.doc_count = 0;
+  } else {
+    it->second.doc_count += delta;
+  }
 }
 
 TaskOutcome SimulatedCluster::StoreOnNode(NodeId node_id,
@@ -119,6 +203,47 @@ std::shared_ptr<SimulatedCluster::Partition> SimulatedCluster::PartitionFor(
   return partitions_[node];
 }
 
+bool SimulatedCluster::StoreReplicated(const model::Document& doc,
+                                       size_t copies, ShipStats* stats) {
+  std::vector<NodeId> replicas = PlaceReplicas(doc.id, copies);
+  const uint64_t bytes = DocBytes(doc);
+  // Only nodes that positively acknowledged the store become holders.
+  // Trusting the submit-time ack recorded phantom replicas whenever a node
+  // died (or dropped the task) between accept and apply.
+  std::vector<std::pair<NodeId, uint64_t>> acked;  // node, epoch at store
+  for (NodeId node : replicas) {
+    if (!data_nodes_[node]->alive()) continue;
+    ++stats->tasks;
+    uint64_t epoch = 0;
+    if (StoreOnNode(node, doc, &epoch) != TaskOutcome::kExecuted) continue;
+    stats->bytes_shipped += bytes;
+    stats->rows_shipped += 1;
+    acked.emplace_back(node, epoch);
+  }
+  bool was_new = false;
+  bool recorded = false;
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    // Re-check each ack under the directory lock: a node that failed (and
+    // possibly rejoined empty) since the store executed no longer has the
+    // bytes, and recording it would plant a silent miss in the directory.
+    std::vector<Holder> holders;
+    for (const auto& [node, epoch] : acked) {
+      if (HolderStillValid(node, epoch)) holders.push_back(Holder{node, epoch});
+    }
+    if (!holders.empty()) {
+      was_new = directory_.find(doc.id) == directory_.end();
+      DirEntry& entry = directory_[doc.id];
+      entry.desired = static_cast<uint8_t>(copies);
+      entry.holders = std::move(holders);
+      InvalidateOwnershipLocked();
+      recorded = true;
+    }
+  }
+  if (recorded && was_new) AdjustPartitionDocCount(doc.id, 1);
+  return recorded;
+}
+
 Result<model::DocId> SimulatedCluster::Ingest(model::Document doc,
                                               size_t copies) {
   if (copies == 0) copies = options_.replication;
@@ -133,49 +258,18 @@ Result<model::DocId> SimulatedCluster::Ingest(model::Document doc,
     }
   }
   if (doc.version == 0) doc.version = 1;
-  std::vector<NodeId> replicas = PlaceReplicas(doc.id, copies);
-  const uint64_t bytes = DocBytes(doc);
+  BumpPartitionTraffic(doc.id);
   ShipStats stats;
-  // Only nodes that positively acknowledged the store become holders.
-  // Trusting the submit-time ack recorded phantom replicas whenever a node
-  // died (or dropped the task) between accept and apply.
-  std::vector<std::pair<NodeId, uint64_t>> acked;  // node, epoch at store
-  for (NodeId node : replicas) {
-    if (!data_nodes_[node]->alive()) continue;
-    ++stats.tasks;
-    uint64_t epoch = 0;
-    if (StoreOnNode(node, doc, &epoch) != TaskOutcome::kExecuted) continue;
-    stats.bytes_shipped += bytes;
-    stats.rows_shipped += 1;
-    acked.emplace_back(node, epoch);
-  }
-  bool recorded = false;
-  {
-    std::lock_guard<std::mutex> lock(directory_mutex_);
-    // Re-check each ack under the directory lock: a node that failed (and
-    // possibly rejoined empty) since the store executed no longer has the
-    // bytes, and recording it would plant a silent miss in the directory.
-    std::vector<Holder> holders;
-    for (const auto& [node, epoch] : acked) {
-      if (HolderStillValid(node, epoch)) holders.push_back(Holder{node, epoch});
-    }
-    if (!holders.empty()) {
-      DirEntry& entry = directory_[doc.id];
-      entry.desired = static_cast<uint8_t>(copies);
-      entry.holders = std::move(holders);
-      InvalidateOwnershipLocked();
-      recorded = true;
-    }
-  }
+  const bool recorded = StoreReplicated(doc, copies, &stats);
+  AccountTraffic(stats);
   if (!recorded) {
-    AccountTraffic(stats);
     return Status::IOError("no replica target acknowledged document");
   }
-  AccountTraffic(stats);
   return doc.id;
 }
 
 Result<model::Document> SimulatedCluster::Get(model::DocId id) const {
+  BumpPartitionTraffic(id);  // point reads heat the partition like ingests
   std::vector<Holder> holders;
   {
     std::lock_guard<std::mutex> lock(directory_mutex_);
@@ -316,19 +410,24 @@ void SimulatedCluster::ScatterWithFailover(
     // Stable timing/staleness slots; the deques must outlive the futures.
     std::deque<uint64_t> task_micros;
     std::deque<uint8_t> stale_flags;
+    std::deque<std::vector<model::DocId>> strays;
     for (PartitionAssignment& assignment : round) {
       std::function<void()> fn = make_task(assignment.node, assignment.docs);
       task_micros.push_back(0);
       uint64_t* micros = &task_micros.back();
       stale_flags.push_back(0);
       uint8_t* stale = &stale_flags.back();
+      strays.emplace_back();
+      std::vector<model::DocId>* stray = &strays.back();
+      std::shared_ptr<Partition> partition = PartitionFor(assignment.node);
       Node* node = data_nodes_[assignment.node].get();
       const uint64_t expected_epoch = assignment.epoch;
       std::future<TaskOutcome> outcome;
       node->Submit(
           // The trace rides into the node thread by value: per-node execute
           // spans record against the request that issued the scatter.
-          [fn = std::move(fn), micros, stale, node, expected_epoch,
+          [fn = std::move(fn), micros, stale, stray, node, expected_epoch,
+           partition = std::move(partition), docs = assignment.docs,
            trace = obs::CurrentTrace()] {
             // The assignment was made against a specific incarnation of
             // this node's partition. If the node died and rejoined since,
@@ -337,6 +436,17 @@ void SimulatedCluster::ScatterWithFailover(
             if (node->epoch() != expected_epoch) {
               *stale = 1;
               return;
+            }
+            // Presence check, atomic with the work (both run on this
+            // node's single mailbox thread, which also applies migration
+            // deletes): any assigned document no longer physically here
+            // was migrated away since the ownership snapshot — record it
+            // so the coordinator re-routes it through the live directory
+            // instead of serving a hole.
+            for (model::DocId id : *docs) {
+              if (partition->docs.find(id) == partition->docs.end()) {
+                stray->push_back(id);
+              }
             }
             const uint64_t start = NowMicros();
             fn();
@@ -358,10 +468,18 @@ void SimulatedCluster::ScatterWithFailover(
       // Wait on the outcome BEFORE reading the stale flag: the flag is
       // written by the task and published by the promise.
       const TaskOutcome outcome = p.outcome.get();
-      const bool stale = stale_flags[i++] != 0;
+      const bool stale = stale_flags[i] != 0;
       if (outcome != TaskOutcome::kExecuted || stale) {
         lost.push_back(std::move(p.assignment));
+      } else if (!strays[i].empty()) {
+        // Executed, but some assigned documents had moved out from under
+        // the snapshot: re-route exactly those through the directory.
+        lost.push_back(PartitionAssignment{
+            p.assignment.node, p.assignment.epoch,
+            std::make_shared<const std::set<model::DocId>>(strays[i].begin(),
+                                                           strays[i].end())});
       }
+      ++i;
     }
     uint64_t slowest = 0;
     for (uint64_t micros : task_micros) slowest = std::max(slowest, micros);
@@ -459,29 +577,22 @@ std::shared_ptr<const std::set<model::DocId>> SimulatedCluster::AvailableDocs(
 
   // Scatter: each owning data node verifies, against its live partition,
   // which of its assigned documents it can actually serve. Nodes lost
-  // mid-scan fail over like any other scatter; anything still unreachable
-  // is counted in the stats rather than silently narrowing the set.
+  // mid-scan fail over like any other scatter; documents the directory
+  // mis-attributed (migrated mid-scan) are re-routed by the scatter's
+  // generic stray-document detection, and anything still unreachable is
+  // counted in the stats rather than silently narrowing the set.
   std::deque<std::set<model::DocId>> partials;
-  std::deque<uint64_t> misses;
   ScatterWithFailover(
       [&](NodeId node_id,
           std::shared_ptr<const std::set<model::DocId>> owned) {
         std::shared_ptr<Partition> partition = PartitionFor(node_id);
         partials.emplace_back();
         std::set<model::DocId>* out = &partials.back();
-        misses.push_back(0);
-        uint64_t* missed = &misses.back();
         local_stats.bytes_shipped += 8;  // scan-request fan-out
         return std::function<void()>(
-            [partition, owned = std::move(owned), out, missed] {
+            [partition, owned = std::move(owned), out] {
               for (model::DocId id : *owned) {
-                if (partition->docs.count(id)) {
-                  out->insert(id);
-                } else {
-                  // Directory said this node serves the doc but the
-                  // partition disagrees — report it, never swallow it.
-                  ++*missed;
-                }
+                if (partition->docs.count(id)) out->insert(id);
               }
             });
       },
@@ -490,12 +601,6 @@ std::shared_ptr<const std::set<model::DocId>> SimulatedCluster::AvailableDocs(
   auto merged = std::make_shared<std::set<model::DocId>>();
   for (const std::set<model::DocId>& partial : partials) {
     merged->insert(partial.begin(), partial.end());
-  }
-  for (uint64_t missed : misses) {
-    if (missed > 0) {
-      local_stats.missing_partitions += missed;
-      local_stats.degraded = true;
-    }
   }
   local_stats.rows_shipped += merged->size();
   local_stats.bytes_shipped += merged->size() * 8;  // doc-id list gather
@@ -680,39 +785,14 @@ size_t SimulatedCluster::RunAnnotationPass(const discovery::Annotator& annotator
     ++local_stats.missing_partitions;
   }
 
-  // Route the committed annotation documents onto data nodes, recording
-  // only holders that acknowledged the store.
+  // Route the committed annotation documents onto data nodes through the
+  // same placement path as Ingest — they respect liveness and the dynamic
+  // partition table like any other document, and only holders that
+  // acknowledged the store are recorded.
   size_t created = 0;
   for (const model::Document& annotation : to_store) {
-    std::vector<NodeId> replicas =
-        PlaceReplicas(annotation.id, options_.replication);
-    std::vector<std::pair<NodeId, uint64_t>> acked;
-    const uint64_t bytes = DocBytes(annotation);
-    for (NodeId node : replicas) {
-      if (!data_nodes_[node]->alive()) continue;
-      uint64_t epoch = 0;
-      if (StoreOnNode(node, annotation, &epoch) != TaskOutcome::kExecuted) {
-        continue;
-      }
-      local_stats.bytes_shipped += bytes;
-      acked.emplace_back(node, epoch);
-    }
-    bool recorded = false;
-    {
-      std::lock_guard<std::mutex> lock(directory_mutex_);
-      std::vector<Holder> holders;
-      for (const auto& [node, epoch] : acked) {
-        if (HolderStillValid(node, epoch)) holders.push_back(Holder{node, epoch});
-      }
-      if (!holders.empty()) {
-        DirEntry& entry = directory_[annotation.id];
-        entry.desired = static_cast<uint8_t>(options_.replication);
-        entry.holders = std::move(holders);
-        InvalidateOwnershipLocked();
-        recorded = true;
-      }
-    }
-    if (recorded) {
+    BumpPartitionTraffic(annotation.id);
+    if (StoreReplicated(annotation, options_.replication, &local_stats)) {
       ++created;
     } else {
       // The annotation was committed by the coordinator but no data node
@@ -949,15 +1029,16 @@ std::vector<NodeId> SimulatedCluster::DetectFailures() {
   return newly_dead;
 }
 
-uint64_t SimulatedCluster::ReReplicate() {
-  uint64_t bytes_copied = 0;
-  // Snapshot under-replicated docs.
-  struct Todo {
-    model::DocId id;
-    std::vector<Holder> holders;
-    size_t desired;
-  };
-  std::vector<Todo> todo;
+SimulatedCluster::ReReplicateReport SimulatedCluster::ReReplicate() {
+  ReReplicateReport report;
+  // Snapshot the under-replicated ids; everything else about this pass is
+  // decided against the live directory. The pre-pass holder/copy-count
+  // snapshot used to drive the whole loop, which had two failure modes: a
+  // source holder dying mid-pass left the doc under-replicated while the
+  // stale `alive_copies` claimed completion, and a concurrent pass pushing
+  // the same node into `holders` between our snapshot and our push
+  // recorded one node twice for one document.
+  std::vector<model::DocId> todo;
   {
     std::lock_guard<std::mutex> lock(directory_mutex_);
     for (const auto& [id, entry] : directory_) {
@@ -965,51 +1046,85 @@ uint64_t SimulatedCluster::ReReplicate() {
       for (const Holder& holder : entry.holders) {
         if (HolderStillValid(holder.node, holder.epoch)) ++valid;
       }
-      if (valid > 0 && valid < entry.desired) {
-        todo.push_back(Todo{id, entry.holders, entry.desired});
-      }
+      if (valid > 0 && valid < entry.desired) todo.push_back(id);
     }
   }
-  for (auto& [id, holders, desired] : todo) {
+  for (model::DocId id : todo) {
     Result<model::Document> doc = Get(id);
-    if (!doc.ok()) continue;
-    // Choose new targets: alive data nodes not already holding the doc,
-    // walking the ring from the primary position.
-    std::set<NodeId> holding;
-    size_t alive_copies = 0;
-    for (const Holder& holder : holders) {
-      holding.insert(holder.node);
-      if (HolderStillValid(holder.node, holder.epoch)) ++alive_copies;
+    if (!doc.ok()) {
+      ++report.docs_unrestored;
+      continue;
     }
-    const size_t n = data_nodes_.size();
-    const size_t start = Mix64(id) % n;
-    for (size_t i = 0; i < n && alive_copies < desired; ++i) {
-      NodeId candidate = static_cast<NodeId>((start + i) % n);
-      if (holding.count(candidate) || !data_nodes_[candidate]->alive()) {
-        continue;
+    // Candidate targets: the partition table's preferred replicas first,
+    // then the rest of the ring (PlaceReplicas with the full node count).
+    const std::vector<NodeId> candidates =
+        PlaceReplicas(id, data_nodes_.size());
+    for (NodeId candidate : candidates) {
+      {
+        // Early-stop re-validated against the LIVE directory: a source
+        // holder that died since the snapshot no longer counts.
+        std::lock_guard<std::mutex> lock(directory_mutex_);
+        auto it = directory_.find(id);
+        if (it == directory_.end()) break;
+        size_t valid = 0;
+        bool candidate_holds = false;
+        for (const Holder& holder : it->second.holders) {
+          if (!HolderStillValid(holder.node, holder.epoch)) continue;
+          ++valid;
+          if (holder.node == candidate) candidate_holds = true;
+        }
+        if (valid >= it->second.desired) break;
+        if (candidate_holds) continue;
       }
+      if (!data_nodes_[candidate]->alive()) continue;
       // A copy counts only once the target acknowledged it — and only if
       // the target has not died (losing the copy) since the store ran.
       uint64_t epoch = 0;
       if (StoreOnNode(candidate, *doc, &epoch) != TaskOutcome::kExecuted) {
         continue;
       }
-      bytes_copied += DocBytes(*doc);
+      report.bytes_copied += DocBytes(*doc);
       {
         std::lock_guard<std::mutex> lock(directory_mutex_);
         if (!HolderStillValid(candidate, epoch)) continue;
-        directory_[id].holders.push_back(Holder{candidate, epoch});
+        auto it = directory_.find(id);
+        if (it == directory_.end()) break;
+        // Dedup by node UNDER the directory mutex: a concurrent pass (or a
+        // stale entry from the candidate's previous incarnation) may
+        // already list this node — refresh it in place, never push a
+        // second entry for the same node.
+        bool present = false;
+        for (Holder& holder : it->second.holders) {
+          if (holder.node == candidate) {
+            holder.epoch = epoch;
+            present = true;
+            break;
+          }
+        }
+        if (!present) it->second.holders.push_back(Holder{candidate, epoch});
         InvalidateOwnershipLocked();
       }
-      holding.insert(candidate);
-      ++alive_copies;
+    }
+    // Final verdict from the live directory, not the pass's bookkeeping.
+    {
+      std::lock_guard<std::mutex> lock(directory_mutex_);
+      auto it = directory_.find(id);
+      size_t valid = 0;
+      size_t desired = 0;
+      if (it != directory_.end()) {
+        desired = it->second.desired;
+        for (const Holder& holder : it->second.holders) {
+          if (HolderStillValid(holder.node, holder.epoch)) ++valid;
+        }
+      }
+      if (valid < desired) ++report.docs_unrestored;
     }
   }
   {
     std::lock_guard<std::mutex> lock(traffic_mutex_);
-    lifetime_traffic_.bytes_shipped += bytes_copied;
+    lifetime_traffic_.bytes_shipped += report.bytes_copied;
   }
-  return bytes_copied;
+  return report;
 }
 
 size_t SimulatedCluster::num_available_documents() const {
@@ -1037,6 +1152,490 @@ size_t SimulatedCluster::num_fully_replicated_documents() const {
     if (valid >= entry.desired) ++full;
   }
   return full;
+}
+
+// ----------------------------------------- Dynamic partition management
+
+std::vector<SimulatedCluster::PartitionDesc> SimulatedCluster::PartitionTable()
+    const {
+  std::vector<PartitionDesc> table;
+  std::lock_guard<std::mutex> lock(ptable_mutex_);
+  table.reserve(ptable_.size());
+  for (auto it = ptable_.begin(); it != ptable_.end(); ++it) {
+    auto next = std::next(it);
+    PartitionDesc desc;
+    desc.pid = it->second.pid;
+    desc.lo = it->first;
+    desc.hi = next == ptable_.end() ? UINT64_MAX : next->first;
+    desc.epoch = it->second.epoch;
+    desc.replicas = it->second.replicas;
+    desc.doc_count = it->second.doc_count;
+    desc.traffic = it->second.traffic;
+    table.push_back(std::move(desc));
+  }
+  return table;
+}
+
+bool SimulatedCluster::SplitPartition(PartitionId pid) {
+  // Phase 1: snapshot the tablet's range. Not nested inside the directory
+  // scan — lock order is ptable before directory, and holding both across
+  // the scan would serialize ingest against splits for no benefit.
+  uint64_t lo = 0;
+  uint64_t hi_excl = 0;
+  bool is_last = false;
+  uint64_t epoch = 0;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(ptable_mutex_);
+    for (auto it = ptable_.begin(); it != ptable_.end(); ++it) {
+      if (it->second.pid != pid) continue;
+      auto next = std::next(it);
+      lo = it->first;
+      is_last = next == ptable_.end();
+      hi_excl = is_last ? 0 : next->first;
+      epoch = it->second.epoch;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return false;
+  // Phase 2: collect the routed keys currently in the range. The split
+  // point is the MEDIAN key, not the range midpoint — under sequential-key
+  // skew every document sits in a sliver of the range and midpoint splits
+  // would never separate them.
+  std::vector<uint64_t> keys;
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    for (const auto& [id, entry] : directory_) {
+      const uint64_t key = RouteKey(id);
+      if (key >= lo && (is_last || key < hi_excl)) keys.push_back(key);
+    }
+  }
+  if (keys.size() < 2) return false;
+  std::nth_element(keys.begin(), keys.begin() + keys.size() / 2, keys.end());
+  uint64_t split = keys[keys.size() / 2];
+  if (split <= lo) {
+    // Median collapsed onto the lower bound (duplicate-heavy keys): use
+    // the smallest key strictly above lo, if any distinct key exists.
+    uint64_t best = 0;
+    bool have = false;
+    for (uint64_t key : keys) {
+      if (key > lo && (!have || key < best)) {
+        best = key;
+        have = true;
+      }
+    }
+    if (!have) return false;
+    split = best;
+  }
+  size_t left_count = 0;
+  for (uint64_t key : keys) {
+    if (key < split) ++left_count;
+  }
+  // Phase 3: commit, re-validating that the tablet survived unchanged
+  // (same pid and epoch at the same bound) while the locks were down.
+  {
+    std::lock_guard<std::mutex> lock(ptable_mutex_);
+    auto it = ptable_.find(lo);
+    if (it == ptable_.end() || it->second.pid != pid ||
+        it->second.epoch != epoch) {
+      return false;
+    }
+    if (ptable_.count(split)) return false;
+    // Both children inherit the parent's replica targets (metadata-only
+    // split; the balancer migrates a child later if load warrants) and
+    // fresh ids — the parent id is retired so any concurrently-taken
+    // balancer decision against the old tablet aborts.
+    PartitionState right;
+    right.pid = next_pid_++;
+    right.replicas = it->second.replicas;
+    right.doc_count = keys.size() - left_count;
+    right.traffic = it->second.traffic / 2;
+    it->second.pid = next_pid_++;
+    it->second.epoch += 1;
+    it->second.doc_count = left_count;
+    it->second.traffic -= right.traffic;
+    ptable_.emplace(split, std::move(right));
+  }
+  Metrics().splits->Increment();
+  return true;
+}
+
+bool SimulatedCluster::MergeWithRightNeighbor(PartitionId pid) {
+  {
+    std::lock_guard<std::mutex> lock(ptable_mutex_);
+    for (auto it = ptable_.begin(); it != ptable_.end(); ++it) {
+      if (it->second.pid != pid) continue;
+      auto right = std::next(it);
+      if (right == ptable_.end()) return false;
+      // Metadata-only: the survivor keeps the left tablet's id and replica
+      // targets. Existing documents stay where the directory says they
+      // are; new ingest routes to the survivor's targets and migration
+      // converges the rest.
+      it->second.doc_count += right->second.doc_count;
+      it->second.traffic += right->second.traffic;
+      it->second.epoch += 1;
+      ptable_.erase(right);
+      Metrics().merges->Increment();
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t SimulatedCluster::MovePartitionReplica(PartitionId pid, NodeId from,
+                                              NodeId to) {
+  if (from == to || from >= data_nodes_.size() || to >= data_nodes_.size()) {
+    return 0;
+  }
+  if (!data_nodes_[to]->alive()) return 0;
+  // One migration at a time: a move runs blocking tasks on two node
+  // mailboxes, and two concurrent opposite-direction moves could deadlock
+  // each other's worker threads.
+  std::lock_guard<std::mutex> move_lock(move_mutex_);
+  uint64_t lo = 0;
+  uint64_t hi_excl = 0;
+  bool is_last = false;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(ptable_mutex_);
+    for (auto it = ptable_.begin(); it != ptable_.end(); ++it) {
+      if (it->second.pid != pid) continue;
+      auto next = std::next(it);
+      lo = it->first;
+      is_last = next == ptable_.end();
+      hi_excl = is_last ? 0 : next->first;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return 0;
+  // Documents in the range with a live copy on `from` and none on `to`
+  // (moving a doc the target already replicates would either drop a
+  // distinct copy or plant a duplicate-holder entry).
+  std::vector<model::DocId> ids;
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    for (const auto& [id, entry] : directory_) {
+      const uint64_t key = RouteKey(id);
+      if (key < lo || (!is_last && key >= hi_excl)) continue;
+      bool on_from = false;
+      bool on_to = false;
+      for (const Holder& holder : entry.holders) {
+        if (!HolderStillValid(holder.node, holder.epoch)) continue;
+        if (holder.node == from) on_from = true;
+        if (holder.node == to) on_to = true;
+      }
+      if (on_from && !on_to) ids.push_back(id);
+    }
+  }
+  struct Moved {
+    model::DocId id;
+    uint64_t version;  // version we copied; deletion is checked against it
+  };
+  std::vector<Moved> moved;
+  uint64_t bytes = 0;
+  for (model::DocId id : ids) {
+    Result<model::Document> doc = Get(id);
+    if (!doc.ok()) continue;
+    uint64_t epoch_to = 0;
+    if (StoreOnNode(to, *doc, &epoch_to) != TaskOutcome::kExecuted) continue;
+    bool committed = false;
+    {
+      // Directory swap under the mutex with PR 3's epoch validity checks:
+      // a target that died between copy and commit is not recorded, and a
+      // holder entry for `to` that appeared concurrently (ReReplicate)
+      // means the swap would mint a duplicate — skip the doc instead.
+      std::lock_guard<std::mutex> lock(directory_mutex_);
+      if (HolderStillValid(to, epoch_to)) {
+        auto it = directory_.find(id);
+        if (it != directory_.end()) {
+          bool to_already_listed = false;
+          for (const Holder& holder : it->second.holders) {
+            if (holder.node == to &&
+                HolderStillValid(holder.node, holder.epoch)) {
+              to_already_listed = true;
+              break;
+            }
+          }
+          if (!to_already_listed) {
+            for (Holder& holder : it->second.holders) {
+              if (holder.node == from) {
+                // Swap in place: the new home inherits the slot (and with
+                // it primary-ness) of the old one.
+                holder.node = to;
+                holder.epoch = epoch_to;
+                committed = true;
+                break;
+              }
+            }
+          }
+        }
+        if (committed) InvalidateOwnershipLocked();
+      }
+    }
+    // Uncommitted copies are harmless: the directory never references
+    // them, so no query routes there, and the source keeps serving.
+    if (!committed) continue;
+    moved.push_back(Moved{id, doc->version});
+    bytes += DocBytes(*doc);
+  }
+  if (!moved.empty()) {
+    // Delete the source bytes on the source node's own mailbox thread —
+    // serialized with every scatter task against that node, so an
+    // in-flight query either ran before (bytes still there) or after (the
+    // stray-document check re-routes through the directory, which already
+    // points at the new home). Version-checked: a concurrent update that
+    // landed on the source after our copy is carried to the new home
+    // below, never silently lost.
+    std::shared_ptr<Partition> partition = PartitionFor(from);
+    auto dirty = std::make_shared<std::vector<model::Document>>();
+    const std::vector<Moved> batch = moved;
+    data_nodes_[from]->Run([partition, batch, dirty] {
+      for (const Moved& m : batch) {
+        auto it = partition->docs.find(m.id);
+        if (it == partition->docs.end()) continue;
+        if (it->second.version != m.version) dirty->push_back(it->second);
+        partition->inverted.RemoveDocument(m.id);
+        partition->docs.erase(it);
+      }
+    });
+    for (const model::Document& newer : *dirty) {
+      uint64_t epoch_to = 0;
+      if (StoreOnNode(to, newer, &epoch_to) != TaskOutcome::kExecuted) {
+        continue;
+      }
+      bytes += DocBytes(newer);
+      std::lock_guard<std::mutex> lock(directory_mutex_);
+      auto it = directory_.find(newer.id);
+      if (it == directory_.end()) continue;
+      for (Holder& holder : it->second.holders) {
+        if (holder.node == to) {
+          holder.epoch = epoch_to;
+          break;
+        }
+      }
+      InvalidateOwnershipLocked();
+    }
+  }
+  // Re-point the tablet's preferred targets so future ingest routes to
+  // the new home, and bump the partition epoch.
+  {
+    std::lock_guard<std::mutex> lock(ptable_mutex_);
+    for (auto& [bound, state] : ptable_) {
+      if (state.pid != pid) continue;
+      const bool has_to = std::find(state.replicas.begin(),
+                                    state.replicas.end(),
+                                    to) != state.replicas.end();
+      auto from_it =
+          std::find(state.replicas.begin(), state.replicas.end(), from);
+      if (from_it != state.replicas.end()) {
+        if (has_to) {
+          state.replicas.erase(from_it);
+        } else {
+          *from_it = to;
+        }
+      }
+      state.epoch += 1;
+      break;
+    }
+  }
+  if (!moved.empty()) {
+    Metrics().moves->Increment();
+    Metrics().docs_moved->Increment(moved.size());
+    std::lock_guard<std::mutex> lock(traffic_mutex_);
+    lifetime_traffic_.bytes_shipped += bytes;
+  }
+  return moved.size();
+}
+
+SimulatedCluster::RebalanceReport SimulatedCluster::RebalanceOnce() {
+  obs::ScopedSpan span("cluster.balancer.pass");
+  RebalanceReport report;
+  // ---- Split hot tablets (size or traffic over threshold).
+  if (options_.split_doc_threshold > 0 ||
+      options_.split_traffic_threshold > 0) {
+    for (const PartitionDesc& desc : PartitionTable()) {
+      const bool size_hot = options_.split_doc_threshold > 0 &&
+                            desc.doc_count >= options_.split_doc_threshold;
+      const bool traffic_hot =
+          options_.split_traffic_threshold > 0 &&
+          desc.traffic >= options_.split_traffic_threshold;
+      if ((size_hot || traffic_hot) && SplitPartition(desc.pid)) {
+        ++report.splits;
+      }
+    }
+  }
+  // ---- Merge cold neighbors.
+  if (options_.merge_doc_threshold > 0) {
+    const std::vector<PartitionDesc> table = PartitionTable();
+    for (size_t i = 0; i + 1 < table.size(); ++i) {
+      if (table[i].doc_count + table[i + 1].doc_count <=
+          options_.merge_doc_threshold) {
+        if (MergeWithRightNeighbor(table[i].pid)) {
+          ++report.merges;
+          ++i;  // the right neighbor is gone; its row is stale
+        }
+      }
+    }
+  }
+  // ---- Migrate load off hot nodes: policy in Scheduler::PickMove, best-
+  // fit tablet choice here (the swap_defragmentator idea — prefer the
+  // largest migration that does not overshoot the hot node's excess).
+  for (size_t step = 0; step < options_.max_moves_per_pass; ++step) {
+    std::shared_ptr<const OwnershipSnapshot> snapshot = OwnershipByNode();
+    const std::vector<PartitionDesc> table = PartitionTable();
+    if (table.empty()) break;
+    std::vector<uint64_t> bounds;
+    bounds.reserve(table.size());
+    for (const PartitionDesc& desc : table) bounds.push_back(desc.lo);
+    std::vector<Scheduler::NodeLoad> loads;
+    std::map<NodeId, size_t> load_index;
+    for (const auto& node : data_nodes_) {
+      if (!node->alive()) continue;
+      load_index[node->id()] = loads.size();
+      loads.push_back(Scheduler::NodeLoad{node->id(), 0});
+    }
+    // Owned docs per (tablet, node): the measured load picture.
+    std::map<std::pair<size_t, NodeId>, size_t> owned_by;
+    for (const auto& [node, docs] : snapshot->by_node) {
+      auto li = load_index.find(node);
+      if (li == load_index.end()) continue;
+      loads[li->second].owned_docs += docs.size();
+      for (model::DocId id : docs) {
+        const uint64_t key = RouteKey(id);
+        const size_t slot =
+            std::upper_bound(bounds.begin(), bounds.end(), key) -
+            bounds.begin() - 1;
+        ++owned_by[{slot, node}];
+      }
+    }
+    const Scheduler::MoveChoice choice =
+        scheduler_.PickMove(loads, options_.balance_tolerance);
+    if (!choice.move) break;
+    // Best-fit: largest tablet share on the hot node that fits within the
+    // excess; if none fits, the smallest share overall (minimal overshoot).
+    size_t best_slot = table.size();
+    size_t best_count = 0;
+    bool best_within = false;
+    for (const auto& [slot_node, count] : owned_by) {
+      if (slot_node.second != choice.hot || count == 0) continue;
+      const bool within = count <= choice.excess;
+      const bool better =
+          best_slot == table.size() ||
+          (within && (!best_within || count > best_count)) ||
+          (!within && !best_within && count < best_count);
+      if (better) {
+        best_slot = slot_node.first;
+        best_count = count;
+        best_within = within;
+      }
+    }
+    if (best_slot == table.size()) break;
+    const size_t docs_moved =
+        MovePartitionReplica(table[best_slot].pid, choice.hot, choice.cold);
+    if (docs_moved == 0) break;  // could not act; do not spin this pass
+    ++report.moves;
+    report.docs_moved += docs_moved;
+  }
+  // ---- Decay traffic counters so the signal tracks recent load.
+  {
+    std::lock_guard<std::mutex> lock(ptable_mutex_);
+    for (auto& [bound, state] : ptable_) state.traffic /= 2;
+  }
+  balancer_passes_.fetch_add(1);
+  Metrics().balancer_passes->Increment();
+  return report;
+}
+
+void SimulatedCluster::StartBalancer(uint64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(balancer_mutex_);
+  if (balancer_thread_.joinable()) return;  // already running
+  balancer_stop_ = false;
+  balancer_running_.store(true);
+  balancer_thread_ =
+      std::thread([this, interval_ms] { BalancerLoop(interval_ms); });
+}
+
+void SimulatedCluster::StopBalancer() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(balancer_mutex_);
+    if (!balancer_thread_.joinable()) return;
+    balancer_stop_ = true;
+    worker = std::move(balancer_thread_);
+  }
+  balancer_cv_.notify_all();
+  worker.join();
+  balancer_running_.store(false);
+}
+
+bool SimulatedCluster::balancer_running() const {
+  return balancer_running_.load();
+}
+
+void SimulatedCluster::BalancerLoop(uint64_t interval_ms) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(balancer_mutex_);
+      balancer_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                            [this] { return balancer_stop_; });
+      if (balancer_stop_) return;
+    }
+    RebalanceOnce();
+  }
+}
+
+SimulatedCluster::IntegrityReport SimulatedCluster::CheckIntegrity() const {
+  IntegrityReport report;
+  {
+    std::lock_guard<std::mutex> lock(directory_mutex_);
+    for (const auto& [id, entry] : directory_) {
+      std::set<NodeId> seen;
+      for (const Holder& holder : entry.holders) {
+        if (!seen.insert(holder.node).second) {
+          ++report.duplicate_holders;
+          break;
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ptable_mutex_);
+    if (ptable_.empty() || ptable_.begin()->first != 0) {
+      ++report.table_coverage_violations;
+    }
+    std::set<PartitionId> pids;
+    for (const auto& [bound, state] : ptable_) {
+      if (!pids.insert(state.pid).second) ++report.duplicate_partition_ids;
+      if (state.replicas.empty()) ++report.empty_replica_sets;
+      std::set<NodeId> targets;
+      for (NodeId node : state.replicas) {
+        if (node >= data_nodes_.size() || !targets.insert(node).second) {
+          ++report.invalid_replica_targets;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+double SimulatedCluster::OwnershipSpread() const {
+  const std::map<NodeId, size_t> counts = OwnedCounts();
+  size_t alive = 0;
+  size_t total = 0;
+  size_t max_owned = 0;
+  for (const auto& node : data_nodes_) {
+    if (!node->alive()) continue;
+    ++alive;
+    auto it = counts.find(node->id());
+    const size_t owned = it == counts.end() ? 0 : it->second;
+    total += owned;
+    max_owned = std::max(max_owned, owned);
+  }
+  if (alive == 0 || total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / alive;
+  return static_cast<double>(max_owned) / mean;
 }
 
 std::map<NodeId, size_t> SimulatedCluster::OwnedCounts() const {

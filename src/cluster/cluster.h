@@ -2,12 +2,14 @@
 #define IMPLIANCE_CLUSTER_CLUSTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/node.h"
@@ -29,7 +31,8 @@ struct ShipStats {
   uint64_t rows_shipped = 0;
   uint64_t tasks = 0;
   // Partition tasks whose work was re-routed to a surviving replica
-  // holder after the original node lost them.
+  // holder after the original node lost them — or to a partition's new
+  // home after the balancer migrated it mid-query.
   uint64_t failovers = 0;
   // Documents whose contribution is known missing from the result (no
   // surviving replica, or failover rounds exhausted), counted per
@@ -49,10 +52,18 @@ struct ShipStats {
   uint64_t grid_task_micros = 0;
 };
 
-// One Impliance instance: data nodes own hash-partitioned document storage
-// with local full-text indexes; grid nodes merge/join/aggregate; cluster
-// nodes coordinate consistent updates (annotation persistence) through a
-// lock table. Clients see a single system image — this class (Section 3.3).
+// Identifier of one dynamic partition (tablet). Stable across splits of
+// *other* partitions; a split retires the parent id and mints two new ones,
+// a merge retires the right id.
+using PartitionId = uint32_t;
+
+// One Impliance instance: data nodes own dynamically partitioned document
+// storage with local full-text indexes; grid nodes merge/join/aggregate;
+// cluster nodes coordinate consistent updates (annotation persistence)
+// through a lock table. Clients see a single system image — this class
+// (Section 3.3). Placement is governed by an explicit partition table of
+// routing-key ranges (tablets) that the autonomic balancer splits, merges,
+// and migrates between nodes as load shifts (Section 3.4).
 class SimulatedCluster {
  public:
   struct Options {
@@ -60,6 +71,32 @@ class SimulatedCluster {
     size_t num_grid_nodes = 2;
     size_t num_cluster_nodes = 1;
     size_t replication = 1;  // copies per document
+
+    // ---- Dynamic partition management (Section 3.4 storage management).
+    // Tablets carved at construction: this many per data node, equal-width
+    // ranges of the routing-key space, targets assigned round-robin.
+    size_t initial_partitions_per_node = 1;
+    // false: route documents by Mix64(id) — uniform, skew-resistant, the
+    // classic hash ring. true: route by raw id — order-preserving
+    // (key-range tablets), so sequential ingest concentrates in the
+    // hottest tablet and exercises split/migrate exactly like a growing
+    // real-world corpus.
+    bool key_range_partitioning = false;
+    // A partition whose routed-document count reaches this splits at its
+    // median key on the next balancer pass. 0 = never split.
+    size_t split_doc_threshold = 0;
+    // Adjacent partitions whose combined count is at or below this merge
+    // on the next balancer pass. 0 = never merge.
+    size_t merge_doc_threshold = 0;
+    // A partition whose point-op traffic counter (ingests + gets since the
+    // last decay) reaches this also splits, independent of size — hot
+    // small tablets get spread too. 0 = ignore traffic.
+    uint64_t split_traffic_threshold = 0;
+    // The balancer moves partitions off a node while its owned-document
+    // count exceeds tolerance * mean; per pass it performs at most
+    // max_moves_per_pass migrations.
+    double balance_tolerance = 1.25;
+    size_t max_moves_per_pass = 4;
   };
 
   explicit SimulatedCluster(const Options& options);
@@ -173,19 +210,119 @@ class SimulatedCluster {
   std::vector<NodeId> DetectFailures();
 
   // Restores `replication` copies of every under-replicated document by
-  // copying from surviving holders. Returns bytes copied.
-  uint64_t ReReplicate();
+  // copying from surviving holders. Copy counts and early-stops are
+  // validated against the *live* directory (not the pass's snapshot), so a
+  // source holder dying mid-pass cannot fake completion, and a node is
+  // never recorded as a holder twice for one document.
+  struct ReReplicateReport {
+    uint64_t bytes_copied = 0;
+    // Documents the pass attempted but could not bring back to their
+    // desired copy count (no capacity, targets kept dying, or a source
+    // holder died mid-pass). Nonzero means the cluster is still exposed.
+    size_t docs_unrestored = 0;
+  };
+  ReReplicateReport ReReplicate();
 
   // Documents whose replica chain has at least one alive holder / exactly
   // `replication` alive holders.
   size_t num_available_documents() const;
   size_t num_fully_replicated_documents() const;
 
+  // --------------------------------------- Dynamic partition management
+
+  // One row of the partition table: a half-open routing-key range
+  // [lo, hi) — hi of the last partition is reported as UINT64_MAX and the
+  // range is inclusive there — with its preferred replica targets
+  // (primary first) and policy counters.
+  struct PartitionDesc {
+    PartitionId pid = 0;
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    // Partition epoch: bumped by split/merge/migration so a balancer
+    // decision taken against a stale view of the tablet aborts instead of
+    // committing against a different range or home.
+    uint64_t epoch = 0;
+    std::vector<NodeId> replicas;
+    uint64_t doc_count = 0;
+    uint64_t traffic = 0;  // point ops (ingest/get) since last decay
+  };
+  std::vector<PartitionDesc> PartitionTable() const;
+
+  // Splits the partition at the median routed key of its current
+  // documents (range midpoints are useless under sequential-key skew).
+  // Metadata-only: both children keep the parent's replica targets, so no
+  // data moves; the balancer migrates a child later if load warrants.
+  // Returns false when the partition vanished (merged/split concurrently)
+  // or holds fewer than two distinct keys.
+  bool SplitPartition(PartitionId pid);
+
+  // Merges the partition with its right neighbor (metadata-only; the
+  // survivor keeps the left partition's id and replica targets — existing
+  // documents stay where the directory says they are, new ingest routes
+  // to the survivor's targets, and migration converges the rest).
+  // Returns false when the partition vanished or has no right neighbor.
+  bool MergeWithRightNeighbor(PartitionId pid);
+
+  // Migrates one replica of a partition: every document in the partition's
+  // range currently held by `from` is copied to `to`, the directory entry
+  // is swapped under the directory mutex with PR 3's incarnation-epoch
+  // validity checks (a target that died between copy and commit is not
+  // recorded), and the source bytes are deleted afterwards with a
+  // version re-check so a concurrent update is re-copied, not lost. An
+  // in-flight scatter routed at the old holder either finds the bytes
+  // still there (delete not yet applied) or detects the absence and
+  // re-routes through the directory to the new home — never a silently
+  // half-moved partition. Returns the number of documents moved.
+  size_t MovePartitionReplica(PartitionId pid, NodeId from, NodeId to);
+
+  // One autonomic balancing pass: split every partition over the
+  // size/traffic thresholds, merge cold neighbors, then migrate
+  // partitions off nodes whose owned-document count exceeds
+  // balance_tolerance * mean (policy kernel in Scheduler::PickMove),
+  // at most max_moves_per_pass moves. Also decays traffic counters.
+  struct RebalanceReport {
+    size_t splits = 0;
+    size_t merges = 0;
+    size_t moves = 0;
+    size_t docs_moved = 0;
+  };
+  RebalanceReport RebalanceOnce();
+
+  // Background balancer loop (the storage-management half of Section
+  // 3.4's "autonomic management"): RebalanceOnce every `interval_ms`
+  // until StopBalancer. Idempotent; the destructor stops it.
+  void StartBalancer(uint64_t interval_ms);
+  void StopBalancer();
+  bool balancer_running() const;
+  uint64_t balancer_passes() const { return balancer_passes_.load(); }
+
+  // Structural invariants, checked on demand by chaos tests and the
+  // rebalance bench after every step: the directory never lists one node
+  // twice for a document, and the partition table is a gapless,
+  // non-overlapping cover of the routing-key space with valid, distinct
+  // replica targets.
+  struct IntegrityReport {
+    size_t duplicate_holders = 0;      // docs listing one node >= twice
+    size_t table_coverage_violations = 0;  // first range does not start at 0
+    size_t duplicate_partition_ids = 0;
+    size_t empty_replica_sets = 0;
+    size_t invalid_replica_targets = 0;  // out of range or listed twice
+    bool ok() const {
+      return duplicate_holders == 0 && table_coverage_violations == 0 &&
+             duplicate_partition_ids == 0 && empty_replica_sets == 0 &&
+             invalid_replica_targets == 0;
+    }
+  };
+  IntegrityReport CheckIntegrity() const;
+
   // ------------------------------------------------------------- Stats
 
   size_t num_data_nodes_alive() const;
   // Documents currently owned (served) per data node.
   std::map<NodeId, size_t> OwnedCounts() const;
+  // max(owned)/mean(owned) across alive data nodes — the balancer's hot-
+  // node signal and E22's headline metric. 1.0 = perfectly even.
+  double OwnershipSpread() const;
   const std::vector<std::unique_ptr<Node>>& data_nodes() const {
     return data_nodes_;
   }
@@ -211,6 +348,17 @@ class SimulatedCluster {
     uint64_t epoch;
   };
 
+  // One dynamic partition (tablet) of the routing-key space. Keyed in
+  // ptable_ by its inclusive lower bound; the range extends to the next
+  // entry's bound (the last tablet covers the tail of the key space).
+  struct PartitionState {
+    PartitionId pid = 0;
+    uint64_t epoch = 0;
+    std::vector<NodeId> replicas;  // preferred targets, primary first
+    uint64_t doc_count = 0;        // routed documents (policy signal)
+    uint64_t traffic = 0;          // point ops since last decay
+  };
+
   // Runs `fn` on an alive node of `pool`, retrying on another member when
   // the chosen node drops the task (it never ran, so re-submitting is
   // safe). Returns false when no member executed it.
@@ -233,8 +381,11 @@ class SimulatedCluster {
   // documents — bounded rounds, after which the loss is recorded in
   // `stats` (degraded + missing_partitions) instead of being silently
   // omitted. Documents that already have no alive holder at snapshot time
-  // are counted as missing up front. Updates tasks/failovers/
-  // critical_path_micros in `stats`.
+  // are counted as missing up front. A task that executes but finds some
+  // assigned documents physically absent (the balancer migrated them
+  // between snapshot and execution) re-routes exactly those documents
+  // through the live directory instead of silently serving a hole.
+  // Updates tasks/failovers/critical_path_micros in `stats`.
   void ScatterWithFailover(
       const std::function<std::function<void()>(
           NodeId node, std::shared_ptr<const std::set<model::DocId>> docs)>&
@@ -262,7 +413,24 @@ class SimulatedCluster {
   std::shared_ptr<const OwnershipSnapshot> OwnershipByNode(
       size_t* orphaned = nullptr) const;
   void InvalidateOwnershipLocked() const { ownership_cache_.reset(); }
+
+  // The key a document routes by: its Mix64 hash (uniform) or its raw id
+  // (key-range mode). The partition table partitions this key space.
+  uint64_t RouteKey(model::DocId id) const;
+  // Placement policy: the routing partition's replica targets (primary
+  // first), extended ring-wise past the table's targets when a caller
+  // wants more copies than the tablet is configured with.
   std::vector<NodeId> PlaceReplicas(model::DocId id, size_t copies) const;
+  // Stores `doc` (id already assigned) on its placed replicas and records
+  // acked, still-epoch-valid holders in the directory — the single
+  // placement path shared by Ingest, RunAnnotationPass, and recovery
+  // mirrors, so every write respects liveness and the partition table.
+  // Returns false when no replica target acknowledged the store.
+  bool StoreReplicated(const model::Document& doc, size_t copies,
+                       ShipStats* stats);
+  // Policy-counter maintenance (both take ptable_mutex_ internally).
+  void BumpPartitionTraffic(model::DocId id) const;
+  void AdjustPartitionDocCount(model::DocId id, int64_t delta);
   // Stores `doc` on the node's partition and reports the definitive
   // outcome; only kExecuted means the node actually held the document when
   // the store ran. `epoch_at_store` (optional) receives the node's
@@ -280,6 +448,7 @@ class SimulatedCluster {
   std::shared_ptr<Partition> PartitionFor(NodeId node) const;
   static uint64_t DocBytes(const model::Document& doc);
   void AccountTraffic(const ShipStats& stats);
+  void BalancerLoop(uint64_t interval_ms);
 
   Options options_;
   std::vector<std::unique_ptr<Node>> data_nodes_;
@@ -304,6 +473,27 @@ class SimulatedCluster {
   // built: data the cluster knows it cannot serve. Guarded by
   // directory_mutex_, refreshed together with ownership_cache_.
   mutable size_t orphaned_docs_ = 0;
+
+  // The partition table: inclusive lower bound of each tablet's
+  // routing-key range -> tablet state. Lock order: ptable_mutex_ may be
+  // taken before directory_mutex_ (split/merge/integrity snapshots), never
+  // after it.
+  mutable std::mutex ptable_mutex_;
+  // mutable: point reads (Get) bump per-partition traffic counters.
+  mutable std::map<uint64_t, PartitionState> ptable_;
+  PartitionId next_pid_ = 0;
+  // Serializes partition migrations: a move runs blocking tasks on two
+  // node mailboxes, and two concurrent opposite-direction moves could
+  // otherwise deadlock each other's worker threads.
+  std::mutex move_mutex_;
+
+  // Background balancer.
+  mutable std::mutex balancer_mutex_;
+  std::condition_variable balancer_cv_;
+  std::thread balancer_thread_;
+  bool balancer_stop_ = false;  // guarded by balancer_mutex_
+  std::atomic<bool> balancer_running_{false};
+  std::atomic<uint64_t> balancer_passes_{0};
 
   std::atomic<model::DocId> next_id_{1};
   std::atomic<uint64_t> rr_grid_{0};

@@ -1,6 +1,9 @@
 #ifndef IMPLIANCE_CLUSTER_SCHEDULER_H_
 #define IMPLIANCE_CLUSTER_SCHEDULER_H_
 
+#include <cstddef>
+#include <vector>
+
 #include "cluster/node.h"
 
 namespace impliance::cluster {
@@ -54,6 +57,36 @@ class Scheduler {
   // background tasks per worker) linearly squeezes the per-query DOP down
   // to 1 so intra-query parallelism never starves concurrent queries.
   size_t ChooseDop(size_t max_workers, const LoadSnapshot& load) const;
+
+  // ------------------------------------------------- Rebalancing policy
+
+  // Per-node serving load: documents this node currently owns (first
+  // valid holder) per the directory snapshot.
+  struct NodeLoad {
+    NodeId node = 0;
+    size_t owned_docs = 0;
+  };
+
+  // One migration decision for the autonomic balancer: move load from
+  // `hot` to `cold`. move=false means the cluster is balanced enough to
+  // leave alone.
+  struct MoveChoice {
+    bool move = false;
+    NodeId hot = 0;
+    NodeId cold = 0;
+    // How many documents the hot node carries beyond the mean — the
+    // balancer picks the migration whose size best fits this gap (the
+    // swap_defragmentator idea: never overshoot into a new hot spot).
+    size_t excess = 0;
+  };
+
+  // Policy kernel for one balancer step, a pure rule over the live load
+  // picture like Place(): act only when the hottest node exceeds
+  // tolerance * mean owned documents AND the hot/cold gap is at least 2
+  // (a 1-document gap is noise — moving it just renames the hot node).
+  // `loads` must cover exactly the alive data nodes.
+  MoveChoice PickMove(const std::vector<NodeLoad>& loads,
+                      double tolerance) const;
 
  private:
   Options options_;

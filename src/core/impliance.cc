@@ -194,6 +194,9 @@ Impliance::~Impliance() {
 void Impliance::Quiesce() {
   quiesced_.store(true, std::memory_order_release);
   if (execution_ != nullptr) execution_->WaitIdle();
+  // Stop the autonomic balancer before teardown: its passes run blocking
+  // tasks on blade mailboxes that are about to be destroyed.
+  if (scale_out_ != nullptr) scale_out_->StopBalancer();
 }
 
 Result<std::unique_ptr<Impliance>> Impliance::Open(ImplianceOptions options) {
@@ -214,8 +217,14 @@ Result<std::unique_ptr<Impliance>> Impliance::Open(ImplianceOptions options) {
     cluster_options.replication =
         std::min(std::max<size_t>(1, options.scale_out_replication),
                  options.scale_out_data_nodes);
+    cluster_options.split_doc_threshold = options.scale_out_split_docs;
+    cluster_options.merge_doc_threshold = options.scale_out_merge_docs;
     impliance->scale_out_ =
         std::make_unique<cluster::SimulatedCluster>(cluster_options);
+    if (options.scale_out_balancer_interval_ms > 0) {
+      impliance->scale_out_->StartBalancer(
+          options.scale_out_balancer_interval_ms);
+    }
   }
   impliance->execution_ = std::make_unique<virt::ExecutionManager>(
       std::max<size_t>(1, options.discovery_threads),

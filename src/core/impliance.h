@@ -44,6 +44,14 @@ struct ImplianceOptions {
   // answer instead of a wrong one. 0 = single-node (default).
   size_t scale_out_data_nodes = 0;
   size_t scale_out_replication = 1;
+  // Autonomic partition management on the scale-out tier (Section 3.4):
+  // when > 0, a background balancer splits hot tablets, merges cold ones,
+  // and migrates partitions off hot nodes every this-many milliseconds.
+  // Stopped by Quiesce(). 0 = static partitions (default).
+  uint64_t scale_out_balancer_interval_ms = 0;
+  // Split/merge thresholds forwarded to the cluster (0 = disabled).
+  size_t scale_out_split_docs = 0;
+  size_t scale_out_merge_docs = 0;
 };
 
 struct SearchHit {

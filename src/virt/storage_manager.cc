@@ -28,7 +28,10 @@ StorageManager::RepairReport StorageManager::RunRepairCycle() {
   const size_t total = cluster_->num_documents();
   report.docs_under_replicated_before =
       total - cluster_->num_fully_replicated_documents();
-  report.bytes_copied = cluster_->ReReplicate();
+  const cluster::SimulatedCluster::ReReplicateReport rere =
+      cluster_->ReReplicate();
+  report.bytes_copied = rere.bytes_copied;
+  report.docs_unrestored = rere.docs_unrestored;
   report.docs_under_replicated_after =
       total - cluster_->num_fully_replicated_documents();
   report.repair_millis = watch.ElapsedMillis();

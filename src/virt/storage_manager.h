@@ -25,6 +25,10 @@ class StorageManager {
     size_t nodes_detected_down = 0;
     size_t docs_under_replicated_before = 0;
     size_t docs_under_replicated_after = 0;
+    // Documents ReReplicate attempted but could not bring back to their
+    // desired copy count (judged against the live directory, so a source
+    // holder dying mid-pass shows up here instead of faking completion).
+    size_t docs_unrestored = 0;
     uint64_t bytes_copied = 0;
     double repair_millis = 0;
   };

@@ -251,6 +251,90 @@ TEST_P(ChaosTest, ConcurrentIngestAndQueriesSurviveKillRecoverCycles) {
   }
 }
 
+// The autonomic balancer and the repair loop run concurrently with
+// kill/recover cycles and a live query stream: every result stays
+// complete-or-degraded, the directory never lists one node twice for a
+// document, and the partition table stays a gapless cover — after every
+// chaos step, not just at the end.
+TEST_P(ChaosTest, BalancerAndRepairSurviveKillRecoverCycles) {
+  SimulatedCluster cluster({.num_data_nodes = 4,
+                            .num_grid_nodes = 2,
+                            .replication = 2,
+                            .key_range_partitioning = true,
+                            .split_doc_threshold = 24,
+                            .balance_tolerance = 1.2,
+                            .max_moves_per_pass = 4});
+  constexpr int kDocs = 60;
+  for (int i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(cluster.Ingest(Order("c" + std::to_string(i % 3), i, i)).ok());
+  }
+  // Sequential ids + key-range tablets: the corpus starts maximally
+  // skewed, so the balancer has real splitting and migrating to do while
+  // the chaos runs.
+  cluster.StartBalancer(1);
+  ASSERT_TRUE(cluster.balancer_running());
+
+  std::atomic<bool> stop{false};
+  std::thread repair_thread([&] {
+    while (!stop.load()) {
+      cluster.DetectFailures();
+      cluster.ReReplicate();
+    }
+  });
+  std::thread search_thread([&] {
+    while (!stop.load()) {
+      ShipStats stats;
+      auto hits = cluster.KeywordSearch("shipment", 200, &stats);
+      ExpectCoherent(stats);
+      EXPECT_LE(hits.size(), static_cast<size_t>(kDocs));
+      if (!stats.degraded) {
+        EXPECT_EQ(hits.size(), static_cast<size_t>(kDocs));
+      }
+    }
+  });
+  std::thread agg_thread([&] {
+    SimulatedCluster::AggQuery query = TotalsByCity();
+    while (!stop.load()) {
+      auto agg = cluster.FilterAggregate(query, /*pushdown=*/true);
+      ExpectCoherent(agg.stats);
+    }
+  });
+
+  Rng rng(GetParam());
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    const NodeId victim = static_cast<NodeId>(rng.Uniform(4));
+    cluster.FailNode(victim);
+    cluster.DetectFailures();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    cluster.RecoverNode(victim);
+    cluster.ReReplicate();
+    // Invariants after every chaos step, with balancer and repair racing.
+    const SimulatedCluster::IntegrityReport integrity =
+        cluster.CheckIntegrity();
+    EXPECT_EQ(integrity.duplicate_holders, 0u) << "cycle " << cycle;
+    EXPECT_TRUE(integrity.ok()) << "cycle " << cycle;
+  }
+  stop.store(true);
+  repair_thread.join();
+  search_thread.join();
+  agg_thread.join();
+  cluster.StopBalancer();
+  EXPECT_GT(cluster.balancer_passes(), 0u);
+
+  // Heal and verify the final answer is complete or the loss is declared.
+  cluster.DetectFailures();
+  cluster.ReReplicate();
+  ShipStats stats;
+  auto hits = cluster.KeywordSearch("shipment", 10'000, &stats);
+  ExpectCoherent(stats);
+  if (!stats.degraded) {
+    EXPECT_EQ(hits.size(), static_cast<size_t>(kDocs));
+  } else {
+    EXPECT_LT(hits.size(), static_cast<size_t>(kDocs));
+  }
+  EXPECT_TRUE(cluster.CheckIntegrity().ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Values(0xC0FFEEull, 42ull, 7ull, 1337ull));
 
@@ -368,6 +452,62 @@ TEST_P(ApplianceChaosTest, NodeKilledMidSqlDegradesExplicitly) {
   EXPECT_TRUE(health.degraded);
   EXPECT_GT(health.missing_partitions, 0u);
   EXPECT_LT(rows->size(), 40u);
+}
+
+// SQL through the appliance with the background balancer armed: splits and
+// migrations run underneath kill/recover cycles, and QueryHealth stays
+// coherent (degraded iff a nonzero missing count) on every answer.
+TEST_P(ApplianceChaosTest, SqlStaysCoherentWithBalancerArmed) {
+  ApplianceTempDir dir("balancer");
+  auto opened = core::Impliance::Open({.data_dir = dir.path(),
+                                       .scale_out_data_nodes = 4,
+                                       .scale_out_replication = 2,
+                                       .scale_out_balancer_interval_ms = 1,
+                                       .scale_out_split_docs = 8});
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto impliance = std::move(opened).value();
+  std::string csv = "order_no,city,total\n";
+  for (int i = 0; i < 40; ++i) {
+    csv += std::to_string(i) + ",london," + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(impliance->InfuseContent("order", csv).ok());
+  SimulatedCluster* cluster = impliance->scale_out();
+  ASSERT_NE(cluster, nullptr);
+  ASSERT_TRUE(cluster->balancer_running());
+
+  Rng rng(GetParam());
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const NodeId victim = static_cast<NodeId>(rng.Uniform(4));
+    cluster->FailNode(victim);
+    cluster->DetectFailures();
+    core::QueryHealth health;
+    auto rows = impliance->Sql("SELECT order_no FROM order", &health);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(health.degraded, health.missing_partitions > 0)
+        << "cycle " << cycle;
+    if (!health.degraded) {
+      EXPECT_EQ(rows->size(), 40u) << "cycle " << cycle;
+    }
+    cluster->RecoverNode(victim);
+    cluster->ReReplicate();
+    const SimulatedCluster::IntegrityReport integrity =
+        cluster->CheckIntegrity();
+    EXPECT_EQ(integrity.duplicate_holders, 0u) << "cycle " << cycle;
+    EXPECT_TRUE(integrity.ok()) << "cycle " << cycle;
+  }
+
+  // Healed: at replication=2, every kill had a surviving replica, so the
+  // final answer must be complete.
+  cluster->DetectFailures();
+  cluster->ReReplicate();
+  core::QueryHealth health;
+  auto rows = impliance->Sql("SELECT order_no FROM order", &health);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_FALSE(health.degraded);
+  EXPECT_EQ(rows->size(), 40u);
+  // Quiesce stops the balancer before teardown.
+  impliance->Quiesce();
+  EXPECT_FALSE(cluster->balancer_running());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ApplianceChaosTest,
